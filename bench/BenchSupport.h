@@ -1,0 +1,84 @@
+//===- BenchSupport.h - Shared helpers of the bench harnesses ---*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure harnesses: loading the measured
+/// model produced by `model_builder` (falling back to the built-in
+/// default), and simple argument parsing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_BENCH_BENCHSUPPORT_H
+#define CSWITCH_BENCH_BENCHSUPPORT_H
+
+#include "model/CostModel.h"
+#include "model/DefaultModel.h"
+#include "model/ModelBuilder.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace cswitch {
+namespace bench {
+
+/// True if \p Model covers every variant of the current candidate pool
+/// (stale model files from older builds miss newer variants).
+inline bool modelCoversAllVariants(const PerformanceModel &Model) {
+  for (ListVariant V : AllListVariants)
+    if (!Model.hasVariant(VariantId::of(V)))
+      return false;
+  for (SetVariant V : AllSetVariants)
+    if (!Model.hasVariant(VariantId::of(V)))
+      return false;
+  for (MapVariant V : AllMapVariants)
+    if (!Model.hasVariant(VariantId::of(V)))
+      return false;
+  return true;
+}
+
+/// Loads `cswitch_model.txt` from the working directory when present and
+/// complete (the output of the model_builder tool). Otherwise builds a
+/// quick measured model for this machine — the paper's position (§4.1)
+/// is that hardware-specific calibration is a prerequisite of correct
+/// selection — and caches it for the sibling harnesses.
+inline std::shared_ptr<const PerformanceModel> loadModel() {
+  auto Model = std::make_shared<PerformanceModel>();
+  if (Model->loadFromFile("cswitch_model.txt") &&
+      modelCoversAllVariants(*Model)) {
+    std::printf("[using measured model cswitch_model.txt]\n");
+    return Model;
+  }
+  std::printf("[calibrating a quick measured model for this machine; run "
+              "model_builder for the full plan]\n");
+  ModelBuilder Builder(ModelBuildOptions::quick());
+  auto Measured = std::make_shared<PerformanceModel>(Builder.build());
+  if (Measured->saveToFile("cswitch_model.txt"))
+    std::printf("[cached as cswitch_model.txt]\n");
+  return Measured;
+}
+
+/// True if the flag is present in argv.
+inline bool hasFlag(int Argc, char **Argv, const char *Flag) {
+  for (int I = 1; I != Argc; ++I)
+    if (std::strcmp(Argv[I], Flag) == 0)
+      return true;
+  return false;
+}
+
+/// Parses `--name value` (integer); returns Default when absent.
+inline long intOption(int Argc, char **Argv, const char *Name,
+                      long Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], Name) == 0)
+      return std::atol(Argv[I + 1]);
+  return Default;
+}
+
+} // namespace bench
+} // namespace cswitch
+
+#endif // CSWITCH_BENCH_BENCHSUPPORT_H

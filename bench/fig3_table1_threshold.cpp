@@ -1,0 +1,60 @@
+//===- fig3_table1_threshold.cpp - Reproduces Fig. 3 and Table 1 ----------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Figure 3: the transition-threshold analysis of AdaptiveSet — the
+// benefit of transitioning array -> hash as a function of set size,
+// crossing zero at the optimal threshold. Table 1: the derived optimal
+// thresholds for all three adaptive collections.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "model/ThresholdAnalyzer.h"
+
+#include <cstdio>
+
+using namespace cswitch;
+
+static void printCurve(const ThresholdAnalyzer &Analyzer) {
+  std::printf("\nFigure 3: Transition threshold analysis of AdaptiveSet\n");
+  std::printf("(benefit of array->hash transition; optimal threshold at "
+              "the zero crossing)\n");
+  std::printf("%8s  %12s  %s\n", "size", "benefit", "");
+  for (size_t Size = 5; Size <= 80; Size += 5) {
+    double Benefit = Analyzer.benefitAt(AbstractionKind::Set, Size);
+    // ASCII sparkline around zero.
+    int Offset = static_cast<int>(Benefit * 10.0);
+    char Bar[48];
+    int Mid = 20;
+    for (int I = 0; I != 41; ++I)
+      Bar[I] = I == Mid ? '|' : ' ';
+    int Pos = Mid + (Offset < -20 ? -20 : (Offset > 20 ? 20 : Offset));
+    Bar[Pos] = '*';
+    Bar[41] = '\0';
+    std::printf("%8zu  %12.3f  %s\n", Size, Benefit, Bar);
+  }
+}
+
+int main() {
+  using cswitch::bench::loadModel;
+  std::shared_ptr<const PerformanceModel> Model = loadModel();
+  ThresholdAnalyzer Analyzer(*Model);
+
+  printCurve(Analyzer);
+
+  AdaptiveThresholds T = Analyzer.computeAll();
+  std::printf("\nTable 1: Adaptive collection types, transitions and "
+              "optimal thresholds\n");
+  std::printf("%-14s %-18s %10s %10s\n", "Col. Variant", "Transition",
+              "threshold", "(paper)");
+  std::printf("%-14s %-18s %10zu %10s\n", "AdaptiveList", "array -> hash",
+              T.List, "80");
+  std::printf("%-14s %-18s %10zu %10s\n", "AdaptiveSet",
+              "array -> openhash", T.Set, "40");
+  std::printf("%-14s %-18s %10zu %10s\n", "AdaptiveMap",
+              "array -> openhash", T.Map, "50");
+  return 0;
+}

@@ -1,0 +1,156 @@
+//===- fig6_multi_phase.cpp - Reproduces Fig. 6 ---------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// The multi-phase scenario (paper §5.1, Fig. 6): the dominant operation
+// changes every five iterations — contains, iteration, index operation,
+// search-and-remove, contains. CollectionSwitch is compared against the
+// fixed variants ArrayList, HashArrayList and LinkedList; the expected
+// outcome (like the paper's) is that CollectionSwitch tracks the best
+// variant in every phase except search-and-remove, where the model gap
+// keeps it on HashArrayList.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "core/Switch.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+using namespace cswitch;
+using namespace cswitch::bench;
+
+namespace {
+
+enum class Phase { Contains, Iteration, IndexOp, SearchRemove };
+
+const char *phaseName(Phase P) {
+  switch (P) {
+  case Phase::Contains:
+    return "contains";
+  case Phase::Iteration:
+    return "iteration";
+  case Phase::IndexOp:
+    return "index";
+  case Phase::SearchRemove:
+    return "search+remove";
+  }
+  return "?";
+}
+
+/// Runs one iteration: create/populate Instances collections of Size
+/// elements, then execute Ops operations of the phase per instance.
+/// Returns milliseconds.
+double runIteration(Phase P, size_t Instances, size_t Size, size_t Ops,
+                    const std::function<List<int64_t>()> &MakeList) {
+  SplitMix64 Rng(13);
+  Timer Clock;
+  for (size_t I = 0; I != Instances; ++I) {
+    List<int64_t> L = MakeList();
+    L.reserve(Size);
+    for (size_t K = 0; K != Size; ++K)
+      L.add(static_cast<int64_t>(K));
+    switch (P) {
+    case Phase::Contains: {
+      uint64_t Hits = 0;
+      for (size_t Op = 0; Op != Ops; ++Op)
+        Hits += L.contains(
+            static_cast<int64_t>(Rng.nextBelow(Size * 2)));
+      (void)Hits;
+      break;
+    }
+    case Phase::Iteration: {
+      // Full traversals are Size times heavier than point operations;
+      // scale their count down so the phase stays comparable.
+      uint64_t Sum = 0;
+      for (size_t Op = 0, E = std::max<size_t>(Ops / 10, 1); Op != E;
+           ++Op)
+        L.forEach([&Sum](const int64_t &V) {
+          Sum += static_cast<uint64_t>(V);
+        });
+      (void)Sum;
+      break;
+    }
+    case Phase::IndexOp: {
+      uint64_t Sum = 0;
+      for (size_t Op = 0; Op != Ops; ++Op)
+        Sum += static_cast<uint64_t>(L.get(Rng.nextBelow(Size)));
+      (void)Sum;
+      break;
+    }
+    case Phase::SearchRemove: {
+      for (size_t Op = 0; Op != Ops; ++Op) {
+        int64_t V = static_cast<int64_t>(Rng.nextBelow(Size));
+        if (L.remove(V))
+          L.add(V);
+      }
+      break;
+    }
+    }
+  }
+  return Clock.elapsedSeconds() * 1e3;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t Instances =
+      static_cast<size_t>(intOption(Argc, Argv, "--instances", 300));
+  size_t Size = static_cast<size_t>(intOption(Argc, Argv, "--size", 500));
+  size_t Ops = static_cast<size_t>(intOption(Argc, Argv, "--ops", 1000));
+  std::shared_ptr<const PerformanceModel> Model = loadModel();
+
+  ContextOptions Options;
+  Options.WindowSize = 100;
+  Options.FinishedRatio = 0.6;
+  Options.LogEvents = false;
+  ListContext<int64_t> Ctx("fig6:list", ListVariant::ArrayList, Model,
+                           SelectionRule::timeRule(), Options);
+
+  std::vector<Phase> Phases = {Phase::Contains, Phase::Iteration,
+                               Phase::IndexOp, Phase::SearchRemove,
+                               Phase::Contains};
+  constexpr int IterationsPerPhase = 5;
+
+  std::printf("\nFigure 6: multi-phase scenario (%zu instances of size "
+              "%zu per iteration, Rtime)\n",
+              Instances, Size);
+  std::printf("%4s  %-14s  %10s %12s %14s %12s  %s\n", "it", "phase",
+              "Switch(ms)", "ArrayList", "HashArrayList", "LinkedList",
+              "switch variant");
+
+  int Iteration = 0;
+  for (Phase P : Phases) {
+    for (int I = 0; I != IterationsPerPhase; ++I, ++Iteration) {
+      double SwitchMs = runIteration(P, Instances, Size, Ops, [&Ctx] {
+        return Ctx.createList();
+      });
+      Ctx.evaluate();
+      double ArrayMs = runIteration(P, Instances, Size, Ops, [] {
+        return List<int64_t>(
+            makeListImpl<int64_t>(ListVariant::ArrayList));
+      });
+      double HashMs = runIteration(P, Instances, Size, Ops, [] {
+        return List<int64_t>(
+            makeListImpl<int64_t>(ListVariant::HashArrayList));
+      });
+      double LinkedMs = runIteration(P, Instances, Size, Ops, [] {
+        return List<int64_t>(
+            makeListImpl<int64_t>(ListVariant::LinkedList));
+      });
+      std::printf("%4d  %-14s  %10.2f %12.2f %14.2f %12.2f  %s\n",
+                  Iteration, phaseName(P), SwitchMs, ArrayMs, HashMs,
+                  LinkedMs, Ctx.currentVariant().name().c_str());
+    }
+  }
+  std::printf("\ntransitions performed: %llu\n",
+              static_cast<unsigned long long>(Ctx.switchCount()));
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- model_builder.cpp - Builds the machine-specific model (Table 3) ----===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// The performance-model builder tool (paper §4.1): runs the factorial
+// plan of Table 3 on this machine, fits the cubic cost polynomials, and
+// persists the model to `cswitch_model.txt` (loaded by the other
+// harnesses when present, so every figure uses machine-true costs).
+//
+// Usage: model_builder [--quick] [--out <path>]
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/ModelBuilder.h"
+#include "model/ThresholdAnalyzer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace cswitch;
+
+int main(int Argc, char **Argv) {
+  bool Quick = false;
+  std::string OutPath = "cswitch_model.txt";
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--quick") == 0)
+      Quick = true;
+    else if (std::strcmp(Argv[I], "--out") == 0 && I + 1 != Argc)
+      OutPath = Argv[++I];
+  }
+
+  ModelBuildOptions Options =
+      Quick ? ModelBuildOptions::quick() : ModelBuildOptions();
+  if (!Quick) {
+    Options.Sizes = ModelBuildOptions::paperSizes();
+    Options.WarmupIterations = 2;
+    Options.MeasuredIterations = 6;
+  }
+
+  std::printf("Table 3: Factors and levels of the factorial plan\n");
+  std::printf("  Collection Size   [");
+  for (size_t I = 0; I != Options.Sizes.size(); ++I)
+    std::printf("%s%zu", I ? "," : "", Options.Sizes[I]);
+  std::printf("]\n");
+  std::printf("  Scenarios         populate, contains, iterate, index, "
+              "middle, remove\n");
+  std::printf("  Data Type         int64 (Integer)\n");
+  std::printf("  Data Distribution uniform\n");
+  std::printf("  Iterations        %zu warm-up + %zu measured per point\n\n",
+              Options.WarmupIterations, Options.MeasuredIterations);
+
+  ModelBuilder Builder(Options);
+  Builder.setProgressCallback([](const std::string &Line) {
+    std::printf("  fit %s\n", Line.c_str());
+  });
+  std::printf("benchmarking all variants (this is the slow part)...\n");
+  PerformanceModel Model = Builder.build();
+
+  if (!Model.saveToFile(OutPath)) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::printf("\nmodel written to %s\n", OutPath.c_str());
+
+  ThresholdAnalyzer Analyzer(Model);
+  AdaptiveThresholds T = Analyzer.computeAll();
+  std::printf("derived adaptive thresholds on this machine: list=%zu "
+              "set=%zu map=%zu (paper Table 1: 80/40/50)\n",
+              T.List, T.Set, T.Map);
+  return 0;
+}

@@ -1,0 +1,37 @@
+//===- table4_rules.cpp - Reproduces Table 4 (selection rules) -----------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Prints the selection rules Rtime and Ralloc exactly as paper Table 4
+// states them, from the live rule objects (so the table can never drift
+// from the implementation).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SelectionRule.h"
+
+#include <cstdio>
+
+using namespace cswitch;
+
+static void printRule(const SelectionRule &Rule) {
+  std::printf("%-8s", Rule.Name.c_str());
+  bool First = true;
+  for (const Criterion &C : Rule.Criteria) {
+    std::printf("%s%s cost %s %.1f", First ? "  " : ",  ",
+                costDimensionName(C.Dimension),
+                C.Threshold < 1.0 ? "<" : "<=", C.Threshold);
+    First = false;
+  }
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("Table 4: Selection rules Rtime and Ralloc\n");
+  std::printf("Rule     Improvement / Penalty criteria\n");
+  printRule(SelectionRule::timeRule());
+  printRule(SelectionRule::allocRule());
+  return 0;
+}

@@ -1,0 +1,130 @@
+//===- table5_dacapo.cpp - Reproduces Table 5 -----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// The real-application evaluation (paper §5.2, Table 5): for every
+// DaCapo-substitute app, the execution time T and the peak collection
+// memory M of the original run are compared against the full framework
+// under Rtime and Ralloc, and against instance-level adaptivity only
+// (InstanceAdap). Differences are quoted only when significant (Welch's
+// t-test at 5%, standing in for the paper's Tukey HSD); positive
+// percentages are improvements, as in the paper.
+//
+// Defaults: 2 discarded + 8 measured runs at scale 0.5; `--paper` runs
+// the paper's 5 + 30 at scale 1.0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "apps/Apps.h"
+#include "support/Statistics.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace cswitch;
+using namespace cswitch::bench;
+
+namespace {
+
+struct RunSeries {
+  std::vector<double> Seconds;
+  std::vector<double> PeakMB;
+  uint64_t Instances = 0;
+  size_t Sites = 0;
+  size_t Transitions = 0;
+};
+
+RunSeries runSeries(AppKind App, const AppRunConfig &Base, size_t Warmup,
+                    size_t Measured) {
+  RunSeries Series;
+  for (size_t I = 0; I != Warmup + Measured; ++I) {
+    AppRunConfig RC = Base;
+    AppResult R = runApp(App, RC);
+    if (I < Warmup)
+      continue;
+    Series.Seconds.push_back(R.Seconds);
+    Series.PeakMB.push_back(static_cast<double>(R.PeakLiveBytes) / 1e3);
+    Series.Instances = R.InstancesCreated;
+    Series.Sites = R.TargetSites;
+    Series.Transitions = R.Transitions;
+  }
+  return Series;
+}
+
+/// Formats a significant relative improvement as the paper does
+/// (positive = better); "--" when not significant.
+std::string gain(const std::vector<double> &Original,
+                 const std::vector<double> &Modified) {
+  ComparisonResult Cmp = compareMeans(Original, Modified);
+  if (!Cmp.Significant)
+    return "   --";
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%+4.0f%%", -Cmp.RelativeChange * 100.0);
+  return Buf;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Paper = hasFlag(Argc, Argv, "--paper");
+  size_t Warmup = Paper ? 5 : 2;
+  size_t Measured = Paper ? 30 : 10;
+  double Scale = Paper ? 1.0 : 0.5;
+
+  AppRunConfig Base;
+  Base.Model = loadModel();
+  Base.Seed = 17;
+  Base.Scale = Scale;
+  Base.CtxOptions.WindowSize = 100;
+  Base.CtxOptions.FinishedRatio = 0.6;
+  Base.CtxOptions.LogEvents = false;
+
+  std::printf("\nTable 5: results on the DaCapo-substitute apps "
+              "(%zu+%zu runs, scale %.2f)\n",
+              Warmup, Measured, Scale);
+  std::printf("%-9s %6s | %8s %8s | %8s %6s %6s | %8s %6s %6s | %8s %6s "
+              "%6s\n",
+              "bench", "#sites", "T(s)", "M(KB)", "T1(s)", "dT1", "dM1",
+              "T2(s)", "dT2", "dM2", "T3(s)", "dT3", "dM3");
+  std::printf("%-9s %6s | %17s | %22s | %22s | %22s\n", "", "",
+              "original", "FullAdap Rtime", "FullAdap Ralloc",
+              "InstanceAdap");
+
+  for (AppKind App : AllAppKinds) {
+    AppRunConfig Original = Base;
+    Original.Config = AppConfig::Original;
+    RunSeries O = runSeries(App, Original, Warmup, Measured);
+
+    AppRunConfig FullTime = Base;
+    FullTime.Config = AppConfig::FullAdap;
+    FullTime.Rule = SelectionRule::timeRule();
+    RunSeries T1 = runSeries(App, FullTime, Warmup, Measured);
+
+    AppRunConfig FullAlloc = Base;
+    FullAlloc.Config = AppConfig::FullAdap;
+    FullAlloc.Rule = SelectionRule::allocRule();
+    RunSeries T2 = runSeries(App, FullAlloc, Warmup, Measured);
+
+    AppRunConfig Instance = Base;
+    Instance.Config = AppConfig::InstanceAdap;
+    RunSeries T3 = runSeries(App, Instance, Warmup, Measured);
+
+    std::printf(
+        "%-9s %6zu | %8.3f %8.1f | %8.3f %6s %6s | %8.3f %6s %6s | "
+        "%8.3f %6s %6s\n",
+        appKindName(App), O.Sites, summarize(O.Seconds).Mean,
+        summarize(O.PeakMB).Mean, summarize(T1.Seconds).Mean,
+        gain(O.Seconds, T1.Seconds).c_str(),
+        gain(O.PeakMB, T1.PeakMB).c_str(), summarize(T2.Seconds).Mean,
+        gain(O.Seconds, T2.Seconds).c_str(),
+        gain(O.PeakMB, T2.PeakMB).c_str(), summarize(T3.Seconds).Mean,
+        gain(O.Seconds, T3.Seconds).c_str(),
+        gain(O.PeakMB, T3.PeakMB).c_str());
+  }
+  std::printf("\n(dT/dM: significant improvement vs original run; '--' = "
+              "no significant difference)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===- table6_transitions.cpp - Reproduces Table 6 ------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// The most commonly performed transitions per application and selection
+// rule (paper §5.2, Table 6), harvested from the framework's event log
+// over one FullAdap run of each app under each rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "apps/Apps.h"
+#include "support/EventLog.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+#include <string>
+
+using namespace cswitch;
+using namespace cswitch::bench;
+
+namespace {
+
+/// Variants selected by any transition across the whole experiment
+/// (paper §5.2: "Only 11 out of the 25 possible variants were used").
+std::set<std::string> &selectedVariants() {
+  static std::set<std::string> Set;
+  return Set;
+}
+
+/// Runs \p App under \p Rule and returns the transitions sorted by
+/// frequency (top 2), or "--" when none happened.
+std::string dominantTransition(AppKind App, const SelectionRule &Rule,
+                               std::shared_ptr<const PerformanceModel> M) {
+  EventLog::global().clear();
+  AppRunConfig RC;
+  RC.Config = AppConfig::FullAdap;
+  RC.Rule = Rule;
+  RC.Model = std::move(M);
+  RC.Seed = 17;
+  RC.Scale = 0.5;
+  RC.CtxOptions.WindowSize = 100;
+  RC.CtxOptions.FinishedRatio = 0.6;
+  RC.CtxOptions.LogEvents = true;
+  runApp(App, RC);
+
+  std::map<std::string, int> Counts;
+  for (const Event &E :
+       EventLog::global().snapshotOfKind(EventKind::Transition)) {
+    ++Counts[E.Detail];
+    size_t Arrow = E.Detail.find(" -> ");
+    if (Arrow != std::string::npos)
+      selectedVariants().insert(E.Detail.substr(Arrow + 4));
+  }
+  EventLog::global().clear();
+  if (Counts.empty())
+    return "--";
+  std::vector<std::pair<std::string, int>> Sorted(Counts.begin(),
+                                                  Counts.end());
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto &A, const auto &B) { return A.second > B.second; });
+  std::string Out;
+  for (size_t I = 0; I != Sorted.size() && I != 2; ++I) {
+    if (I)
+      Out += "; ";
+    Out += Sorted[I].first + " (x" + std::to_string(Sorted[I].second) + ")";
+  }
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  std::shared_ptr<const PerformanceModel> Model = loadModel();
+  std::printf("\nTable 6: most commonly performed transitions\n");
+  std::printf("%-10s %-42s %-42s\n", "Benchmark", "Rtime", "Ralloc");
+  for (AppKind App : AllAppKinds) {
+    std::string Rtime =
+        dominantTransition(App, SelectionRule::timeRule(), Model);
+    std::string Ralloc =
+        dominantTransition(App, SelectionRule::allocRule(), Model);
+    std::printf("%-10s %-42s %-42s\n", appKindName(App), Rtime.c_str(),
+                Ralloc.c_str());
+  }
+  size_t Pool = NumListVariants + NumSetVariants + NumMapVariants;
+  std::printf("\ndistinct variants selected: %zu of %zu in the pool "
+              "(paper: 11 of 25)\n",
+              selectedVariants().size(), Pool);
+  std::printf("\n(paper Table 6: avrora HS->OpenHashSet / HS->AdaptiveSet;"
+              " bloat LL->AL / HS->AdaptiveSet; fop AL->AdaptiveList x2;\n"
+              " h2 AL->AdaptiveList / HS->ArraySet; lusearch "
+              "HM->OpenHashMap / HM->AdaptiveMap)\n");
+  return 0;
+}

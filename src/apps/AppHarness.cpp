@@ -1,0 +1,111 @@
+//===- AppHarness.cpp - Instrumentation harness for the mini-apps --------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppHarness.h"
+
+using namespace cswitch;
+
+const char *cswitch::appConfigName(AppConfig Config) {
+  switch (Config) {
+  case AppConfig::Original:
+    return "original";
+  case AppConfig::FullAdap:
+    return "fulladap";
+  case AppConfig::InstanceAdap:
+    return "instanceadap";
+  }
+  return "unknown";
+}
+
+AppHarness::AppHarness(AppConfig Config, SelectionRule Rule,
+                       std::shared_ptr<const PerformanceModel> Model,
+                       ContextOptions CtxOptions)
+    : Config(Config), Rule(std::move(Rule)), Model(std::move(Model)),
+      CtxOptions(CtxOptions) {}
+
+AppHarness::~AppHarness() = default;
+
+AppHarness::ListSite AppHarness::declareListSite(const std::string &Name,
+                                                 ListVariant Default) {
+  ++Sites;
+  ListSite Site;
+  switch (Config) {
+  case AppConfig::Original:
+    Site.Fixed = Default;
+    break;
+  case AppConfig::InstanceAdap:
+    Site.Fixed = ListVariant::AdaptiveList;
+    break;
+  case AppConfig::FullAdap: {
+    auto Ctx = std::make_unique<ListContext<AppElem>>(Name, Default, Model,
+                                                      Rule, CtxOptions);
+    Site.Ctx = Ctx.get();
+    Owned.push_back(std::move(Ctx));
+    break;
+  }
+  }
+  return Site;
+}
+
+AppHarness::SetSite AppHarness::declareSetSite(const std::string &Name,
+                                               SetVariant Default) {
+  ++Sites;
+  SetSite Site;
+  switch (Config) {
+  case AppConfig::Original:
+    Site.Fixed = Default;
+    break;
+  case AppConfig::InstanceAdap:
+    Site.Fixed = SetVariant::AdaptiveSet;
+    break;
+  case AppConfig::FullAdap: {
+    auto Ctx = std::make_unique<SetContext<AppElem>>(Name, Default, Model,
+                                                     Rule, CtxOptions);
+    Site.Ctx = Ctx.get();
+    Owned.push_back(std::move(Ctx));
+    break;
+  }
+  }
+  return Site;
+}
+
+AppHarness::MapSite AppHarness::declareMapSite(const std::string &Name,
+                                               MapVariant Default) {
+  ++Sites;
+  MapSite Site;
+  switch (Config) {
+  case AppConfig::Original:
+    Site.Fixed = Default;
+    break;
+  case AppConfig::InstanceAdap:
+    Site.Fixed = MapVariant::AdaptiveMap;
+    break;
+  case AppConfig::FullAdap: {
+    auto Ctx = std::make_unique<MapContext<AppElem, AppElem>>(
+        Name, Default, Model, Rule, CtxOptions);
+    Site.Ctx = Ctx.get();
+    Owned.push_back(std::move(Ctx));
+    break;
+  }
+  }
+  return Site;
+}
+
+size_t AppHarness::evaluateAll() {
+  size_t Transitions = 0;
+  for (auto &Ctx : Owned)
+    if (Ctx->evaluate())
+      ++Transitions;
+  return Transitions;
+}
+
+std::vector<const AllocationContextBase *> AppHarness::contexts() const {
+  std::vector<const AllocationContextBase *> Out;
+  Out.reserve(Owned.size());
+  for (const auto &Ctx : Owned)
+    Out.push_back(Ctx.get());
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- AppSupport.h - Shared helpers of the mini-apps (internal) -*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helpers shared by the mini-application implementations:
+/// run bracketing (timing, peak-footprint tracking, result assembly) and
+/// workload-size distributions. Not installed as public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_APPS_APPSUPPORT_H
+#define CSWITCH_APPS_APPSUPPORT_H
+
+#include "apps/Apps.h"
+#include "support/MemoryTracker.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+
+namespace cswitch {
+namespace detail {
+
+/// RAII bracket around one application run: resets the peak-footprint
+/// tracker, times the run, and assembles the AppResult.
+class AppRunScope {
+public:
+  AppRunScope() : BaseLive(MemoryTracker::liveBytes()) {
+    MemoryTracker::resetPeak();
+  }
+
+  /// Finalizes the result (call exactly once, at the end of the run).
+  AppResult finish(const AppHarness &Harness, uint64_t Checksum,
+                   uint64_t Instances, size_t Transitions) const {
+    AppResult Result;
+    Result.Seconds = Clock.elapsedSeconds();
+    Result.PeakLiveBytes = MemoryTracker::peakLiveBytes() - BaseLive;
+    Result.Checksum = Checksum;
+    Result.InstancesCreated = Instances;
+    Result.TargetSites = Harness.siteCount();
+    Result.Transitions = Transitions;
+    return Result;
+  }
+
+private:
+  int64_t BaseLive;
+  Timer Clock;
+};
+
+/// A bimodal size draw: mostly small sizes, occasionally (1 in
+/// \p LargeEvery) a large one — the "widely ranging sizes" pattern that
+/// makes adaptive variants eligible (paper §3.2).
+inline size_t bimodalSize(SplitMix64 &Rng, size_t SmallLo, size_t SmallHi,
+                          size_t LargeLo, size_t LargeHi,
+                          uint64_t LargeEvery) {
+  if (Rng.nextBelow(LargeEvery) == 0)
+    return static_cast<size_t>(Rng.nextInRange(
+        static_cast<int64_t>(LargeLo), static_cast<int64_t>(LargeHi)));
+  return static_cast<size_t>(Rng.nextInRange(
+      static_cast<int64_t>(SmallLo), static_cast<int64_t>(SmallHi)));
+}
+
+/// Resolves the model an app run should use.
+inline std::shared_ptr<const PerformanceModel>
+resolveModel(const AppRunConfig &RunConfig) {
+  return RunConfig.Model ? RunConfig.Model : Switch::model();
+}
+
+} // namespace detail
+} // namespace cswitch
+
+#endif // CSWITCH_APPS_APPSUPPORT_H

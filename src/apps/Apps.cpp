@@ -1,0 +1,44 @@
+//===- Apps.cpp - The DaCapo-substitute mini-applications ----------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+
+#include <cassert>
+
+using namespace cswitch;
+
+const char *cswitch::appKindName(AppKind Kind) {
+  switch (Kind) {
+  case AppKind::Avrora:
+    return "avrora";
+  case AppKind::Bloat:
+    return "bloat";
+  case AppKind::Fop:
+    return "fop";
+  case AppKind::H2:
+    return "h2";
+  case AppKind::Lusearch:
+    return "lusearch";
+  }
+  return "unknown";
+}
+
+AppResult cswitch::runApp(AppKind Kind, const AppRunConfig &RunConfig) {
+  switch (Kind) {
+  case AppKind::Avrora:
+    return runAvroraSim(RunConfig);
+  case AppKind::Bloat:
+    return runBloatSim(RunConfig);
+  case AppKind::Fop:
+    return runFopSim(RunConfig);
+  case AppKind::H2:
+    return runH2Sim(RunConfig);
+  case AppKind::Lusearch:
+    return runLusearchSim(RunConfig);
+  }
+  assert(false && "unknown app kind");
+  return AppResult();
+}

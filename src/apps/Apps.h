@@ -1,0 +1,97 @@
+//===- Apps.h - The DaCapo-substitute mini-applications ---------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five synthetic applications standing in for the paper's DaCapo
+/// subset (§5.2). Each reproduces the *collection usage profile* the
+/// paper reports for its namesake — instance counts, size distributions
+/// and operation mixes — while performing deterministic pseudo-work (see
+/// DESIGN.md §1 for the substitution rationale):
+///
+///   * h2sim       — in-memory database: massive numbers of short-lived
+///                   index-cursor lists exposed to lookups (the
+///                   IndexCursor:70 behaviour of §2.1), persistent row
+///                   sets, index maps.
+///   * lusearchsim — text search: an inverted index queried with many
+///                   small (mostly <20 entries) per-query score maps of
+///                   occasionally large size.
+///   * fopsim      — XSL-FO formatter: layout-tree child lists that
+///                   extensively receive lookup calls.
+///   * bloatsim    — bytecode optimizer: linked-list heavy worklist
+///                   analysis with positional access, plus many small
+///                   def-use sets.
+///   * avrorasim   — AVR microcontroller simulator: event-queue and
+///                   watch sets dominated by membership tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_APPS_APPS_H
+#define CSWITCH_APPS_APPS_H
+
+#include "apps/AppHarness.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cswitch {
+
+/// The DaCapo-substitute applications (paper Table 5 rows).
+enum class AppKind : unsigned {
+  Avrora,
+  Bloat,
+  Fop,
+  H2,
+  Lusearch,
+};
+
+/// Number of AppKind values.
+constexpr size_t NumAppKinds = 5;
+
+/// All applications, in Table 5 order.
+constexpr std::array<AppKind, NumAppKinds> AllAppKinds = {
+    AppKind::Avrora, AppKind::Bloat, AppKind::Fop, AppKind::H2,
+    AppKind::Lusearch};
+
+/// Returns the application's lowercase name ("avrora", ...).
+const char *appKindName(AppKind Kind);
+
+/// Parameters of one application execution.
+struct AppRunConfig {
+  AppConfig Config = AppConfig::Original;
+  SelectionRule Rule = SelectionRule::timeRule();
+  std::shared_ptr<const PerformanceModel> Model;
+  uint64_t Seed = 1;
+  /// Scales the workload volume (1.0 ≈ the "large"/default input of
+  /// Table 5, a few hundred milliseconds per run).
+  double Scale = 1.0;
+  ContextOptions CtxOptions;
+};
+
+/// Outcome of one application execution.
+struct AppResult {
+  double Seconds = 0.0;          ///< Wall-clock time of the run.
+  int64_t PeakLiveBytes = 0;     ///< Peak collection memory footprint.
+  uint64_t Checksum = 0;         ///< Workload checksum (config-invariant).
+  uint64_t InstancesCreated = 0; ///< Collections created at target sites.
+  size_t TargetSites = 0;        ///< Declared target allocation sites.
+  size_t Transitions = 0;        ///< FullAdap variant transitions.
+};
+
+/// Runs \p Kind under \p RunConfig and reports timing, peak collection
+/// footprint and a configuration-invariant checksum (used by tests to
+/// prove that the instrumentation never changes program semantics).
+AppResult runApp(AppKind Kind, const AppRunConfig &RunConfig);
+
+/// Individual entry points (all drive AppHarness the same way).
+AppResult runAvroraSim(const AppRunConfig &RunConfig);
+AppResult runBloatSim(const AppRunConfig &RunConfig);
+AppResult runFopSim(const AppRunConfig &RunConfig);
+AppResult runH2Sim(const AppRunConfig &RunConfig);
+AppResult runLusearchSim(const AppRunConfig &RunConfig);
+
+} // namespace cswitch
+
+#endif // CSWITCH_APPS_APPS_H

@@ -1,0 +1,140 @@
+//===- BloatSim.cpp - Bytecode optimizer workload ------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Stand-in for DaCapo bloat (paper Table 5: 17 target allocation sites).
+// BLOAT is a Java bytecode optimizer; the paper reports linked-list heavy
+// worklist analyses where positional access makes LinkedList a poor
+// default (Table 6 Rtime: LL -> AL) and many small def-use sets replaced
+// by adaptive sets under Ralloc (HS -> AdaptiveSet).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSupport.h"
+
+#include <array>
+#include <deque>
+
+using namespace cswitch;
+using namespace cswitch::detail;
+
+AppResult cswitch::runBloatSim(const AppRunConfig &RunConfig) {
+  AppHarness Harness(RunConfig.Config, RunConfig.Rule,
+                     resolveModel(RunConfig), RunConfig.CtxOptions);
+
+  // 17 target sites (Table 5): 6 worklist sites, 6 def-use set sites,
+  // 3 instruction-buffer sites, a constant pool and a CFG successor map.
+  std::array<AppHarness::ListSite, 6> Worklists;
+  for (size_t I = 0; I != Worklists.size(); ++I)
+    Worklists[I] = Harness.declareListSite(
+        "bloat:DataFlow.worklist" + std::to_string(I),
+        ListVariant::LinkedList);
+  std::array<AppHarness::SetSite, 6> DefUseSets;
+  for (size_t I = 0; I != DefUseSets.size(); ++I)
+    DefUseSets[I] = Harness.declareSetSite(
+        "bloat:SSA.defuse" + std::to_string(I),
+        SetVariant::ChainedHashSet);
+  std::array<AppHarness::ListSite, 3> InsnBuffers;
+  for (size_t I = 0; I != InsnBuffers.size(); ++I)
+    InsnBuffers[I] = Harness.declareListSite(
+        "bloat:CodeGen.buffer" + std::to_string(I),
+        ListVariant::ArrayList);
+  AppHarness::MapSite ConstantPool = Harness.declareMapSite(
+      "bloat:ConstantPool.entries", MapVariant::ChainedHashMap);
+  AppHarness::MapSite SuccessorMap = Harness.declareMapSite(
+      "bloat:FlowGraph.successors", MapVariant::ChainedHashMap);
+
+  SplitMix64 Rng(RunConfig.Seed);
+  AppRunScope Scope;
+  uint64_t Checksum = 0;
+  uint64_t Instances = 0;
+  size_t Transitions = 0;
+
+  // The analysis database keeps every third def-use set alive for the
+  // rest of the run, so the peak footprint tracks the set variant in
+  // use while the short-lived majority keeps the windows filling.
+  std::deque<Set<AppElem>> AnalysisDb;
+  uint64_t DefUseCounter = 0;
+
+  auto Methods = static_cast<size_t>(700 * RunConfig.Scale);
+  for (size_t Method = 0; Method != Methods; ++Method) {
+    size_t BlockCount = bimodalSize(Rng, 8, 40, 120, 300, 10);
+
+    // Worklist pass: populate, then drain by positional access — the
+    // access pattern that penalizes LinkedList.
+    AppHarness::ListSite &WorklistSite = Worklists[Method % 6];
+    List<AppElem> Worklist = WorklistSite.create();
+    ++Instances;
+    for (size_t I = 0; I != BlockCount; ++I)
+      Worklist.add(static_cast<AppElem>(I));
+    // Dataflow iteration: repeated positional reads over the worklist.
+    for (size_t Sweep = 0; Sweep != 3; ++Sweep)
+      for (size_t I = 0; I != BlockCount; ++I)
+        Checksum += static_cast<uint64_t>(
+            Worklist.get((I * 7 + Sweep) % BlockCount));
+    // Drain from the middle, as the priority-ordered analysis does.
+    while (Worklist.size() > BlockCount / 2)
+      Worklist.removeAt(Worklist.size() / 2);
+    Checksum += Worklist.size();
+
+    // Def-use sets: one per analyzed variable, mostly tiny, sometimes
+    // large (wide-ranging — adaptive-eligible).
+    AppHarness::SetSite &DefUseSite = DefUseSets[Method % 6];
+    size_t Variables = 4 + Rng.nextBelow(8);
+    for (size_t Var = 0; Var != Variables; ++Var) {
+      size_t UseCount = bimodalSize(Rng, 2, 12, 60, 160, 16);
+      Set<AppElem> Uses = DefUseSite.create();
+      ++Instances;
+      for (size_t I = 0; I != UseCount; ++I)
+        Uses.add(static_cast<AppElem>(Rng.nextBelow(UseCount * 3 + 8)));
+      for (size_t Probe = 0; Probe != UseCount; ++Probe)
+        Checksum += Uses.contains(
+            static_cast<AppElem>(Rng.nextBelow(UseCount * 3 + 8)));
+      if (DefUseCounter++ % 3 == 0)
+        AnalysisDb.push_back(std::move(Uses));
+    }
+
+    // Instruction buffer: append + full iteration (codegen emission).
+    AppHarness::ListSite &BufferSite = InsnBuffers[Method % 3];
+    List<AppElem> Buffer = BufferSite.create();
+    ++Instances;
+    size_t InsnCount = BlockCount * 4;
+    for (size_t I = 0; I != InsnCount; ++I)
+      Buffer.add(static_cast<AppElem>(Rng.next() & 0xffff));
+    uint64_t EmitSum = 0;
+    Buffer.forEach([&EmitSum](const AppElem &V) {
+      EmitSum += static_cast<uint64_t>(V);
+    });
+    Checksum += EmitSum;
+
+    // CFG successor map: one entry per block, looked up during sweeps.
+    Map<AppElem, AppElem> Successors = SuccessorMap.create();
+    ++Instances;
+    for (size_t I = 0; I != BlockCount; ++I)
+      Successors.put(static_cast<AppElem>(I),
+                     static_cast<AppElem>((I + 1) % BlockCount));
+    for (size_t Probe = 0; Probe != BlockCount * 2; ++Probe) {
+      const AppElem *Succ = Successors.get(
+          static_cast<AppElem>(Rng.nextBelow(BlockCount)));
+      Checksum += Succ ? static_cast<uint64_t>(*Succ) : 0;
+    }
+
+    if (Method % 100 == 99)
+      Transitions += Harness.evaluateAll();
+  }
+
+  // Constant pool: one long-lived map, built once, heavily queried.
+  Map<AppElem, AppElem> Pool = ConstantPool.create();
+  ++Instances;
+  for (size_t I = 0; I != 512; ++I)
+    Pool.put(static_cast<AppElem>(I), static_cast<AppElem>(I * 31));
+  for (size_t Probe = 0; Probe != 4096; ++Probe) {
+    const AppElem *V =
+        Pool.get(static_cast<AppElem>(Rng.nextBelow(640)));
+    Checksum += V ? static_cast<uint64_t>(*V) : 1;
+  }
+
+  return Scope.finish(Harness, Checksum, Instances, Transitions);
+}

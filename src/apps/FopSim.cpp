@@ -1,0 +1,149 @@
+//===- FopSim.cpp - XSL-FO formatter workload ----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Stand-in for DaCapo fop (paper Table 5: 15 target allocation sites).
+// FOP renders XSL-FO documents to PDF; the paper reports allocation
+// sites that "extensively instantiate lists exposed to large amounts of
+// lookup calls", transitioned to AdaptiveList under both rules (Table 6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSupport.h"
+
+#include <array>
+#include <deque>
+
+using namespace cswitch;
+using namespace cswitch::detail;
+
+AppResult cswitch::runFopSim(const AppRunConfig &RunConfig) {
+  AppHarness Harness(RunConfig.Config, RunConfig.Rule,
+                     resolveModel(RunConfig), RunConfig.CtxOptions);
+
+  // 15 target sites: 5 child-list sites, 4 property-list sites,
+  // 3 text-run sites, font/attribute/break maps.
+  std::array<AppHarness::ListSite, 5> ChildLists;
+  for (size_t I = 0; I != ChildLists.size(); ++I)
+    ChildLists[I] = Harness.declareListSite(
+        "fop:FONode.children" + std::to_string(I), ListVariant::ArrayList);
+  std::array<AppHarness::ListSite, 4> PropertyLists;
+  for (size_t I = 0; I != PropertyLists.size(); ++I)
+    PropertyLists[I] = Harness.declareListSite(
+        "fop:PropertyList.values" + std::to_string(I),
+        ListVariant::ArrayList);
+  std::array<AppHarness::ListSite, 3> TextRuns;
+  for (size_t I = 0; I != TextRuns.size(); ++I)
+    TextRuns[I] = Harness.declareListSite(
+        "fop:TextArea.runs" + std::to_string(I), ListVariant::ArrayList);
+  AppHarness::MapSite FontMap = Harness.declareMapSite(
+      "fop:FontCache.byKey", MapVariant::ChainedHashMap);
+  AppHarness::MapSite AttributeMap = Harness.declareMapSite(
+      "fop:Attributes.byName", MapVariant::ChainedHashMap);
+  AppHarness::MapSite BreakMap = Harness.declareMapSite(
+      "fop:BreakPoints.byLine", MapVariant::ChainedHashMap);
+
+  SplitMix64 Rng(RunConfig.Seed);
+  AppRunScope Scope;
+  uint64_t Checksum = 0;
+  uint64_t Instances = 0;
+  size_t Transitions = 0;
+
+  // Every third child list joins the long-lived area tree, so peak
+  // memory reflects the list variant while the short-lived majority
+  // keeps the monitoring windows filling.
+  std::deque<List<AppElem>> AreaTree;
+  uint64_t NodeCounter = 0;
+
+  auto Pages = static_cast<size_t>(350 * RunConfig.Scale);
+  for (size_t Page = 0; Page != Pages; ++Page) {
+    // Layout-tree construction: child lists of widely ranging fanout
+    // receiving duplicate-filtering lookups (style resolution).
+    size_t NodeCount = 6 + Rng.nextBelow(6);
+    for (size_t Node = 0; Node != NodeCount; ++Node) {
+      AppHarness::ListSite &Site = ChildLists[Node % ChildLists.size()];
+      size_t Fanout = bimodalSize(Rng, 4, 50, 150, 400, 9);
+      List<AppElem> Children = Site.create();
+      ++Instances;
+      for (size_t I = 0; I != Fanout; ++I) {
+        AppElem Style = static_cast<AppElem>(Rng.nextBelow(Fanout * 2));
+        // Style-dedup lookup before inserting the child.
+        Checksum += Children.contains(Style);
+        Children.add(Style);
+      }
+      // Layout passes re-scan the children for inherited styles.
+      for (size_t Probe = 0; Probe != Fanout; ++Probe)
+        Checksum += Children.contains(
+            static_cast<AppElem>(Rng.nextBelow(Fanout * 2)));
+      if (NodeCounter++ % 3 == 0)
+        AreaTree.push_back(std::move(Children));
+    }
+
+    // Property lists: small, append + iterate.
+    for (size_t P = 0; P != PropertyLists.size(); ++P) {
+      List<AppElem> Props = PropertyLists[P].create();
+      ++Instances;
+      size_t PropCount = 8 + Rng.nextBelow(24);
+      for (size_t I = 0; I != PropCount; ++I)
+        Props.add(static_cast<AppElem>(Rng.nextBelow(256)));
+      uint64_t Sum = 0;
+      Props.forEach([&Sum](const AppElem &V) {
+        Sum += static_cast<uint64_t>(V);
+      });
+      Checksum += Sum;
+    }
+
+    // Text runs: line-breaking inserts hyphenation points mid-list.
+    AppHarness::ListSite &RunSite = TextRuns[Page % TextRuns.size()];
+    List<AppElem> Runs = RunSite.create();
+    ++Instances;
+    size_t GlyphCount = 60 + Rng.nextBelow(120);
+    for (size_t I = 0; I != GlyphCount; ++I)
+      Runs.add(static_cast<AppElem>(Rng.nextBelow(0x250)));
+    for (size_t Break = 0; Break != 8; ++Break)
+      Runs.insert(Runs.size() / 2, static_cast<AppElem>(-1));
+    Checksum += Runs.size();
+
+    // Font cache per page-sequence: small map, repeated gets.
+    Map<AppElem, AppElem> Fonts = FontMap.create();
+    ++Instances;
+    for (size_t I = 0; I != 12; ++I)
+      Fonts.put(static_cast<AppElem>(I),
+                static_cast<AppElem>(Rng.nextBelow(1024)));
+    for (size_t Probe = 0; Probe != 64; ++Probe) {
+      const AppElem *F =
+          Fonts.get(static_cast<AppElem>(Rng.nextBelow(16)));
+      Checksum += F ? static_cast<uint64_t>(*F) : 0;
+    }
+
+    // Attribute map: tiny, write-then-read-all.
+    Map<AppElem, AppElem> Attributes = AttributeMap.create();
+    ++Instances;
+    for (size_t I = 0; I != 6; ++I)
+      Attributes.put(static_cast<AppElem>(I),
+                     static_cast<AppElem>(Rng.nextBelow(64)));
+    uint64_t AttrSum = 0;
+    Attributes.forEach([&AttrSum](const AppElem &, const AppElem &V) {
+      AttrSum += static_cast<uint64_t>(V);
+    });
+    Checksum += AttrSum;
+
+    // Break map: medium map keyed by line number.
+    Map<AppElem, AppElem> Breaks = BreakMap.create();
+    ++Instances;
+    size_t LineCount = 30 + Rng.nextBelow(40);
+    for (size_t I = 0; I != LineCount; ++I)
+      Breaks.put(static_cast<AppElem>(I),
+                 static_cast<AppElem>(Rng.nextBelow(100)));
+    for (size_t Probe = 0; Probe != LineCount; ++Probe)
+      Checksum += Breaks.containsKey(
+          static_cast<AppElem>(Rng.nextBelow(LineCount * 2)));
+
+    if (Page % 60 == 59)
+      Transitions += Harness.evaluateAll();
+  }
+
+  return Scope.finish(Harness, Checksum, Instances, Transitions);
+}

@@ -1,0 +1,167 @@
+//===- H2Sim.cpp - In-memory database workload ----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Stand-in for DaCapo h2 (paper Table 5: 10 target allocation sites).
+// H2 is an in-memory SQL database; the paper singles out the allocation
+// site IndexCursor:70 which "instantiates +1 million objects in a few
+// seconds", mostly short-lived lists exposed to lookups. Expected
+// transitions (Table 6): AL -> AdaptiveList (Rtime), HS -> ArraySet
+// (Ralloc).
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSupport.h"
+
+#include <array>
+#include <deque>
+
+using namespace cswitch;
+using namespace cswitch::detail;
+
+AppResult cswitch::runH2Sim(const AppRunConfig &RunConfig) {
+  AppHarness Harness(RunConfig.Config, RunConfig.Rule,
+                     resolveModel(RunConfig), RunConfig.CtxOptions);
+
+  // 10 target sites.
+  AppHarness::ListSite IndexCursor = Harness.declareListSite(
+      "h2:IndexCursor:70", ListVariant::ArrayList);
+  AppHarness::ListSite ResultRows = Harness.declareListSite(
+      "h2:LocalResult.rows", ListVariant::ArrayList);
+  AppHarness::ListSite UndoLog = Harness.declareListSite(
+      "h2:Session.undoLog", ListVariant::ArrayList);
+  AppHarness::SetSite LockSet = Harness.declareSetSite(
+      "h2:Session.locks", SetVariant::ChainedHashSet);
+  AppHarness::SetSite DistinctSet = Harness.declareSetSite(
+      "h2:LocalResult.distinct", SetVariant::ChainedHashSet);
+  AppHarness::SetSite SessionSet = Harness.declareSetSite(
+      "h2:Database.sessions", SetVariant::ChainedHashSet);
+  AppHarness::MapSite IndexMap = Harness.declareMapSite(
+      "h2:PageBtreeIndex.cache", MapVariant::ChainedHashMap);
+  AppHarness::MapSite PlanCache = Harness.declareMapSite(
+      "h2:Session.planCache", MapVariant::ChainedHashMap);
+  AppHarness::MapSite ColumnMap = Harness.declareMapSite(
+      "h2:Table.columnByName", MapVariant::ChainedHashMap);
+  AppHarness::ListSite TriggerList = Harness.declareListSite(
+      "h2:Table.triggers", ListVariant::ArrayList);
+
+  SplitMix64 Rng(RunConfig.Seed);
+  AppRunScope Scope;
+  uint64_t Checksum = 0;
+  uint64_t Instances = 0;
+  size_t Transitions = 0;
+
+  // Open sessions keep every third distinct-filter and result set
+  // alive for the rest of the run, so peak memory reflects the chosen
+  // variants while the short-lived majority keeps windows filling.
+  std::deque<Set<AppElem>> OpenFilters;
+  std::deque<List<AppElem>> OpenResults;
+  uint64_t RetainCounter = 0;
+
+  // Long-lived structures: a btree page cache and per-table metadata.
+  Map<AppElem, AppElem> PageCache = IndexMap.create();
+  ++Instances;
+  for (size_t I = 0; I != 2048; ++I)
+    PageCache.put(static_cast<AppElem>(I),
+                  static_cast<AppElem>(Rng.next() & 0xffffff));
+  Map<AppElem, AppElem> Columns = ColumnMap.create();
+  ++Instances;
+  for (size_t I = 0; I != 24; ++I)
+    Columns.put(static_cast<AppElem>(I), static_cast<AppElem>(I * 8));
+  List<AppElem> Triggers = TriggerList.create();
+  ++Instances;
+  for (size_t I = 0; I != 4; ++I)
+    Triggers.add(static_cast<AppElem>(I));
+
+  auto Queries = static_cast<size_t>(2500 * RunConfig.Scale);
+  for (size_t Query = 0; Query != Queries; ++Query) {
+    // IndexCursor: the hot site — short-lived row-id list, populated
+    // from a range scan, then probed by the join filter.
+    size_t MatchCount = bimodalSize(Rng, 10, 120, 250, 500, 7);
+    List<AppElem> Cursor = IndexCursor.create();
+    ++Instances;
+    for (size_t I = 0; I != MatchCount; ++I)
+      Cursor.add(static_cast<AppElem>(Rng.nextBelow(MatchCount * 4)));
+    for (size_t Probe = 0; Probe != 1000; ++Probe)
+      Checksum += Cursor.contains(
+          static_cast<AppElem>(Rng.nextBelow(MatchCount * 4)));
+
+    // Result assembly: append rows, iterate once to serialize.
+    List<AppElem> Rows = ResultRows.create();
+    ++Instances;
+    size_t RowCount = 8 + Rng.nextBelow(56);
+    for (size_t I = 0; I != RowCount; ++I) {
+      const AppElem *Page = PageCache.get(
+          static_cast<AppElem>(Rng.nextBelow(2048)));
+      Rows.add(Page ? *Page : 0);
+    }
+    uint64_t RowSum = 0;
+    Rows.forEach([&RowSum](const AppElem &V) {
+      RowSum += static_cast<uint64_t>(V);
+    });
+    Checksum += RowSum;
+    if (RetainCounter++ % 3 == 0)
+      OpenResults.push_back(std::move(Rows));
+
+    // Distinct filter: small set with duplicate-heavy adds.
+    Set<AppElem> Distinct = DistinctSet.create();
+    ++Instances;
+    for (size_t I = 0; I != RowCount; ++I)
+      Distinct.add(static_cast<AppElem>(Rng.nextBelow(16)));
+    Checksum += Distinct.size();
+    if (RetainCounter % 3 == 0)
+      OpenFilters.push_back(std::move(Distinct));
+
+    // Lock set: a handful of table locks, probed per row.
+    Set<AppElem> Locks = LockSet.create();
+    ++Instances;
+    for (size_t I = 0; I != 6; ++I)
+      Locks.add(static_cast<AppElem>(Rng.nextBelow(12)));
+    for (size_t Probe = 0; Probe != 16; ++Probe)
+      Checksum += Locks.contains(
+          static_cast<AppElem>(Rng.nextBelow(12)));
+
+    // Undo log for the write fraction of the workload.
+    if (Query % 4 == 0) {
+      List<AppElem> Undo = UndoLog.create();
+      ++Instances;
+      size_t UndoCount = 4 + Rng.nextBelow(28);
+      for (size_t I = 0; I != UndoCount; ++I)
+        Undo.add(static_cast<AppElem>(Rng.next() & 0xffff));
+      // Rollback walks the log backwards by index.
+      for (size_t I = Undo.size(); I > 0; --I)
+        Checksum += static_cast<uint64_t>(Undo.get(I - 1));
+    }
+
+    // Plan cache: per-session map with repeated lookups.
+    if (Query % 16 == 0) {
+      Map<AppElem, AppElem> Plans = PlanCache.create();
+      ++Instances;
+      for (size_t I = 0; I != 10; ++I)
+        Plans.put(static_cast<AppElem>(Rng.nextBelow(64)),
+                  static_cast<AppElem>(I));
+      for (size_t Probe = 0; Probe != 40; ++Probe)
+        Checksum += Plans.containsKey(
+            static_cast<AppElem>(Rng.nextBelow(64)));
+    }
+
+    // Session registry churn.
+    if (Query % 64 == 0) {
+      Set<AppElem> Sessions = SessionSet.create();
+      ++Instances;
+      size_t SessionCount = 2 + Rng.nextBelow(14);
+      for (size_t I = 0; I != SessionCount; ++I)
+        Sessions.add(static_cast<AppElem>(I));
+      Checksum += Sessions.size();
+    }
+
+    Checksum += Triggers.size() + Columns.size();
+
+    if (Query % 250 == 249)
+      Transitions += Harness.evaluateAll();
+  }
+
+  return Scope.finish(Harness, Checksum, Instances, Transitions);
+}

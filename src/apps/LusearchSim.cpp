@@ -1,0 +1,163 @@
+//===- LusearchSim.cpp - Text search workload -----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Stand-in for DaCapo lusearch (paper Table 5: 12 target allocation
+// sites). Lusearch runs Lucene text queries; the paper reports that
+// "most of its HashMap instances held less than 20 elements" and were
+// replaced by AdaptiveMap and OpenHashMap, giving the largest time win
+// (~15% under Rtime) plus a ~5% peak-memory reduction as a side effect.
+//
+//===----------------------------------------------------------------------===//
+
+#include "apps/AppSupport.h"
+
+#include <array>
+#include <deque>
+
+using namespace cswitch;
+using namespace cswitch::detail;
+
+AppResult cswitch::runLusearchSim(const AppRunConfig &RunConfig) {
+  AppHarness Harness(RunConfig.Config, RunConfig.Rule,
+                     resolveModel(RunConfig), RunConfig.CtxOptions);
+
+  // 12 target sites: 4 score-map sites (one per searcher shard),
+  // 3 term-cache sites, 2 hit lists, posting list, field map, stop set.
+  std::array<AppHarness::MapSite, 4> ScoreMaps;
+  for (size_t I = 0; I != ScoreMaps.size(); ++I)
+    ScoreMaps[I] = Harness.declareMapSite(
+        "lusearch:Scorer.scores" + std::to_string(I),
+        MapVariant::ChainedHashMap);
+  std::array<AppHarness::MapSite, 3> TermCaches;
+  for (size_t I = 0; I != TermCaches.size(); ++I)
+    TermCaches[I] = Harness.declareMapSite(
+        "lusearch:TermInfosReader.cache" + std::to_string(I),
+        MapVariant::ChainedHashMap);
+  std::array<AppHarness::ListSite, 2> HitLists;
+  for (size_t I = 0; I != HitLists.size(); ++I)
+    HitLists[I] = Harness.declareListSite(
+        "lusearch:TopDocs.hits" + std::to_string(I),
+        ListVariant::ArrayList);
+  AppHarness::ListSite PostingSite = Harness.declareListSite(
+      "lusearch:SegmentTermDocs.postings", ListVariant::ArrayList);
+  AppHarness::MapSite FieldMap = Harness.declareMapSite(
+      "lusearch:FieldInfos.byName", MapVariant::ChainedHashMap);
+  AppHarness::SetSite StopSet = Harness.declareSetSite(
+      "lusearch:StopFilter.stopWords", SetVariant::ChainedHashSet);
+
+  SplitMix64 Rng(RunConfig.Seed);
+  AppRunScope Scope;
+  uint64_t Checksum = 0;
+  uint64_t Instances = 0;
+  size_t Transitions = 0;
+
+  // Every third segment-level term cache is retained for the rest of
+  // the run, so peak memory reflects the map variant in use while the
+  // short-lived majority keeps the monitoring windows filling.
+  std::deque<Map<AppElem, AppElem>> SegmentCaches;
+  uint64_t CacheCounter = 0;
+
+  // The inverted index: term id -> posting list (long-lived, built once).
+  constexpr size_t TermUniverse = 512;
+  std::vector<List<AppElem>> Index;
+  Index.reserve(TermUniverse);
+  for (size_t Term = 0; Term != TermUniverse; ++Term) {
+    List<AppElem> Postings = PostingSite.create();
+    ++Instances;
+    size_t DocCount = 4 + Rng.nextBelow(60);
+    for (size_t I = 0; I != DocCount; ++I)
+      Postings.add(static_cast<AppElem>(Rng.nextBelow(4096)));
+    Index.push_back(std::move(Postings));
+  }
+
+  // Stop-word set: long-lived, probed for every query term.
+  Set<AppElem> StopWords = StopSet.create();
+  ++Instances;
+  for (size_t I = 0; I != 32; ++I)
+    StopWords.add(static_cast<AppElem>(I * 17 % TermUniverse));
+
+  auto QueryCount = static_cast<size_t>(3000 * RunConfig.Scale);
+  for (size_t Query = 0; Query != QueryCount; ++Query) {
+    // Per-query score map: mostly < 20 entries, occasionally large
+    // (phrase queries over common terms) — the wide range that makes
+    // AdaptiveMap eligible.
+    AppHarness::MapSite &ScoreSite = ScoreMaps[Query % ScoreMaps.size()];
+    size_t TermCount = bimodalSize(Rng, 2, 6, 12, 20, 100);
+    Map<AppElem, AppElem> Scores = ScoreSite.create();
+    ++Instances;
+    for (size_t T = 0; T != TermCount; ++T) {
+      AppElem Term = static_cast<AppElem>(Rng.nextBelow(TermUniverse));
+      if (StopWords.contains(Term)) {
+        Checksum += 1;
+        continue;
+      }
+      // Accumulate per-document scores from the posting list.
+      const List<AppElem> &Postings = Index[static_cast<size_t>(Term)];
+      uint64_t DocSum = 0;
+      Postings.forEach([&DocSum](const AppElem &Doc) {
+        DocSum += static_cast<uint64_t>(Doc);
+      });
+      AppElem Bucket = static_cast<AppElem>(DocSum % 97);
+      AppElem *Score = Scores.getMutable(Bucket);
+      if (Score)
+        *Score += 1;
+      else
+        Scores.put(Bucket, 1);
+      // Scorers re-read accumulated buckets constantly.
+      for (size_t Probe = 0; Probe != 12; ++Probe) {
+        const AppElem *S = Scores.get(
+            static_cast<AppElem>(Rng.nextBelow(97)));
+        Checksum += S ? static_cast<uint64_t>(*S) : 0;
+      }
+    }
+    Checksum += Scores.size();
+
+    // Term-info cache per segment: small map, get-or-insert pattern.
+    AppHarness::MapSite &CacheSite = TermCaches[Query % TermCaches.size()];
+    Map<AppElem, AppElem> Cache = CacheSite.create();
+    ++Instances;
+    for (size_t I = 0; I != 24; ++I) {
+      AppElem Term = static_cast<AppElem>(Rng.nextBelow(48));
+      const AppElem *Info = Cache.get(Term);
+      if (!Info)
+        Cache.put(Term, Term * 5);
+      else
+        Checksum += static_cast<uint64_t>(*Info);
+    }
+    if (CacheCounter++ % 3 == 0)
+      SegmentCaches.push_back(std::move(Cache));
+
+    // Hit list: top documents, appended then iterated for display.
+    AppHarness::ListSite &HitSite = HitLists[Query % HitLists.size()];
+    List<AppElem> Hits = HitSite.create();
+    ++Instances;
+    size_t HitCount = 10 + Rng.nextBelow(40);
+    for (size_t I = 0; I != HitCount; ++I)
+      Hits.add(static_cast<AppElem>(Rng.nextBelow(4096)));
+    uint64_t HitSum = 0;
+    Hits.forEach([&HitSum](const AppElem &V) {
+      HitSum += static_cast<uint64_t>(V);
+    });
+    Checksum += HitSum;
+
+    // Field map: tiny per-document map during result loading.
+    if (Query % 4 == 0) {
+      Map<AppElem, AppElem> Fields = FieldMap.create();
+      ++Instances;
+      for (size_t I = 0; I != 5; ++I)
+        Fields.put(static_cast<AppElem>(I),
+                   static_cast<AppElem>(Rng.nextBelow(256)));
+      for (size_t Probe = 0; Probe != 10; ++Probe)
+        Checksum += Fields.containsKey(
+            static_cast<AppElem>(Rng.nextBelow(8)));
+    }
+
+    if (Query % 300 == 299)
+      Transitions += Harness.evaluateAll();
+  }
+
+  return Scope.finish(Harness, Checksum, Instances, Transitions);
+}

@@ -1,0 +1,206 @@
+//===- ListInterface.h - Uniform list interface + facade --------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform list interface every list variant implements, and the
+/// value-semantic List<T> facade the application programs against. The
+/// facade is what an allocation context hands out: it forwards every
+/// operation to the current variant and counts the critical operations
+/// into a WorkloadProfile, reporting it back to the context when the
+/// instance finishes its life-cycle (paper §4.3, "monitor" layer).
+///
+/// C++ has no JCF-style uniform collection interface, so this header *is*
+/// the substrate that makes runtime variant swapping possible at all —
+/// see DESIGN.md §4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_COLLECTIONS_LISTINTERFACE_H
+#define CSWITCH_COLLECTIONS_LISTINTERFACE_H
+
+#include "collections/Variants.h"
+#include "profile/WorkloadProfile.h"
+#include "support/FunctionRef.h"
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace cswitch {
+
+/// Abstract list implementation (one subclass per ListVariant).
+///
+/// Element positions are 0-based. All variants provide the same semantic
+/// contract — an ordered sequence with positional access — and differ only
+/// in cost, which is exactly the property the selection framework
+/// exploits.
+template <typename T> class ListImpl {
+public:
+  virtual ~ListImpl() = default;
+
+  /// Appends \p Value at the end.
+  virtual void push_back(const T &Value) = 0;
+  /// Inserts \p Value before position \p Index (Index == size() appends).
+  virtual void insertAt(size_t Index, const T &Value) = 0;
+  /// Removes the element at \p Index.
+  virtual void removeAt(size_t Index) = 0;
+  /// Removes the first occurrence of \p Value; returns false if absent.
+  virtual bool removeValue(const T &Value) = 0;
+  /// Returns the element at \p Index.
+  virtual const T &at(size_t Index) const = 0;
+  /// Replaces the element at \p Index.
+  virtual void set(size_t Index, const T &Value) = 0;
+  /// Returns true if \p Value occurs in the list.
+  virtual bool contains(const T &Value) const = 0;
+  /// Number of elements.
+  virtual size_t size() const = 0;
+  /// Removes all elements (capacity may be retained).
+  virtual void clear() = 0;
+  /// Calls \p Fn on each element in list order.
+  virtual void forEach(FunctionRef<void(const T &)> Fn) const = 0;
+  /// Capacity hint; variants without capacity ignore it.
+  virtual void reserve(size_t) {}
+  /// Bytes of memory currently owned by this collection (including the
+  /// object header itself) — the footprint dimension of the cost model.
+  virtual size_t memoryFootprint() const = 0;
+  /// Which variant this is.
+  virtual ListVariant variant() const = 0;
+  /// Creates an empty list of the same variant (used when a context
+  /// re-instantiates after a switch decision).
+  virtual std::unique_ptr<ListImpl<T>> cloneEmpty() const = 0;
+
+  bool empty() const { return size() == 0; }
+};
+
+/// Value-semantic list handle: the type application code holds.
+///
+/// Wraps the current variant behind the uniform interface, counts critical
+/// operations into a WorkloadProfile and, when created monitored by an
+/// allocation context, reports that profile from the destructor. Movable,
+/// not copyable (a collection instance has one identity in the profiler).
+template <typename T> class List {
+public:
+  /// An unmonitored list over \p Impl.
+  explicit List(std::unique_ptr<ListImpl<T>> Impl)
+      : Impl(std::move(Impl)) {}
+
+  /// A monitored list: \p Sink receives the workload profile for
+  /// monitoring slot \p Slot when this instance dies.
+  List(std::unique_ptr<ListImpl<T>> Impl, ProfileSink *Sink, size_t Slot)
+      : Impl(std::move(Impl)), Sink(Sink), Slot(Slot) {}
+
+  List(List &&Other) noexcept
+      : Impl(std::move(Other.Impl)), Profile(Other.Profile),
+        Sink(Other.Sink), Slot(Other.Slot) {
+    Other.Sink = nullptr;
+  }
+
+  List &operator=(List &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    reportIfMonitored();
+    Impl = std::move(Other.Impl);
+    Profile = Other.Profile;
+    Sink = Other.Sink;
+    Slot = Other.Slot;
+    Other.Sink = nullptr;
+    return *this;
+  }
+
+  List(const List &) = delete;
+  List &operator=(const List &) = delete;
+
+  ~List() { reportIfMonitored(); }
+
+  /// Appends \p Value (profiled as populate).
+  void add(const T &Value) {
+    Profile.record(OperationKind::Populate);
+    Impl->push_back(Value);
+    Profile.recordSize(Impl->size());
+  }
+
+  /// Inserts \p Value before \p Index (profiled as middle).
+  void insert(size_t Index, const T &Value) {
+    Profile.record(OperationKind::Middle);
+    Impl->insertAt(Index, Value);
+    Profile.recordSize(Impl->size());
+  }
+
+  /// Removes the element at \p Index (profiled as middle).
+  void removeAt(size_t Index) {
+    Profile.record(OperationKind::Middle);
+    Impl->removeAt(Index);
+  }
+
+  /// Removes the first occurrence of \p Value (profiled as remove).
+  bool remove(const T &Value) {
+    Profile.record(OperationKind::Remove);
+    return Impl->removeValue(Value);
+  }
+
+  /// Positional read (profiled as index access).
+  const T &get(size_t Index) const {
+    Profile.record(OperationKind::IndexAccess);
+    return Impl->at(Index);
+  }
+
+  /// Positional write (profiled as index access).
+  void set(size_t Index, const T &Value) {
+    Profile.record(OperationKind::IndexAccess);
+    Impl->set(Index, Value);
+  }
+
+  /// Membership test (profiled as contains).
+  bool contains(const T &Value) const {
+    Profile.record(OperationKind::Contains);
+    return Impl->contains(Value);
+  }
+
+  /// Full traversal (profiled as one iterate).
+  void forEach(FunctionRef<void(const T &)> Fn) const {
+    Profile.record(OperationKind::Iterate);
+    Impl->forEach(Fn);
+  }
+
+  /// Copies the elements into a std::vector (profiled as one iterate).
+  std::vector<T> snapshot() const {
+    std::vector<T> Out;
+    Out.reserve(size());
+    forEach([&Out](const T &V) { Out.push_back(V); });
+    return Out;
+  }
+
+  size_t size() const { return Impl->size(); }
+  bool empty() const { return Impl->empty(); }
+  void clear() { Impl->clear(); }
+  void reserve(size_t N) { Impl->reserve(N); }
+  size_t memoryFootprint() const { return Impl->memoryFootprint(); }
+  ListVariant variant() const { return Impl->variant(); }
+
+  /// The workload profile accumulated so far.
+  const WorkloadProfile &profile() const { return Profile; }
+
+  /// True if this instance reports to an allocation context.
+  bool isMonitored() const { return Sink != nullptr; }
+
+private:
+  void reportIfMonitored() {
+    if (!Sink)
+      return;
+    Sink->onInstanceFinished(Slot, Profile);
+    Sink = nullptr;
+  }
+
+  std::unique_ptr<ListImpl<T>> Impl;
+  mutable WorkloadProfile Profile;
+  ProfileSink *Sink = nullptr;
+  size_t Slot = 0;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_COLLECTIONS_LISTINTERFACE_H

@@ -1,0 +1,170 @@
+//===- MapInterface.h - Uniform map interface + facade ----------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform map interface every map variant implements, and the
+/// value-semantic Map<K, V> facade. See ListInterface.h for the design
+/// rationale; the contract here is a key-to-value association with
+/// distinct keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_COLLECTIONS_MAPINTERFACE_H
+#define CSWITCH_COLLECTIONS_MAPINTERFACE_H
+
+#include "collections/Variants.h"
+#include "profile/WorkloadProfile.h"
+#include "support/FunctionRef.h"
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace cswitch {
+
+/// Abstract map implementation (one subclass per MapVariant).
+template <typename K, typename V> class MapImpl {
+public:
+  virtual ~MapImpl() = default;
+
+  /// Associates \p Key with \p Value; returns true if the key was new,
+  /// false if an existing mapping was overwritten.
+  virtual bool put(const K &Key, const V &Value) = 0;
+  /// Returns the value mapped to \p Key, or nullptr if absent. The
+  /// pointer is invalidated by any mutation.
+  virtual const V *get(const K &Key) const = 0;
+  /// Returns a mutable pointer to the value of \p Key, or nullptr.
+  virtual V *getMutable(const K &Key) = 0;
+  /// Returns true if \p Key has a mapping.
+  virtual bool containsKey(const K &Key) const = 0;
+  /// Removes the mapping of \p Key; returns false if it was absent.
+  virtual bool remove(const K &Key) = 0;
+  /// Number of mappings.
+  virtual size_t size() const = 0;
+  /// Removes all mappings.
+  virtual void clear() = 0;
+  /// Calls \p Fn on each mapping (order is variant-specific).
+  virtual void forEach(FunctionRef<void(const K &, const V &)> Fn) const = 0;
+  /// Capacity hint; variants without capacity ignore it.
+  virtual void reserve(size_t) {}
+  /// Bytes of memory currently owned by this collection.
+  virtual size_t memoryFootprint() const = 0;
+  /// Which variant this is.
+  virtual MapVariant variant() const = 0;
+  /// Creates an empty map of the same variant.
+  virtual std::unique_ptr<MapImpl<K, V>> cloneEmpty() const = 0;
+
+  bool empty() const { return size() == 0; }
+};
+
+/// Value-semantic map handle; see List<T> for the monitoring contract.
+template <typename K, typename V> class Map {
+public:
+  explicit Map(std::unique_ptr<MapImpl<K, V>> Impl)
+      : Impl(std::move(Impl)) {}
+
+  Map(std::unique_ptr<MapImpl<K, V>> Impl, ProfileSink *Sink, size_t Slot)
+      : Impl(std::move(Impl)), Sink(Sink), Slot(Slot) {}
+
+  Map(Map &&Other) noexcept
+      : Impl(std::move(Other.Impl)), Profile(Other.Profile),
+        Sink(Other.Sink), Slot(Other.Slot) {
+    Other.Sink = nullptr;
+  }
+
+  Map &operator=(Map &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    reportIfMonitored();
+    Impl = std::move(Other.Impl);
+    Profile = Other.Profile;
+    Sink = Other.Sink;
+    Slot = Other.Slot;
+    Other.Sink = nullptr;
+    return *this;
+  }
+
+  Map(const Map &) = delete;
+  Map &operator=(const Map &) = delete;
+
+  ~Map() { reportIfMonitored(); }
+
+  /// Inserts or overwrites a mapping (profiled as populate).
+  bool put(const K &Key, const V &Value) {
+    Profile.record(OperationKind::Populate);
+    bool Inserted = Impl->put(Key, Value);
+    Profile.recordSize(Impl->size());
+    return Inserted;
+  }
+
+  /// Lookup (profiled as contains; nullptr if absent).
+  const V *get(const K &Key) const {
+    Profile.record(OperationKind::Contains);
+    return Impl->get(Key);
+  }
+
+  /// Mutable lookup (profiled as contains; nullptr if absent).
+  V *getMutable(const K &Key) {
+    Profile.record(OperationKind::Contains);
+    return Impl->getMutable(Key);
+  }
+
+  /// Key membership test (profiled as contains).
+  bool containsKey(const K &Key) const {
+    Profile.record(OperationKind::Contains);
+    return Impl->containsKey(Key);
+  }
+
+  /// Removes a mapping (profiled as remove).
+  bool remove(const K &Key) {
+    Profile.record(OperationKind::Remove);
+    return Impl->remove(Key);
+  }
+
+  /// Full traversal (profiled as one iterate).
+  void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
+    Profile.record(OperationKind::Iterate);
+    Impl->forEach(Fn);
+  }
+
+  /// Copies the mappings into a vector of pairs (profiled as one iterate).
+  std::vector<std::pair<K, V>> snapshot() const {
+    std::vector<std::pair<K, V>> Out;
+    Out.reserve(size());
+    forEach([&Out](const K &Key, const V &Value) {
+      Out.emplace_back(Key, Value);
+    });
+    return Out;
+  }
+
+  size_t size() const { return Impl->size(); }
+  bool empty() const { return Impl->empty(); }
+  void clear() { Impl->clear(); }
+  void reserve(size_t N) { Impl->reserve(N); }
+  size_t memoryFootprint() const { return Impl->memoryFootprint(); }
+  MapVariant variant() const { return Impl->variant(); }
+
+  const WorkloadProfile &profile() const { return Profile; }
+  bool isMonitored() const { return Sink != nullptr; }
+
+private:
+  void reportIfMonitored() {
+    if (!Sink)
+      return;
+    Sink->onInstanceFinished(Slot, Profile);
+    Sink = nullptr;
+  }
+
+  std::unique_ptr<MapImpl<K, V>> Impl;
+  mutable WorkloadProfile Profile;
+  ProfileSink *Sink = nullptr;
+  size_t Slot = 0;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_COLLECTIONS_MAPINTERFACE_H

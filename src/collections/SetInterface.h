@@ -1,0 +1,149 @@
+//===- SetInterface.h - Uniform set interface + facade ----------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform set interface every set variant implements, and the
+/// value-semantic Set<T> facade. See ListInterface.h for the design
+/// rationale; the contract here is an unordered collection of distinct
+/// elements (LinkedHashSet additionally iterates in insertion order,
+/// a refinement — never a violation — of the contract).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_COLLECTIONS_SETINTERFACE_H
+#define CSWITCH_COLLECTIONS_SETINTERFACE_H
+
+#include "collections/Variants.h"
+#include "profile/WorkloadProfile.h"
+#include "support/FunctionRef.h"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace cswitch {
+
+/// Abstract set implementation (one subclass per SetVariant).
+template <typename T> class SetImpl {
+public:
+  virtual ~SetImpl() = default;
+
+  /// Adds \p Value; returns false if it was already present.
+  virtual bool add(const T &Value) = 0;
+  /// Returns true if \p Value is present.
+  virtual bool contains(const T &Value) const = 0;
+  /// Removes \p Value; returns false if it was absent.
+  virtual bool remove(const T &Value) = 0;
+  /// Number of elements.
+  virtual size_t size() const = 0;
+  /// Removes all elements.
+  virtual void clear() = 0;
+  /// Calls \p Fn on each element (order is variant-specific).
+  virtual void forEach(FunctionRef<void(const T &)> Fn) const = 0;
+  /// Capacity hint; variants without capacity ignore it.
+  virtual void reserve(size_t) {}
+  /// Bytes of memory currently owned by this collection.
+  virtual size_t memoryFootprint() const = 0;
+  /// Which variant this is.
+  virtual SetVariant variant() const = 0;
+  /// Creates an empty set of the same variant.
+  virtual std::unique_ptr<SetImpl<T>> cloneEmpty() const = 0;
+
+  bool empty() const { return size() == 0; }
+};
+
+/// Value-semantic set handle; see List<T> for the monitoring contract.
+template <typename T> class Set {
+public:
+  explicit Set(std::unique_ptr<SetImpl<T>> Impl) : Impl(std::move(Impl)) {}
+
+  Set(std::unique_ptr<SetImpl<T>> Impl, ProfileSink *Sink, size_t Slot)
+      : Impl(std::move(Impl)), Sink(Sink), Slot(Slot) {}
+
+  Set(Set &&Other) noexcept
+      : Impl(std::move(Other.Impl)), Profile(Other.Profile),
+        Sink(Other.Sink), Slot(Other.Slot) {
+    Other.Sink = nullptr;
+  }
+
+  Set &operator=(Set &&Other) noexcept {
+    if (this == &Other)
+      return *this;
+    reportIfMonitored();
+    Impl = std::move(Other.Impl);
+    Profile = Other.Profile;
+    Sink = Other.Sink;
+    Slot = Other.Slot;
+    Other.Sink = nullptr;
+    return *this;
+  }
+
+  Set(const Set &) = delete;
+  Set &operator=(const Set &) = delete;
+
+  ~Set() { reportIfMonitored(); }
+
+  /// Adds \p Value (profiled as populate).
+  bool add(const T &Value) {
+    Profile.record(OperationKind::Populate);
+    bool Inserted = Impl->add(Value);
+    Profile.recordSize(Impl->size());
+    return Inserted;
+  }
+
+  /// Membership test (profiled as contains).
+  bool contains(const T &Value) const {
+    Profile.record(OperationKind::Contains);
+    return Impl->contains(Value);
+  }
+
+  /// Removes \p Value (profiled as remove).
+  bool remove(const T &Value) {
+    Profile.record(OperationKind::Remove);
+    return Impl->remove(Value);
+  }
+
+  /// Full traversal (profiled as one iterate).
+  void forEach(FunctionRef<void(const T &)> Fn) const {
+    Profile.record(OperationKind::Iterate);
+    Impl->forEach(Fn);
+  }
+
+  /// Copies the elements into a std::vector (profiled as one iterate).
+  std::vector<T> snapshot() const {
+    std::vector<T> Out;
+    Out.reserve(size());
+    forEach([&Out](const T &V) { Out.push_back(V); });
+    return Out;
+  }
+
+  size_t size() const { return Impl->size(); }
+  bool empty() const { return Impl->empty(); }
+  void clear() { Impl->clear(); }
+  void reserve(size_t N) { Impl->reserve(N); }
+  size_t memoryFootprint() const { return Impl->memoryFootprint(); }
+  SetVariant variant() const { return Impl->variant(); }
+
+  const WorkloadProfile &profile() const { return Profile; }
+  bool isMonitored() const { return Sink != nullptr; }
+
+private:
+  void reportIfMonitored() {
+    if (!Sink)
+      return;
+    Sink->onInstanceFinished(Slot, Profile);
+    Sink = nullptr;
+  }
+
+  std::unique_ptr<SetImpl<T>> Impl;
+  mutable WorkloadProfile Profile;
+  ProfileSink *Sink = nullptr;
+  size_t Slot = 0;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_COLLECTIONS_SETINTERFACE_H

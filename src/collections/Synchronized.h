@@ -1,0 +1,249 @@
+//===- Synchronized.h - Thread-safe collection decorators -------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-safe decorators over any collection implementation — the
+/// concurrency half of the paper's §7 future work ("a wider set of
+/// candidate collections, including concurrent and sorted collections"),
+/// realized in the spirit of java.util.Collections.synchronizedList/Set/
+/// Map: every operation serializes on one internal mutex.
+///
+/// The decorators are deliberately *outside* the selection pool: the
+/// performance model is calibrated single-threaded, and the monitored
+/// facades' profile counters are unsynchronized by design (one instance,
+/// one owner — the common case the paper optimizes). A synchronized
+/// decorator is what you reach for when one collection instance must be
+/// shared across threads while keeping the freedom to pick (or let a
+/// context pick) its underlying variant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_COLLECTIONS_SYNCHRONIZED_H
+#define CSWITCH_COLLECTIONS_SYNCHRONIZED_H
+
+#include "collections/ListInterface.h"
+#include "collections/MapInterface.h"
+#include "collections/SetInterface.h"
+
+#include <cassert>
+#include <memory>
+#include <mutex>
+
+namespace cswitch {
+
+/// Mutex-serialized wrapper over a ListImpl.
+template <typename T> class SynchronizedList {
+public:
+  explicit SynchronizedList(std::unique_ptr<ListImpl<T>> Impl)
+      : Impl(std::move(Impl)) {
+    assert(this->Impl && "decorator requires an implementation");
+  }
+
+  void add(const T &Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->push_back(Value);
+  }
+
+  void insert(size_t Index, const T &Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->insertAt(Index, Value);
+  }
+
+  void removeAt(size_t Index) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->removeAt(Index);
+  }
+
+  bool remove(const T &Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->removeValue(Value);
+  }
+
+  /// Returns a copy (a reference would escape the lock).
+  T get(size_t Index) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->at(Index);
+  }
+
+  void set(size_t Index, const T &Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->set(Index, Value);
+  }
+
+  bool contains(const T &Value) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->contains(Value);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->clear();
+  }
+
+  /// Runs \p Fn over every element while holding the lock (the
+  /// java.util equivalent requires manual synchronization here; this
+  /// API makes the whole traversal atomic instead).
+  void forEach(FunctionRef<void(const T &)> Fn) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->forEach(Fn);
+  }
+
+  size_t memoryFootprint() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return sizeof(*this) + Impl->memoryFootprint();
+  }
+
+  ListVariant variant() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->variant();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::unique_ptr<ListImpl<T>> Impl;
+};
+
+/// Mutex-serialized wrapper over a SetImpl.
+template <typename T> class SynchronizedSet {
+public:
+  explicit SynchronizedSet(std::unique_ptr<SetImpl<T>> Impl)
+      : Impl(std::move(Impl)) {
+    assert(this->Impl && "decorator requires an implementation");
+  }
+
+  bool add(const T &Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->add(Value);
+  }
+
+  bool contains(const T &Value) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->contains(Value);
+  }
+
+  bool remove(const T &Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->remove(Value);
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->clear();
+  }
+
+  void forEach(FunctionRef<void(const T &)> Fn) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->forEach(Fn);
+  }
+
+  size_t memoryFootprint() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return sizeof(*this) + Impl->memoryFootprint();
+  }
+
+  SetVariant variant() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->variant();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::unique_ptr<SetImpl<T>> Impl;
+};
+
+/// Mutex-serialized wrapper over a MapImpl.
+template <typename K, typename V> class SynchronizedMap {
+public:
+  explicit SynchronizedMap(std::unique_ptr<MapImpl<K, V>> Impl)
+      : Impl(std::move(Impl)) {
+    assert(this->Impl && "decorator requires an implementation");
+  }
+
+  bool put(const K &Key, const V &Value) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->put(Key, Value);
+  }
+
+  /// Returns a copy of the value wrapped in \p Found semantics: the
+  /// pointer-returning interface of MapImpl would escape the lock.
+  bool get(const K &Key, V &Out) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    const V *Value = Impl->get(Key);
+    if (!Value)
+      return false;
+    Out = *Value;
+    return true;
+  }
+
+  bool containsKey(const K &Key) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->containsKey(Key);
+  }
+
+  bool remove(const K &Key) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->remove(Key);
+  }
+
+  /// Atomic read-modify-write of the value of \p Key; inserts
+  /// \p Initial first when the key is absent. Returns the new value.
+  /// (The java.util analogue is Map.compute.)
+  V update(const K &Key, const V &Initial,
+           FunctionRef<V(const V &)> Fn) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    V *Value = Impl->getMutable(Key);
+    if (!Value) {
+      V Updated = Fn(Initial);
+      Impl->put(Key, Updated);
+      return Updated;
+    }
+    *Value = Fn(*Value);
+    return *Value;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->clear();
+  }
+
+  void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Impl->forEach(Fn);
+  }
+
+  size_t memoryFootprint() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return sizeof(*this) + Impl->memoryFootprint();
+  }
+
+  MapVariant variant() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Impl->variant();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::unique_ptr<MapImpl<K, V>> Impl;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_COLLECTIONS_SYNCHRONIZED_H

@@ -1,0 +1,136 @@
+//===- Variants.cpp - Collection variant identities ----------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/Variants.h"
+
+#include <cassert>
+
+using namespace cswitch;
+
+const char *cswitch::abstractionKindName(AbstractionKind Kind) {
+  switch (Kind) {
+  case AbstractionKind::List:
+    return "list";
+  case AbstractionKind::Set:
+    return "set";
+  case AbstractionKind::Map:
+    return "map";
+  }
+  return "unknown";
+}
+
+const char *cswitch::listVariantName(ListVariant V) {
+  switch (V) {
+  case ListVariant::ArrayList:
+    return "ArrayList";
+  case ListVariant::LinkedList:
+    return "LinkedList";
+  case ListVariant::HashArrayList:
+    return "HashArrayList";
+  case ListVariant::AdaptiveList:
+    return "AdaptiveList";
+  }
+  return "unknown";
+}
+
+const char *cswitch::setVariantName(SetVariant V) {
+  switch (V) {
+  case SetVariant::ChainedHashSet:
+    return "ChainedHashSet";
+  case SetVariant::OpenHashSet:
+    return "OpenHashSet";
+  case SetVariant::LinkedHashSet:
+    return "LinkedHashSet";
+  case SetVariant::ArraySet:
+    return "ArraySet";
+  case SetVariant::CompactHashSet:
+    return "CompactHashSet";
+  case SetVariant::AdaptiveSet:
+    return "AdaptiveSet";
+  case SetVariant::TreeSet:
+    return "TreeSet";
+  case SetVariant::SortedArraySet:
+    return "SortedArraySet";
+  }
+  return "unknown";
+}
+
+const char *cswitch::mapVariantName(MapVariant V) {
+  switch (V) {
+  case MapVariant::ChainedHashMap:
+    return "ChainedHashMap";
+  case MapVariant::OpenHashMap:
+    return "OpenHashMap";
+  case MapVariant::LinkedHashMap:
+    return "LinkedHashMap";
+  case MapVariant::ArrayMap:
+    return "ArrayMap";
+  case MapVariant::CompactHashMap:
+    return "CompactHashMap";
+  case MapVariant::AdaptiveMap:
+    return "AdaptiveMap";
+  case MapVariant::TreeMap:
+    return "TreeMap";
+  case MapVariant::SortedArrayMap:
+    return "SortedArrayMap";
+  }
+  return "unknown";
+}
+
+bool cswitch::parseListVariant(const std::string &Name, ListVariant &Out) {
+  for (ListVariant V : AllListVariants) {
+    if (Name == listVariantName(V)) {
+      Out = V;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool cswitch::parseSetVariant(const std::string &Name, SetVariant &Out) {
+  for (SetVariant V : AllSetVariants) {
+    if (Name == setVariantName(V)) {
+      Out = V;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool cswitch::parseMapVariant(const std::string &Name, MapVariant &Out) {
+  for (MapVariant V : AllMapVariants) {
+    if (Name == mapVariantName(V)) {
+      Out = V;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string VariantId::name() const {
+  switch (Abstraction) {
+  case AbstractionKind::List:
+    return listVariantName(static_cast<ListVariant>(Index));
+  case AbstractionKind::Set:
+    return setVariantName(static_cast<SetVariant>(Index));
+  case AbstractionKind::Map:
+    return mapVariantName(static_cast<MapVariant>(Index));
+  }
+  return "unknown";
+}
+
+size_t cswitch::numVariantsOf(AbstractionKind Kind) {
+  switch (Kind) {
+  case AbstractionKind::List:
+    return NumListVariants;
+  case AbstractionKind::Set:
+    return NumSetVariants;
+  case AbstractionKind::Map:
+    return NumMapVariants;
+  }
+  assert(false && "unknown abstraction kind");
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===- Variants.h - Collection variant identities --------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identities of the collection variants considered by the framework —
+/// the C++ equivalents of the paper's Table 2 candidate set. Variant ids
+/// are the currency of the whole system: the performance model is indexed
+/// by them, allocation contexts select among them, and the transition log
+/// names them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_COLLECTIONS_VARIANTS_H
+#define CSWITCH_COLLECTIONS_VARIANTS_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace cswitch {
+
+/// Which abstract data type a variant implements.
+enum class AbstractionKind : unsigned { List, Set, Map };
+
+/// Number of AbstractionKind values.
+constexpr size_t NumAbstractionKinds = 3;
+
+/// Returns "list", "set" or "map".
+const char *abstractionKindName(AbstractionKind Kind);
+
+/// List implementation variants (paper Table 2, Lists rows).
+enum class ListVariant : unsigned {
+  ArrayList,     ///< Array-backed list (JDK ArrayList analogue).
+  LinkedList,    ///< Doubly-linked list (JDK LinkedList analogue).
+  HashArrayList, ///< Array + hash bag for O(1) lookups (Switch variant).
+  AdaptiveList,  ///< Array on small sizes, hash-array above threshold.
+};
+
+constexpr size_t NumListVariants = 4;
+constexpr std::array<ListVariant, NumListVariants> AllListVariants = {
+    ListVariant::ArrayList, ListVariant::LinkedList,
+    ListVariant::HashArrayList, ListVariant::AdaptiveList};
+
+/// Set implementation variants (paper Table 2, Sets rows).
+enum class SetVariant : unsigned {
+  ChainedHashSet, ///< Chained hash table (JDK HashSet analogue).
+  OpenHashSet,    ///< Open addressing, low load factor (Koloboke-like).
+  LinkedHashSet,  ///< Chained hash + insertion order (JDK analogue).
+  ArraySet,       ///< Plain array, linear search (Google/NLP analogue).
+  CompactHashSet, ///< Open addressing, high load factor (compact).
+  AdaptiveSet,    ///< Array on small sizes, open hash above threshold.
+  TreeSet,        ///< AVL tree, sorted iteration (JDK TreeSet analogue).
+  SortedArraySet, ///< Sorted array, binary-search lookups.
+};
+
+constexpr size_t NumSetVariants = 8;
+constexpr std::array<SetVariant, NumSetVariants> AllSetVariants = {
+    SetVariant::ChainedHashSet, SetVariant::OpenHashSet,
+    SetVariant::LinkedHashSet,  SetVariant::ArraySet,
+    SetVariant::CompactHashSet, SetVariant::AdaptiveSet,
+    SetVariant::TreeSet,        SetVariant::SortedArraySet};
+
+/// Map implementation variants (paper Table 2, Maps rows).
+enum class MapVariant : unsigned {
+  ChainedHashMap, ///< Chained hash table (JDK HashMap analogue).
+  OpenHashMap,    ///< Open addressing, low load factor (Koloboke-like).
+  LinkedHashMap,  ///< Chained hash + insertion order (JDK analogue).
+  ArrayMap,       ///< Parallel key/value arrays, linear search.
+  CompactHashMap, ///< Open addressing, high load factor (compact).
+  AdaptiveMap,    ///< Array on small sizes, open hash above threshold.
+  TreeMap,        ///< AVL tree, sorted iteration (JDK TreeMap analogue).
+  SortedArrayMap, ///< Parallel sorted arrays, binary-search lookups.
+};
+
+constexpr size_t NumMapVariants = 8;
+constexpr std::array<MapVariant, NumMapVariants> AllMapVariants = {
+    MapVariant::ChainedHashMap, MapVariant::OpenHashMap,
+    MapVariant::LinkedHashMap,  MapVariant::ArrayMap,
+    MapVariant::CompactHashMap, MapVariant::AdaptiveMap,
+    MapVariant::TreeMap,        MapVariant::SortedArrayMap};
+
+/// Returns the stable name of a variant (e.g. "ArrayList").
+const char *listVariantName(ListVariant V);
+const char *setVariantName(SetVariant V);
+const char *mapVariantName(MapVariant V);
+
+/// Parses a variant name; returns false if unknown.
+bool parseListVariant(const std::string &Name, ListVariant &Out);
+bool parseSetVariant(const std::string &Name, SetVariant &Out);
+bool parseMapVariant(const std::string &Name, MapVariant &Out);
+
+/// An abstraction-tagged variant id, usable as a key across abstractions
+/// (the performance model and the transition log are indexed by these).
+struct VariantId {
+  AbstractionKind Abstraction;
+  unsigned Index; ///< Value of the abstraction-specific enum.
+
+  static VariantId of(ListVariant V) {
+    return {AbstractionKind::List, static_cast<unsigned>(V)};
+  }
+  static VariantId of(SetVariant V) {
+    return {AbstractionKind::Set, static_cast<unsigned>(V)};
+  }
+  static VariantId of(MapVariant V) {
+    return {AbstractionKind::Map, static_cast<unsigned>(V)};
+  }
+
+  bool operator==(const VariantId &Other) const = default;
+
+  /// Stable name of the variant this id denotes.
+  std::string name() const;
+};
+
+/// Number of variants of \p Kind.
+size_t numVariantsOf(AbstractionKind Kind);
+
+} // namespace cswitch
+
+#endif // CSWITCH_COLLECTIONS_VARIANTS_H

@@ -1,0 +1,347 @@
+//===- OpenHashTable.h - Open-addressing tables (internal) ------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Open-addressing (linear probing) hash tables shared by the open-hash
+/// and compact-hash set/map variants. The maximum load factor is a
+/// template parameter: the fast variants probe a half-empty table
+/// (Koloboke-like), the compact variants a 7/8-full one (memory-efficient
+/// but slower near capacity) — giving the framework genuinely different
+/// points on the time/space trade-off curve, as the paper's multi-library
+/// candidate set does. Internal to the collections library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_COLLECTIONS_DETAIL_OPENHASHTABLE_H
+#define CSWITCH_COLLECTIONS_DETAIL_OPENHASHTABLE_H
+
+#include "support/FunctionRef.h"
+#include "support/Hashing.h"
+#include "support/MemoryTracker.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace cswitch {
+namespace detail {
+
+/// Slot states of an open-addressing table.
+enum SlotState : uint8_t {
+  SlotEmpty = 0,
+  SlotFull = 1,
+  SlotTombstone = 2,
+};
+
+/// Open-addressing set of T with linear probing.
+///
+/// \tparam LoadNum / \tparam LoadDen maximum load factor as a fraction;
+/// growth keeps full+tombstone slots at or below it.
+template <typename T, unsigned LoadNum, unsigned LoadDen,
+          typename Hash = DefaultHash<T>>
+class OpenHashSetTable {
+public:
+  OpenHashSetTable() = default;
+
+  bool insert(const T &Value) {
+    growIfNeeded(1);
+    size_t Mask = Values.size() - 1;
+    size_t Index = Hash{}(Value) & Mask;
+    size_t FirstTombstone = SIZE_MAX;
+    while (true) {
+      uint8_t State = States[Index];
+      if (State == SlotEmpty) {
+        size_t Target = FirstTombstone != SIZE_MAX ? FirstTombstone : Index;
+        Values[Target] = Value;
+        if (States[Target] == SlotEmpty)
+          ++Occupied;
+        States[Target] = SlotFull;
+        ++Count;
+        return true;
+      }
+      if (State == SlotFull && Values[Index] == Value)
+        return false;
+      if (State == SlotTombstone && FirstTombstone == SIZE_MAX)
+        FirstTombstone = Index;
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  bool contains(const T &Value) const {
+    if (Values.empty())
+      return false;
+    size_t Mask = Values.size() - 1;
+    size_t Index = Hash{}(Value) & Mask;
+    while (true) {
+      uint8_t State = States[Index];
+      if (State == SlotEmpty)
+        return false;
+      if (State == SlotFull && Values[Index] == Value)
+        return true;
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  bool erase(const T &Value) {
+    if (Values.empty())
+      return false;
+    size_t Mask = Values.size() - 1;
+    size_t Index = Hash{}(Value) & Mask;
+    while (true) {
+      uint8_t State = States[Index];
+      if (State == SlotEmpty)
+        return false;
+      if (State == SlotFull && Values[Index] == Value) {
+        States[Index] = SlotTombstone;
+        --Count;
+        return true;
+      }
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  size_t size() const { return Count; }
+
+  void clear() {
+    Values.clear();
+    Values.shrink_to_fit();
+    States.clear();
+    States.shrink_to_fit();
+    Count = Occupied = 0;
+  }
+
+  void forEach(FunctionRef<void(const T &)> Fn) const {
+    for (size_t I = 0, E = Values.size(); I != E; ++I)
+      if (States[I] == SlotFull)
+        Fn(Values[I]);
+  }
+
+  void reserve(size_t N) {
+    size_t Needed = requiredCapacity(N);
+    if (Needed > Values.size())
+      rehash(Needed);
+  }
+
+  /// Bytes owned by the table, excluding sizeof(*this).
+  size_t memoryFootprint() const {
+    return Values.capacity() * sizeof(T) +
+           States.capacity() * sizeof(uint8_t);
+  }
+
+private:
+  static constexpr size_t InitialCapacity = 8;
+
+  static size_t requiredCapacity(size_t Elements) {
+    // Smallest power of two with Elements <= capacity * LoadNum/LoadDen.
+    size_t Cap = InitialCapacity;
+    while (Cap * LoadNum < Elements * LoadDen)
+      Cap *= 2;
+    return Cap;
+  }
+
+  void growIfNeeded(size_t Additional) {
+    if (Values.empty()) {
+      rehash(InitialCapacity);
+      return;
+    }
+    if ((Occupied + Additional) * LoadDen <= Values.size() * LoadNum)
+      return;
+    // Double only while the live count needs it; a same-size rehash
+    // purges tombstones without inflating the footprint.
+    size_t NewCapacity = Values.size();
+    while ((Count + Additional) * LoadDen > NewCapacity * LoadNum)
+      NewCapacity *= 2;
+    rehash(NewCapacity);
+  }
+
+  void rehash(size_t NewCapacity) {
+    assert((NewCapacity & (NewCapacity - 1)) == 0 && "capacity not pow2");
+    std::vector<T, CountingAllocator<T>> OldValues(std::move(Values));
+    std::vector<uint8_t, CountingAllocator<uint8_t>> OldStates(
+        std::move(States));
+    Values.assign(NewCapacity, T());
+    States.assign(NewCapacity, SlotEmpty);
+    Occupied = Count;
+    size_t Mask = NewCapacity - 1;
+    for (size_t I = 0, E = OldValues.size(); I != E; ++I) {
+      if (OldStates[I] != SlotFull)
+        continue;
+      size_t Index = Hash{}(OldValues[I]) & Mask;
+      while (States[Index] != SlotEmpty)
+        Index = (Index + 1) & Mask;
+      Values[Index] = OldValues[I];
+      States[Index] = SlotFull;
+    }
+  }
+
+  std::vector<T, CountingAllocator<T>> Values;
+  std::vector<uint8_t, CountingAllocator<uint8_t>> States;
+  size_t Count = 0;    ///< Full slots.
+  size_t Occupied = 0; ///< Full + tombstone slots.
+};
+
+/// Open-addressing map of K -> V with linear probing.
+template <typename K, typename V, unsigned LoadNum, unsigned LoadDen,
+          typename Hash = DefaultHash<K>>
+class OpenHashMapTable {
+public:
+  OpenHashMapTable() = default;
+
+  /// Returns true if the key was new.
+  bool insertOrAssign(const K &Key, const V &Value) {
+    growIfNeeded(1);
+    size_t Mask = Keys.size() - 1;
+    size_t Index = Hash{}(Key) & Mask;
+    size_t FirstTombstone = SIZE_MAX;
+    while (true) {
+      uint8_t State = States[Index];
+      if (State == SlotEmpty) {
+        size_t Target = FirstTombstone != SIZE_MAX ? FirstTombstone : Index;
+        Keys[Target] = Key;
+        Vals[Target] = Value;
+        if (States[Target] == SlotEmpty)
+          ++Occupied;
+        States[Target] = SlotFull;
+        ++Count;
+        return true;
+      }
+      if (State == SlotFull && Keys[Index] == Key) {
+        Vals[Index] = Value;
+        return false;
+      }
+      if (State == SlotTombstone && FirstTombstone == SIZE_MAX)
+        FirstTombstone = Index;
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  const V *find(const K &Key) const {
+    if (Keys.empty())
+      return nullptr;
+    size_t Mask = Keys.size() - 1;
+    size_t Index = Hash{}(Key) & Mask;
+    while (true) {
+      uint8_t State = States[Index];
+      if (State == SlotEmpty)
+        return nullptr;
+      if (State == SlotFull && Keys[Index] == Key)
+        return &Vals[Index];
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  V *findMutable(const K &Key) {
+    return const_cast<V *>(
+        static_cast<const OpenHashMapTable *>(this)->find(Key));
+  }
+
+  bool erase(const K &Key) {
+    if (Keys.empty())
+      return false;
+    size_t Mask = Keys.size() - 1;
+    size_t Index = Hash{}(Key) & Mask;
+    while (true) {
+      uint8_t State = States[Index];
+      if (State == SlotEmpty)
+        return false;
+      if (State == SlotFull && Keys[Index] == Key) {
+        States[Index] = SlotTombstone;
+        --Count;
+        return true;
+      }
+      Index = (Index + 1) & Mask;
+    }
+  }
+
+  size_t size() const { return Count; }
+
+  void clear() {
+    Keys.clear();
+    Keys.shrink_to_fit();
+    Vals.clear();
+    Vals.shrink_to_fit();
+    States.clear();
+    States.shrink_to_fit();
+    Count = Occupied = 0;
+  }
+
+  void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
+    for (size_t I = 0, E = Keys.size(); I != E; ++I)
+      if (States[I] == SlotFull)
+        Fn(Keys[I], Vals[I]);
+  }
+
+  void reserve(size_t N) {
+    size_t Needed = requiredCapacity(N);
+    if (Needed > Keys.size())
+      rehash(Needed);
+  }
+
+  /// Bytes owned by the table, excluding sizeof(*this).
+  size_t memoryFootprint() const {
+    return Keys.capacity() * sizeof(K) + Vals.capacity() * sizeof(V) +
+           States.capacity() * sizeof(uint8_t);
+  }
+
+private:
+  static constexpr size_t InitialCapacity = 8;
+
+  static size_t requiredCapacity(size_t Elements) {
+    size_t Cap = InitialCapacity;
+    while (Cap * LoadNum < Elements * LoadDen)
+      Cap *= 2;
+    return Cap;
+  }
+
+  void growIfNeeded(size_t Additional) {
+    if (Keys.empty()) {
+      rehash(InitialCapacity);
+      return;
+    }
+    if ((Occupied + Additional) * LoadDen <= Keys.size() * LoadNum)
+      return;
+    // Double only while the live count needs it; a same-size rehash
+    // purges tombstones without inflating the footprint.
+    size_t NewCapacity = Keys.size();
+    while ((Count + Additional) * LoadDen > NewCapacity * LoadNum)
+      NewCapacity *= 2;
+    rehash(NewCapacity);
+  }
+
+  void rehash(size_t NewCapacity) {
+    assert((NewCapacity & (NewCapacity - 1)) == 0 && "capacity not pow2");
+    std::vector<K, CountingAllocator<K>> OldKeys(std::move(Keys));
+    std::vector<V, CountingAllocator<V>> OldVals(std::move(Vals));
+    std::vector<uint8_t, CountingAllocator<uint8_t>> OldStates(
+        std::move(States));
+    Keys.assign(NewCapacity, K());
+    Vals.assign(NewCapacity, V());
+    States.assign(NewCapacity, SlotEmpty);
+    Occupied = Count;
+    size_t Mask = NewCapacity - 1;
+    for (size_t I = 0, E = OldKeys.size(); I != E; ++I) {
+      if (OldStates[I] != SlotFull)
+        continue;
+      size_t Index = Hash{}(OldKeys[I]) & Mask;
+      while (States[Index] != SlotEmpty)
+        Index = (Index + 1) & Mask;
+      Keys[Index] = OldKeys[I];
+      Vals[Index] = OldVals[I];
+      States[Index] = SlotFull;
+    }
+  }
+
+  std::vector<K, CountingAllocator<K>> Keys;
+  std::vector<V, CountingAllocator<V>> Vals;
+  std::vector<uint8_t, CountingAllocator<uint8_t>> States;
+  size_t Count = 0;
+  size_t Occupied = 0;
+};
+
+} // namespace detail
+} // namespace cswitch
+
+#endif // CSWITCH_COLLECTIONS_DETAIL_OPENHASHTABLE_H

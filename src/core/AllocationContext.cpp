@@ -1,0 +1,199 @@
+//===- AllocationContext.cpp - Adaptive allocation contexts --------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocationContext.h"
+
+#include "support/EventLog.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace cswitch;
+
+AllocationContextBase::AllocationContextBase(
+    std::string Name, AbstractionKind Kind, unsigned InitialVariantIndex,
+    std::shared_ptr<const PerformanceModel> Model, SelectionRule Rule,
+    ContextOptions Options)
+    : Name(std::move(Name)), Kind(Kind), Model(std::move(Model)),
+      Rule(std::move(Rule)), Options(Options),
+      Current(InitialVariantIndex) {
+  assert(this->Model && "context requires a performance model");
+  assert(InitialVariantIndex < numVariantsOf(Kind) &&
+         "initial variant out of range");
+  assert(this->Options.WindowSize > 0 && "window size must be positive");
+  Window.resize(this->Options.WindowSize);
+  for (const Criterion &C : this->Rule.Criteria)
+    UsedDimensions[static_cast<size_t>(C.Dimension)] = true;
+  if (this->Options.LogEvents)
+    EventLog::global().record(EventKind::ContextCreated, this->Name,
+                              currentVariant().name());
+}
+
+AllocationContextBase::~AllocationContextBase() = default;
+
+size_t AllocationContextBase::acquireMonitorSlot() {
+  Created.fetch_add(1, std::memory_order_relaxed);
+  // Lock-free fast path: the window of this round is already full.
+  if (AssignedInRound.load(std::memory_order_acquire) >=
+      Options.WindowSize)
+    return NoSlot;
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Assigned = AssignedInRound.load(std::memory_order_relaxed);
+  if (Assigned >= Options.WindowSize)
+    return NoSlot;
+  Window[Assigned] = WindowEntry();
+  AssignedInRound.store(Assigned + 1, std::memory_order_release);
+  Monitored.fetch_add(1, std::memory_order_relaxed);
+  return (static_cast<size_t>(Round) << 32) | Assigned;
+}
+
+void AllocationContextBase::onInstanceFinished(
+    size_t Slot, const WorkloadProfile &Profile) {
+  auto SlotRound = static_cast<uint32_t>(Slot >> 32);
+  size_t Index = Slot & 0xffffffffu;
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // Instances created in a previous round report after the window was
+  // recycled; their profiles belong to an already-analyzed (or
+  // abandoned) round and are discarded.
+  if (SlotRound != Round)
+    return;
+  assert(Index < Window.size() && "slot out of range");
+  WindowEntry &Entry = Window[Index];
+  if (Entry.Finished)
+    return;
+  Entry.Profile = Profile;
+  Entry.Finished = true;
+  ++FinishedInRound;
+}
+
+bool AllocationContextBase::isAdaptiveVariant(AbstractionKind Kind,
+                                              unsigned Index) {
+  switch (Kind) {
+  case AbstractionKind::List:
+    return static_cast<ListVariant>(Index) == ListVariant::AdaptiveList;
+  case AbstractionKind::Set:
+    return static_cast<SetVariant>(Index) == SetVariant::AdaptiveSet;
+  case AbstractionKind::Map:
+    return static_cast<MapVariant>(Index) == MapVariant::AdaptiveMap;
+  }
+  return false;
+}
+
+size_t
+AllocationContextBase::adaptiveThresholdFor(AbstractionKind Kind) const {
+  AdaptiveThresholds T = AdaptiveConfig::global().thresholds();
+  switch (Kind) {
+  case AbstractionKind::List:
+    return T.List;
+  case AbstractionKind::Set:
+    return T.Set;
+  case AbstractionKind::Map:
+    return T.Map;
+  }
+  return 0;
+}
+
+std::optional<unsigned> AllocationContextBase::analyzeLocked() {
+  // Gather the finished profiles of this round.
+  size_t Assigned = AssignedInRound.load(std::memory_order_relaxed);
+  uint64_t MinMaxSize = UINT64_MAX;
+  uint64_t MaxMaxSize = 0;
+
+  size_t NumVariants = numVariantsOf(Kind);
+  std::vector<VariantCosts> Costs(NumVariants);
+  size_t Used = 0;
+  for (size_t I = 0; I != Assigned; ++I) {
+    const WindowEntry &Entry = Window[I];
+    if (!Entry.Finished)
+      continue;
+    ++Used;
+    MinMaxSize = std::min(MinMaxSize, Entry.Profile.MaxSize);
+    MaxMaxSize = std::max(MaxMaxSize, Entry.Profile.MaxSize);
+    for (unsigned V = 0; V != NumVariants; ++V) {
+      VariantId Id{Kind, V};
+      for (CostDimension Dim : AllCostDimensions) {
+        if (!UsedDimensions[static_cast<size_t>(Dim)])
+          continue;
+        Costs[V].Total[static_cast<size_t>(Dim)] +=
+            Model->totalCost(Id, Entry.Profile, Dim);
+      }
+    }
+  }
+  if (Used == 0)
+    return std::nullopt;
+
+  // Variants without performance-model coverage must not compete: their
+  // total cost would read as zero and they would win every rule.
+  for (unsigned V = 0; V != NumVariants; ++V)
+    if (!Model->hasVariant({Kind, V}))
+      Costs[V].Eligible = false;
+
+  // Adaptive-variant gate (§3.2): only a candidate when the observed
+  // maximum sizes ranged widely — straddling the adaptive threshold, or
+  // spread by at least the configured factor.
+  size_t Threshold = adaptiveThresholdFor(Kind);
+  bool Straddles =
+      MinMaxSize <= Threshold && MaxMaxSize > Threshold;
+  bool WideSpread = static_cast<double>(MaxMaxSize) >=
+                    Options.WideRangeFactor *
+                        std::max<double>(1.0, static_cast<double>(MinMaxSize));
+  bool AdaptiveEligible = Straddles || WideSpread;
+  for (unsigned V = 0; V != NumVariants; ++V)
+    if (isAdaptiveVariant(Kind, V))
+      Costs[V].Eligible = AdaptiveEligible;
+
+  return selectVariant(Costs, Current.load(std::memory_order_relaxed),
+                       Rule);
+}
+
+bool AllocationContextBase::evaluate() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  size_t Assigned = AssignedInRound.load(std::memory_order_relaxed);
+  if (Assigned == 0)
+    return false;
+  auto Needed = static_cast<size_t>(
+      std::ceil(Options.FinishedRatio *
+                static_cast<double>(Options.WindowSize)));
+  if (FinishedInRound < std::max<size_t>(Needed, 1))
+    return false;
+
+  std::optional<unsigned> Choice = analyzeLocked();
+  Evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (Options.LogEvents)
+    EventLog::global().record(EventKind::Evaluation, Name,
+                              currentVariant().name());
+
+  // Start a new monitoring round regardless of the outcome, so the
+  // context keeps adapting to workload drift (§3.1: "after switching ...
+  // a fraction of the instances is monitored to allow a continuous
+  // adaptation process").
+  ++Round;
+  FinishedInRound = 0;
+  AssignedInRound.store(0, std::memory_order_release);
+  if (Options.LogEvents)
+    EventLog::global().record(EventKind::MonitoringRound, Name, "");
+
+  unsigned Cur = Current.load(std::memory_order_relaxed);
+  if (!Choice || *Choice == Cur)
+    return false;
+
+  std::string Detail = VariantId{Kind, Cur}.name() + " -> " +
+                       VariantId{Kind, *Choice}.name();
+  Current.store(*Choice, std::memory_order_relaxed);
+  Switches.fetch_add(1, std::memory_order_relaxed);
+  if (Options.LogEvents)
+    EventLog::global().record(EventKind::Transition, Name, Detail);
+  return true;
+}
+
+size_t AllocationContextBase::memoryFootprint() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return sizeof(*this) + Window.capacity() * sizeof(WindowEntry) +
+         Name.capacity();
+}

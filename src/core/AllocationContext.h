@@ -1,0 +1,251 @@
+//===- AllocationContext.h - Adaptive allocation contexts -------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adaptive allocation context (paper §3.1, §4.3): the instrumented
+/// form of a collection allocation site. A context
+///
+///   1. instantiates collections of its current variant,
+///   2. monitors a window of created instances (window size, paper: 100),
+///   3. once enough monitored instances finished their life-cycle
+///      (finished ratio, paper: 0.6), aggregates their workload profiles
+///      into total costs TC_D(V) for every candidate variant using the
+///      performance model, and
+///   4. switches the variant used for future instantiations when the
+///      selection rule finds a better candidate, then starts a new
+///      monitoring round.
+///
+/// AllocationContextBase holds all abstraction-independent machinery;
+/// ListContext<T> / SetContext<T> / MapContext<K, V> add the typed
+/// create*() factory the application calls instead of a constructor
+/// (paper Fig. 4: `ctx.createList()`).
+///
+/// Lifetime: a context must outlive every collection it created — the
+/// paper's recommendation of static (per-site) contexts gives exactly
+/// that. Instance death is detected by the collection facade destructor
+/// reporting the workload profile back (DESIGN.md §1 discusses this
+/// substitution for Java's WeakReference polling).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_CORE_ALLOCATIONCONTEXT_H
+#define CSWITCH_CORE_ALLOCATIONCONTEXT_H
+
+#include "collections/Factory.h"
+#include "core/SelectionRule.h"
+#include "core/VariantSelection.h"
+#include "model/CostModel.h"
+#include "profile/WorkloadProfile.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cswitch {
+
+/// Tuning knobs of an allocation context (defaults follow the paper §5).
+struct ContextOptions {
+  /// Number of instances monitored per round (paper: 100).
+  size_t WindowSize = 100;
+  /// Fraction of the window that must have finished before the round is
+  /// analyzed (paper: 0.6).
+  double FinishedRatio = 0.6;
+  /// Record transition/evaluation events in the global EventLog.
+  bool LogEvents = true;
+  /// Minimum max-size spread (max/min ratio) for adaptive variants to be
+  /// considered "widely ranging" (§3.2); they also qualify whenever the
+  /// observed sizes straddle the adaptive threshold.
+  double WideRangeFactor = 4.0;
+};
+
+/// Abstraction-independent allocation-context machinery.
+///
+/// Thread-safe: instances may be created, finish, and be evaluated from
+/// different threads concurrently. The unmonitored creation fast path is
+/// lock-free.
+class AllocationContextBase : public ProfileSink {
+public:
+  AllocationContextBase(std::string Name, AbstractionKind Kind,
+                        unsigned InitialVariantIndex,
+                        std::shared_ptr<const PerformanceModel> Model,
+                        SelectionRule Rule, ContextOptions Options);
+
+  ~AllocationContextBase() override;
+
+  AllocationContextBase(const AllocationContextBase &) = delete;
+  AllocationContextBase &operator=(const AllocationContextBase &) = delete;
+
+  /// Analyzes the current monitoring round if the finished ratio has been
+  /// reached; may switch the current variant. \returns true if a
+  /// transition happened. Called periodically by the SwitchEngine, or
+  /// manually for deterministic tests.
+  bool evaluate();
+
+  // ProfileSink: called by dying monitored collection facades.
+  void onInstanceFinished(size_t Slot,
+                          const WorkloadProfile &Profile) override;
+
+  /// Site name used in logs and reports.
+  const std::string &name() const { return Name; }
+
+  /// The abstraction this site allocates.
+  AbstractionKind abstraction() const { return Kind; }
+
+  /// Index of the variant future instantiations will use.
+  unsigned currentVariantIndex() const {
+    return Current.load(std::memory_order_relaxed);
+  }
+
+  /// Tagged id of the current variant.
+  VariantId currentVariant() const {
+    return {Kind, currentVariantIndex()};
+  }
+
+  /// Total collections created through this context.
+  uint64_t instancesCreated() const {
+    return Created.load(std::memory_order_relaxed);
+  }
+
+  /// Total instances that were monitored (assigned a window slot).
+  uint64_t instancesMonitored() const {
+    return Monitored.load(std::memory_order_relaxed);
+  }
+
+  /// Completed analysis rounds.
+  uint64_t evaluationCount() const {
+    return Evaluations.load(std::memory_order_relaxed);
+  }
+
+  /// Variant transitions performed.
+  uint64_t switchCount() const {
+    return Switches.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate bytes of memory this context occupies (the paper
+  /// reports ~1 KB per context, §5.3).
+  size_t memoryFootprint() const;
+
+  /// The rule this context selects by.
+  const SelectionRule &rule() const { return Rule; }
+
+  /// The options this context runs with.
+  const ContextOptions &options() const { return Options; }
+
+protected:
+  /// Sentinel: instance is not monitored.
+  static constexpr size_t NoSlot = SIZE_MAX;
+
+  /// Reserves a monitoring slot in the current round, or NoSlot when the
+  /// window is full. Also counts the creation. Slots encode the round in
+  /// their upper 32 bits so that stale instances finishing after a round
+  /// reset are discarded rather than polluting the next round.
+  size_t acquireMonitorSlot();
+
+private:
+  struct WindowEntry {
+    WorkloadProfile Profile;
+    bool Finished = false;
+  };
+
+  static bool isAdaptiveVariant(AbstractionKind Kind, unsigned Index);
+  size_t adaptiveThresholdFor(AbstractionKind Kind) const;
+
+  /// Analysis of a completed round; Mutex must be held.
+  std::optional<unsigned> analyzeLocked();
+
+  const std::string Name;
+  const AbstractionKind Kind;
+  const std::shared_ptr<const PerformanceModel> Model;
+  const SelectionRule Rule;
+  const ContextOptions Options;
+  /// Dimensions referenced by the rule's criteria; analysis only
+  /// accumulates these (evaluating unused cost polynomials would only
+  /// inflate the §5.3 overhead).
+  std::array<bool, NumCostDimensions> UsedDimensions = {};
+
+  std::atomic<unsigned> Current;
+  std::atomic<uint64_t> Created{0};
+  std::atomic<uint64_t> Monitored{0};
+  std::atomic<uint64_t> Evaluations{0};
+  std::atomic<uint64_t> Switches{0};
+
+  mutable std::mutex Mutex;
+  std::vector<WindowEntry> Window;       ///< Guarded by Mutex.
+  std::atomic<size_t> AssignedInRound{0};
+  size_t FinishedInRound = 0;            ///< Guarded by Mutex.
+  uint32_t Round = 0;                    ///< Guarded by Mutex.
+};
+
+/// Allocation context for list sites.
+template <typename T> class ListContext : public AllocationContextBase {
+public:
+  ListContext(std::string Name, ListVariant Initial,
+              std::shared_ptr<const PerformanceModel> Model,
+              SelectionRule Rule, ContextOptions Options = {})
+      : AllocationContextBase(std::move(Name), AbstractionKind::List,
+                              static_cast<unsigned>(Initial),
+                              std::move(Model), std::move(Rule),
+                              Options) {}
+
+  /// Creates a list of the context's current variant; a sample of
+  /// created instances is monitored.
+  List<T> createList() {
+    auto Variant = static_cast<ListVariant>(currentVariantIndex());
+    size_t Slot = acquireMonitorSlot();
+    if (Slot == NoSlot)
+      return List<T>(makeListImpl<T>(Variant));
+    return List<T>(makeListImpl<T>(Variant), this, Slot);
+  }
+};
+
+/// Allocation context for set sites.
+template <typename T> class SetContext : public AllocationContextBase {
+public:
+  SetContext(std::string Name, SetVariant Initial,
+             std::shared_ptr<const PerformanceModel> Model,
+             SelectionRule Rule, ContextOptions Options = {})
+      : AllocationContextBase(std::move(Name), AbstractionKind::Set,
+                              static_cast<unsigned>(Initial),
+                              std::move(Model), std::move(Rule),
+                              Options) {}
+
+  /// Creates a set of the context's current variant.
+  Set<T> createSet() {
+    auto Variant = static_cast<SetVariant>(currentVariantIndex());
+    size_t Slot = acquireMonitorSlot();
+    if (Slot == NoSlot)
+      return Set<T>(makeSetImpl<T>(Variant));
+    return Set<T>(makeSetImpl<T>(Variant), this, Slot);
+  }
+};
+
+/// Allocation context for map sites.
+template <typename K, typename V>
+class MapContext : public AllocationContextBase {
+public:
+  MapContext(std::string Name, MapVariant Initial,
+             std::shared_ptr<const PerformanceModel> Model,
+             SelectionRule Rule, ContextOptions Options = {})
+      : AllocationContextBase(std::move(Name), AbstractionKind::Map,
+                              static_cast<unsigned>(Initial),
+                              std::move(Model), std::move(Rule),
+                              Options) {}
+
+  /// Creates a map of the context's current variant.
+  Map<K, V> createMap() {
+    auto Variant = static_cast<MapVariant>(currentVariantIndex());
+    size_t Slot = acquireMonitorSlot();
+    if (Slot == NoSlot)
+      return Map<K, V>(makeMapImpl<K, V>(Variant));
+    return Map<K, V>(makeMapImpl<K, V>(Variant), this, Slot);
+  }
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_CORE_ALLOCATIONCONTEXT_H

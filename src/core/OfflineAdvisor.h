@@ -1,0 +1,104 @@
+//===- OfflineAdvisor.h - Chameleon-style offline selection -----*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline-selection baseline the paper positions itself against
+/// (§6, Offline Collection Selection — Chameleon, Brainy, Perflint):
+/// record workload profiles during a profiling run, then report a
+/// per-site recommendation the developer applies by hand. Unlike the
+/// online framework, the recommendation is one static choice per site —
+/// it cannot follow phase changes, which is precisely the gap
+/// CollectionSwitch's runtime adaptation closes (§1).
+///
+/// Usage: attach a ProfileAggregator as the sink of the collections of
+/// one allocation site (or run the site's AllocationContext and export
+/// its aggregates), then ask adviseOffline() for the report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_CORE_OFFLINEADVISOR_H
+#define CSWITCH_CORE_OFFLINEADVISOR_H
+
+#include "core/SelectionRule.h"
+#include "core/VariantSelection.h"
+#include "profile/WorkloadProfile.h"
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cswitch {
+
+/// Collects every finished-instance profile of one allocation site
+/// during a profiling run. Thread-safe.
+class ProfileAggregator : public ProfileSink {
+public:
+  ProfileAggregator(std::string Site, AbstractionKind Kind,
+                    unsigned DeclaredVariantIndex);
+
+  void onInstanceFinished(size_t Slot,
+                          const WorkloadProfile &Profile) override;
+
+  const std::string &site() const { return Site; }
+  AbstractionKind abstraction() const { return Kind; }
+  unsigned declaredVariantIndex() const { return DeclaredVariant; }
+
+  /// Snapshot of the collected profiles.
+  std::vector<WorkloadProfile> profiles() const;
+
+  /// Number of finished instances recorded.
+  size_t instanceCount() const;
+
+  /// Caps retained profiles; further instances merge into the last
+  /// bucket so unbounded runs cannot exhaust memory.
+  static constexpr size_t MaxRetainedProfiles = 65536;
+
+private:
+  const std::string Site;
+  const AbstractionKind Kind;
+  const unsigned DeclaredVariant;
+
+  mutable std::mutex Mutex;
+  std::vector<WorkloadProfile> Profiles;
+  size_t Instances = 0;
+};
+
+/// One line of the offline report.
+struct SiteRecommendation {
+  std::string Site;
+  AbstractionKind Kind = AbstractionKind::List;
+  unsigned DeclaredVariantIndex = 0;
+  /// Recommended replacement; empty when the declared variant is already
+  /// the rule-best choice (or no profile data was collected).
+  std::optional<unsigned> RecommendedVariantIndex;
+  /// Predicted total cost of the declared variant, per dimension.
+  std::array<double, NumCostDimensions> DeclaredCost = {};
+  /// Predicted total cost of the recommendation (== DeclaredCost when
+  /// there is none).
+  std::array<double, NumCostDimensions> RecommendedCost = {};
+  size_t InstancesProfiled = 0;
+
+  /// Predicted improvement ratio on \p Dim (1.0 when no recommendation).
+  double improvementRatio(CostDimension Dim) const;
+
+  /// "Site: Declared -> Recommended (time x0.42)" style line.
+  std::string toString() const;
+};
+
+/// Computes per-site recommendations from recorded profiles, using the
+/// same total-cost machinery, selection rule and adaptive-variant gate
+/// the online framework uses (so offline and online agree whenever the
+/// workload is stable — the property the offline/online comparison
+/// rests on). \p WideRangeFactor matches ContextOptions::WideRangeFactor.
+std::vector<SiteRecommendation>
+adviseOffline(const std::vector<const ProfileAggregator *> &Sites,
+              const PerformanceModel &Model, const SelectionRule &Rule,
+              double WideRangeFactor = 4.0);
+
+} // namespace cswitch
+
+#endif // CSWITCH_CORE_OFFLINEADVISOR_H

@@ -1,0 +1,165 @@
+//===- ProfileTrace.cpp - Persisted workload traces -----------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileTrace.h"
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+using namespace cswitch;
+
+namespace {
+
+constexpr const char *TraceHeader = "cswitch-profile-trace v1";
+
+bool parseAbstractionKind(const std::string &Name, AbstractionKind &Out) {
+  for (AbstractionKind Kind :
+       {AbstractionKind::List, AbstractionKind::Set, AbstractionKind::Map}) {
+    if (Name == abstractionKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseVariantOf(AbstractionKind Kind, const std::string &Name,
+                    unsigned &Out) {
+  switch (Kind) {
+  case AbstractionKind::List: {
+    ListVariant V;
+    if (!parseListVariant(Name, V))
+      return false;
+    Out = static_cast<unsigned>(V);
+    return true;
+  }
+  case AbstractionKind::Set: {
+    SetVariant V;
+    if (!parseSetVariant(Name, V))
+      return false;
+    Out = static_cast<unsigned>(V);
+    return true;
+  }
+  case AbstractionKind::Map: {
+    MapVariant V;
+    if (!parseMapVariant(Name, V))
+      return false;
+    Out = static_cast<unsigned>(V);
+    return true;
+  }
+  }
+  return false;
+}
+
+void writeSite(std::ostream &OS, const std::string &Site,
+               AbstractionKind Kind, unsigned Declared,
+               const std::vector<WorkloadProfile> &Profiles) {
+  OS << "site " << abstractionKindName(Kind) << ' '
+     << VariantId{Kind, Declared}.name() << ' ' << Site << '\n';
+  for (const WorkloadProfile &P : Profiles) {
+    OS << "profile " << P.MaxSize;
+    for (OperationKind Op : AllOperationKinds)
+      OS << ' ' << P.count(Op);
+    OS << '\n';
+  }
+}
+
+} // namespace
+
+void cswitch::saveTrace(
+    std::ostream &OS, const std::vector<const ProfileAggregator *> &Sites) {
+  OS << TraceHeader << '\n';
+  for (const ProfileAggregator *Site : Sites)
+    writeSite(OS, Site->site(), Site->abstraction(),
+              Site->declaredVariantIndex(), Site->profiles());
+}
+
+bool cswitch::loadTrace(std::istream &IS, std::vector<SiteTrace> &Out) {
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != TraceHeader)
+    return false;
+
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Keyword;
+    LS >> Keyword;
+    if (Keyword == "site") {
+      std::string KindName, VariantName;
+      if (!(LS >> KindName >> VariantName))
+        return false;
+      SiteTrace Trace;
+      if (!parseAbstractionKind(KindName, Trace.Kind))
+        return false;
+      if (!parseVariantOf(Trace.Kind, VariantName,
+                          Trace.DeclaredVariantIndex))
+        return false;
+      std::getline(LS, Trace.Site);
+      // Strip the single separating space.
+      if (!Trace.Site.empty() && Trace.Site.front() == ' ')
+        Trace.Site.erase(Trace.Site.begin());
+      if (Trace.Site.empty())
+        return false;
+      Out.push_back(std::move(Trace));
+    } else if (Keyword == "profile") {
+      if (Out.empty())
+        return false; // profile before any site line.
+      WorkloadProfile P;
+      if (!(LS >> P.MaxSize))
+        return false;
+      for (OperationKind Op : AllOperationKinds) {
+        uint64_t Count;
+        if (!(LS >> Count))
+          return false;
+        P.record(Op, Count);
+      }
+      Out.back().Profiles.push_back(P);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool cswitch::saveTraceToFile(
+    const std::string &Path,
+    const std::vector<const ProfileAggregator *> &Sites) {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  saveTrace(OS, Sites);
+  return static_cast<bool>(OS);
+}
+
+bool cswitch::loadTraceFromFile(const std::string &Path,
+                                std::vector<SiteTrace> &Out) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return false;
+  return loadTrace(IS, Out);
+}
+
+std::vector<SiteRecommendation>
+cswitch::adviseOffline(const std::vector<SiteTrace> &Sites,
+                       const PerformanceModel &Model,
+                       const SelectionRule &Rule, double WideRangeFactor) {
+  // Rehydrate aggregators and reuse the aggregator-based advisor so the
+  // two paths can never diverge.
+  std::vector<std::unique_ptr<ProfileAggregator>> Owned;
+  std::vector<const ProfileAggregator *> Pointers;
+  Owned.reserve(Sites.size());
+  for (const SiteTrace &Trace : Sites) {
+    auto Agg = std::make_unique<ProfileAggregator>(
+        Trace.Site, Trace.Kind, Trace.DeclaredVariantIndex);
+    for (const WorkloadProfile &P : Trace.Profiles)
+      Agg->onInstanceFinished(0, P);
+    Pointers.push_back(Agg.get());
+    Owned.push_back(std::move(Agg));
+  }
+  return adviseOffline(Pointers, Model, Rule, WideRangeFactor);
+}

@@ -1,0 +1,67 @@
+//===- ProfileTrace.h - Persisted workload traces ---------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A text format for persisting per-site workload profiles, completing
+/// the offline-selection workflow (§6): run the application once with
+/// ProfileAggregators attached, save the trace, and advise later —
+/// possibly on another machine with that machine's performance model —
+/// via the cswitch_advisor tool.
+///
+/// Format (line-oriented):
+///
+///   cswitch-profile-trace v1
+///   site <abstraction> <declared-variant> <site-name>
+///   profile <maxsize> <populate> <contains> <iterate> <index> <middle> <remove>
+///   ...
+///
+/// Every `profile` line belongs to the most recent `site` line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_CORE_PROFILETRACE_H
+#define CSWITCH_CORE_PROFILETRACE_H
+
+#include "core/OfflineAdvisor.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cswitch {
+
+/// One allocation site's recorded trace, as loaded from a trace file.
+struct SiteTrace {
+  std::string Site;
+  AbstractionKind Kind = AbstractionKind::List;
+  unsigned DeclaredVariantIndex = 0;
+  std::vector<WorkloadProfile> Profiles;
+};
+
+/// Writes the sites' collected profiles as a trace document.
+void saveTrace(std::ostream &OS,
+               const std::vector<const ProfileAggregator *> &Sites);
+
+/// Parses a trace document produced by saveTrace. \returns false on
+/// malformed input (leaving \p Out partially filled).
+bool loadTrace(std::istream &IS, std::vector<SiteTrace> &Out);
+
+/// File wrappers; return false on I/O or parse failure.
+bool saveTraceToFile(const std::string &Path,
+                     const std::vector<const ProfileAggregator *> &Sites);
+bool loadTraceFromFile(const std::string &Path,
+                       std::vector<SiteTrace> &Out);
+
+/// Offline advice over loaded traces (same semantics as the aggregator
+/// overload in OfflineAdvisor.h).
+std::vector<SiteRecommendation>
+adviseOffline(const std::vector<SiteTrace> &Sites,
+              const PerformanceModel &Model, const SelectionRule &Rule,
+              double WideRangeFactor = 4.0);
+
+} // namespace cswitch
+
+#endif // CSWITCH_CORE_PROFILETRACE_H

@@ -1,0 +1,39 @@
+//===- Switch.cpp - Top-level CollectionSwitch API ------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Switch.h"
+
+#include "model/DefaultModel.h"
+
+using namespace cswitch;
+
+namespace {
+
+std::mutex &modelMutex() {
+  static std::mutex Mutex;
+  return Mutex;
+}
+
+std::shared_ptr<const PerformanceModel> &modelSlot() {
+  static std::shared_ptr<const PerformanceModel> Slot;
+  return Slot;
+}
+
+} // namespace
+
+std::shared_ptr<const PerformanceModel> Switch::model() {
+  std::lock_guard<std::mutex> Lock(modelMutex());
+  std::shared_ptr<const PerformanceModel> &Slot = modelSlot();
+  if (!Slot)
+    Slot = std::make_shared<const PerformanceModel>(
+        defaultPerformanceModel());
+  return Slot;
+}
+
+void Switch::setModel(std::shared_ptr<const PerformanceModel> Model) {
+  std::lock_guard<std::mutex> Lock(modelMutex());
+  modelSlot() = std::move(Model);
+}

@@ -1,0 +1,99 @@
+//===- Switch.h - Top-level CollectionSwitch API -----------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level convenience API mirroring the paper's usage (Fig. 4):
+///
+/// \code
+///   static auto Ctx = Switch::createListContext<int>(
+///       "MyFile.cpp:42", ListVariant::ArrayList);
+///   auto MyList = Ctx->createList();
+/// \endcode
+///
+/// Contexts created here share the process-wide performance model (the
+/// built-in default until setModel() installs a measured one), default to
+/// the Rtime rule, and are automatically registered with — and on
+/// destruction unregistered from — the global SwitchEngine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_CORE_SWITCH_H
+#define CSWITCH_CORE_SWITCH_H
+
+#include "core/AllocationContext.h"
+#include "core/SwitchEngine.h"
+
+#include <memory>
+
+namespace cswitch {
+
+/// Deleter that unregisters a context from the global engine before
+/// destroying it, so `Switch::create*Context` handles compose safely.
+struct UnregisteringDeleter {
+  void operator()(AllocationContextBase *Context) const {
+    if (!Context)
+      return;
+    SwitchEngine::global().unregisterContext(Context);
+    delete Context;
+  }
+};
+
+/// Owning handle for an engine-registered context.
+template <typename ContextT>
+using ContextHandle = std::unique_ptr<ContextT, UnregisteringDeleter>;
+
+/// Facade over the process-wide CollectionSwitch runtime.
+class Switch {
+public:
+  /// The process-wide performance model consulted by contexts created
+  /// through this facade. Defaults to the built-in analytic model.
+  static std::shared_ptr<const PerformanceModel> model();
+
+  /// Installs \p Model as the process-wide model (e.g. one measured by
+  /// the ModelBuilder for this machine). Existing contexts keep the
+  /// model they were created with.
+  static void setModel(std::shared_ptr<const PerformanceModel> Model);
+
+  /// Creates and registers an adaptive list allocation context.
+  template <typename T>
+  static ContextHandle<ListContext<T>>
+  createListContext(std::string Name, ListVariant Initial,
+                    SelectionRule Rule = SelectionRule::timeRule(),
+                    ContextOptions Options = {}) {
+    ContextHandle<ListContext<T>> Ctx(new ListContext<T>(
+        std::move(Name), Initial, model(), std::move(Rule), Options));
+    SwitchEngine::global().registerContext(Ctx.get());
+    return Ctx;
+  }
+
+  /// Creates and registers an adaptive set allocation context.
+  template <typename T>
+  static ContextHandle<SetContext<T>>
+  createSetContext(std::string Name, SetVariant Initial,
+                   SelectionRule Rule = SelectionRule::timeRule(),
+                   ContextOptions Options = {}) {
+    ContextHandle<SetContext<T>> Ctx(new SetContext<T>(
+        std::move(Name), Initial, model(), std::move(Rule), Options));
+    SwitchEngine::global().registerContext(Ctx.get());
+    return Ctx;
+  }
+
+  /// Creates and registers an adaptive map allocation context.
+  template <typename K, typename V>
+  static ContextHandle<MapContext<K, V>>
+  createMapContext(std::string Name, MapVariant Initial,
+                   SelectionRule Rule = SelectionRule::timeRule(),
+                   ContextOptions Options = {}) {
+    ContextHandle<MapContext<K, V>> Ctx(new MapContext<K, V>(
+        std::move(Name), Initial, model(), std::move(Rule), Options));
+    SwitchEngine::global().registerContext(Ctx.get());
+    return Ctx;
+  }
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_CORE_SWITCH_H

@@ -1,0 +1,96 @@
+//===- SwitchEngine.cpp - Context registry and evaluation thread ---------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SwitchEngine.h"
+
+#include <algorithm>
+
+using namespace cswitch;
+
+SwitchEngine &SwitchEngine::global() {
+  static SwitchEngine Instance;
+  return Instance;
+}
+
+SwitchEngine::~SwitchEngine() { stop(); }
+
+void SwitchEngine::registerContext(AllocationContextBase *Context) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Contexts.push_back(Context);
+}
+
+void SwitchEngine::unregisterContext(AllocationContextBase *Context) {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  Contexts.erase(std::remove(Contexts.begin(), Contexts.end(), Context),
+                 Contexts.end());
+}
+
+size_t SwitchEngine::evaluateAll() {
+  // Snapshot under the lock, evaluate outside it: context evaluation can
+  // be slow and must not block registration from other threads.
+  std::vector<AllocationContextBase *> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMutex);
+    Snapshot = Contexts;
+  }
+  size_t Transitions = 0;
+  for (AllocationContextBase *Context : Snapshot)
+    if (Context->evaluate())
+      ++Transitions;
+  return Transitions;
+}
+
+void SwitchEngine::start(std::chrono::milliseconds MonitoringRate) {
+  std::lock_guard<std::mutex> Lock(ThreadMutex);
+  if (Running)
+    return;
+  StopRequested = false;
+  Running = true;
+  Worker = std::thread([this, MonitoringRate] { threadMain(MonitoringRate); });
+}
+
+void SwitchEngine::stop() {
+  {
+    std::lock_guard<std::mutex> Lock(ThreadMutex);
+    if (!Running)
+      return;
+    StopRequested = true;
+  }
+  StopCondition.notify_all();
+  Worker.join();
+  std::lock_guard<std::mutex> Lock(ThreadMutex);
+  Running = false;
+}
+
+bool SwitchEngine::isRunning() const {
+  std::lock_guard<std::mutex> Lock(ThreadMutex);
+  return Running;
+}
+
+void SwitchEngine::threadMain(std::chrono::milliseconds Rate) {
+  std::unique_lock<std::mutex> Lock(ThreadMutex);
+  while (!StopRequested) {
+    if (StopCondition.wait_for(Lock, Rate,
+                               [this] { return StopRequested; }))
+      break;
+    Lock.unlock();
+    evaluateAll();
+    Lock.lock();
+  }
+}
+
+size_t SwitchEngine::contextCount() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  return Contexts.size();
+}
+
+uint64_t SwitchEngine::totalSwitches() const {
+  std::lock_guard<std::mutex> Lock(RegistryMutex);
+  uint64_t Total = 0;
+  for (const AllocationContextBase *Context : Contexts)
+    Total += Context->switchCount();
+  return Total;
+}

@@ -1,0 +1,58 @@
+//===- VariantSelection.cpp - The variant selection algorithm ------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VariantSelection.h"
+
+#include <cassert>
+
+using namespace cswitch;
+
+std::optional<unsigned>
+cswitch::selectVariant(const std::vector<VariantCosts> &Costs,
+                       unsigned Current, const SelectionRule &Rule) {
+  assert(Current < Costs.size() && "current variant out of range");
+  assert(!Rule.Criteria.empty() && "rule without criteria");
+
+  const VariantCosts &CurrentCosts = Costs[Current];
+  CostDimension Primary = Rule.primaryDimension();
+
+  std::optional<unsigned> Best;
+  double BestPrimary = 0.0;
+  for (unsigned V = 0, E = static_cast<unsigned>(Costs.size()); V != E;
+       ++V) {
+    if (V == Current || !Costs[V].Eligible)
+      continue;
+
+    bool Satisfied = true;
+    for (const Criterion &C : Rule.Criteria) {
+      double Cur = CurrentCosts.of(C.Dimension);
+      double Cand = Costs[V].of(C.Dimension);
+      if (Cur <= 0.0) {
+        // Nothing to improve on: a strict-improvement criterion
+        // (threshold < 1) can never hold; a penalty cap holds only for
+        // candidates that are also cost-free.
+        if (C.Threshold < 1.0 || Cand > 0.0) {
+          Satisfied = false;
+          break;
+        }
+        continue;
+      }
+      if (Cand / Cur > C.Threshold) {
+        Satisfied = false;
+        break;
+      }
+    }
+    if (!Satisfied)
+      continue;
+
+    double Primal = Costs[V].of(Primary);
+    if (!Best || Primal < BestPrimary) {
+      Best = V;
+      BestPrimary = Primal;
+    }
+  }
+  return Best;
+}

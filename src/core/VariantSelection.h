@@ -1,0 +1,57 @@
+//===- VariantSelection.h - The variant selection algorithm -----*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The selection algorithm of §3.1.1–3.1.2, factored out of the templated
+/// allocation contexts so it is testable in isolation: given the total
+/// costs TC_D(V) of every candidate variant in every cost dimension and a
+/// selection rule, pick the replacement variant (if any).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_CORE_VARIANTSELECTION_H
+#define CSWITCH_CORE_VARIANTSELECTION_H
+
+#include "core/SelectionRule.h"
+
+#include <array>
+#include <optional>
+#include <vector>
+
+namespace cswitch {
+
+/// Total costs of one candidate variant, indexed by CostDimension.
+struct VariantCosts {
+  std::array<double, NumCostDimensions> Total = {};
+  /// False excludes the variant from selection (e.g. an adaptive variant
+  /// gated out because instance sizes were not widely ranging, §3.2).
+  bool Eligible = true;
+
+  double of(CostDimension Dim) const {
+    return Total[static_cast<size_t>(Dim)];
+  }
+};
+
+/// Selects a replacement variant.
+///
+/// \p Costs is indexed by variant (enum order); \p Current is the index
+/// of the variant currently instantiated. A candidate qualifies if it is
+/// eligible and every criterion ratio TC_D(cand)/TC_D(current) is within
+/// the rule's threshold; among qualifying candidates the one with the
+/// lowest cost in the rule's primary dimension wins (§3.1.2: "largest
+/// improvement on the first criterion"). \returns the winning variant
+/// index, or std::nullopt to keep the current variant.
+///
+/// Zero current cost in a criterion dimension means nothing can improve
+/// on it; such criteria only pass for candidates that are also free in
+/// that dimension when the threshold permits no penalty.
+std::optional<unsigned> selectVariant(const std::vector<VariantCosts> &Costs,
+                                      unsigned Current,
+                                      const SelectionRule &Rule);
+
+} // namespace cswitch
+
+#endif // CSWITCH_CORE_VARIANTSELECTION_H

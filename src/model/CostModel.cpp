@@ -1,0 +1,186 @@
+//===- CostModel.cpp - Per-variant operation cost models -----------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/CostModel.h"
+
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+using namespace cswitch;
+
+const char *cswitch::costDimensionName(CostDimension Dim) {
+  switch (Dim) {
+  case CostDimension::Time:
+    return "time";
+  case CostDimension::Alloc:
+    return "alloc";
+  case CostDimension::Energy:
+    return "energy";
+  }
+  return "unknown";
+}
+
+bool cswitch::parseCostDimension(const std::string &Name,
+                                 CostDimension &Out) {
+  for (CostDimension Dim : AllCostDimensions) {
+    if (Name == costDimensionName(Dim)) {
+      Out = Dim;
+      return true;
+    }
+  }
+  return false;
+}
+
+PerformanceModel::PerformanceModel() {
+  size_t Offset = 0;
+  for (size_t A = 0; A != NumAbstractionKinds; ++A) {
+    AbstractionOffsets[A] = Offset;
+    Offset += numVariantsOf(static_cast<AbstractionKind>(A)) *
+              NumOperationKinds * NumCostDimensions;
+  }
+  Costs.resize(Offset);
+}
+
+size_t PerformanceModel::indexOf(VariantId Variant, OperationKind Op,
+                                 CostDimension Dim) const {
+  size_t A = static_cast<size_t>(Variant.Abstraction);
+  assert(Variant.Index < numVariantsOf(Variant.Abstraction) &&
+         "variant index out of range");
+  return AbstractionOffsets[A] +
+         (Variant.Index * NumOperationKinds + static_cast<size_t>(Op)) *
+             NumCostDimensions +
+         static_cast<size_t>(Dim);
+}
+
+void PerformanceModel::setCost(VariantId Variant, OperationKind Op,
+                               CostDimension Dim, Polynomial Cost) {
+  Costs[indexOf(Variant, Op, Dim)] = std::move(Cost);
+}
+
+const Polynomial &PerformanceModel::cost(VariantId Variant, OperationKind Op,
+                                         CostDimension Dim) const {
+  return Costs[indexOf(Variant, Op, Dim)];
+}
+
+double PerformanceModel::operationCost(VariantId Variant, OperationKind Op,
+                                       CostDimension Dim,
+                                       double Size) const {
+  return cost(Variant, Op, Dim).evaluateNonNegative(Size);
+}
+
+double PerformanceModel::totalCost(VariantId Variant,
+                                   const WorkloadProfile &Profile,
+                                   CostDimension Dim) const {
+  double Size = static_cast<double>(Profile.MaxSize);
+  double Total = 0.0;
+  for (OperationKind Op : AllOperationKinds) {
+    uint64_t N = Profile.count(Op);
+    if (N == 0)
+      continue;
+    Total += static_cast<double>(N) * operationCost(Variant, Op, Dim, Size);
+  }
+  return Total;
+}
+
+bool PerformanceModel::hasVariant(VariantId Variant) const {
+  for (OperationKind Op : AllOperationKinds)
+    for (CostDimension Dim : AllCostDimensions)
+      if (!cost(Variant, Op, Dim).coefficients().empty())
+        return true;
+  return false;
+}
+
+void PerformanceModel::save(std::ostream &OS) const {
+  OS << "cswitch-performance-model v1\n";
+  OS.precision(17);
+  for (size_t A = 0; A != NumAbstractionKinds; ++A) {
+    auto Kind = static_cast<AbstractionKind>(A);
+    for (size_t V = 0, E = numVariantsOf(Kind); V != E; ++V) {
+      VariantId Id{Kind, static_cast<unsigned>(V)};
+      for (OperationKind Op : AllOperationKinds) {
+        for (CostDimension Dim : AllCostDimensions) {
+          const Polynomial &P = cost(Id, Op, Dim);
+          if (P.coefficients().empty())
+            continue;
+          OS << abstractionKindName(Kind) << ' ' << Id.name() << ' '
+             << operationKindName(Op) << ' ' << costDimensionName(Dim);
+          for (double C : P.coefficients())
+            OS << ' ' << C;
+          OS << '\n';
+        }
+      }
+    }
+  }
+}
+
+bool PerformanceModel::load(std::istream &IS) {
+  std::string Header;
+  if (!std::getline(IS, Header) ||
+      Header != "cswitch-performance-model v1")
+    return false;
+
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream LS(Line);
+    std::string Abstraction, VariantName, OpName, DimName;
+    if (!(LS >> Abstraction >> VariantName >> OpName >> DimName))
+      return false;
+
+    VariantId Id{AbstractionKind::List, 0};
+    if (Abstraction == "list") {
+      ListVariant V;
+      if (!parseListVariant(VariantName, V))
+        return false;
+      Id = VariantId::of(V);
+    } else if (Abstraction == "set") {
+      SetVariant V;
+      if (!parseSetVariant(VariantName, V))
+        return false;
+      Id = VariantId::of(V);
+    } else if (Abstraction == "map") {
+      MapVariant V;
+      if (!parseMapVariant(VariantName, V))
+        return false;
+      Id = VariantId::of(V);
+    } else {
+      return false;
+    }
+
+    OperationKind Op;
+    if (!parseOperationKind(OpName.c_str(), Op))
+      return false;
+    CostDimension Dim;
+    if (!parseCostDimension(DimName, Dim))
+      return false;
+
+    std::vector<double> Coeffs;
+    double C;
+    while (LS >> C)
+      Coeffs.push_back(C);
+    if (Coeffs.empty())
+      return false;
+    setCost(Id, Op, Dim, Polynomial(std::move(Coeffs)));
+  }
+  return true;
+}
+
+bool PerformanceModel::saveToFile(const std::string &Path) const {
+  std::ofstream OS(Path);
+  if (!OS)
+    return false;
+  save(OS);
+  return static_cast<bool>(OS);
+}
+
+bool PerformanceModel::loadFromFile(const std::string &Path) {
+  std::ifstream IS(Path);
+  if (!IS)
+    return false;
+  return load(IS);
+}

@@ -1,0 +1,116 @@
+//===- CostModel.h - Per-variant operation cost models ----------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The performance model of the paper (§3.1.1, §4.1): for every cost
+/// dimension D, collection variant V and critical operation op, a cubic
+/// polynomial cost_op,V(s) of the maximum collection size s. The model
+/// also implements the paper's total-cost metric
+///
+///   tc_W(V) = sum_op N_op,W * cost_op,V(s_W)
+///
+/// over a workload profile W, which allocation contexts aggregate over
+/// all monitored instances to obtain TC_D(V).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_MODEL_COSTMODEL_H
+#define CSWITCH_MODEL_COSTMODEL_H
+
+#include "collections/Variants.h"
+#include "profile/WorkloadProfile.h"
+#include "support/Polynomial.h"
+
+#include <array>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cswitch {
+
+/// Cost dimensions the framework optimizes (paper §3.1.1: "multiple cost
+/// dimensions such as execution time and memory overhead"; energy is the
+/// paper's §7 future-work dimension, realized here as a derived model —
+/// see EnergyModel.h).
+enum class CostDimension : unsigned {
+  Time,   ///< Nanoseconds per operation.
+  Alloc,  ///< Bytes allocated per operation.
+  Energy, ///< Nanojoules per operation (derived; EnergyModel.h).
+};
+
+/// Number of CostDimension values.
+constexpr size_t NumCostDimensions = 3;
+
+/// All cost dimensions, in enum order.
+constexpr std::array<CostDimension, NumCostDimensions> AllCostDimensions = {
+    CostDimension::Time, CostDimension::Alloc, CostDimension::Energy};
+
+/// Returns "time", "alloc" or "energy".
+const char *costDimensionName(CostDimension Dim);
+
+/// Parses a cost dimension name; returns false if unknown.
+bool parseCostDimension(const std::string &Name, CostDimension &Out);
+
+/// Hardware-specific cost polynomials for every (variant, operation,
+/// dimension) triple.
+///
+/// Built either by the ModelBuilder (benchmarking the target machine,
+/// paper §4.1) or loaded from a serialized model file; a built-in default
+/// model ships with the library (DefaultModel.h) so the framework works
+/// out of the box.
+class PerformanceModel {
+public:
+  PerformanceModel();
+
+  /// Installs the cost polynomial for one triple.
+  void setCost(VariantId Variant, OperationKind Op, CostDimension Dim,
+               Polynomial Cost);
+
+  /// Returns the cost polynomial of one triple (zero polynomial if never
+  /// set).
+  const Polynomial &cost(VariantId Variant, OperationKind Op,
+                         CostDimension Dim) const;
+
+  /// Predicted cost of one \p Op execution on a collection of maximum
+  /// size \p Size (clamped to be non-negative).
+  double operationCost(VariantId Variant, OperationKind Op,
+                       CostDimension Dim, double Size) const;
+
+  /// The paper's tc_W(V): predicted total cost of executing the workload
+  /// \p Profile on variant \p Variant, using the profile's maximum size
+  /// as the size argument of every operation model (a deliberate
+  /// overestimate, §3.1.1).
+  double totalCost(VariantId Variant, const WorkloadProfile &Profile,
+                   CostDimension Dim) const;
+
+  /// True if any polynomial is set for \p Variant.
+  bool hasVariant(VariantId Variant) const;
+
+  /// Serializes the model as a line-oriented text document.
+  void save(std::ostream &OS) const;
+
+  /// Parses a model produced by save(). \returns false (and leaves the
+  /// model partially updated) on malformed input.
+  bool load(std::istream &IS);
+
+  /// Convenience wrappers over save()/load() for files. Return false on
+  /// I/O or parse failure.
+  bool saveToFile(const std::string &Path) const;
+  bool loadFromFile(const std::string &Path);
+
+private:
+  size_t indexOf(VariantId Variant, OperationKind Op,
+                 CostDimension Dim) const;
+
+  /// Dense storage: abstraction-major, then variant, operation, dimension.
+  std::vector<Polynomial> Costs;
+  /// Start offset of each abstraction in Costs.
+  std::array<size_t, NumAbstractionKinds> AbstractionOffsets;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_MODEL_COSTMODEL_H

@@ -1,0 +1,31 @@
+//===- DefaultModel.h - Built-in fallback performance model -----*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A built-in performance model with analytic cost estimates for every
+/// variant, so the framework selects sensibly out of the box and unit
+/// tests are deterministic. The paper's position (§4.1) is that the model
+/// must be rebuilt per target machine — run `bench/model_builder` to
+/// regenerate and persist a measured model; this file only encodes the
+/// *relative structure* every machine shares (array scans are linear and
+/// cheap per element, chained tables pay pointer chasing, open tables are
+/// constant-time, compact tables trade lookup speed for bytes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_MODEL_DEFAULTMODEL_H
+#define CSWITCH_MODEL_DEFAULTMODEL_H
+
+#include "model/CostModel.h"
+
+namespace cswitch {
+
+/// Returns the built-in analytic performance model.
+PerformanceModel defaultPerformanceModel();
+
+} // namespace cswitch
+
+#endif // CSWITCH_MODEL_DEFAULTMODEL_H

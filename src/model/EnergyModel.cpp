@@ -1,0 +1,29 @@
+//===- EnergyModel.cpp - Derived energy cost dimension --------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/EnergyModel.h"
+
+using namespace cswitch;
+
+void cswitch::deriveEnergyModel(PerformanceModel &Model,
+                                const EnergyCoefficients &Coefficients) {
+  for (size_t A = 0; A != NumAbstractionKinds; ++A) {
+    auto Kind = static_cast<AbstractionKind>(A);
+    for (size_t V = 0, E = numVariantsOf(Kind); V != E; ++V) {
+      VariantId Id{Kind, static_cast<unsigned>(V)};
+      for (OperationKind Op : AllOperationKinds) {
+        const Polynomial &Time = Model.cost(Id, Op, CostDimension::Time);
+        const Polynomial &Alloc = Model.cost(Id, Op, CostDimension::Alloc);
+        if (Time.coefficients().empty() && Alloc.coefficients().empty())
+          continue;
+        Polynomial Energy =
+            Time.scaled(Coefficients.NanojoulesPerNanosecond) +
+            Alloc.scaled(Coefficients.NanojoulesPerByte);
+        Model.setCost(Id, Op, CostDimension::Energy, std::move(Energy));
+      }
+    }
+  }
+}

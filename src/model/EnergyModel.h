@@ -1,0 +1,53 @@
+//===- EnergyModel.h - Derived energy cost dimension ------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The energy cost dimension — the paper's §7 future-work item ("expand
+/// the performance model ... to other cost dimensions such as energy
+/// usage"), building on the energy-profiling line of work the paper cites
+/// (Hasan et al., ICSE'16).
+///
+/// Substitution note (DESIGN.md §1): without RAPL or other hardware
+/// energy counters, the energy model is *derived* from the measured
+/// time and allocation models with a linear power model
+///
+///   energy_op,V(s) = P_core · time_op,V(s) + E_byte · alloc_op,V(s)
+///
+/// which captures the first-order physics — active-core power burns
+/// joules proportional to runtime, and memory traffic costs a roughly
+/// fixed energy per byte moved. The default coefficients correspond to
+/// a ~3.5 W active core and ~20 pJ per allocated byte (DRAM write +
+/// allocator bookkeeping), so energy mostly tracks time but penalizes
+/// allocation-churn-heavy variants — exactly the trade-off an Renergy
+/// rule must navigate differently from Rtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_MODEL_ENERGYMODEL_H
+#define CSWITCH_MODEL_ENERGYMODEL_H
+
+#include "model/CostModel.h"
+
+namespace cswitch {
+
+/// Coefficients of the linear energy model.
+struct EnergyCoefficients {
+  /// Nanojoules per nanosecond of execution (= watts of active power).
+  double NanojoulesPerNanosecond = 3.5;
+  /// Nanojoules per allocated byte (memory traffic + allocator cost).
+  double NanojoulesPerByte = 0.02;
+};
+
+/// Fills the Energy dimension of \p Model from its Time and Alloc
+/// dimensions: energy = P·time + E·alloc for every (variant, operation).
+/// Existing energy polynomials are overwritten; triples with neither a
+/// time nor an alloc model stay empty.
+void deriveEnergyModel(PerformanceModel &Model,
+                       const EnergyCoefficients &Coefficients = {});
+
+} // namespace cswitch
+
+#endif // CSWITCH_MODEL_ENERGYMODEL_H

@@ -1,0 +1,83 @@
+//===- ThresholdAnalyzer.cpp - Adaptive transition thresholds ------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/ThresholdAnalyzer.h"
+
+#include <cassert>
+
+using namespace cswitch;
+
+VariantId ThresholdAnalyzer::arrayVariantOf(AbstractionKind Kind) {
+  switch (Kind) {
+  case AbstractionKind::List:
+    return VariantId::of(ListVariant::ArrayList);
+  case AbstractionKind::Set:
+    return VariantId::of(SetVariant::ArraySet);
+  case AbstractionKind::Map:
+    return VariantId::of(MapVariant::ArrayMap);
+  }
+  assert(false && "unknown abstraction kind");
+  return VariantId::of(ListVariant::ArrayList);
+}
+
+VariantId ThresholdAnalyzer::hashVariantOf(AbstractionKind Kind) {
+  switch (Kind) {
+  case AbstractionKind::List:
+    // AdaptiveList transitions array -> hash-array (paper Table 1).
+    return VariantId::of(ListVariant::HashArrayList);
+  case AbstractionKind::Set:
+    // AdaptiveSet transitions array -> openhash.
+    return VariantId::of(SetVariant::OpenHashSet);
+  case AbstractionKind::Map:
+    return VariantId::of(MapVariant::OpenHashMap);
+  }
+  assert(false && "unknown abstraction kind");
+  return VariantId::of(ListVariant::HashArrayList);
+}
+
+double ThresholdAnalyzer::benefitAt(AbstractionKind Kind,
+                                    size_t Size) const {
+  VariantId Array = arrayVariantOf(Kind);
+  VariantId Hash = hashVariantOf(Kind);
+  double N = static_cast<double>(Size);
+
+  double LookupPenalty =
+      N * (Model.operationCost(Array, OperationKind::Contains,
+                               CostDimension::Time, N) -
+           Model.operationCost(Hash, OperationKind::Contains,
+                               CostDimension::Time, N));
+  double TransitionCost =
+      N * Model.operationCost(Hash, OperationKind::Populate,
+                              CostDimension::Time, N);
+  if (TransitionCost <= 0.0)
+    return 0.0;
+  return (LookupPenalty - TransitionCost) / TransitionCost;
+}
+
+std::vector<ThresholdCurvePoint>
+ThresholdAnalyzer::benefitCurve(AbstractionKind Kind, size_t MaxSize) const {
+  std::vector<ThresholdCurvePoint> Curve;
+  Curve.reserve(MaxSize);
+  for (size_t Size = 1; Size <= MaxSize; ++Size)
+    Curve.push_back({Size, benefitAt(Kind, Size)});
+  return Curve;
+}
+
+size_t ThresholdAnalyzer::computeThreshold(AbstractionKind Kind,
+                                           size_t MaxSize) const {
+  for (size_t Size = 1; Size <= MaxSize; ++Size)
+    if (benefitAt(Kind, Size) >= 0.0)
+      return Size;
+  return MaxSize;
+}
+
+AdaptiveThresholds ThresholdAnalyzer::computeAll(size_t MaxSize) const {
+  AdaptiveThresholds T;
+  T.List = computeThreshold(AbstractionKind::List, MaxSize);
+  T.Set = computeThreshold(AbstractionKind::Set, MaxSize);
+  T.Map = computeThreshold(AbstractionKind::Map, MaxSize);
+  return T;
+}

@@ -1,0 +1,72 @@
+//===- ThresholdAnalyzer.h - Adaptive transition thresholds -----*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the transition thresholds of the adaptive collections (paper
+/// §3.2, Fig. 3, Table 1). Following the paper's method, the threshold is
+/// the collection size for which the cost of transitioning to a hash
+/// representation is surpassed by the penalty of performing the lookup
+/// operation for every element on the array representation:
+///
+///   benefit(n) = [ n·(containsArray(n) − containsHash(n))
+///                  − n·populateHash(n) ] / (n·populateHash(n))
+///
+/// benefit starts at −1 (pure transition cost, no savings) and crosses
+/// zero at the optimal threshold — the curve of Fig. 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_MODEL_THRESHOLDANALYZER_H
+#define CSWITCH_MODEL_THRESHOLDANALYZER_H
+
+#include "collections/AdaptiveConfig.h"
+#include "collections/Variants.h"
+#include "model/CostModel.h"
+
+#include <vector>
+
+namespace cswitch {
+
+/// One point of the benefit-versus-size curve (Fig. 3).
+struct ThresholdCurvePoint {
+  size_t Size;
+  double Benefit;
+};
+
+/// Derives adaptive transition thresholds from a performance model.
+class ThresholdAnalyzer {
+public:
+  explicit ThresholdAnalyzer(const PerformanceModel &Model) : Model(Model) {}
+
+  /// Benefit of the array → hash transition at size \p Size for the given
+  /// abstraction (the y-value of Fig. 3).
+  double benefitAt(AbstractionKind Kind, size_t Size) const;
+
+  /// The benefit curve for sizes 1..\p MaxSize (Fig. 3 data).
+  std::vector<ThresholdCurvePoint> benefitCurve(AbstractionKind Kind,
+                                                size_t MaxSize) const;
+
+  /// The smallest size whose benefit is non-negative; returns \p MaxSize
+  /// if the transition never pays off within the scanned range.
+  size_t computeThreshold(AbstractionKind Kind,
+                          size_t MaxSize = 1024) const;
+
+  /// Thresholds for all three abstractions (Table 1), ready to install
+  /// into AdaptiveConfig.
+  AdaptiveThresholds computeAll(size_t MaxSize = 1024) const;
+
+private:
+  /// The array-representation and hash-representation variants the
+  /// adaptive collection of \p Kind switches between.
+  static VariantId arrayVariantOf(AbstractionKind Kind);
+  static VariantId hashVariantOf(AbstractionKind Kind);
+
+  const PerformanceModel &Model;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_MODEL_THRESHOLDANALYZER_H

@@ -1,0 +1,39 @@
+//===- OperationKind.cpp - Critical collection operations ----------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/OperationKind.h"
+
+#include <cstring>
+
+using namespace cswitch;
+
+const char *cswitch::operationKindName(OperationKind Kind) {
+  switch (Kind) {
+  case OperationKind::Populate:
+    return "populate";
+  case OperationKind::Contains:
+    return "contains";
+  case OperationKind::Iterate:
+    return "iterate";
+  case OperationKind::IndexAccess:
+    return "index";
+  case OperationKind::Middle:
+    return "middle";
+  case OperationKind::Remove:
+    return "remove";
+  }
+  return "unknown";
+}
+
+bool cswitch::parseOperationKind(const char *Name, OperationKind &Out) {
+  for (OperationKind Kind : AllOperationKinds) {
+    if (std::strcmp(Name, operationKindName(Kind)) == 0) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,31 @@
+//===- WorkloadProfile.cpp - Per-instance workload data ------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/WorkloadProfile.h"
+
+#include <sstream>
+
+using namespace cswitch;
+
+ProfileSink::~ProfileSink() = default;
+
+std::string WorkloadProfile::toString() const {
+  std::ostringstream OS;
+  bool First = true;
+  for (OperationKind Kind : AllOperationKinds) {
+    uint64_t N = count(Kind);
+    if (N == 0)
+      continue;
+    if (!First)
+      OS << ' ';
+    OS << operationKindName(Kind) << ':' << N;
+    First = false;
+  }
+  if (!First)
+    OS << ' ';
+  OS << "max:" << MaxSize;
+  return OS.str();
+}

@@ -1,0 +1,93 @@
+//===- WorkloadProfile.h - Per-instance workload data ----------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload profile of one monitored collection instance (paper §3.1):
+/// the number of executed critical operations per kind, and the maximum
+/// size the collection reached during its lifetime. Profiles are cheap
+/// plain data — they are updated on every operation of a monitored
+/// instance, so no indirection or synchronization is allowed here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_PROFILE_WORKLOADPROFILE_H
+#define CSWITCH_PROFILE_WORKLOADPROFILE_H
+
+#include "profile/OperationKind.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cswitch {
+
+/// Operation counters and maximum size of one collection instance.
+struct WorkloadProfile {
+  std::array<uint64_t, NumOperationKinds> Counts = {};
+  uint64_t MaxSize = 0;
+
+  /// Increments the counter of \p Kind.
+  void record(OperationKind Kind, uint64_t N = 1) {
+    Counts[static_cast<size_t>(Kind)] += N;
+  }
+
+  /// Updates the maximum observed size.
+  void recordSize(uint64_t Size) {
+    if (Size > MaxSize)
+      MaxSize = Size;
+  }
+
+  /// Returns the counter of \p Kind.
+  uint64_t count(OperationKind Kind) const {
+    return Counts[static_cast<size_t>(Kind)];
+  }
+
+  /// Total operations of all kinds.
+  uint64_t totalOperations() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Counts)
+      Sum += C;
+    return Sum;
+  }
+
+  /// Accumulates \p Other into this profile (MaxSize takes the max).
+  void merge(const WorkloadProfile &Other) {
+    for (size_t I = 0; I != NumOperationKinds; ++I)
+      Counts[I] += Other.Counts[I];
+    recordSize(Other.MaxSize);
+  }
+
+  /// Resets all counters and the maximum size.
+  void reset() {
+    Counts = {};
+    MaxSize = 0;
+  }
+
+  bool operator==(const WorkloadProfile &Other) const = default;
+
+  /// Debug rendering, e.g. "populate:100 contains:5 max:100".
+  std::string toString() const;
+};
+
+/// Destination for finished-instance profiles.
+///
+/// Allocation contexts implement this; monitored facades call
+/// onInstanceFinished() from their destructor (the C++ replacement for the
+/// paper's WeakReference lifecycle detection — see DESIGN.md §1).
+class ProfileSink {
+public:
+  virtual ~ProfileSink();
+
+  /// Called exactly once per monitored instance when it finishes its
+  /// life-cycle. \p Slot is the monitoring slot the instance was assigned
+  /// at creation. Must be thread-safe.
+  virtual void onInstanceFinished(size_t Slot,
+                                  const WorkloadProfile &Profile) = 0;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_PROFILE_WORKLOADPROFILE_H

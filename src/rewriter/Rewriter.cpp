@@ -1,0 +1,255 @@
+//===- Rewriter.cpp - Allocation-site source rewriter ---------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "rewriter/Rewriter.h"
+
+#include <cassert>
+#include <cctype>
+#include <sstream>
+
+using namespace cswitch;
+
+namespace {
+
+/// A minimal C++ token: just enough structure for declaration matching.
+struct Token {
+  enum KindType { Identifier, Punct, End } Kind;
+  std::string Text;   ///< Identifier text or single punct character.
+  size_t Offset;      ///< Byte offset in the source.
+  size_t Line;        ///< 1-based line.
+};
+
+/// Lexes C++ source into identifiers and punctuation, skipping
+/// whitespace, comments, string/char literals and numbers — the regions
+/// a source rewriter must never match inside.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  Token next() {
+    skipIgnored();
+    if (Pos >= Src.size())
+      return {Token::End, "", Pos, Line};
+    char C = Src[Pos];
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = Pos;
+      while (Pos < Src.size() &&
+             (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+              Src[Pos] == '_'))
+        ++Pos;
+      return {Token::Identifier, Src.substr(Start, Pos - Start), Start,
+              Line};
+    }
+    ++Pos;
+    return {Token::Punct, std::string(1, C), Pos - 1, Line};
+  }
+
+private:
+  void skipIgnored() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '/' && Pos + 1 < Src.size() &&
+                 Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          ++Pos;
+      } else if (C == '/' && Pos + 1 < Src.size() &&
+                 Src[Pos + 1] == '*') {
+        Pos += 2;
+        while (Pos + 1 < Src.size() &&
+               !(Src[Pos] == '*' && Src[Pos + 1] == '/')) {
+          if (Src[Pos] == '\n')
+            ++Line;
+          ++Pos;
+        }
+        Pos = Pos + 2 <= Src.size() ? Pos + 2 : Src.size();
+      } else if (C == '"' || C == '\'') {
+        char Quote = C;
+        ++Pos;
+        while (Pos < Src.size() && Src[Pos] != Quote) {
+          if (Src[Pos] == '\\')
+            ++Pos;
+          if (Pos < Src.size() && Src[Pos] == '\n')
+            ++Line;
+          ++Pos;
+        }
+        if (Pos < Src.size())
+          ++Pos; // closing quote
+      } else if (std::isdigit(static_cast<unsigned char>(C))) {
+        while (Pos < Src.size() &&
+               (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '.' || Src[Pos] == '\''))
+          ++Pos;
+      } else {
+        return;
+      }
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  size_t Line = 1;
+};
+
+/// How one std container maps into the framework.
+struct ContainerMapping {
+  const char *StdName;       ///< e.g. "vector".
+  AbstractionKind Abstraction;
+  const char *DefaultVariant; ///< Default variant enum spelling.
+  const char *CreateFn;       ///< Switch::create*Context member.
+  const char *CreateMethod;   ///< Context create method.
+};
+
+const ContainerMapping Mappings[] = {
+    {"vector", AbstractionKind::List, "ListVariant::ArrayList",
+     "createListContext", "createList"},
+    {"unordered_set", AbstractionKind::Set,
+     "SetVariant::ChainedHashSet", "createSetContext", "createSet"},
+    {"set", AbstractionKind::Set, "SetVariant::TreeSet",
+     "createSetContext", "createSet"},
+    {"unordered_map", AbstractionKind::Map,
+     "MapVariant::ChainedHashMap", "createMapContext", "createMap"},
+    {"map", AbstractionKind::Map, "MapVariant::TreeMap",
+     "createMapContext", "createMap"},
+};
+
+const ContainerMapping *findMapping(const std::string &Name) {
+  for (const ContainerMapping &M : Mappings)
+    if (Name == M.StdName)
+      return &M;
+  return nullptr;
+}
+
+/// A matched candidate declaration (byte range [Begin, End)).
+struct Candidate {
+  RewriteAction Action;
+  size_t Begin;
+  size_t End;
+  const ContainerMapping *Mapping;
+};
+
+std::string buildReplacement(const Candidate &C) {
+  std::ostringstream OS;
+  OS << "static auto " << C.Action.VariableName
+     << "_Ctx = cswitch::Switch::" << C.Mapping->CreateFn << "<"
+     << C.Action.ElementText << ">(\"" << C.Action.SiteName
+     << "\", cswitch::" << C.Mapping->DefaultVariant << "); auto "
+     << C.Action.VariableName << " = " << C.Action.VariableName
+     << "_Ctx->" << C.Mapping->CreateMethod << "();";
+  return OS.str();
+}
+
+} // namespace
+
+RewriteResult cswitch::rewriteSource(const std::string &Source,
+                                     const RewriterOptions &Options) {
+  RewriteResult Result;
+  std::vector<Candidate> Candidates;
+
+  Lexer Lex(Source);
+  Token Tok = Lex.next();
+  auto advance = [&] { Tok = Lex.next(); };
+
+  while (Tok.Kind != Token::End) {
+    // Match: `std` `::` <container> `<` ... `>` <name> `;`
+    if (!(Tok.Kind == Token::Identifier && Tok.Text == "std")) {
+      advance();
+      continue;
+    }
+    size_t DeclBegin = Tok.Offset;
+    size_t DeclLine = Tok.Line;
+    advance();
+    if (!(Tok.Kind == Token::Punct && Tok.Text == ":"))
+      continue;
+    advance();
+    if (!(Tok.Kind == Token::Punct && Tok.Text == ":"))
+      continue;
+    advance();
+    if (Tok.Kind != Token::Identifier)
+      continue;
+    const ContainerMapping *Mapping = findMapping(Tok.Text);
+    if (!Mapping) {
+      advance();
+      continue;
+    }
+    std::string ContainerName = "std::" + Tok.Text;
+    advance();
+    if (!(Tok.Kind == Token::Punct && Tok.Text == "<"))
+      continue;
+
+    // Capture the template argument text with balanced angle brackets.
+    size_t ElemBegin = Tok.Offset + 1;
+    int Depth = 1;
+    size_t ElemEnd = ElemBegin;
+    advance();
+    while (Tok.Kind != Token::End && Depth > 0) {
+      if (Tok.Kind == Token::Punct && Tok.Text == "<")
+        ++Depth;
+      else if (Tok.Kind == Token::Punct && Tok.Text == ">") {
+        --Depth;
+        if (Depth == 0)
+          ElemEnd = Tok.Offset;
+      }
+      advance();
+    }
+    if (Depth != 0)
+      continue; // unbalanced; bail on this site.
+
+    if (Tok.Kind != Token::Identifier)
+      continue; // not a simple declaration (e.g. a function return type).
+    std::string VariableName = Tok.Text;
+    advance();
+
+    RewriteAction Action;
+    Action.Line = DeclLine;
+    Action.ContainerName = ContainerName;
+    Action.ElementText = Source.substr(ElemBegin, ElemEnd - ElemBegin);
+    // Trim surrounding whitespace of the element text.
+    while (!Action.ElementText.empty() &&
+           std::isspace(static_cast<unsigned char>(
+               Action.ElementText.front())))
+      Action.ElementText.erase(Action.ElementText.begin());
+    while (!Action.ElementText.empty() &&
+           std::isspace(static_cast<unsigned char>(
+               Action.ElementText.back())))
+      Action.ElementText.pop_back();
+    Action.VariableName = VariableName;
+    Action.SiteName =
+        Options.FileName + ":" + std::to_string(DeclLine);
+    Action.Abstraction = Mapping->Abstraction;
+
+    if (Tok.Kind == Token::Punct && Tok.Text == ";") {
+      Action.Rewritten = !Options.DryRun;
+      Candidates.push_back(
+          {Action, DeclBegin, Tok.Offset + 1, Mapping});
+      advance();
+      continue;
+    }
+
+    // Initialized, function parameter, etc.: report but do not touch
+    // (the paper's parser is equally conservative).
+    Action.Rewritten = false;
+    Action.SkipReason = "declaration has an initializer or is not a "
+                        "simple local declaration";
+    Candidates.push_back({Action, DeclBegin, DeclBegin, Mapping});
+  }
+
+  // Splice the replacements back to front so offsets stay valid.
+  Result.Code = Source;
+  for (auto It = Candidates.rbegin(); It != Candidates.rend(); ++It) {
+    if (!It->Action.Rewritten)
+      continue;
+    Result.Code.replace(It->Begin, It->End - It->Begin,
+                        buildReplacement(*It));
+  }
+  for (Candidate &C : Candidates)
+    Result.Actions.push_back(std::move(C.Action));
+  return Result;
+}

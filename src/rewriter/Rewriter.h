@@ -1,0 +1,90 @@
+//===- Rewriter.h - Allocation-site source rewriter -------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automated parser of the paper (§4.3): "an automated parser that
+/// rewrites the code of collection instantiation to the adaptive context
+/// required by our framework. The parser only identifies collections
+/// already declared as using the JCF interfaces and only uses the static
+/// context."
+///
+/// The C++ counterpart identifies default-initialized standard-container
+/// declarations —
+///
+///   std::vector<int64_t> Rows;
+///
+/// — and rewrites them to a static allocation context plus a context-
+/// created facade:
+///
+///   static auto Rows_Ctx = cswitch::Switch::createListContext<int64_t>(
+///       "file.cpp:42", cswitch::ListVariant::ArrayList);
+///   auto Rows = Rows_Ctx->createList();
+///
+/// Like the paper's parser it is deliberately conservative: only
+/// declarations with no initializer are touched (everything else is
+/// reported as skipped), comments and string literals are never
+/// rewritten, and the mapping of std containers to default variants
+/// mirrors the JDK defaults (vector -> ArrayList, unordered_set ->
+/// ChainedHashSet, set -> TreeSet, unordered_map -> ChainedHashMap,
+/// map -> TreeMap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_REWRITER_REWRITER_H
+#define CSWITCH_REWRITER_REWRITER_H
+
+#include "collections/Variants.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cswitch {
+
+/// One declaration the rewriter identified.
+struct RewriteAction {
+  size_t Line = 0;            ///< 1-based source line.
+  std::string ContainerName;  ///< e.g. "std::vector".
+  std::string ElementText;    ///< Template argument text, verbatim.
+  std::string VariableName;   ///< Declared variable.
+  std::string SiteName;       ///< "<file>:<line>" used for the context.
+  AbstractionKind Abstraction = AbstractionKind::List;
+  bool Rewritten = false;     ///< False when only reported (initializer
+                              ///< present, unsupported form, ...).
+  std::string SkipReason;     ///< Set when !Rewritten.
+};
+
+/// Options of one rewriting pass.
+struct RewriterOptions {
+  /// File name used in generated site names ("<file>:<line>").
+  std::string FileName = "input.cpp";
+  /// Report candidate sites without changing the code.
+  bool DryRun = false;
+};
+
+/// Result of rewriting one translation unit.
+struct RewriteResult {
+  std::string Code; ///< Rewritten source (== input when DryRun).
+  std::vector<RewriteAction> Actions;
+
+  /// Number of actions actually rewritten.
+  size_t rewrittenCount() const {
+    size_t N = 0;
+    for (const RewriteAction &A : Actions)
+      N += A.Rewritten;
+    return N;
+  }
+};
+
+/// Rewrites collection allocation sites in \p Source; see the file
+/// comment for what is recognized. Never throws; unparseable regions are
+/// simply left untouched.
+RewriteResult rewriteSource(const std::string &Source,
+                            const RewriterOptions &Options = {});
+
+} // namespace cswitch
+
+#endif // CSWITCH_REWRITER_REWRITER_H

@@ -1,0 +1,57 @@
+//===- BenchmarkRunner.cpp - Steady-state measurement harness ------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchmarkRunner.h"
+
+using namespace cswitch;
+
+std::vector<double> MeasurementResult::nanosSeries() const {
+  std::vector<double> Out;
+  Out.reserve(Samples.size());
+  for (const IterationSample &S : Samples)
+    Out.push_back(S.Nanos);
+  return Out;
+}
+
+std::vector<double> MeasurementResult::allocSeries() const {
+  std::vector<double> Out;
+  Out.reserve(Samples.size());
+  for (const IterationSample &S : Samples)
+    Out.push_back(S.AllocatedBytes);
+  return Out;
+}
+
+SampleStats MeasurementResult::timeStats() const {
+  return summarize(nanosSeries());
+}
+
+SampleStats MeasurementResult::allocStats() const {
+  return summarize(allocSeries());
+}
+
+MeasurementResult
+cswitch::measureSteadyState(const MeasurementPlan &Plan,
+                            const std::function<void()> &Scenario) {
+  for (size_t I = 0; I != Plan.WarmupIterations; ++I)
+    Scenario();
+
+  MeasurementResult Result;
+  Result.Samples.reserve(Plan.MeasuredIterations);
+  for (size_t I = 0; I != Plan.MeasuredIterations; ++I) {
+    AllocationScope Alloc;
+    Timer Clock;
+    uint64_t Executions = 0;
+    do {
+      Scenario();
+      ++Executions;
+    } while (Clock.elapsedNanos() < Plan.MinIterationNanos);
+    double Div = static_cast<double>(Executions);
+    Result.Samples.push_back(
+        {static_cast<double>(Clock.elapsedNanos()) / Div,
+         static_cast<double>(Alloc.allocatedInScope()) / Div});
+  }
+  return Result;
+}

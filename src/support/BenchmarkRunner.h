@@ -1,0 +1,69 @@
+//===- BenchmarkRunner.h - Steady-state measurement harness ----*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-state measurement harness following the methodology the paper
+/// adopts from Georges et al. (OOPSLA'07): a number of unmeasured warm-up
+/// iterations followed by measured iterations whose statistics are
+/// reported. Plays the role JMH plays for the Java original, both in the
+/// model builder (§4.1.2: 15 warm-up / 30 measured) and in the evaluation
+/// harnesses (§5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_BENCHMARKRUNNER_H
+#define CSWITCH_SUPPORT_BENCHMARKRUNNER_H
+
+#include "support/MemoryTracker.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cswitch {
+
+/// Configuration of a steady-state measurement.
+struct MeasurementPlan {
+  size_t WarmupIterations = 15;
+  size_t MeasuredIterations = 30;
+  /// If nonzero, each iteration repeats the scenario until at least this
+  /// many nanoseconds elapsed, and reports time per single execution.
+  uint64_t MinIterationNanos = 0;
+};
+
+/// One measured iteration: wall time and bytes allocated.
+struct IterationSample {
+  double Nanos = 0.0;
+  double AllocatedBytes = 0.0;
+};
+
+/// Result of a steady-state measurement.
+struct MeasurementResult {
+  std::vector<IterationSample> Samples;
+
+  /// Per-iteration wall times in nanoseconds.
+  std::vector<double> nanosSeries() const;
+  /// Per-iteration allocation in bytes.
+  std::vector<double> allocSeries() const;
+  SampleStats timeStats() const;
+  SampleStats allocStats() const;
+};
+
+/// Runs \p Scenario under \p Plan and reports per-execution statistics.
+///
+/// The scenario callable performs one complete execution of the workload
+/// (e.g. "populate 100k collections and run the lookups"). Warm-up
+/// executions are discarded; each measured iteration times one or more
+/// executions (per MinIterationNanos) and records the allocation delta
+/// from MemoryTracker, both normalized to a single execution.
+MeasurementResult measureSteadyState(const MeasurementPlan &Plan,
+                                     const std::function<void()> &Scenario);
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_BENCHMARKRUNNER_H

@@ -1,0 +1,79 @@
+//===- EventLog.cpp - Framework event tracing ----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+using namespace cswitch;
+
+const char *cswitch::eventKindName(EventKind Kind) {
+  switch (Kind) {
+  case EventKind::ContextCreated:
+    return "context-created";
+  case EventKind::MonitoringRound:
+    return "monitoring-round";
+  case EventKind::Evaluation:
+    return "evaluation";
+  case EventKind::Transition:
+    return "transition";
+  case EventKind::AdaptiveMigration:
+    return "adaptive-migration";
+  }
+  return "unknown";
+}
+
+EventLog &EventLog::global() {
+  static EventLog Instance;
+  return Instance;
+}
+
+void EventLog::record(EventKind Kind, std::string Context,
+                      std::string Detail) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Event E{Kind, std::move(Context), std::move(Detail), NextSequence++};
+  if (Ring.size() < Capacity) {
+    Ring.push_back(std::move(E));
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  Ring[Head] = std::move(E);
+  Head = (Head + 1) % Capacity;
+  ++Dropped;
+}
+
+std::vector<Event> EventLog::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<Event> Out;
+  Out.reserve(Ring.size());
+  for (size_t I = 0, E = Ring.size(); I != E; ++I)
+    Out.push_back(Ring[(Head + I) % Ring.size()]);
+  return Out;
+}
+
+std::vector<Event> EventLog::snapshotOfKind(EventKind Kind) const {
+  std::vector<Event> All = snapshot();
+  std::vector<Event> Out;
+  for (Event &E : All)
+    if (E.Kind == Kind)
+      Out.push_back(std::move(E));
+  return Out;
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Ring.clear();
+  Head = 0;
+  Dropped = 0;
+}
+
+uint64_t EventLog::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Dropped;
+}
+
+uint64_t EventLog::totalRecorded() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return NextSequence;
+}

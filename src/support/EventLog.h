@@ -1,0 +1,86 @@
+//===- EventLog.h - Framework event tracing ---------------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "detailed log system for tracing framework events" the paper names
+/// as its mitigation for the increased-complexity risk (§4.4). Events are
+/// recorded in a bounded in-memory ring and can be drained for inspection;
+/// Table 6 (most common transitions) is produced from the Transition
+/// events recorded here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_EVENTLOG_H
+#define CSWITCH_SUPPORT_EVENTLOG_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cswitch {
+
+/// Kind of framework event.
+enum class EventKind {
+  ContextCreated,   ///< An allocation context was registered.
+  MonitoringRound,  ///< A context started monitoring a fresh window.
+  Evaluation,       ///< A context evaluated its window.
+  Transition,       ///< A context switched its variant.
+  AdaptiveMigration ///< An adaptive instance migrated its representation.
+};
+
+/// Returns a stable name for \p Kind (e.g. "transition").
+const char *eventKindName(EventKind Kind);
+
+/// One recorded framework event.
+struct Event {
+  EventKind Kind;
+  std::string Context; ///< Context/site name, or variant name for migrations.
+  std::string Detail;  ///< Free-form detail, e.g. "ArrayList -> AdaptiveList".
+  uint64_t SequenceNumber = 0;
+};
+
+/// Thread-safe, bounded, process-wide event log.
+///
+/// Bounded so that long benchmark runs cannot grow it without limit; when
+/// full, the oldest events are dropped (droppedCount() reports how many).
+class EventLog {
+public:
+  /// Returns the process-wide log instance.
+  static EventLog &global();
+
+  explicit EventLog(size_t Capacity = 65536) : Capacity(Capacity) {}
+
+  /// Appends an event.
+  void record(EventKind Kind, std::string Context, std::string Detail);
+
+  /// Returns a snapshot of the retained events in record order.
+  std::vector<Event> snapshot() const;
+
+  /// Returns the retained events of kind \p Kind in record order.
+  std::vector<Event> snapshotOfKind(EventKind Kind) const;
+
+  /// Removes all events (dropped count is reset too).
+  void clear();
+
+  /// Number of events discarded because the ring was full.
+  uint64_t droppedCount() const;
+
+  /// Total events ever recorded (including dropped).
+  uint64_t totalRecorded() const;
+
+private:
+  mutable std::mutex Mutex;
+  size_t Capacity;
+  size_t Head = 0; ///< Index of the oldest retained event.
+  std::vector<Event> Ring;
+  uint64_t Dropped = 0;
+  uint64_t NextSequence = 0;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_EVENTLOG_H

@@ -1,0 +1,61 @@
+//===- FunctionRef.h - Non-owning callable reference -----------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-owning reference to a callable (modelled on llvm::function_ref).
+/// Used for collection traversal callbacks where std::function's potential
+/// heap allocation would pollute both the time and the allocation
+/// dimensions of the performance model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_FUNCTIONREF_H
+#define CSWITCH_SUPPORT_FUNCTIONREF_H
+
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace cswitch {
+
+template <typename Fn> class FunctionRef;
+
+/// A lightweight reference to a callable with signature Ret(Params...).
+///
+/// Like StringRef for callables: it does not own the callee, so it must
+/// not outlive the full-expression it was constructed in unless the callee
+/// is known to stay alive. Always pass by value.
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+public:
+  FunctionRef() = default;
+
+  template <typename Callable,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cvref_t<Callable>, FunctionRef>>>
+  FunctionRef(Callable &&Fn)
+      : Callback(&callImpl<std::remove_reference_t<Callable>>),
+        Callee(reinterpret_cast<intptr_t>(&Fn)) {}
+
+  Ret operator()(Params... Args) const {
+    return Callback(Callee, std::forward<Params>(Args)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+
+private:
+  template <typename Callable>
+  static Ret callImpl(intptr_t Callee, Params... Args) {
+    return (*reinterpret_cast<Callable *>(Callee))(
+        std::forward<Params>(Args)...);
+  }
+
+  Ret (*Callback)(intptr_t, Params...) = nullptr;
+  intptr_t Callee = 0;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_FUNCTIONREF_H

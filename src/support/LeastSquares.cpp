@@ -1,0 +1,123 @@
+//===- LeastSquares.cpp - Polynomial least-squares fitting ---------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LeastSquares.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace cswitch;
+
+std::vector<double> cswitch::solveLinearSystem(std::vector<double> A,
+                                               std::vector<double> B,
+                                               size_t N) {
+  assert(A.size() == N * N && "matrix shape mismatch");
+  assert(B.size() == N && "rhs shape mismatch");
+
+  for (size_t Col = 0; Col != N; ++Col) {
+    // Partial pivoting: bring the largest remaining entry of this column
+    // to the diagonal.
+    size_t Pivot = Col;
+    double Best = std::fabs(A[Col * N + Col]);
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Mag = std::fabs(A[Row * N + Col]);
+      if (Mag > Best) {
+        Best = Mag;
+        Pivot = Row;
+      }
+    }
+    if (Best < 1e-12)
+      return {};
+    if (Pivot != Col) {
+      for (size_t K = 0; K != N; ++K)
+        std::swap(A[Pivot * N + K], A[Col * N + K]);
+      std::swap(B[Pivot], B[Col]);
+    }
+
+    double Diag = A[Col * N + Col];
+    for (size_t Row = Col + 1; Row != N; ++Row) {
+      double Factor = A[Row * N + Col] / Diag;
+      if (Factor == 0.0)
+        continue;
+      A[Row * N + Col] = 0.0;
+      for (size_t K = Col + 1; K != N; ++K)
+        A[Row * N + K] -= Factor * A[Col * N + K];
+      B[Row] -= Factor * B[Col];
+    }
+  }
+
+  // Back substitution.
+  std::vector<double> X(N, 0.0);
+  for (size_t I = N; I > 0; --I) {
+    size_t Row = I - 1;
+    double Acc = B[Row];
+    for (size_t K = Row + 1; K != N; ++K)
+      Acc -= A[Row * N + K] * X[K];
+    X[Row] = Acc / A[Row * N + Row];
+  }
+  return X;
+}
+
+Polynomial cswitch::fitPolynomial(const std::vector<double> &Xs,
+                                  const std::vector<double> &Ys,
+                                  size_t Degree) {
+  assert(Xs.size() == Ys.size() && "sample shape mismatch");
+  assert(Xs.size() >= Degree + 1 && "not enough samples for degree");
+
+  // Scale x into [-1, 1]-ish so x^6 terms in the normal equations do not
+  // overflow the dynamic range of double for sizes up to 1e4.
+  double Scale = 1.0;
+  for (double X : Xs)
+    Scale = std::max(Scale, std::fabs(X));
+  double InvScale = 1.0 / Scale;
+
+  size_t N = Degree + 1;
+  // Normal equations: (V^T V) c = V^T y with V the Vandermonde matrix of
+  // the scaled xs. V^T V entry (i, j) = sum_k x_k^(i+j); build the power
+  // sums once.
+  std::vector<double> PowerSums(2 * Degree + 1, 0.0);
+  std::vector<double> Rhs(N, 0.0);
+  for (size_t K = 0, E = Xs.size(); K != E; ++K) {
+    double X = Xs[K] * InvScale;
+    double Pow = 1.0;
+    for (size_t P = 0; P != PowerSums.size(); ++P) {
+      PowerSums[P] += Pow;
+      if (P < N)
+        Rhs[P] += Pow * Ys[K];
+      Pow *= X;
+    }
+  }
+  std::vector<double> Normal(N * N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      Normal[I * N + J] = PowerSums[I + J];
+
+  std::vector<double> Scaled = solveLinearSystem(std::move(Normal),
+                                                 std::move(Rhs), N);
+  if (Scaled.empty())
+    return Polynomial();
+
+  // Unscale: coefficient of x^i in original units is c_i / Scale^i.
+  std::vector<double> Coeffs(N);
+  double Div = 1.0;
+  for (size_t I = 0; I != N; ++I) {
+    Coeffs[I] = Scaled[I] * Div;
+    Div *= InvScale;
+  }
+  return Polynomial(std::move(Coeffs));
+}
+
+double cswitch::residualSumOfSquares(const Polynomial &Fit,
+                                     const std::vector<double> &Xs,
+                                     const std::vector<double> &Ys) {
+  assert(Xs.size() == Ys.size() && "sample shape mismatch");
+  double Rss = 0.0;
+  for (size_t I = 0, E = Xs.size(); I != E; ++I) {
+    double R = Ys[I] - Fit.evaluate(Xs[I]);
+    Rss += R * R;
+  }
+  return Rss;
+}

@@ -1,0 +1,53 @@
+//===- LeastSquares.h - Polynomial least-squares fitting -------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Least-squares polynomial fitting, the numerical core of the performance
+/// model builder (paper §4.1.2: "coefficients are calculated using the
+/// least squares polynomial fit ... polynomials of third degree").
+/// Implemented from scratch: Vandermonde normal equations solved by
+/// Gaussian elimination with partial pivoting, with x-scaling to keep the
+/// system well-conditioned for sizes up to 10^4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_LEASTSQUARES_H
+#define CSWITCH_SUPPORT_LEASTSQUARES_H
+
+#include "support/Polynomial.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cswitch {
+
+/// Solves the dense linear system A * X = B in place and returns X.
+///
+/// \p A is row-major NxN. Uses Gaussian elimination with partial
+/// pivoting. \returns an empty vector if the matrix is numerically
+/// singular (pivot below 1e-12 after scaling).
+std::vector<double> solveLinearSystem(std::vector<double> A,
+                                      std::vector<double> B, size_t N);
+
+/// Fits a polynomial of degree \p Degree to the samples (Xs[i], Ys[i]) by
+/// least squares.
+///
+/// Requires at least Degree+1 samples. Internally scales x by 1/max|x| to
+/// condition the Vandermonde normal equations, then unscales the
+/// coefficients, so callers see coefficients in the original units.
+/// \returns the zero polynomial if the system is singular (e.g. all Xs
+/// identical).
+Polynomial fitPolynomial(const std::vector<double> &Xs,
+                         const std::vector<double> &Ys, size_t Degree);
+
+/// Residual sum of squares of \p Fit against the samples.
+double residualSumOfSquares(const Polynomial &Fit,
+                            const std::vector<double> &Xs,
+                            const std::vector<double> &Ys);
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_LEASTSQUARES_H

@@ -1,0 +1,37 @@
+//===- MemoryTracker.cpp - Allocation byte accounting --------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryTracker.h"
+
+using namespace cswitch;
+
+namespace {
+struct Counters {
+  uint64_t Allocated = 0;
+  int64_t Live = 0;
+  int64_t PeakLive = 0;
+};
+thread_local Counters TlsCounters;
+} // namespace
+
+void MemoryTracker::recordAlloc(size_t Bytes) {
+  TlsCounters.Allocated += Bytes;
+  TlsCounters.Live += static_cast<int64_t>(Bytes);
+  if (TlsCounters.Live > TlsCounters.PeakLive)
+    TlsCounters.PeakLive = TlsCounters.Live;
+}
+
+void MemoryTracker::recordFree(size_t Bytes) {
+  TlsCounters.Live -= static_cast<int64_t>(Bytes);
+}
+
+uint64_t MemoryTracker::allocatedBytes() { return TlsCounters.Allocated; }
+
+int64_t MemoryTracker::liveBytes() { return TlsCounters.Live; }
+
+int64_t MemoryTracker::peakLiveBytes() { return TlsCounters.PeakLive; }
+
+void MemoryTracker::resetPeak() { TlsCounters.PeakLive = TlsCounters.Live; }

@@ -1,0 +1,105 @@
+//===- MemoryTracker.h - Allocation byte accounting ------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-local accounting of bytes allocated by the collection library.
+/// Plays the role of the JMH GC profiler in the paper (§4.1.2): the model
+/// builder and the Fig. 5 allocation plots read these counters around a
+/// measured scenario, and the Ralloc selection dimension is calibrated
+/// from them. Every collection variant routes its internal storage through
+/// CountingAllocator so the numbers cover exactly the collection-owned
+/// memory, like the per-collection footprint studies the paper cites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_MEMORYTRACKER_H
+#define CSWITCH_SUPPORT_MEMORYTRACKER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace cswitch {
+
+/// Thread-local byte counters for collection-internal allocations.
+///
+/// `allocated` is cumulative (monotone; the allocation-churn metric),
+/// `live` is current usage (the footprint metric), `peakLive` tracks the
+/// high-water mark since the last resetPeak().
+class MemoryTracker {
+public:
+  /// Records an allocation of \p Bytes.
+  static void recordAlloc(size_t Bytes);
+  /// Records a deallocation of \p Bytes.
+  static void recordFree(size_t Bytes);
+
+  /// Cumulative bytes allocated on this thread since startup.
+  static uint64_t allocatedBytes();
+  /// Bytes currently live (allocated minus freed) on this thread.
+  static int64_t liveBytes();
+  /// High-water mark of liveBytes() since the last resetPeak().
+  static int64_t peakLiveBytes();
+  /// Resets the peak to the current live value.
+  static void resetPeak();
+};
+
+/// RAII scope measuring bytes allocated (cumulative) between construction
+/// and the call to allocatedInScope().
+class AllocationScope {
+public:
+  AllocationScope() : StartAllocated(MemoryTracker::allocatedBytes()) {}
+
+  /// Bytes allocated on this thread since the scope was opened.
+  uint64_t allocatedInScope() const {
+    return MemoryTracker::allocatedBytes() - StartAllocated;
+  }
+
+private:
+  uint64_t StartAllocated;
+};
+
+/// Minimal std-compatible allocator that reports every byte to
+/// MemoryTracker. Used for all internal storage of the collection
+/// variants.
+template <typename T> class CountingAllocator {
+public:
+  using value_type = T;
+
+  CountingAllocator() = default;
+  template <typename U> CountingAllocator(const CountingAllocator<U> &) {}
+
+  T *allocate(size_t N) {
+    MemoryTracker::recordAlloc(N * sizeof(T));
+    return std::allocator<T>().allocate(N);
+  }
+
+  void deallocate(T *Ptr, size_t N) {
+    MemoryTracker::recordFree(N * sizeof(T));
+    std::allocator<T>().deallocate(Ptr, N);
+  }
+
+  bool operator==(const CountingAllocator &) const { return true; }
+  bool operator!=(const CountingAllocator &) const { return false; }
+};
+
+/// Allocates one counted object of type \p T (for node-based variants).
+template <typename T, typename... Args> T *newCounted(Args &&...As) {
+  CountingAllocator<T> Alloc;
+  T *Ptr = Alloc.allocate(1);
+  return new (Ptr) T(std::forward<Args>(As)...);
+}
+
+/// Destroys and frees an object allocated with newCounted.
+template <typename T> void deleteCounted(T *Ptr) {
+  if (!Ptr)
+    return;
+  Ptr->~T();
+  CountingAllocator<T>().deallocate(Ptr, 1);
+}
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_MEMORYTRACKER_H

@@ -1,0 +1,46 @@
+//===- Random.cpp - Deterministic pseudo-random number generation --------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <unordered_set>
+#include <utility>
+
+using namespace cswitch;
+
+std::vector<int64_t> cswitch::distinctIntegers(SplitMix64 &Rng, size_t N,
+                                               int64_t Universe) {
+  assert(Universe >= static_cast<int64_t>(N) &&
+         "universe too small for distinct draw");
+  // For dense draws (more than half the universe requested) rejection
+  // sampling degenerates; fall back to a shuffled prefix of the universe.
+  if (static_cast<int64_t>(N) * 2 >= Universe) {
+    std::vector<int64_t> All(static_cast<size_t>(Universe));
+    for (size_t I = 0, E = All.size(); I != E; ++I)
+      All[I] = static_cast<int64_t>(I);
+    All = shuffled(Rng, std::move(All));
+    All.resize(N);
+    return All;
+  }
+
+  std::unordered_set<int64_t> Seen;
+  std::vector<int64_t> Result;
+  Result.reserve(N);
+  while (Result.size() < N) {
+    int64_t V = static_cast<int64_t>(
+        Rng.nextBelow(static_cast<uint64_t>(Universe)));
+    if (Seen.insert(V).second)
+      Result.push_back(V);
+  }
+  return Result;
+}
+
+std::vector<int64_t> cswitch::shuffled(SplitMix64 &Rng,
+                                       std::vector<int64_t> Values) {
+  for (size_t I = Values.size(); I > 1; --I)
+    std::swap(Values[I - 1], Values[Rng.nextBelow(I)]);
+  return Values;
+}

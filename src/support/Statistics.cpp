@@ -1,0 +1,102 @@
+//===- Statistics.cpp - Summary statistics and significance --------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace cswitch;
+
+double SampleStats::stddev() const { return std::sqrt(Variance); }
+
+double SampleStats::ci95HalfWidth() const {
+  if (Count < 2)
+    return 0.0;
+  return tCriticalValue5Percent(static_cast<double>(Count - 1)) *
+         std::sqrt(Variance / static_cast<double>(Count));
+}
+
+SampleStats cswitch::summarize(const std::vector<double> &Values) {
+  SampleStats Stats;
+  if (Values.empty())
+    return Stats;
+  Stats.Count = Values.size();
+  Stats.Min = Values.front();
+  Stats.Max = Values.front();
+  double Sum = 0.0;
+  for (double V : Values) {
+    Sum += V;
+    Stats.Min = std::min(Stats.Min, V);
+    Stats.Max = std::max(Stats.Max, V);
+  }
+  Stats.Mean = Sum / static_cast<double>(Values.size());
+  if (Values.size() > 1) {
+    double SqAcc = 0.0;
+    for (double V : Values) {
+      double D = V - Stats.Mean;
+      SqAcc += D * D;
+    }
+    Stats.Variance = SqAcc / static_cast<double>(Values.size() - 1);
+  }
+  return Stats;
+}
+
+double cswitch::tCriticalValue5Percent(double Df) {
+  // Two-sided 5% critical values for Student's t. Linear interpolation
+  // between tabulated dfs; beyond df=120 the normal quantile 1.96 is used.
+  static const double Table[][2] = {
+      {1, 12.706}, {2, 4.303},  {3, 3.182},  {4, 2.776},  {5, 2.571},
+      {6, 2.447},  {7, 2.365},  {8, 2.306},  {9, 2.262},  {10, 2.228},
+      {12, 2.179}, {15, 2.131}, {20, 2.086}, {25, 2.060}, {30, 2.042},
+      {40, 2.021}, {60, 2.000}, {120, 1.980}};
+  constexpr size_t TableSize = sizeof(Table) / sizeof(Table[0]);
+  if (Df <= Table[0][0])
+    return Table[0][1];
+  if (Df >= Table[TableSize - 1][0])
+    return 1.96;
+  for (size_t I = 1; I != TableSize; ++I) {
+    if (Df <= Table[I][0]) {
+      double X0 = Table[I - 1][0], Y0 = Table[I - 1][1];
+      double X1 = Table[I][0], Y1 = Table[I][1];
+      return Y0 + (Y1 - Y0) * (Df - X0) / (X1 - X0);
+    }
+  }
+  return 1.96;
+}
+
+ComparisonResult cswitch::compareMeans(const std::vector<double> &A,
+                                       const std::vector<double> &B) {
+  ComparisonResult Result;
+  SampleStats SA = summarize(A);
+  SampleStats SB = summarize(B);
+  Result.MeanDifference = SB.Mean - SA.Mean;
+  if (SA.Mean != 0.0)
+    Result.RelativeChange = Result.MeanDifference / SA.Mean;
+  if (SA.Count < 2 || SB.Count < 2)
+    return Result;
+
+  double VarTermA = SA.Variance / static_cast<double>(SA.Count);
+  double VarTermB = SB.Variance / static_cast<double>(SB.Count);
+  double StdErr = std::sqrt(VarTermA + VarTermB);
+  if (StdErr == 0.0) {
+    // Zero variance in both samples: any nonzero difference is exact.
+    Result.Significant = Result.MeanDifference != 0.0;
+    Result.TStatistic = Result.Significant ? HUGE_VAL : 0.0;
+    return Result;
+  }
+
+  Result.TStatistic = Result.MeanDifference / StdErr;
+  // Welch–Satterthwaite degrees of freedom.
+  double Num = (VarTermA + VarTermB) * (VarTermA + VarTermB);
+  double Den =
+      VarTermA * VarTermA / static_cast<double>(SA.Count - 1) +
+      VarTermB * VarTermB / static_cast<double>(SB.Count - 1);
+  double Df = Den > 0.0 ? Num / Den : 1.0;
+  Result.Significant =
+      std::fabs(Result.TStatistic) > tCriticalValue5Percent(Df);
+  return Result;
+}

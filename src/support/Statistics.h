@@ -1,0 +1,64 @@
+//===- Statistics.h - Summary statistics and significance ------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics and a two-sample significance test. The paper reports
+/// DaCapo results over 30 measured runs and only quotes differences that
+/// pass a Tukey HSD test; this module provides the equivalent decision via
+/// Welch's t-test (see DESIGN.md §1 for the substitution rationale), plus
+/// the mean/stddev/CI machinery every harness prints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_STATISTICS_H
+#define CSWITCH_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cswitch {
+
+/// Summary of a sample: count, mean, variance and extremes.
+struct SampleStats {
+  size_t Count = 0;
+  double Mean = 0.0;
+  double Variance = 0.0; ///< Unbiased (n-1) sample variance.
+  double Min = 0.0;
+  double Max = 0.0;
+
+  double stddev() const;
+  /// Half-width of the ~95% confidence interval for the mean (normal
+  /// approximation, adequate for the 30-run samples used here).
+  double ci95HalfWidth() const;
+};
+
+/// Computes summary statistics of \p Values (empty input yields all-zero).
+SampleStats summarize(const std::vector<double> &Values);
+
+/// Result of a two-sample comparison.
+struct ComparisonResult {
+  bool Significant = false; ///< True if the means differ at ~5% level.
+  double MeanDifference = 0.0; ///< mean(B) - mean(A).
+  double TStatistic = 0.0;
+  /// Relative change of B versus A: (mean(B) - mean(A)) / mean(A).
+  double RelativeChange = 0.0;
+};
+
+/// Welch's unequal-variance t-test of mean(A) vs mean(B) at the ~5% level.
+///
+/// Degrees of freedom follow Welch–Satterthwaite; the critical value is
+/// looked up from a built-in t-table. Samples of fewer than two
+/// observations are never significant.
+ComparisonResult compareMeans(const std::vector<double> &A,
+                              const std::vector<double> &B);
+
+/// Two-sided 5%-level critical value of Student's t for \p Df degrees of
+/// freedom (interpolated from a built-in table; asymptotes to 1.96).
+double tCriticalValue5Percent(double Df);
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_STATISTICS_H

@@ -1,0 +1,49 @@
+//===- Timer.h - Monotonic wall-clock timing --------------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin wrapper over std::chrono::steady_clock used by the benchmark
+/// runner and the harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_TIMER_H
+#define CSWITCH_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace cswitch {
+
+/// Monotonic stopwatch; starts at construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { Start = Clock::now(); }
+
+  /// Elapsed nanoseconds since construction or the last reset().
+  uint64_t elapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             Start)
+            .count());
+  }
+
+  /// Elapsed seconds since construction or the last reset().
+  double elapsedSeconds() const {
+    return static_cast<double>(elapsedNanos()) * 1e-9;
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_TIMER_H

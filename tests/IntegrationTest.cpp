@@ -1,0 +1,160 @@
+//===- IntegrationTest.cpp - Cross-module integration tests -----------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end flows spanning all modules: measured model -> threshold
+/// installation -> context adaptation; the multi-phase workload of
+/// Fig. 6; and the event-log trail Table 6 is built from.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "core/Switch.h"
+#include "model/DefaultModel.h"
+#include "model/ModelBuilder.h"
+#include "model/ThresholdAnalyzer.h"
+#include "support/EventLog.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(Integration, MeasuredModelDrivesSelectionLikeDefaultModel) {
+  // Build a (tiny) measured model on this machine, then verify a
+  // lookup-heavy list site still converges to a hash-backed variant —
+  // the machine-independent shape the paper relies on.
+  ModelBuildOptions Options;
+  Options.Sizes = {16, 128, 512};
+  Options.WarmupIterations = 0;
+  Options.MeasuredIterations = 1;
+  Options.MinSampleNanos = 5000;
+  Options.PolynomialDegree = 2;
+  ModelBuilder Builder(Options);
+  PerformanceModel Measured;
+  Builder.buildListModels(Measured);
+  auto Model = std::make_shared<const PerformanceModel>(std::move(Measured));
+
+  ContextOptions CtxOptions;
+  CtxOptions.WindowSize = 10;
+  CtxOptions.LogEvents = false;
+  ListContext<int64_t> Ctx("int:measured", ListVariant::ArrayList, Model,
+                           SelectionRule::timeRule(), CtxOptions);
+  for (int I = 0; I != 10; ++I) {
+    List<int64_t> L = Ctx.createList();
+    for (int64_t V = 0; V != 500; ++V)
+      L.add(V);
+    for (int64_t V = 0; V != 5000; ++V)
+      (void)L.contains(V);
+  }
+  ASSERT_TRUE(Ctx.evaluate());
+  std::string Name = Ctx.currentVariant().name();
+  EXPECT_TRUE(Name == "HashArrayList" || Name == "AdaptiveList") << Name;
+}
+
+TEST(Integration, ThresholdAnalyzerFeedsAdaptiveConfig) {
+  PerformanceModel Model = defaultPerformanceModel();
+  ThresholdAnalyzer Analyzer(Model);
+  AdaptiveThresholds Old = AdaptiveConfig::global().thresholds();
+  AdaptiveThresholds Computed = Analyzer.computeAll();
+  AdaptiveConfig::global().setThresholds(Computed);
+  AdaptiveSetImpl<int64_t> S;
+  EXPECT_EQ(S.threshold(), Computed.Set);
+  AdaptiveConfig::global().setThresholds(Old);
+}
+
+TEST(Integration, MultiPhaseWorkloadTracksPhases) {
+  // The Fig. 6 scenario in miniature: contains -> iterate -> index ->
+  // search&remove -> contains; the context should adapt per phase.
+  auto Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  ContextOptions CtxOptions;
+  CtxOptions.WindowSize = 10;
+  CtxOptions.LogEvents = false;
+  ListContext<int64_t> Ctx("int:phases", ListVariant::LinkedList, Model,
+                           SelectionRule::timeRule(), CtxOptions);
+
+  auto RunPhase = [&Ctx](auto &&Workload) {
+    for (int I = 0; I != 10; ++I) {
+      List<int64_t> L = Ctx.createList();
+      for (int64_t V = 0; V != 300; ++V)
+        L.add(V);
+      Workload(L);
+    }
+    Ctx.evaluate();
+  };
+
+  // Phase 1: contains-heavy -> hash-backed list expected.
+  RunPhase([](List<int64_t> &L) {
+    for (int64_t V = 0; V != 2000; ++V)
+      (void)L.contains(V);
+  });
+  EXPECT_EQ(Ctx.currentVariant().name(), "HashArrayList");
+
+  // Phase 2: index-access heavy -> ArrayList-family expected.
+  RunPhase([](List<int64_t> &L) {
+    for (size_t I = 0; I != 2000; ++I)
+      (void)L.get(I % 300);
+  });
+  EXPECT_NE(Ctx.currentVariant().name(), "LinkedList");
+
+  // Phase 3: search-and-remove -> ArrayList (HashArrayList removal is
+  // modelled as expensive).
+  RunPhase([](List<int64_t> &L) {
+    for (int64_t V = 0; V != 300; ++V)
+      (void)L.remove(V);
+  });
+  EXPECT_EQ(Ctx.currentVariant().name(), "ArrayList");
+  EXPECT_GE(Ctx.switchCount(), 2u);
+}
+
+TEST(Integration, TransitionsAreLoggedForTable6) {
+  EventLog::global().clear();
+  auto Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  ContextOptions CtxOptions;
+  CtxOptions.WindowSize = 10;
+  CtxOptions.LogEvents = true;
+  ListContext<int64_t> Ctx("int:logged", ListVariant::ArrayList, Model,
+                           SelectionRule::timeRule(), CtxOptions);
+  for (int I = 0; I != 10; ++I) {
+    List<int64_t> L = Ctx.createList();
+    for (int64_t V = 0; V != 400; ++V)
+      L.add(V);
+    for (int64_t V = 0; V != 3000; ++V)
+      (void)L.contains(V);
+  }
+  ASSERT_TRUE(Ctx.evaluate());
+  std::vector<Event> Transitions =
+      EventLog::global().snapshotOfKind(EventKind::Transition);
+  ASSERT_EQ(Transitions.size(), 1u);
+  EXPECT_EQ(Transitions[0].Context, "int:logged");
+  EXPECT_EQ(Transitions[0].Detail, "ArrayList -> HashArrayList");
+  std::vector<Event> Created =
+      EventLog::global().snapshotOfKind(EventKind::ContextCreated);
+  ASSERT_GE(Created.size(), 1u);
+  EventLog::global().clear();
+}
+
+TEST(Integration, AppRunUnderBackgroundEngine) {
+  // The production configuration: contexts evaluated by the engine's
+  // periodic thread while the app runs.
+  AppRunConfig RC;
+  RC.Config = AppConfig::FullAdap;
+  RC.Rule = SelectionRule::timeRule();
+  RC.Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  RC.Seed = 3;
+  RC.Scale = 0.1;
+  RC.CtxOptions.WindowSize = 50;
+  RC.CtxOptions.LogEvents = false;
+  AppResult R = runApp(AppKind::Lusearch, RC);
+  EXPECT_GT(R.InstancesCreated, 100u);
+  EXPECT_NE(R.Checksum, 0u);
+}
+
+} // namespace

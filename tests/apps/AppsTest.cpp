@@ -1,0 +1,164 @@
+//===- AppsTest.cpp - DaCapo-substitute application tests --------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The key property the Table 5 experiment rests on: the instrumentation
+/// level (Original / FullAdap / InstanceAdap) must never change program
+/// semantics — only time and memory. The checksum equality tests prove
+/// it for every app.
+///
+//===----------------------------------------------------------------------===//
+
+#include "apps/Apps.h"
+#include "model/DefaultModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+AppRunConfig testConfig(AppConfig Config,
+                        SelectionRule Rule = SelectionRule::timeRule()) {
+  AppRunConfig RC;
+  RC.Config = Config;
+  RC.Rule = std::move(Rule);
+  RC.Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  RC.Seed = 7;
+  RC.Scale = 0.05;
+  RC.CtxOptions.WindowSize = 50;
+  RC.CtxOptions.FinishedRatio = 0.6;
+  RC.CtxOptions.LogEvents = false;
+  return RC;
+}
+
+class AppKindTest : public ::testing::TestWithParam<AppKind> {};
+
+TEST_P(AppKindTest, OriginalRunProducesWork) {
+  AppResult R = runApp(GetParam(), testConfig(AppConfig::Original));
+  EXPECT_GT(R.Seconds, 0.0);
+  EXPECT_GT(R.PeakLiveBytes, 0);
+  EXPECT_GT(R.InstancesCreated, 10u);
+  EXPECT_NE(R.Checksum, 0u);
+  EXPECT_EQ(R.Transitions, 0u);
+}
+
+TEST_P(AppKindTest, ChecksumIsConfigurationInvariant) {
+  uint64_t Original =
+      runApp(GetParam(), testConfig(AppConfig::Original)).Checksum;
+  uint64_t FullTime =
+      runApp(GetParam(), testConfig(AppConfig::FullAdap)).Checksum;
+  uint64_t FullAlloc =
+      runApp(GetParam(),
+             testConfig(AppConfig::FullAdap, SelectionRule::allocRule()))
+          .Checksum;
+  uint64_t Instance =
+      runApp(GetParam(), testConfig(AppConfig::InstanceAdap)).Checksum;
+  EXPECT_EQ(Original, FullTime);
+  EXPECT_EQ(Original, FullAlloc);
+  EXPECT_EQ(Original, Instance);
+}
+
+TEST_P(AppKindTest, ChecksumIsSeedDeterministic) {
+  AppRunConfig A = testConfig(AppConfig::Original);
+  AppRunConfig B = testConfig(AppConfig::Original);
+  EXPECT_EQ(runApp(GetParam(), A).Checksum, runApp(GetParam(), B).Checksum);
+  B.Seed = 8;
+  EXPECT_NE(runApp(GetParam(), A).Checksum, runApp(GetParam(), B).Checksum);
+}
+
+TEST_P(AppKindTest, FullAdapPerformsTransitions) {
+  AppRunConfig RC = testConfig(AppConfig::FullAdap);
+  RC.Scale = 0.2;
+  AppResult R = runApp(GetParam(), RC);
+  EXPECT_GT(R.Transitions, 0u)
+      << appKindName(GetParam())
+      << " should switch at least one site under Rtime";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, AppKindTest, ::testing::ValuesIn(AllAppKinds),
+    [](const ::testing::TestParamInfo<AppKind> &Info) {
+      return appKindName(Info.param);
+    });
+
+TEST(Apps, TargetSiteCountsMatchPaperTable5) {
+  EXPECT_EQ(runApp(AppKind::Avrora, testConfig(AppConfig::Original))
+                .TargetSites,
+            7u);
+  EXPECT_EQ(
+      runApp(AppKind::Bloat, testConfig(AppConfig::Original)).TargetSites,
+      17u);
+  EXPECT_EQ(
+      runApp(AppKind::Fop, testConfig(AppConfig::Original)).TargetSites,
+      15u);
+  EXPECT_EQ(
+      runApp(AppKind::H2, testConfig(AppConfig::Original)).TargetSites,
+      10u);
+  EXPECT_EQ(runApp(AppKind::Lusearch, testConfig(AppConfig::Original))
+                .TargetSites,
+            12u);
+}
+
+TEST(Apps, NamesAreStable) {
+  EXPECT_STREQ(appKindName(AppKind::Avrora), "avrora");
+  EXPECT_STREQ(appKindName(AppKind::Bloat), "bloat");
+  EXPECT_STREQ(appKindName(AppKind::Fop), "fop");
+  EXPECT_STREQ(appKindName(AppKind::H2), "h2");
+  EXPECT_STREQ(appKindName(AppKind::Lusearch), "lusearch");
+  EXPECT_STREQ(appConfigName(AppConfig::Original), "original");
+  EXPECT_STREQ(appConfigName(AppConfig::FullAdap), "fulladap");
+  EXPECT_STREQ(appConfigName(AppConfig::InstanceAdap), "instanceadap");
+}
+
+TEST(Apps, ScaleControlsWorkVolume) {
+  AppRunConfig Small = testConfig(AppConfig::Original);
+  Small.Scale = 0.05;
+  AppRunConfig Large = testConfig(AppConfig::Original);
+  Large.Scale = 0.2;
+  AppResult RS = runApp(AppKind::H2, Small);
+  AppResult RL = runApp(AppKind::H2, Large);
+  EXPECT_GT(RL.InstancesCreated, RS.InstancesCreated * 2);
+}
+
+TEST(AppHarness, InstanceAdapUsesAdaptiveVariants) {
+  AppHarness Harness(AppConfig::InstanceAdap, SelectionRule::timeRule(),
+                     Switch::model());
+  AppHarness::ListSite LS =
+      Harness.declareListSite("t:l", ListVariant::ArrayList);
+  AppHarness::SetSite SS =
+      Harness.declareSetSite("t:s", SetVariant::ChainedHashSet);
+  AppHarness::MapSite MS =
+      Harness.declareMapSite("t:m", MapVariant::ChainedHashMap);
+  EXPECT_EQ(LS.create().variant(), ListVariant::AdaptiveList);
+  EXPECT_EQ(SS.create().variant(), SetVariant::AdaptiveSet);
+  EXPECT_EQ(MS.create().variant(), MapVariant::AdaptiveMap);
+  EXPECT_EQ(Harness.siteCount(), 3u);
+  EXPECT_TRUE(Harness.contexts().empty());
+}
+
+TEST(AppHarness, OriginalUsesDeclaredDefaults) {
+  AppHarness Harness(AppConfig::Original, SelectionRule::timeRule(),
+                     Switch::model());
+  AppHarness::ListSite LS =
+      Harness.declareListSite("t:l", ListVariant::LinkedList);
+  EXPECT_EQ(LS.create().variant(), ListVariant::LinkedList);
+  EXPECT_EQ(Harness.evaluateAll(), 0u);
+}
+
+TEST(AppHarness, FullAdapCreatesOneContextPerSite) {
+  ContextOptions Options;
+  Options.LogEvents = false;
+  AppHarness Harness(AppConfig::FullAdap, SelectionRule::timeRule(),
+                     Switch::model(), Options);
+  Harness.declareListSite("t:l", ListVariant::ArrayList);
+  Harness.declareSetSite("t:s", SetVariant::ChainedHashSet);
+  EXPECT_EQ(Harness.contexts().size(), 2u);
+  EXPECT_EQ(Harness.contexts()[0]->name(), "t:l");
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+//===- FacadeMonitoringTest.cpp - Facade profiling tests --------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The facades are the paper's "monitor" layer (§4.3): they count every
+/// critical operation into the instance's workload profile and report it
+/// to the allocation context exactly once, when the instance finishes its
+/// life-cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/Factory.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+using namespace cswitch;
+
+namespace {
+
+/// Captures finished-instance reports.
+class RecordingSink : public ProfileSink {
+public:
+  void onInstanceFinished(size_t Slot,
+                          const WorkloadProfile &Profile) override {
+    ++Reports;
+    LastSlot = Slot;
+    LastProfile = Profile;
+  }
+
+  int Reports = 0;
+  size_t LastSlot = 0;
+  std::optional<WorkloadProfile> LastProfile;
+};
+
+TEST(ListFacade, CountsEveryOperationKind) {
+  List<int64_t> L(makeListImpl<int64_t>(ListVariant::ArrayList));
+  L.add(1);
+  L.add(2);
+  L.add(3);
+  L.insert(1, 9);
+  L.removeAt(1);
+  (void)L.remove(3);
+  (void)L.get(0);
+  L.set(0, 5);
+  (void)L.contains(5);
+  L.forEach([](const int64_t &) {});
+
+  const WorkloadProfile &P = L.profile();
+  EXPECT_EQ(P.count(OperationKind::Populate), 3u);
+  EXPECT_EQ(P.count(OperationKind::Middle), 2u); // insert + removeAt
+  EXPECT_EQ(P.count(OperationKind::Remove), 1u);
+  EXPECT_EQ(P.count(OperationKind::IndexAccess), 2u); // get + set
+  EXPECT_EQ(P.count(OperationKind::Contains), 1u);
+  EXPECT_EQ(P.count(OperationKind::Iterate), 1u);
+  EXPECT_EQ(P.MaxSize, 4u); // 3 adds + 1 insert before the removals.
+}
+
+TEST(ListFacade, SnapshotCountsAsIterate) {
+  List<int64_t> L(makeListImpl<int64_t>(ListVariant::ArrayList));
+  L.add(1);
+  L.add(2);
+  std::vector<int64_t> V = L.snapshot();
+  EXPECT_EQ(V, (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(L.profile().count(OperationKind::Iterate), 1u);
+}
+
+TEST(SetFacade, CountsOperations) {
+  Set<int64_t> S(makeSetImpl<int64_t>(SetVariant::OpenHashSet));
+  S.add(1);
+  S.add(1); // duplicate still counts as a populate call.
+  (void)S.contains(1);
+  (void)S.remove(1);
+  S.forEach([](const int64_t &) {});
+  const WorkloadProfile &P = S.profile();
+  EXPECT_EQ(P.count(OperationKind::Populate), 2u);
+  EXPECT_EQ(P.count(OperationKind::Contains), 1u);
+  EXPECT_EQ(P.count(OperationKind::Remove), 1u);
+  EXPECT_EQ(P.count(OperationKind::Iterate), 1u);
+  EXPECT_EQ(P.MaxSize, 1u);
+}
+
+TEST(MapFacade, CountsOperations) {
+  Map<int64_t, int64_t> M(
+      makeMapImpl<int64_t, int64_t>(MapVariant::ArrayMap));
+  M.put(1, 10);
+  M.put(2, 20);
+  (void)M.get(1);
+  (void)M.getMutable(2);
+  (void)M.containsKey(3);
+  (void)M.remove(1);
+  M.forEach([](const int64_t &, const int64_t &) {});
+  const WorkloadProfile &P = M.profile();
+  EXPECT_EQ(P.count(OperationKind::Populate), 2u);
+  EXPECT_EQ(P.count(OperationKind::Contains), 3u); // get+getMutable+containsKey
+  EXPECT_EQ(P.count(OperationKind::Remove), 1u);
+  EXPECT_EQ(P.count(OperationKind::Iterate), 1u);
+  EXPECT_EQ(P.MaxSize, 2u);
+}
+
+TEST(Monitoring, ReportsProfileOnDestruction) {
+  RecordingSink Sink;
+  {
+    List<int64_t> L(makeListImpl<int64_t>(ListVariant::ArrayList), &Sink,
+                    17);
+    EXPECT_TRUE(L.isMonitored());
+    L.add(1);
+    (void)L.contains(1);
+  }
+  EXPECT_EQ(Sink.Reports, 1);
+  EXPECT_EQ(Sink.LastSlot, 17u);
+  ASSERT_TRUE(Sink.LastProfile.has_value());
+  EXPECT_EQ(Sink.LastProfile->count(OperationKind::Populate), 1u);
+  EXPECT_EQ(Sink.LastProfile->count(OperationKind::Contains), 1u);
+}
+
+TEST(Monitoring, UnmonitoredNeverReports) {
+  List<int64_t> L(makeListImpl<int64_t>(ListVariant::ArrayList));
+  EXPECT_FALSE(L.isMonitored());
+}
+
+TEST(Monitoring, MoveTransfersReportingDuty) {
+  RecordingSink Sink;
+  {
+    List<int64_t> A(makeListImpl<int64_t>(ListVariant::ArrayList), &Sink,
+                    3);
+    A.add(1);
+    List<int64_t> B = std::move(A);
+    EXPECT_FALSE(A.isMonitored()); // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(B.isMonitored());
+    B.add(2);
+    // A dying here must not report.
+  }
+  EXPECT_EQ(Sink.Reports, 1);
+  EXPECT_EQ(Sink.LastProfile->count(OperationKind::Populate), 2u);
+}
+
+TEST(Monitoring, MoveAssignmentReportsOverwrittenInstance) {
+  RecordingSink Sink;
+  {
+    Set<int64_t> A(makeSetImpl<int64_t>(SetVariant::ArraySet), &Sink, 1);
+    A.add(10);
+    Set<int64_t> B(makeSetImpl<int64_t>(SetVariant::ArraySet), &Sink, 2);
+    B.add(20);
+    B.add(21);
+    // Overwriting B finishes its original instance (slot 2)...
+    B = std::move(A);
+    EXPECT_EQ(Sink.Reports, 1);
+    EXPECT_EQ(Sink.LastSlot, 2u);
+    EXPECT_EQ(Sink.LastProfile->count(OperationKind::Populate), 2u);
+  }
+  // ...and slot 1 reports when B (now holding A's instance) dies.
+  EXPECT_EQ(Sink.Reports, 2);
+  EXPECT_EQ(Sink.LastSlot, 1u);
+}
+
+TEST(Monitoring, MapFacadeReportsToo) {
+  RecordingSink Sink;
+  {
+    Map<int64_t, int64_t> M(
+        makeMapImpl<int64_t, int64_t>(MapVariant::OpenHashMap), &Sink, 8);
+    for (int64_t I = 0; I != 30; ++I)
+      M.put(I, I);
+  }
+  EXPECT_EQ(Sink.Reports, 1);
+  EXPECT_EQ(Sink.LastProfile->MaxSize, 30u);
+}
+
+TEST(Monitoring, SelfMoveAssignmentIsSafe) {
+  RecordingSink Sink;
+  {
+    List<int64_t> L(makeListImpl<int64_t>(ListVariant::ArrayList), &Sink,
+                    4);
+    L.add(1);
+    List<int64_t> &Ref = L;
+    L = std::move(Ref);
+    EXPECT_TRUE(L.isMonitored());
+    EXPECT_EQ(Sink.Reports, 0);
+  }
+  EXPECT_EQ(Sink.Reports, 1);
+}
+
+} // namespace

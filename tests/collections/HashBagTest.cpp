@@ -1,0 +1,96 @@
+//===- HashBagTest.cpp - HashBag detail tests -------------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/detail/HashBag.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+using namespace cswitch;
+using cswitch::detail::HashBag;
+
+namespace {
+
+TEST(HashBag, CountsMultiplicity) {
+  HashBag<int64_t> Bag;
+  Bag.addOne(5);
+  Bag.addOne(5);
+  Bag.addOne(5);
+  EXPECT_TRUE(Bag.contains(5));
+  EXPECT_EQ(Bag.distinctSize(), 1u);
+  EXPECT_TRUE(Bag.removeOne(5));
+  EXPECT_TRUE(Bag.contains(5)); // two occurrences left.
+  EXPECT_TRUE(Bag.removeOne(5));
+  EXPECT_TRUE(Bag.removeOne(5));
+  EXPECT_FALSE(Bag.contains(5));
+  EXPECT_FALSE(Bag.removeOne(5));
+  EXPECT_EQ(Bag.distinctSize(), 0u);
+}
+
+TEST(HashBag, EmptyBagBehaves) {
+  HashBag<int64_t> Bag;
+  EXPECT_FALSE(Bag.contains(1));
+  EXPECT_FALSE(Bag.removeOne(1));
+  EXPECT_EQ(Bag.distinctSize(), 0u);
+  EXPECT_EQ(Bag.memoryFootprint(), 0u);
+}
+
+TEST(HashBag, GrowsAcrossRehashes) {
+  HashBag<int64_t> Bag;
+  for (int64_t I = 0; I != 2000; ++I)
+    Bag.addOne(I);
+  EXPECT_EQ(Bag.distinctSize(), 2000u);
+  for (int64_t I = 0; I != 2000; ++I)
+    EXPECT_TRUE(Bag.contains(I));
+  EXPECT_FALSE(Bag.contains(2000));
+  EXPECT_GT(Bag.memoryFootprint(), 2000 * sizeof(int64_t));
+}
+
+TEST(HashBag, ClearReleasesEverything) {
+  int64_t LiveBefore = MemoryTracker::liveBytes();
+  HashBag<int64_t> Bag;
+  for (int64_t I = 0; I != 100; ++I)
+    Bag.addOne(I);
+  Bag.clear();
+  EXPECT_EQ(Bag.distinctSize(), 0u);
+  EXPECT_FALSE(Bag.contains(50));
+  EXPECT_EQ(MemoryTracker::liveBytes(), LiveBefore);
+  // Usable after clear.
+  Bag.addOne(7);
+  EXPECT_TRUE(Bag.contains(7));
+}
+
+TEST(HashBag, DifferentialAgainstUnorderedMapOfCounts) {
+  SplitMix64 Rng(77);
+  HashBag<int64_t> Bag;
+  std::unordered_map<int64_t, int> Ref;
+  for (int Op = 0; Op != 5000; ++Op) {
+    int64_t V = static_cast<int64_t>(Rng.nextBelow(64));
+    if (Rng.nextBelow(2) == 0) {
+      Bag.addOne(V);
+      ++Ref[V];
+    } else {
+      bool Removed = Bag.removeOne(V);
+      auto It = Ref.find(V);
+      if (It == Ref.end()) {
+        EXPECT_FALSE(Removed);
+      } else {
+        EXPECT_TRUE(Removed);
+        if (--It->second == 0)
+          Ref.erase(It);
+      }
+    }
+    if (Op % 512 == 0) {
+      for (int64_t K = 0; K != 64; ++K)
+        ASSERT_EQ(Bag.contains(K), Ref.count(K) > 0);
+      ASSERT_EQ(Bag.distinctSize(), Ref.size());
+    }
+  }
+}
+
+} // namespace

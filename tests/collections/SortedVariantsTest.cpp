@@ -1,0 +1,182 @@
+//===- SortedVariantsTest.cpp - Sorted variant and AVL tests -----------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests specific to the sorted collection variants (the paper's §7
+/// future-work extension): sorted iteration order, and the AVL tree's
+/// balance/ordering invariants under randomized churn.
+///
+//===----------------------------------------------------------------------===//
+
+#include "collections/Factory.h"
+#include "collections/detail/AVLTree.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace cswitch;
+using cswitch::detail::AVLTree;
+
+namespace {
+
+TEST(AVLTree, InsertFindEraseBasics) {
+  AVLTree<int64_t, int64_t> Tree;
+  EXPECT_EQ(Tree.size(), 0u);
+  EXPECT_EQ(Tree.find(1), nullptr);
+  EXPECT_TRUE(Tree.insertOrAssign(1, 10));
+  EXPECT_FALSE(Tree.insertOrAssign(1, 20)); // overwrite
+  ASSERT_NE(Tree.find(1), nullptr);
+  EXPECT_EQ(*Tree.find(1), 20);
+  EXPECT_TRUE(Tree.erase(1));
+  EXPECT_FALSE(Tree.erase(1));
+  EXPECT_EQ(Tree.size(), 0u);
+}
+
+TEST(AVLTree, StaysBalancedUnderSequentialInsertion) {
+  // Sequential insertion is the classic BST degeneration case.
+  AVLTree<int64_t, int64_t> Tree;
+  for (int64_t I = 0; I != 4096; ++I) {
+    Tree.insertOrAssign(I, I);
+    if (I % 512 == 0) {
+      ASSERT_TRUE(Tree.verifyInvariants());
+    }
+  }
+  EXPECT_TRUE(Tree.verifyInvariants());
+  EXPECT_EQ(Tree.size(), 4096u);
+}
+
+TEST(AVLTree, StaysBalancedUnderRandomChurn) {
+  SplitMix64 Rng(91);
+  AVLTree<int64_t, int64_t> Tree;
+  std::map<int64_t, int64_t> Ref;
+  for (int Op = 0; Op != 20000; ++Op) {
+    int64_t K = static_cast<int64_t>(Rng.nextBelow(512));
+    if (Rng.nextBelow(3) != 0) {
+      int64_t V = static_cast<int64_t>(Rng.next());
+      bool New = Ref.find(K) == Ref.end();
+      EXPECT_EQ(Tree.insertOrAssign(K, V), New);
+      Ref[K] = V;
+    } else {
+      EXPECT_EQ(Tree.erase(K), Ref.erase(K) > 0);
+    }
+    if (Op % 2048 == 0) {
+      ASSERT_TRUE(Tree.verifyInvariants());
+    }
+  }
+  ASSERT_TRUE(Tree.verifyInvariants());
+  ASSERT_EQ(Tree.size(), Ref.size());
+  // Full in-order comparison.
+  auto It = Ref.begin();
+  Tree.inorder([&It, &Ref](const int64_t &K, const int64_t &V) {
+    ASSERT_NE(It, Ref.end());
+    EXPECT_EQ(K, It->first);
+    EXPECT_EQ(V, It->second);
+    ++It;
+  });
+  EXPECT_EQ(It, Ref.end());
+}
+
+TEST(AVLTree, EraseTwoChildrenNodes) {
+  AVLTree<int64_t, int64_t> Tree;
+  for (int64_t K : {50, 25, 75, 12, 37, 62, 87})
+    Tree.insertOrAssign(K, K);
+  // 50 has two children; its successor 62 replaces it.
+  EXPECT_TRUE(Tree.erase(50));
+  EXPECT_EQ(Tree.find(50), nullptr);
+  ASSERT_NE(Tree.find(62), nullptr);
+  EXPECT_TRUE(Tree.verifyInvariants());
+  EXPECT_EQ(Tree.size(), 6u);
+}
+
+TEST(AVLTree, MemoryIsReleasedOnClear) {
+  int64_t LiveBefore = MemoryTracker::liveBytes();
+  {
+    AVLTree<int64_t, int64_t> Tree;
+    for (int64_t I = 0; I != 1000; ++I)
+      Tree.insertOrAssign(I, I);
+    EXPECT_GT(MemoryTracker::liveBytes(), LiveBefore);
+    Tree.clear();
+    EXPECT_EQ(MemoryTracker::liveBytes(), LiveBefore);
+    Tree.insertOrAssign(1, 1); // usable after clear
+  }
+  EXPECT_EQ(MemoryTracker::liveBytes(), LiveBefore);
+}
+
+TEST(TreeSet, IteratesInAscendingOrder) {
+  auto S = makeSetImpl<int64_t>(SetVariant::TreeSet);
+  SplitMix64 Rng(92);
+  std::set<int64_t> Ref;
+  for (int I = 0; I != 500; ++I) {
+    int64_t V = static_cast<int64_t>(Rng.nextBelow(10000));
+    S->add(V);
+    Ref.insert(V);
+  }
+  std::vector<int64_t> Seen;
+  S->forEach([&Seen](const int64_t &V) { Seen.push_back(V); });
+  EXPECT_TRUE(std::is_sorted(Seen.begin(), Seen.end()));
+  EXPECT_EQ(Seen.size(), Ref.size());
+}
+
+TEST(SortedArraySet, IteratesInAscendingOrder) {
+  auto S = makeSetImpl<int64_t>(SetVariant::SortedArraySet);
+  for (int64_t V : {9, 1, 5, 3, 7})
+    S->add(V);
+  std::vector<int64_t> Seen;
+  S->forEach([&Seen](const int64_t &V) { Seen.push_back(V); });
+  EXPECT_EQ(Seen, (std::vector<int64_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(TreeMap, IteratesInAscendingKeyOrder) {
+  auto M = makeMapImpl<int64_t, int64_t>(MapVariant::TreeMap);
+  for (int64_t K : {40, 10, 30, 20})
+    M->put(K, K * 2);
+  std::vector<int64_t> Keys;
+  M->forEach([&Keys](const int64_t &K, const int64_t &) {
+    Keys.push_back(K);
+  });
+  EXPECT_EQ(Keys, (std::vector<int64_t>{10, 20, 30, 40}));
+}
+
+TEST(SortedArrayMap, IteratesInAscendingKeyOrder) {
+  auto M = makeMapImpl<int64_t, int64_t>(MapVariant::SortedArrayMap);
+  for (int64_t K : {40, 10, 30, 20})
+    M->put(K, K * 2);
+  std::vector<int64_t> Keys;
+  M->forEach([&Keys](const int64_t &K, const int64_t &) {
+    Keys.push_back(K);
+  });
+  EXPECT_EQ(Keys, (std::vector<int64_t>{10, 20, 30, 40}));
+  EXPECT_EQ(*M->get(30), 60);
+}
+
+TEST(SortedArraySet, FootprintMatchesPlainArraySet) {
+  auto Sorted = makeSetImpl<int64_t>(SetVariant::SortedArraySet);
+  auto Plain = makeSetImpl<int64_t>(SetVariant::ArraySet);
+  for (int64_t I = 0; I != 1000; ++I) {
+    Sorted->add(I * 3);
+    Plain->add(I * 3);
+  }
+  // Both are bare arrays: same asymptotic footprint.
+  EXPECT_NEAR(static_cast<double>(Sorted->memoryFootprint()),
+              static_cast<double>(Plain->memoryFootprint()),
+              static_cast<double>(Plain->memoryFootprint()) * 0.05);
+}
+
+TEST(TreeSet, HigherFootprintThanSortedArray) {
+  auto Tree = makeSetImpl<int64_t>(SetVariant::TreeSet);
+  auto Sorted = makeSetImpl<int64_t>(SetVariant::SortedArraySet);
+  for (int64_t I = 0; I != 1000; ++I) {
+    Tree->add(I);
+    Sorted->add(I);
+  }
+  EXPECT_GT(Tree->memoryFootprint(), 2 * Sorted->memoryFootprint());
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- VariantsTest.cpp - Variant identity tests -----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/Variants.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(Variants, CountsMatchEnumArrays) {
+  EXPECT_EQ(AllListVariants.size(), NumListVariants);
+  EXPECT_EQ(AllSetVariants.size(), NumSetVariants);
+  EXPECT_EQ(AllMapVariants.size(), NumMapVariants);
+  EXPECT_EQ(numVariantsOf(AbstractionKind::List), NumListVariants);
+  EXPECT_EQ(numVariantsOf(AbstractionKind::Set), NumSetVariants);
+  EXPECT_EQ(numVariantsOf(AbstractionKind::Map), NumMapVariants);
+}
+
+TEST(Variants, NamesAreUniqueAndRoundTrip) {
+  std::set<std::string> Names;
+  for (ListVariant V : AllListVariants) {
+    Names.insert(listVariantName(V));
+    ListVariant Out;
+    ASSERT_TRUE(parseListVariant(listVariantName(V), Out));
+    EXPECT_EQ(Out, V);
+  }
+  EXPECT_EQ(Names.size(), NumListVariants);
+  Names.clear();
+  for (SetVariant V : AllSetVariants) {
+    Names.insert(setVariantName(V));
+    SetVariant Out;
+    ASSERT_TRUE(parseSetVariant(setVariantName(V), Out));
+    EXPECT_EQ(Out, V);
+  }
+  EXPECT_EQ(Names.size(), NumSetVariants);
+  Names.clear();
+  for (MapVariant V : AllMapVariants) {
+    Names.insert(mapVariantName(V));
+    MapVariant Out;
+    ASSERT_TRUE(parseMapVariant(mapVariantName(V), Out));
+    EXPECT_EQ(Out, V);
+  }
+  EXPECT_EQ(Names.size(), NumMapVariants);
+}
+
+TEST(Variants, ParseRejectsUnknownNames) {
+  ListVariant L;
+  SetVariant S;
+  MapVariant M;
+  EXPECT_FALSE(parseListVariant("NoSuchList", L));
+  EXPECT_FALSE(parseSetVariant("", S));
+  EXPECT_FALSE(parseMapVariant("ArrayList", M)); // wrong abstraction.
+}
+
+TEST(VariantId, TagsAbstractions) {
+  VariantId L = VariantId::of(ListVariant::AdaptiveList);
+  EXPECT_EQ(L.Abstraction, AbstractionKind::List);
+  EXPECT_EQ(L.name(), "AdaptiveList");
+  VariantId S = VariantId::of(SetVariant::CompactHashSet);
+  EXPECT_EQ(S.name(), "CompactHashSet");
+  VariantId M = VariantId::of(MapVariant::ArrayMap);
+  EXPECT_EQ(M.name(), "ArrayMap");
+  EXPECT_FALSE(L == S);
+  EXPECT_TRUE(L == VariantId::of(ListVariant::AdaptiveList));
+}
+
+TEST(Variants, AbstractionKindNames) {
+  EXPECT_STREQ(abstractionKindName(AbstractionKind::List), "list");
+  EXPECT_STREQ(abstractionKindName(AbstractionKind::Set), "set");
+  EXPECT_STREQ(abstractionKindName(AbstractionKind::Map), "map");
+}
+
+} // namespace

@@ -1,0 +1,342 @@
+//===- AllocationContextTest.cpp - Allocation context tests ------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests of the allocation-site adaptation machinery (paper §3.1, §4.3):
+/// window-based monitoring, the finished-ratio gate, total-cost-driven
+/// switching, the adaptive-variant eligibility gate, and round isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocationContext.h"
+#include "model/DefaultModel.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+using namespace cswitch;
+
+namespace {
+
+std::shared_ptr<const PerformanceModel> defaultModel() {
+  static auto Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  return Model;
+}
+
+ContextOptions quietOptions(size_t Window = 10, double Ratio = 0.6) {
+  ContextOptions Options;
+  Options.WindowSize = Window;
+  Options.FinishedRatio = Ratio;
+  Options.LogEvents = false;
+  return Options;
+}
+
+/// Runs N instances through the context with the given per-instance
+/// workload.
+template <typename ContextT, typename Fn>
+void runInstances(ContextT &Ctx, int N, Fn &&Workload) {
+  for (int I = 0; I != N; ++I) {
+    auto Collection = Ctx.createList();
+    Workload(Collection);
+  }
+}
+
+TEST(AllocationContext, MonitorsExactlyWindowSize) {
+  ListContext<int64_t> Ctx("t:window", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions(5));
+  std::vector<List<int64_t>> Held;
+  for (int I = 0; I != 12; ++I)
+    Held.push_back(Ctx.createList());
+  int Monitored = 0;
+  for (const List<int64_t> &L : Held)
+    Monitored += L.isMonitored();
+  EXPECT_EQ(Monitored, 5);
+  EXPECT_EQ(Ctx.instancesCreated(), 12u);
+  EXPECT_EQ(Ctx.instancesMonitored(), 5u);
+}
+
+TEST(AllocationContext, EvaluateNeedsFinishedRatio) {
+  ListContext<int64_t> Ctx("t:ratio", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions(10, 0.6));
+  // Keep 5 of 10 monitored instances alive: 50% finished < 60% ratio.
+  std::vector<List<int64_t>> Alive;
+  for (int I = 0; I != 10; ++I) {
+    List<int64_t> L = Ctx.createList();
+    for (int64_t V = 0; V != 300; ++V)
+      L.add(V);
+    for (int64_t V = 0; V != 500; ++V)
+      (void)L.contains(V);
+    if (I % 2 == 0)
+      Alive.push_back(std::move(L));
+  }
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.evaluationCount(), 0u);
+  // Finish one more: 60% reached.
+  Alive.pop_back();
+  EXPECT_TRUE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.evaluationCount(), 1u);
+}
+
+TEST(AllocationContext, EmptyContextNeverEvaluates) {
+  ListContext<int64_t> Ctx("t:empty", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions());
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.evaluationCount(), 0u);
+}
+
+TEST(AllocationContext, SwitchesToHashForLookupHeavyLists) {
+  ListContext<int64_t> Ctx("t:lookup", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions());
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 400; ++I)
+      L.add(I);
+    for (int64_t I = 0; I != 2000; ++I)
+      (void)L.contains(I);
+  });
+  EXPECT_TRUE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariant().name(), "HashArrayList");
+  EXPECT_EQ(Ctx.switchCount(), 1u);
+}
+
+TEST(AllocationContext, KeepsArrayListForAppendIterateWorkloads) {
+  ListContext<int64_t> Ctx("t:append", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions());
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 200; ++I)
+      L.add(I);
+    for (int I = 0; I != 5; ++I)
+      L.forEach([](const int64_t &) {});
+  });
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariantIndex(),
+            static_cast<unsigned>(ListVariant::ArrayList));
+}
+
+TEST(AllocationContext, LinkedListIndexWorkloadMovesToArrayList) {
+  // The paper's bloat finding (Table 6 Rtime: LL -> AL).
+  ListContext<int64_t> Ctx("t:index", ListVariant::LinkedList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions());
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 200; ++I)
+      L.add(I);
+    for (size_t I = 0; I != 600; ++I)
+      (void)L.get(I % 200);
+  });
+  EXPECT_TRUE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariant().name(), "ArrayList");
+}
+
+TEST(AllocationContext, SetContextSwitchesChainedToOpenHash) {
+  SetContext<int64_t> Ctx("t:set", SetVariant::ChainedHashSet,
+                          defaultModel(), SelectionRule::timeRule(),
+                          quietOptions());
+  for (int I = 0; I != 10; ++I) {
+    Set<int64_t> S = Ctx.createSet();
+    for (int64_t V = 0; V != 300; ++V)
+      S.add(V);
+    for (int64_t V = 0; V != 1500; ++V)
+      (void)S.contains(V % 600);
+  }
+  EXPECT_TRUE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariant().name(), "OpenHashSet");
+}
+
+TEST(AllocationContext, MapContextUnderRallocPrefersCompactVariants) {
+  MapContext<int64_t, int64_t> Ctx("t:map", MapVariant::ChainedHashMap,
+                                   defaultModel(),
+                                   SelectionRule::allocRule(),
+                                   quietOptions());
+  for (int I = 0; I != 10; ++I) {
+    Map<int64_t, int64_t> M = Ctx.createMap();
+    for (int64_t V = 0; V != 200; ++V)
+      M.put(V, V);
+    for (int64_t V = 0; V != 400; ++V)
+      (void)M.get(V % 400);
+  }
+  EXPECT_TRUE(Ctx.evaluate());
+  // ChainedHashMap allocates 70 B/op in the default model; both
+  // CompactHashMap (34) and AdaptiveMap (45, if eligible) qualify, and
+  // the lowest-alloc eligible candidate must win.
+  EXPECT_EQ(Ctx.currentVariant().name(), "CompactHashMap");
+}
+
+TEST(AllocationContext, AdaptiveGateRequiresWideSizeRange) {
+  // All instances the same small size: adaptive variants are not
+  // eligible candidates (§3.2), even when their model costs are low.
+  SetContext<int64_t> Narrow("t:narrow", SetVariant::ChainedHashSet,
+                             defaultModel(), SelectionRule::allocRule(),
+                             quietOptions());
+  for (int I = 0; I != 10; ++I) {
+    Set<int64_t> S = Narrow.createSet();
+    for (int64_t V = 0; V != 20; ++V)
+      S.add(V);
+    for (int64_t V = 0; V != 40; ++V)
+      (void)S.contains(V);
+  }
+  EXPECT_TRUE(Narrow.evaluate());
+  EXPECT_NE(Narrow.currentVariant().name(), "AdaptiveSet");
+
+  // Wide-ranging sizes straddling the adaptive threshold (40): the
+  // adaptive variant becomes eligible and wins on allocation.
+  SetContext<int64_t> Wide("t:wide", SetVariant::ChainedHashSet,
+                           defaultModel(), SelectionRule::allocRule(),
+                           quietOptions());
+  for (int I = 0; I != 10; ++I) {
+    Set<int64_t> S = Wide.createSet();
+    int64_t Size = I % 2 == 0 ? 10 : 200;
+    for (int64_t V = 0; V != Size; ++V)
+      S.add(V);
+    for (int64_t V = 0; V != 100; ++V)
+      (void)S.contains(V);
+  }
+  EXPECT_TRUE(Wide.evaluate());
+  // CompactHashSet (22 B/op) still beats AdaptiveSet (30 B/op) on pure
+  // allocation, so check eligibility via a rule preferring adaptive:
+  // with alloc 22 vs 30 both < 0.8 * 60; Compact wins the primary
+  // criterion. The gate itself is observable through the Narrow case
+  // above plus the different candidate sets; assert the switch happened
+  // to an alloc-improving variant.
+  std::string Name = Wide.currentVariant().name();
+  EXPECT_TRUE(Name == "CompactHashSet" || Name == "AdaptiveSet" ||
+              Name == "SortedArraySet")
+      << Name;
+}
+
+TEST(AllocationContext, ImpossibleRuleEvaluatesButNeverSwitches) {
+  ListContext<int64_t> Ctx("t:impossible", ListVariant::ArrayList,
+                           defaultModel(),
+                           SelectionRule::impossibleRule(),
+                           quietOptions());
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 400; ++I)
+      L.add(I);
+    for (int64_t I = 0; I != 2000; ++I)
+      (void)L.contains(I);
+  });
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.evaluationCount(), 1u);
+  EXPECT_EQ(Ctx.switchCount(), 0u);
+}
+
+TEST(AllocationContext, NewRoundStartsAfterEvaluation) {
+  ListContext<int64_t> Ctx("t:rounds", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions(5, 0.6));
+  runInstances(Ctx, 5, [](List<int64_t> &L) { L.add(1); });
+  EXPECT_TRUE(Ctx.evaluate() || true); // evaluation ran (maybe no switch)
+  EXPECT_EQ(Ctx.evaluationCount(), 1u);
+  // The window is recycled: new instances are monitored again.
+  List<int64_t> L = Ctx.createList();
+  EXPECT_TRUE(L.isMonitored());
+  EXPECT_EQ(Ctx.instancesMonitored(), 6u);
+}
+
+TEST(AllocationContext, StaleInstancesFromOldRoundsAreDiscarded) {
+  ListContext<int64_t> Ctx("t:stale", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions(4, 0.5));
+  // Hold one monitored instance across the round boundary.
+  std::optional<List<int64_t>> Straggler = Ctx.createList();
+  Straggler->add(1);
+  runInstances(Ctx, 3, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 50; ++I)
+      L.add(I);
+  });
+  EXPECT_TRUE(Ctx.evaluate() || true);
+  ASSERT_EQ(Ctx.evaluationCount(), 1u);
+  // Straggler dies in round 1 with a round-0 slot: must be ignored, not
+  // corrupt the fresh window.
+  Straggler.reset();
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.evaluationCount(), 1u);
+}
+
+TEST(AllocationContext, ContinuousAdaptationCanSwitchBack) {
+  // Phase 1: lookup-heavy -> HashArrayList. Phase 2: index-access heavy
+  // -> back to ArrayList (the paper's multi-phase behaviour, Fig. 6).
+  ListContext<int64_t> Ctx("t:phases", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions());
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 400; ++I)
+      L.add(I);
+    for (int64_t I = 0; I != 3000; ++I)
+      (void)L.contains(I);
+  });
+  ASSERT_TRUE(Ctx.evaluate());
+  ASSERT_EQ(Ctx.currentVariant().name(), "HashArrayList");
+
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 300; ++I)
+      L.add(I);
+    for (size_t I = 0; I != 2000; ++I)
+      (void)L.get(I % 300);
+  });
+  ASSERT_TRUE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariant().name(), "ArrayList");
+  EXPECT_EQ(Ctx.switchCount(), 2u);
+}
+
+TEST(AllocationContext, RemovePhaseKeepsHashArrayListLikeThePaper) {
+  // The paper observed (§5.1) that in the "search and remove" phase the
+  // framework kept HashArrayList instead of the optimal ArrayList — the
+  // model gap between the two removal costs is below the 0.8 switching
+  // threshold. Our default model reproduces that stickiness.
+  ListContext<int64_t> Ctx("t:removephase", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quietOptions());
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 400; ++I)
+      L.add(I);
+    for (int64_t I = 0; I != 3000; ++I)
+      (void)L.contains(I);
+  });
+  ASSERT_TRUE(Ctx.evaluate());
+  ASSERT_EQ(Ctx.currentVariant().name(), "HashArrayList");
+
+  runInstances(Ctx, 10, [](List<int64_t> &L) {
+    for (int64_t I = 0; I != 300; ++I)
+      L.add(I);
+    for (int64_t I = 0; I != 600; ++I)
+      (void)L.remove(I % 300);
+  });
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariant().name(), "HashArrayList");
+}
+
+TEST(AllocationContext, MemoryFootprintIsAboutOneKilobyte) {
+  // Paper §5.3: "each allocation context has a footprint of ~1 KB".
+  ContextOptions Options = quietOptions(100);
+  ListContext<int64_t> Ctx("t:footprint", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           Options);
+  size_t Bytes = Ctx.memoryFootprint();
+  EXPECT_GT(Bytes, 256u);
+  EXPECT_LT(Bytes, 16384u);
+}
+
+TEST(AllocationContext, ReportsIdentity) {
+  MapContext<int64_t, int64_t> Ctx("site:42", MapVariant::ArrayMap,
+                                   defaultModel(),
+                                   SelectionRule::allocRule(),
+                                   quietOptions());
+  EXPECT_EQ(Ctx.name(), "site:42");
+  EXPECT_EQ(Ctx.abstraction(), AbstractionKind::Map);
+  EXPECT_EQ(Ctx.currentVariant().name(), "ArrayMap");
+  EXPECT_EQ(Ctx.rule().Name, "Ralloc");
+  EXPECT_EQ(Ctx.options().WindowSize, 10u);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- ContextEdgeCasesTest.cpp - Context boundary conditions ----------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boundary conditions of the allocation-context machinery: degenerate
+/// window sizes and finished ratios, empty models, rules over unused
+/// dimensions, and report-after-clear facade lifecycles.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocationContext.h"
+#include "model/DefaultModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+std::shared_ptr<const PerformanceModel> defaultModel() {
+  static auto Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  return Model;
+}
+
+ContextOptions quiet(size_t Window, double Ratio) {
+  ContextOptions Options;
+  Options.WindowSize = Window;
+  Options.FinishedRatio = Ratio;
+  Options.LogEvents = false;
+  return Options;
+}
+
+void lookupHeavy(ListContext<int64_t> &Ctx, int Instances) {
+  for (int I = 0; I != Instances; ++I) {
+    List<int64_t> L = Ctx.createList();
+    for (int64_t V = 0; V != 400; ++V)
+      L.add(V);
+    for (int64_t V = 0; V != 3000; ++V)
+      (void)L.contains(V);
+  }
+}
+
+TEST(ContextEdgeCases, WindowSizeOneWorks) {
+  ListContext<int64_t> Ctx("edge:w1", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quiet(1, 0.6));
+  lookupHeavy(Ctx, 1);
+  EXPECT_TRUE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariant().name(), "HashArrayList");
+  EXPECT_EQ(Ctx.instancesMonitored(), 1u);
+}
+
+TEST(ContextEdgeCases, ZeroFinishedRatioStillNeedsOneProfile) {
+  ListContext<int64_t> Ctx("edge:r0", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quiet(10, 0.0));
+  // No instances at all: nothing to analyze.
+  EXPECT_FALSE(Ctx.evaluate());
+  // One live (unfinished) monitored instance: still nothing finished.
+  List<int64_t> Alive = Ctx.createList();
+  Alive.add(1);
+  EXPECT_FALSE(Ctx.evaluate());
+  // One finished instance suffices at ratio 0.
+  lookupHeavy(Ctx, 1);
+  EXPECT_TRUE(Ctx.evaluate());
+}
+
+TEST(ContextEdgeCases, RatioAboveOneNeverEvaluates) {
+  ListContext<int64_t> Ctx("edge:r2", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quiet(4, 2.0));
+  lookupHeavy(Ctx, 16);
+  // 4 of 4 finished < required ceil(2.0 * 4) = 8: gated forever.
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.evaluationCount(), 0u);
+}
+
+TEST(ContextEdgeCases, EmptyModelNeverSwitches) {
+  auto Empty = std::make_shared<const PerformanceModel>();
+  ListContext<int64_t> Ctx("edge:empty", ListVariant::ArrayList, Empty,
+                           SelectionRule::timeRule(), quiet(5, 0.5));
+  lookupHeavy(Ctx, 5);
+  // Every candidate (and the current variant) lacks model coverage:
+  // nothing is eligible, the context stays put and does not crash.
+  EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.currentVariantIndex(),
+            static_cast<unsigned>(ListVariant::ArrayList));
+}
+
+TEST(ContextEdgeCases, RuleOnUnpopulatedDimensionKeepsCurrent) {
+  // A model with only time costs, driven by an alloc rule: TC_alloc is
+  // zero everywhere, so no candidate can show a strict improvement.
+  auto TimeOnly = std::make_shared<PerformanceModel>();
+  for (ListVariant V : AllListVariants)
+    TimeOnly->setCost(VariantId::of(V), OperationKind::Contains,
+                      CostDimension::Time, Polynomial({5.0}));
+  auto Model = std::shared_ptr<const PerformanceModel>(TimeOnly);
+  ListContext<int64_t> Ctx("edge:dim", ListVariant::ArrayList, Model,
+                           SelectionRule::allocRule(), quiet(5, 0.5));
+  lookupHeavy(Ctx, 5);
+  EXPECT_FALSE(Ctx.evaluate());
+}
+
+TEST(ContextEdgeCases, ClearedAndReusedFacadeStillReportsOnce) {
+  ListContext<int64_t> Ctx("edge:reuse", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quiet(2, 0.5));
+  {
+    List<int64_t> L = Ctx.createList();
+    for (int64_t V = 0; V != 50; ++V)
+      L.add(V);
+    L.clear();
+    for (int64_t V = 0; V != 200; ++V)
+      L.add(V);
+    // MaxSize reflects the larger incarnation; the context receives one
+    // report at destruction.
+    EXPECT_EQ(L.profile().MaxSize, 200u);
+  }
+  EXPECT_TRUE(Ctx.evaluate() || Ctx.evaluationCount() == 1);
+}
+
+TEST(ContextEdgeCases, ManyEvaluationsWithoutInstancesAreCheap) {
+  ListContext<int64_t> Ctx("edge:idle", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quiet(100, 0.6));
+  for (int I = 0; I != 10000; ++I)
+    EXPECT_FALSE(Ctx.evaluate());
+  EXPECT_EQ(Ctx.evaluationCount(), 0u);
+}
+
+TEST(ContextEdgeCases, SwitchTargetPersistsAcrossManyRounds) {
+  ListContext<int64_t> Ctx("edge:persist", ListVariant::ArrayList,
+                           defaultModel(), SelectionRule::timeRule(),
+                           quiet(5, 0.6));
+  for (int Round = 0; Round != 5; ++Round) {
+    lookupHeavy(Ctx, 5);
+    Ctx.evaluate();
+  }
+  // Stable workload: one switch, then the choice holds.
+  EXPECT_EQ(Ctx.switchCount(), 1u);
+  EXPECT_EQ(Ctx.currentVariant().name(), "HashArrayList");
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- ProfileTraceTest.cpp - Trace persistence tests ------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileTrace.h"
+#include "model/DefaultModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+using namespace cswitch;
+
+namespace {
+
+WorkloadProfile sampleProfile(uint64_t Seed) {
+  WorkloadProfile P;
+  P.record(OperationKind::Populate, 10 + Seed);
+  P.record(OperationKind::Contains, 100 * Seed);
+  P.record(OperationKind::Remove, Seed % 3);
+  P.recordSize(10 + Seed);
+  return P;
+}
+
+TEST(ProfileTrace, RoundTripsSitesAndProfiles) {
+  ProfileAggregator SetSite("App.cpp:10", AbstractionKind::Set,
+                            static_cast<unsigned>(SetVariant::ChainedHashSet));
+  ProfileAggregator MapSite("App.cpp:20 with spaces", AbstractionKind::Map,
+                            static_cast<unsigned>(MapVariant::ArrayMap));
+  for (uint64_t I = 1; I <= 5; ++I)
+    SetSite.onInstanceFinished(0, sampleProfile(I));
+  MapSite.onInstanceFinished(0, sampleProfile(9));
+
+  std::ostringstream OS;
+  saveTrace(OS, {&SetSite, &MapSite});
+
+  std::vector<SiteTrace> Loaded;
+  std::istringstream IS(OS.str());
+  ASSERT_TRUE(loadTrace(IS, Loaded));
+  ASSERT_EQ(Loaded.size(), 2u);
+  EXPECT_EQ(Loaded[0].Site, "App.cpp:10");
+  EXPECT_EQ(Loaded[0].Kind, AbstractionKind::Set);
+  EXPECT_EQ(Loaded[0].DeclaredVariantIndex,
+            static_cast<unsigned>(SetVariant::ChainedHashSet));
+  ASSERT_EQ(Loaded[0].Profiles.size(), 5u);
+  EXPECT_EQ(Loaded[0].Profiles[0], sampleProfile(1));
+  EXPECT_EQ(Loaded[0].Profiles[4], sampleProfile(5));
+  EXPECT_EQ(Loaded[1].Site, "App.cpp:20 with spaces");
+  ASSERT_EQ(Loaded[1].Profiles.size(), 1u);
+  EXPECT_EQ(Loaded[1].Profiles[0], sampleProfile(9));
+}
+
+TEST(ProfileTrace, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/cswitch_trace_test.txt";
+  ProfileAggregator Site("F.cpp:1", AbstractionKind::List,
+                         static_cast<unsigned>(ListVariant::ArrayList));
+  Site.onInstanceFinished(0, sampleProfile(3));
+  ASSERT_TRUE(saveTraceToFile(Path, {&Site}));
+  std::vector<SiteTrace> Loaded;
+  ASSERT_TRUE(loadTraceFromFile(Path, Loaded));
+  ASSERT_EQ(Loaded.size(), 1u);
+  EXPECT_EQ(Loaded[0].Profiles[0], sampleProfile(3));
+  std::remove(Path.c_str());
+}
+
+TEST(ProfileTrace, RejectsMalformedDocuments) {
+  for (const char *Bad :
+       {"", "wrong header\n",
+        "cswitch-profile-trace v1\nprofile 1 1 1 1 1 1 1\n", // before site
+        "cswitch-profile-trace v1\nsite bogus ArrayList a\n",
+        "cswitch-profile-trace v1\nsite list Bogus a\n",
+        "cswitch-profile-trace v1\nsite list ArrayList\n", // no name
+        "cswitch-profile-trace v1\nsite list ArrayList a\nprofile 1 2\n",
+        "cswitch-profile-trace v1\nunknown line\n"}) {
+    std::vector<SiteTrace> Out;
+    std::istringstream IS(Bad);
+    EXPECT_FALSE(loadTrace(IS, Out)) << Bad;
+  }
+}
+
+TEST(ProfileTrace, HeaderOnlyIsEmptyTrace) {
+  std::vector<SiteTrace> Out;
+  std::istringstream IS("cswitch-profile-trace v1\n");
+  ASSERT_TRUE(loadTrace(IS, Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(ProfileTrace, LoadedTraceAdvisesLikeLiveAggregator) {
+  PerformanceModel Model = defaultPerformanceModel();
+  ProfileAggregator Live("S.cpp:7", AbstractionKind::Set,
+                         static_cast<unsigned>(SetVariant::ChainedHashSet));
+  for (uint64_t I = 1; I <= 8; ++I) {
+    WorkloadProfile P;
+    P.record(OperationKind::Populate, 300);
+    P.record(OperationKind::Contains, 2000);
+    P.recordSize(300);
+    Live.onInstanceFinished(0, P);
+  }
+  std::vector<SiteRecommendation> Direct =
+      adviseOffline({&Live}, Model, SelectionRule::timeRule());
+
+  std::ostringstream OS;
+  saveTrace(OS, {&Live});
+  std::vector<SiteTrace> Loaded;
+  std::istringstream IS(OS.str());
+  ASSERT_TRUE(loadTrace(IS, Loaded));
+  std::vector<SiteRecommendation> ViaTrace =
+      adviseOffline(Loaded, Model, SelectionRule::timeRule());
+
+  ASSERT_EQ(Direct.size(), ViaTrace.size());
+  ASSERT_TRUE(Direct[0].RecommendedVariantIndex.has_value());
+  ASSERT_TRUE(ViaTrace[0].RecommendedVariantIndex.has_value());
+  EXPECT_EQ(*Direct[0].RecommendedVariantIndex,
+            *ViaTrace[0].RecommendedVariantIndex);
+  EXPECT_EQ(Direct[0].Site, ViaTrace[0].Site);
+}
+
+} // namespace

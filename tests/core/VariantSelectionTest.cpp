@@ -1,0 +1,150 @@
+//===- VariantSelectionTest.cpp - Selection algorithm tests ------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/VariantSelection.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+VariantCosts costs(double Time, double Alloc, bool Eligible = true) {
+  VariantCosts C;
+  C.Total[static_cast<size_t>(CostDimension::Time)] = Time;
+  C.Total[static_cast<size_t>(CostDimension::Alloc)] = Alloc;
+  C.Eligible = Eligible;
+  return C;
+}
+
+TEST(SelectionRulePresets, MatchPaperTable4) {
+  SelectionRule Rtime = SelectionRule::timeRule();
+  EXPECT_EQ(Rtime.Name, "Rtime");
+  ASSERT_EQ(Rtime.Criteria.size(), 1u);
+  EXPECT_EQ(Rtime.Criteria[0].Dimension, CostDimension::Time);
+  EXPECT_DOUBLE_EQ(Rtime.Criteria[0].Threshold, 0.8);
+  EXPECT_EQ(Rtime.primaryDimension(), CostDimension::Time);
+
+  SelectionRule Ralloc = SelectionRule::allocRule();
+  EXPECT_EQ(Ralloc.Name, "Ralloc");
+  ASSERT_EQ(Ralloc.Criteria.size(), 2u);
+  EXPECT_EQ(Ralloc.Criteria[0].Dimension, CostDimension::Alloc);
+  EXPECT_DOUBLE_EQ(Ralloc.Criteria[0].Threshold, 0.8);
+  EXPECT_EQ(Ralloc.Criteria[1].Dimension, CostDimension::Time);
+  EXPECT_DOUBLE_EQ(Ralloc.Criteria[1].Threshold, 1.2);
+  EXPECT_EQ(Ralloc.primaryDimension(), CostDimension::Alloc);
+
+  SelectionRule Impossible = SelectionRule::impossibleRule();
+  EXPECT_LT(Impossible.Criteria[0].Threshold, 0.01);
+}
+
+TEST(SelectVariant, PicksClearImprovement) {
+  std::vector<VariantCosts> C = {costs(1000, 0), costs(100, 0)};
+  auto Choice = selectVariant(C, 0, SelectionRule::timeRule());
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 1u);
+}
+
+TEST(SelectVariant, KeepsCurrentWhenNothingQualifies) {
+  std::vector<VariantCosts> C = {costs(100, 0), costs(90, 0)};
+  // 90/100 = 0.9 > 0.8 threshold.
+  EXPECT_FALSE(selectVariant(C, 0, SelectionRule::timeRule()).has_value());
+}
+
+TEST(SelectVariant, ThresholdBoundaryIsInclusive) {
+  std::vector<VariantCosts> C = {costs(100, 0), costs(80, 0)};
+  // Exactly at the 0.8 ratio qualifies (<=).
+  auto Choice = selectVariant(C, 0, SelectionRule::timeRule());
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 1u);
+}
+
+TEST(SelectVariant, BestOfManyWinsOnPrimaryDimension) {
+  std::vector<VariantCosts> C = {costs(1000, 0), costs(500, 0),
+                                 costs(200, 0), costs(300, 0)};
+  auto Choice = selectVariant(C, 0, SelectionRule::timeRule());
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 2u);
+}
+
+TEST(SelectVariant, IneligibleCandidatesAreSkipped) {
+  std::vector<VariantCosts> C = {costs(1000, 0),
+                                 costs(100, 0, /*Eligible=*/false),
+                                 costs(300, 0)};
+  auto Choice = selectVariant(C, 0, SelectionRule::timeRule());
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 2u);
+}
+
+TEST(SelectVariant, PenaltyCriterionVetoesFastAllocButSlowTime) {
+  // Ralloc: alloc < 0.8 AND time < 1.2. Candidate 1 halves the
+  // allocation but doubles the time: rejected.
+  std::vector<VariantCosts> C = {costs(100, 1000), costs(200, 500),
+                                 costs(110, 600)};
+  auto Choice = selectVariant(C, 0, SelectionRule::allocRule());
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 2u);
+}
+
+TEST(SelectVariant, AllocRulePrimaryIsAlloc) {
+  // Both qualify; candidate 2 has lower alloc though higher time.
+  std::vector<VariantCosts> C = {costs(100, 1000), costs(90, 700),
+                                 costs(115, 500)};
+  auto Choice = selectVariant(C, 0, SelectionRule::allocRule());
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 2u);
+}
+
+TEST(SelectVariant, ImpossibleRuleNeverSelects) {
+  std::vector<VariantCosts> C = {costs(1000, 1000), costs(2, 2),
+                                 costs(900, 900)};
+  EXPECT_FALSE(
+      selectVariant(C, 0, SelectionRule::impossibleRule()).has_value());
+}
+
+TEST(SelectVariant, ZeroCurrentCostBlocksImprovementCriteria) {
+  // Current time cost 0: nothing can strictly improve.
+  std::vector<VariantCosts> C = {costs(0, 100), costs(0, 10)};
+  EXPECT_FALSE(selectVariant(C, 0, SelectionRule::timeRule()).has_value());
+}
+
+TEST(SelectVariant, ZeroCurrentCostPenaltyAllowsFreeCandidates) {
+  // Ralloc with current alloc 100 and time 0: the time penalty cap
+  // (1.2 >= 1) passes only for candidates with zero time cost.
+  std::vector<VariantCosts> Free = {costs(0, 100), costs(0, 50)};
+  auto Choice = selectVariant(Free, 0, SelectionRule::allocRule());
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 1u);
+
+  std::vector<VariantCosts> NotFree = {costs(0, 100), costs(5, 50)};
+  EXPECT_FALSE(
+      selectVariant(NotFree, 0, SelectionRule::allocRule()).has_value());
+}
+
+TEST(SelectVariant, CurrentVariantIsNeverReturned) {
+  std::vector<VariantCosts> C = {costs(100, 0), costs(1000, 0)};
+  // Current is already the cheapest; no candidate qualifies.
+  EXPECT_FALSE(selectVariant(C, 0, SelectionRule::timeRule()).has_value());
+}
+
+TEST(SelectVariant, SingleVariantPoolNeverSwitches) {
+  std::vector<VariantCosts> C = {costs(100, 100)};
+  EXPECT_FALSE(selectVariant(C, 0, SelectionRule::timeRule()).has_value());
+}
+
+TEST(SelectVariant, CustomMultiCriteriaRule) {
+  SelectionRule Rule{"Rboth",
+                     {{CostDimension::Time, 0.9},
+                      {CostDimension::Alloc, 0.9}}};
+  // Candidate 1 improves time but not alloc; candidate 2 improves both.
+  std::vector<VariantCosts> C = {costs(100, 100), costs(50, 95),
+                                 costs(80, 80)};
+  auto Choice = selectVariant(C, 0, Rule);
+  ASSERT_TRUE(Choice.has_value());
+  EXPECT_EQ(*Choice, 2u);
+}
+
+} // namespace

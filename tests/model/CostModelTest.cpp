@@ -1,0 +1,184 @@
+//===- CostModelTest.cpp - Performance model unit tests ---------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/CostModel.h"
+#include "model/DefaultModel.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(CostDimension, NamesRoundTrip) {
+  for (CostDimension Dim : AllCostDimensions) {
+    CostDimension Out;
+    ASSERT_TRUE(parseCostDimension(costDimensionName(Dim), Out));
+    EXPECT_EQ(Out, Dim);
+  }
+  CostDimension Out;
+  EXPECT_FALSE(parseCostDimension("carbon", Out));
+}
+
+TEST(PerformanceModel, UnsetCostsAreZero) {
+  PerformanceModel Model;
+  VariantId Id = VariantId::of(ListVariant::ArrayList);
+  EXPECT_TRUE(Model.cost(Id, OperationKind::Contains, CostDimension::Time)
+                  .coefficients()
+                  .empty());
+  EXPECT_DOUBLE_EQ(Model.operationCost(Id, OperationKind::Contains,
+                                       CostDimension::Time, 100.0),
+                   0.0);
+  EXPECT_FALSE(Model.hasVariant(Id));
+}
+
+TEST(PerformanceModel, SetAndEvaluateCost) {
+  PerformanceModel Model;
+  VariantId Id = VariantId::of(SetVariant::OpenHashSet);
+  Model.setCost(Id, OperationKind::Contains, CostDimension::Time,
+                Polynomial({7.0, 0.01}));
+  EXPECT_DOUBLE_EQ(Model.operationCost(Id, OperationKind::Contains,
+                                       CostDimension::Time, 100.0),
+                   8.0);
+  EXPECT_TRUE(Model.hasVariant(Id));
+  // Distinct (variant, op, dim) slots do not alias.
+  EXPECT_DOUBLE_EQ(Model.operationCost(Id, OperationKind::Contains,
+                                       CostDimension::Alloc, 100.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(
+      Model.operationCost(VariantId::of(SetVariant::ChainedHashSet),
+                          OperationKind::Contains, CostDimension::Time,
+                          100.0),
+      0.0);
+}
+
+TEST(PerformanceModel, NegativePredictionsClampToZero) {
+  PerformanceModel Model;
+  VariantId Id = VariantId::of(MapVariant::ArrayMap);
+  Model.setCost(Id, OperationKind::Populate, CostDimension::Time,
+                Polynomial({-100.0, 1.0}));
+  EXPECT_DOUBLE_EQ(Model.operationCost(Id, OperationKind::Populate,
+                                       CostDimension::Time, 10.0),
+                   0.0);
+}
+
+TEST(PerformanceModel, TotalCostImplementsPaperFormula) {
+  // tc_W(V) = sum_op N_op * cost_op(maxsize).
+  PerformanceModel Model;
+  VariantId Id = VariantId::of(ListVariant::ArrayList);
+  Model.setCost(Id, OperationKind::Populate, CostDimension::Time,
+                Polynomial({4.0}));
+  Model.setCost(Id, OperationKind::Contains, CostDimension::Time,
+                Polynomial({2.0, 0.5}));
+  WorkloadProfile W;
+  W.record(OperationKind::Populate, 100);
+  W.record(OperationKind::Contains, 10);
+  W.recordSize(100);
+  // 100*4 + 10*(2 + 0.5*100) = 400 + 520 = 920.
+  EXPECT_DOUBLE_EQ(Model.totalCost(Id, W, CostDimension::Time), 920.0);
+  EXPECT_DOUBLE_EQ(Model.totalCost(Id, W, CostDimension::Alloc), 0.0);
+}
+
+TEST(PerformanceModel, SaveLoadRoundTrip) {
+  PerformanceModel Model = defaultPerformanceModel();
+  std::ostringstream OS;
+  Model.save(OS);
+  PerformanceModel Loaded;
+  std::istringstream IS(OS.str());
+  ASSERT_TRUE(Loaded.load(IS));
+  for (ListVariant V : AllListVariants)
+    for (OperationKind Op : AllOperationKinds)
+      for (CostDimension Dim : AllCostDimensions)
+        EXPECT_EQ(Loaded.cost(VariantId::of(V), Op, Dim),
+                  Model.cost(VariantId::of(V), Op, Dim));
+  for (SetVariant V : AllSetVariants)
+    for (OperationKind Op : AllOperationKinds)
+      for (CostDimension Dim : AllCostDimensions)
+        EXPECT_EQ(Loaded.cost(VariantId::of(V), Op, Dim),
+                  Model.cost(VariantId::of(V), Op, Dim));
+  for (MapVariant V : AllMapVariants)
+    for (OperationKind Op : AllOperationKinds)
+      for (CostDimension Dim : AllCostDimensions)
+        EXPECT_EQ(Loaded.cost(VariantId::of(V), Op, Dim),
+                  Model.cost(VariantId::of(V), Op, Dim));
+}
+
+TEST(PerformanceModel, LoadRejectsBadHeader) {
+  PerformanceModel Model;
+  std::istringstream IS("not-a-model\nlist ArrayList populate time 1");
+  EXPECT_FALSE(Model.load(IS));
+}
+
+TEST(PerformanceModel, LoadRejectsUnknownVariantOpDim) {
+  {
+    PerformanceModel Model;
+    std::istringstream IS(
+        "cswitch-performance-model v1\nlist Bogus populate time 1");
+    EXPECT_FALSE(Model.load(IS));
+  }
+  {
+    PerformanceModel Model;
+    std::istringstream IS(
+        "cswitch-performance-model v1\nlist ArrayList bogus time 1");
+    EXPECT_FALSE(Model.load(IS));
+  }
+  {
+    PerformanceModel Model;
+    std::istringstream IS(
+        "cswitch-performance-model v1\nlist ArrayList populate bogus 1");
+    EXPECT_FALSE(Model.load(IS));
+  }
+  {
+    PerformanceModel Model;
+    std::istringstream IS(
+        "cswitch-performance-model v1\nblob ArrayList populate time 1");
+    EXPECT_FALSE(Model.load(IS));
+  }
+}
+
+TEST(PerformanceModel, LoadRejectsMissingCoefficients) {
+  PerformanceModel Model;
+  std::istringstream IS(
+      "cswitch-performance-model v1\nlist ArrayList populate time");
+  EXPECT_FALSE(Model.load(IS));
+}
+
+TEST(PerformanceModel, LoadSkipsCommentsAndBlankLines) {
+  PerformanceModel Model;
+  std::istringstream IS("cswitch-performance-model v1\n"
+                        "# a comment\n"
+                        "\n"
+                        "list ArrayList populate time 4 0.5\n");
+  ASSERT_TRUE(Model.load(IS));
+  EXPECT_DOUBLE_EQ(
+      Model.operationCost(VariantId::of(ListVariant::ArrayList),
+                          OperationKind::Populate, CostDimension::Time,
+                          10.0),
+      9.0);
+}
+
+TEST(PerformanceModel, FileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/cswitch_model_test.txt";
+  PerformanceModel Model = defaultPerformanceModel();
+  ASSERT_TRUE(Model.saveToFile(Path));
+  PerformanceModel Loaded;
+  ASSERT_TRUE(Loaded.loadFromFile(Path));
+  EXPECT_EQ(Loaded.cost(VariantId::of(MapVariant::OpenHashMap),
+                        OperationKind::Contains, CostDimension::Time),
+            Model.cost(VariantId::of(MapVariant::OpenHashMap),
+                       OperationKind::Contains, CostDimension::Time));
+  std::remove(Path.c_str());
+}
+
+TEST(PerformanceModel, LoadFromMissingFileFails) {
+  PerformanceModel Model;
+  EXPECT_FALSE(Model.loadFromFile("/nonexistent/path/model.txt"));
+}
+
+} // namespace

@@ -1,0 +1,105 @@
+//===- EnergyModelTest.cpp - Derived energy dimension tests ------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/EnergyModel.h"
+#include "model/DefaultModel.h"
+
+#include "core/SelectionRule.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(EnergyModel, LinearCombinationOfTimeAndAlloc) {
+  PerformanceModel Model;
+  VariantId Id = VariantId::of(SetVariant::OpenHashSet);
+  Model.setCost(Id, OperationKind::Populate, CostDimension::Time,
+                Polynomial({10.0, 0.5}));
+  Model.setCost(Id, OperationKind::Populate, CostDimension::Alloc,
+                Polynomial({100.0}));
+  EnergyCoefficients Coefs;
+  Coefs.NanojoulesPerNanosecond = 2.0;
+  Coefs.NanojoulesPerByte = 0.1;
+  deriveEnergyModel(Model, Coefs);
+  // energy(s) = 2*(10 + 0.5 s) + 0.1*100 = 30 + s.
+  EXPECT_DOUBLE_EQ(Model.operationCost(Id, OperationKind::Populate,
+                                       CostDimension::Energy, 0.0),
+                   30.0);
+  EXPECT_DOUBLE_EQ(Model.operationCost(Id, OperationKind::Populate,
+                                       CostDimension::Energy, 50.0),
+                   80.0);
+}
+
+TEST(EnergyModel, EmptyTriplesStayEmpty) {
+  PerformanceModel Model;
+  deriveEnergyModel(Model);
+  EXPECT_TRUE(Model
+                  .cost(VariantId::of(ListVariant::ArrayList),
+                        OperationKind::Contains, CostDimension::Energy)
+                  .coefficients()
+                  .empty());
+}
+
+TEST(EnergyModel, DefaultModelHasEnergyForEveryModeledTriple) {
+  PerformanceModel Model = defaultPerformanceModel();
+  for (SetVariant V : AllSetVariants) {
+    for (OperationKind Op :
+         {OperationKind::Populate, OperationKind::Contains,
+          OperationKind::Iterate, OperationKind::Remove}) {
+      EXPECT_GT(Model.operationCost(VariantId::of(V), Op,
+                                    CostDimension::Energy, 100.0),
+                0.0)
+          << setVariantName(V) << " " << operationKindName(Op);
+    }
+  }
+}
+
+TEST(EnergyModel, EnergyTracksTimeButPenalizesAllocation) {
+  // Two variants with equal time: the one allocating more must cost
+  // more energy — the property that makes Renergy differ from Rtime.
+  PerformanceModel Model;
+  VariantId A = VariantId::of(SetVariant::OpenHashSet);
+  VariantId B = VariantId::of(SetVariant::CompactHashSet);
+  Model.setCost(A, OperationKind::Populate, CostDimension::Time,
+                Polynomial({20.0}));
+  Model.setCost(B, OperationKind::Populate, CostDimension::Time,
+                Polynomial({20.0}));
+  Model.setCost(A, OperationKind::Populate, CostDimension::Alloc,
+                Polynomial({100.0}));
+  Model.setCost(B, OperationKind::Populate, CostDimension::Alloc,
+                Polynomial({20.0}));
+  deriveEnergyModel(Model);
+  EXPECT_GT(Model.operationCost(A, OperationKind::Populate,
+                                CostDimension::Energy, 10.0),
+            Model.operationCost(B, OperationKind::Populate,
+                                CostDimension::Energy, 10.0));
+}
+
+TEST(EnergyModel, SerializationRoundTripsEnergy) {
+  PerformanceModel Model = defaultPerformanceModel();
+  std::string Path = ::testing::TempDir() + "/cswitch_energy_model.txt";
+  ASSERT_TRUE(Model.saveToFile(Path));
+  PerformanceModel Loaded;
+  ASSERT_TRUE(Loaded.loadFromFile(Path));
+  VariantId Id = VariantId::of(MapVariant::ChainedHashMap);
+  EXPECT_EQ(Loaded.cost(Id, OperationKind::Populate, CostDimension::Energy),
+            Model.cost(Id, OperationKind::Populate, CostDimension::Energy));
+  std::remove(Path.c_str());
+}
+
+TEST(EnergyRule, MatchesRallocShape) {
+  SelectionRule Rule = SelectionRule::energyRule();
+  EXPECT_EQ(Rule.Name, "Renergy");
+  ASSERT_EQ(Rule.Criteria.size(), 2u);
+  EXPECT_EQ(Rule.Criteria[0].Dimension, CostDimension::Energy);
+  EXPECT_DOUBLE_EQ(Rule.Criteria[0].Threshold, 0.8);
+  EXPECT_EQ(Rule.Criteria[1].Dimension, CostDimension::Time);
+  EXPECT_EQ(Rule.primaryDimension(), CostDimension::Energy);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- ModelBuilderTest.cpp - Model builder integration tests ---------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integration tests of the benchmark-driven model builder. These run
+/// real (tiny) measurements, so assertions stay qualitative: costs are
+/// positive, array scans grow with size, allocating operations report
+/// bytes. They are sized to finish in well under a second.
+///
+//===----------------------------------------------------------------------===//
+
+#include "model/ModelBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+ModelBuildOptions tinyOptions() {
+  ModelBuildOptions Options;
+  Options.Sizes = {8, 64, 256, 512};
+  Options.WarmupIterations = 0;
+  Options.MeasuredIterations = 1;
+  Options.MinSampleNanos = 3000;
+  Options.PolynomialDegree = 2;
+  return Options;
+}
+
+TEST(ModelBuildOptions, PaperSizesMatchTable3) {
+  std::vector<size_t> Sizes = ModelBuildOptions::paperSizes();
+  ASSERT_EQ(Sizes.size(), 21u);
+  EXPECT_EQ(Sizes.front(), 10u);
+  EXPECT_EQ(Sizes[1], 50u);
+  EXPECT_EQ(Sizes[2], 100u);
+  EXPECT_EQ(Sizes.back(), 1000u);
+}
+
+TEST(ModelBuilder, ListModelsCoverEveryVariantAndOp) {
+  ModelBuilder Builder(tinyOptions());
+  PerformanceModel Model;
+  Builder.buildListModels(Model);
+  for (ListVariant V : AllListVariants) {
+    EXPECT_TRUE(Model.hasVariant(VariantId::of(V)));
+    for (OperationKind Op : AllOperationKinds)
+      EXPECT_FALSE(Model.cost(VariantId::of(V), Op, CostDimension::Time)
+                       .coefficients()
+                       .empty())
+          << listVariantName(V) << " " << operationKindName(Op);
+  }
+}
+
+TEST(ModelBuilder, MeasuredArrayListContainsGrowsWithSize) {
+  ModelBuilder Builder(tinyOptions());
+  PerformanceModel Model;
+  Builder.buildListModels(Model);
+  VariantId Id = VariantId::of(ListVariant::ArrayList);
+  double Small =
+      Model.operationCost(Id, OperationKind::Contains,
+                          CostDimension::Time, 8);
+  double Large =
+      Model.operationCost(Id, OperationKind::Contains,
+                          CostDimension::Time, 512);
+  EXPECT_GT(Large, Small * 4);
+}
+
+TEST(ModelBuilder, MeasuredPopulateAllocatesBytes) {
+  ModelBuilder Builder(tinyOptions());
+  PerformanceModel Model;
+  Builder.buildSetModels(Model);
+  for (SetVariant V : AllSetVariants) {
+    double Bytes = Model.operationCost(VariantId::of(V),
+                                       OperationKind::Populate,
+                                       CostDimension::Alloc, 256);
+    EXPECT_GT(Bytes, 0.0) << setVariantName(V);
+    // Sanity ceiling: no set allocates a kilobyte per inserted int64.
+    EXPECT_LT(Bytes, 1024.0) << setVariantName(V);
+  }
+}
+
+TEST(ModelBuilder, MapModelsReportHashCheaperThanArrayAtLargeSize) {
+  ModelBuilder Builder(tinyOptions());
+  PerformanceModel Model;
+  Builder.buildMapModels(Model);
+  double ArrayCost = Model.operationCost(
+      VariantId::of(MapVariant::ArrayMap), OperationKind::Contains,
+      CostDimension::Time, 512);
+  double HashCost = Model.operationCost(
+      VariantId::of(MapVariant::OpenHashMap), OperationKind::Contains,
+      CostDimension::Time, 512);
+  EXPECT_GT(ArrayCost, HashCost * 2);
+}
+
+TEST(ModelBuilder, ProgressCallbackFires) {
+  ModelBuildOptions Options = tinyOptions();
+  Options.Sizes = {8, 32, 64};
+  ModelBuilder Builder(Options);
+  int Lines = 0;
+  Builder.setProgressCallback([&Lines](const std::string &Line) {
+    EXPECT_FALSE(Line.empty());
+    ++Lines;
+  });
+  PerformanceModel Model;
+  Builder.buildListModels(Model);
+  // One line per (variant, op) pair.
+  EXPECT_EQ(Lines, static_cast<int>(NumListVariants * NumOperationKinds));
+}
+
+} // namespace

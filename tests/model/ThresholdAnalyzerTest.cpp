@@ -1,0 +1,106 @@
+//===- ThresholdAnalyzerTest.cpp - Threshold analysis tests ------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/ThresholdAnalyzer.h"
+#include "model/DefaultModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+/// A synthetic model with a hand-computable crossing point.
+PerformanceModel syntheticModel() {
+  PerformanceModel Model;
+  // Array contains: 1.0 * n; hash contains: 0; hash populate: 10.
+  // benefit(n) = (n*1.0*n - 0 - 10n) / (10n) = (n - 10) / 10 -> zero at 10.
+  Model.setCost(VariantId::of(SetVariant::ArraySet),
+                OperationKind::Contains, CostDimension::Time,
+                Polynomial({0.0, 1.0}));
+  Model.setCost(VariantId::of(SetVariant::OpenHashSet),
+                OperationKind::Contains, CostDimension::Time,
+                Polynomial({0.0}));
+  Model.setCost(VariantId::of(SetVariant::OpenHashSet),
+                OperationKind::Populate, CostDimension::Time,
+                Polynomial({10.0}));
+  return Model;
+}
+
+TEST(ThresholdAnalyzer, ExactCrossingOnSyntheticModel) {
+  PerformanceModel Model = syntheticModel();
+  ThresholdAnalyzer Analyzer(Model);
+  EXPECT_EQ(Analyzer.computeThreshold(AbstractionKind::Set, 100), 10u);
+  EXPECT_LT(Analyzer.benefitAt(AbstractionKind::Set, 5), 0.0);
+  EXPECT_DOUBLE_EQ(Analyzer.benefitAt(AbstractionKind::Set, 10), 0.0);
+  EXPECT_GT(Analyzer.benefitAt(AbstractionKind::Set, 20), 0.0);
+}
+
+TEST(ThresholdAnalyzer, BenefitStartsNegative) {
+  // At size 1 the transition cost dominates (Fig. 3 starts below zero).
+  PerformanceModel Model = defaultPerformanceModel();
+  ThresholdAnalyzer Analyzer(Model);
+  for (AbstractionKind Kind :
+       {AbstractionKind::List, AbstractionKind::Set, AbstractionKind::Map})
+    EXPECT_LT(Analyzer.benefitAt(Kind, 1), 0.0);
+}
+
+TEST(ThresholdAnalyzer, BenefitIsMonotoneOnDefaultModel) {
+  PerformanceModel Model = defaultPerformanceModel();
+  ThresholdAnalyzer Analyzer(Model);
+  double Prev = Analyzer.benefitAt(AbstractionKind::Set, 1);
+  for (size_t Size = 2; Size <= 200; ++Size) {
+    double Cur = Analyzer.benefitAt(AbstractionKind::Set, Size);
+    EXPECT_GE(Cur, Prev - 1e-12);
+    Prev = Cur;
+  }
+}
+
+TEST(ThresholdAnalyzer, DefaultModelThresholdsNearPaperTable1) {
+  // Paper Table 1: list 80, set 40, map 50. The analytic default model
+  // lands in the same region; exact values are machine-specific.
+  PerformanceModel Model = defaultPerformanceModel();
+  ThresholdAnalyzer Analyzer(Model);
+  AdaptiveThresholds T = Analyzer.computeAll();
+  EXPECT_GE(T.List, 40u);
+  EXPECT_LE(T.List, 160u);
+  EXPECT_GE(T.Set, 20u);
+  EXPECT_LE(T.Set, 80u);
+  EXPECT_GE(T.Map, 25u);
+  EXPECT_LE(T.Map, 100u);
+  // The relative order matches the paper: sets transition earliest,
+  // lists latest.
+  EXPECT_LT(T.Set, T.Map);
+  EXPECT_LT(T.Map, T.List);
+}
+
+TEST(ThresholdAnalyzer, CurveHasRequestedLength) {
+  PerformanceModel Model = defaultPerformanceModel();
+  ThresholdAnalyzer Analyzer(Model);
+  std::vector<ThresholdCurvePoint> Curve =
+      Analyzer.benefitCurve(AbstractionKind::Set, 80);
+  ASSERT_EQ(Curve.size(), 80u);
+  EXPECT_EQ(Curve.front().Size, 1u);
+  EXPECT_EQ(Curve.back().Size, 80u);
+}
+
+TEST(ThresholdAnalyzer, NeverProfitableReturnsMaxSize) {
+  // Hash lookup as expensive as array scan: transition never pays.
+  PerformanceModel Model;
+  Model.setCost(VariantId::of(SetVariant::ArraySet),
+                OperationKind::Contains, CostDimension::Time,
+                Polynomial({0.0, 1.0}));
+  Model.setCost(VariantId::of(SetVariant::OpenHashSet),
+                OperationKind::Contains, CostDimension::Time,
+                Polynomial({0.0, 1.0}));
+  Model.setCost(VariantId::of(SetVariant::OpenHashSet),
+                OperationKind::Populate, CostDimension::Time,
+                Polynomial({10.0}));
+  ThresholdAnalyzer Analyzer(Model);
+  EXPECT_EQ(Analyzer.computeThreshold(AbstractionKind::Set, 64), 64u);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===- WorkloadProfileTest.cpp - Profile unit tests -------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/WorkloadProfile.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(OperationKind, NamesRoundTrip) {
+  for (OperationKind Kind : AllOperationKinds) {
+    OperationKind Parsed;
+    ASSERT_TRUE(parseOperationKind(operationKindName(Kind), Parsed));
+    EXPECT_EQ(Parsed, Kind);
+  }
+}
+
+TEST(OperationKind, UnknownNameRejected) {
+  OperationKind Out;
+  EXPECT_FALSE(parseOperationKind("frobnicate", Out));
+  EXPECT_FALSE(parseOperationKind("", Out));
+}
+
+TEST(OperationKind, EnumCountsAgree) {
+  EXPECT_EQ(AllOperationKinds.size(), NumOperationKinds);
+}
+
+TEST(WorkloadProfile, StartsEmpty) {
+  WorkloadProfile P;
+  EXPECT_EQ(P.totalOperations(), 0u);
+  EXPECT_EQ(P.MaxSize, 0u);
+  for (OperationKind Kind : AllOperationKinds)
+    EXPECT_EQ(P.count(Kind), 0u);
+}
+
+TEST(WorkloadProfile, RecordAccumulates) {
+  WorkloadProfile P;
+  P.record(OperationKind::Populate);
+  P.record(OperationKind::Populate);
+  P.record(OperationKind::Contains, 10);
+  EXPECT_EQ(P.count(OperationKind::Populate), 2u);
+  EXPECT_EQ(P.count(OperationKind::Contains), 10u);
+  EXPECT_EQ(P.totalOperations(), 12u);
+}
+
+TEST(WorkloadProfile, RecordSizeKeepsMaximum) {
+  WorkloadProfile P;
+  P.recordSize(5);
+  P.recordSize(100);
+  P.recordSize(7);
+  EXPECT_EQ(P.MaxSize, 100u);
+}
+
+TEST(WorkloadProfile, MergeSumsCountsAndMaxesSize) {
+  WorkloadProfile A, B;
+  A.record(OperationKind::Populate, 3);
+  A.recordSize(50);
+  B.record(OperationKind::Populate, 4);
+  B.record(OperationKind::Remove, 1);
+  B.recordSize(20);
+  A.merge(B);
+  EXPECT_EQ(A.count(OperationKind::Populate), 7u);
+  EXPECT_EQ(A.count(OperationKind::Remove), 1u);
+  EXPECT_EQ(A.MaxSize, 50u);
+}
+
+TEST(WorkloadProfile, ResetClearsEverything) {
+  WorkloadProfile P;
+  P.record(OperationKind::Iterate, 9);
+  P.recordSize(33);
+  P.reset();
+  EXPECT_EQ(P, WorkloadProfile());
+}
+
+TEST(WorkloadProfile, ToStringListsNonZeroCounts) {
+  WorkloadProfile P;
+  P.record(OperationKind::Populate, 100);
+  P.record(OperationKind::Contains, 5);
+  P.recordSize(100);
+  EXPECT_EQ(P.toString(), "populate:100 contains:5 max:100");
+  EXPECT_EQ(WorkloadProfile().toString(), "max:0");
+}
+
+TEST(WorkloadProfile, EqualityIsFieldwise) {
+  WorkloadProfile A, B;
+  EXPECT_EQ(A, B);
+  A.record(OperationKind::Middle);
+  EXPECT_NE(A, B);
+  B.record(OperationKind::Middle);
+  EXPECT_EQ(A, B);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+//===- BenchmarkRunnerTest.cpp - Steady-state runner unit tests ------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BenchmarkRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(MeasureSteadyState, RunsWarmupPlusMeasured) {
+  MeasurementPlan Plan;
+  Plan.WarmupIterations = 3;
+  Plan.MeasuredIterations = 5;
+  int Executions = 0;
+  MeasurementResult R =
+      measureSteadyState(Plan, [&Executions] { ++Executions; });
+  EXPECT_EQ(R.Samples.size(), 5u);
+  EXPECT_EQ(Executions, 8);
+}
+
+TEST(MeasureSteadyState, RecordsAllocations) {
+  MeasurementPlan Plan;
+  Plan.WarmupIterations = 0;
+  Plan.MeasuredIterations = 4;
+  MeasurementResult R = measureSteadyState(Plan, [] {
+    MemoryTracker::recordAlloc(100);
+    MemoryTracker::recordFree(100);
+  });
+  for (const IterationSample &S : R.Samples)
+    EXPECT_DOUBLE_EQ(S.AllocatedBytes, 100.0);
+  EXPECT_DOUBLE_EQ(R.allocStats().Mean, 100.0);
+}
+
+TEST(MeasureSteadyState, MinIterationNanosRepeatsAndNormalizes) {
+  MeasurementPlan Plan;
+  Plan.WarmupIterations = 0;
+  Plan.MeasuredIterations = 2;
+  Plan.MinIterationNanos = 1000000; // 1 ms.
+  int Executions = 0;
+  MeasurementResult R = measureSteadyState(Plan, [&Executions] {
+    ++Executions;
+    MemoryTracker::recordAlloc(8);
+    MemoryTracker::recordFree(8);
+  });
+  // A trivial scenario must execute many times to fill 1 ms.
+  EXPECT_GT(Executions, 2 * 10);
+  // Per-execution allocation stays normalized to a single execution.
+  EXPECT_DOUBLE_EQ(R.allocStats().Mean, 8.0);
+}
+
+TEST(MeasureSteadyState, TimeSeriesHasPositiveValues) {
+  MeasurementPlan Plan;
+  Plan.WarmupIterations = 0;
+  Plan.MeasuredIterations = 3;
+  MeasurementResult R = measureSteadyState(Plan, [] {
+    volatile int Spin = 0;
+    for (int I = 0; I != 1000; ++I)
+      Spin = Spin + I;
+  });
+  std::vector<double> Nanos = R.nanosSeries();
+  ASSERT_EQ(Nanos.size(), 3u);
+  for (double N : Nanos)
+    EXPECT_GT(N, 0.0);
+  EXPECT_GT(R.timeStats().Mean, 0.0);
+  EXPECT_EQ(R.timeStats().Count, 3u);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+//===- EventLogTest.cpp - Event log unit tests -----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/EventLog.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(EventLog, RecordsInOrder) {
+  EventLog Log;
+  Log.record(EventKind::ContextCreated, "site-a", "ArrayList");
+  Log.record(EventKind::Transition, "site-a", "ArrayList -> AdaptiveList");
+  std::vector<Event> Events = Log.snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].Kind, EventKind::ContextCreated);
+  EXPECT_EQ(Events[1].Kind, EventKind::Transition);
+  EXPECT_EQ(Events[1].Detail, "ArrayList -> AdaptiveList");
+  EXPECT_LT(Events[0].SequenceNumber, Events[1].SequenceNumber);
+}
+
+TEST(EventLog, SnapshotOfKindFilters) {
+  EventLog Log;
+  Log.record(EventKind::Evaluation, "s", "");
+  Log.record(EventKind::Transition, "s", "a -> b");
+  Log.record(EventKind::Evaluation, "s", "");
+  Log.record(EventKind::Transition, "t", "c -> d");
+  std::vector<Event> Transitions =
+      Log.snapshotOfKind(EventKind::Transition);
+  ASSERT_EQ(Transitions.size(), 2u);
+  EXPECT_EQ(Transitions[0].Detail, "a -> b");
+  EXPECT_EQ(Transitions[1].Context, "t");
+}
+
+TEST(EventLog, ClearEmptiesLog) {
+  EventLog Log;
+  Log.record(EventKind::Evaluation, "s", "");
+  Log.clear();
+  EXPECT_TRUE(Log.snapshot().empty());
+  EXPECT_EQ(Log.droppedCount(), 0u);
+}
+
+TEST(EventLog, BoundedRingDropsOldest) {
+  EventLog Log(4);
+  for (int I = 0; I != 10; ++I)
+    Log.record(EventKind::Evaluation, "s", std::to_string(I));
+  std::vector<Event> Events = Log.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  EXPECT_EQ(Log.droppedCount(), 6u);
+  EXPECT_EQ(Log.totalRecorded(), 10u);
+  // The survivors are the most recent four, in order.
+  EXPECT_EQ(Events[0].Detail, "6");
+  EXPECT_EQ(Events[3].Detail, "9");
+}
+
+TEST(EventLog, KindNamesAreStable) {
+  EXPECT_STREQ(eventKindName(EventKind::ContextCreated),
+               "context-created");
+  EXPECT_STREQ(eventKindName(EventKind::MonitoringRound),
+               "monitoring-round");
+  EXPECT_STREQ(eventKindName(EventKind::Evaluation), "evaluation");
+  EXPECT_STREQ(eventKindName(EventKind::Transition), "transition");
+  EXPECT_STREQ(eventKindName(EventKind::AdaptiveMigration),
+               "adaptive-migration");
+}
+
+TEST(EventLog, GlobalInstanceIsShared) {
+  EventLog::global().clear();
+  EventLog::global().record(EventKind::Transition, "g", "x -> y");
+  EXPECT_EQ(EventLog::global().snapshotOfKind(EventKind::Transition).size(),
+            1u);
+  EventLog::global().clear();
+}
+
+TEST(EventLog, ConcurrentRecordingIsSafe) {
+  EventLog Log;
+  constexpr int PerThread = 500;
+  auto Writer = [&Log](const char *Name) {
+    for (int I = 0; I != PerThread; ++I)
+      Log.record(EventKind::Evaluation, Name, "");
+  };
+  std::thread A(Writer, "a"), B(Writer, "b");
+  A.join();
+  B.join();
+  EXPECT_EQ(Log.totalRecorded(), 2u * PerThread);
+  EXPECT_EQ(Log.snapshot().size() + Log.droppedCount(), 2u * PerThread);
+}
+
+} // namespace

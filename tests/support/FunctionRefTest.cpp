@@ -1,0 +1,67 @@
+//===- FunctionRefTest.cpp - FunctionRef unit tests -------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FunctionRef.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+int freeFunction(int X) { return X * 2; }
+
+TEST(FunctionRef, CallsLambda) {
+  auto Double = [](int X) { return X * 2; };
+  FunctionRef<int(int)> Ref(Double);
+  EXPECT_EQ(Ref(21), 42);
+}
+
+TEST(FunctionRef, CapturingLambdaSeesState) {
+  int Counter = 0;
+  auto Bump = [&Counter](int By) {
+    Counter += By;
+    return Counter;
+  };
+  FunctionRef<int(int)> Ref(Bump);
+  EXPECT_EQ(Ref(5), 5);
+  EXPECT_EQ(Ref(7), 12);
+  EXPECT_EQ(Counter, 12);
+}
+
+TEST(FunctionRef, WrapsFreeFunction) {
+  FunctionRef<int(int)> Ref(freeFunction);
+  EXPECT_EQ(Ref(10), 20);
+}
+
+TEST(FunctionRef, DefaultIsFalsy) {
+  FunctionRef<void()> Empty;
+  EXPECT_FALSE(static_cast<bool>(Empty));
+  auto Noop = [] {};
+  FunctionRef<void()> Set(Noop);
+  EXPECT_TRUE(static_cast<bool>(Set));
+}
+
+TEST(FunctionRef, PassesReferencesThrough) {
+  auto Sum = [](const int64_t &V, int64_t &Acc) { Acc += V; };
+  FunctionRef<void(const int64_t &, int64_t &)> Ref(Sum);
+  int64_t Acc = 0;
+  Ref(4, Acc);
+  Ref(38, Acc);
+  EXPECT_EQ(Acc, 42);
+}
+
+TEST(FunctionRef, CopyIsShallow) {
+  int Calls = 0;
+  auto Fn = [&Calls] { ++Calls; };
+  FunctionRef<void()> A(Fn);
+  FunctionRef<void()> B = A;
+  A();
+  B();
+  EXPECT_EQ(Calls, 2);
+}
+
+} // namespace

@@ -1,0 +1,81 @@
+//===- HashingTest.cpp - Hashing utilities unit tests ----------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(Mix64, SpreadsSequentialInputs) {
+  // Sequential keys must not produce sequential hashes (the property the
+  // open-addressing tables rely on).
+  std::unordered_set<uint64_t> LowBits;
+  for (uint64_t I = 0; I != 1024; ++I)
+    LowBits.insert(mix64(I) & 1023);
+  // With good mixing we expect most buckets hit (no clustering).
+  EXPECT_GT(LowBits.size(), 600u);
+}
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(Fnv1a, EmptyInputGivesOffsetBasis) {
+  EXPECT_EQ(fnv1a(nullptr, 0), 0xcbf29ce484222325ULL);
+}
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64-bit of "a" is a published test vector.
+  EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Fnv1a, SensitiveToEveryByte) {
+  EXPECT_NE(fnv1a("abc", 3), fnv1a("abd", 3));
+  EXPECT_NE(fnv1a("abc", 3), fnv1a("ab", 2));
+}
+
+TEST(DefaultHash, IntegralTypesAreMixed) {
+  DefaultHash<int64_t> H;
+  EXPECT_EQ(H(7), mix64(7));
+  DefaultHash<uint32_t> H32;
+  EXPECT_EQ(H32(7u), mix64(7));
+}
+
+TEST(DefaultHash, StringUsesFnv) {
+  DefaultHash<std::string> H;
+  EXPECT_EQ(H(std::string("a")), fnv1a("a", 1));
+}
+
+TEST(DefaultHash, PointerHashIsStable) {
+  int X = 0;
+  DefaultHash<int *> H;
+  EXPECT_EQ(H(&X), H(&X));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hashCombine(hashCombine(0, 1), 2),
+            hashCombine(hashCombine(0, 2), 1));
+}
+
+TEST(NextPowerOfTwo, Cases) {
+  EXPECT_EQ(nextPowerOfTwo(0), 1u);
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(4), 4u);
+  EXPECT_EQ(nextPowerOfTwo(5), 8u);
+  EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+} // namespace

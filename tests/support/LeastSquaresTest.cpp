@@ -1,0 +1,143 @@
+//===- LeastSquaresTest.cpp - Least-squares fitting unit tests ------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LeastSquares.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(SolveLinearSystem, SolvesIdentity) {
+  std::vector<double> A = {1, 0, 0, 1};
+  std::vector<double> B = {3, -4};
+  std::vector<double> X = solveLinearSystem(A, B, 2);
+  ASSERT_EQ(X.size(), 2u);
+  EXPECT_DOUBLE_EQ(X[0], 3.0);
+  EXPECT_DOUBLE_EQ(X[1], -4.0);
+}
+
+TEST(SolveLinearSystem, SolvesGeneral3x3) {
+  // A * x = b with x = (1, -2, 3).
+  std::vector<double> A = {2, 1, -1, -3, -1, 2, -2, 1, 2};
+  std::vector<double> X0 = {1, -2, 3};
+  std::vector<double> B(3, 0.0);
+  for (size_t R = 0; R != 3; ++R)
+    for (size_t C = 0; C != 3; ++C)
+      B[R] += A[R * 3 + C] * X0[C];
+  std::vector<double> X = solveLinearSystem(A, B, 3);
+  ASSERT_EQ(X.size(), 3u);
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_NEAR(X[I], X0[I], 1e-9);
+}
+
+TEST(SolveLinearSystem, RequiresPivoting) {
+  // Zero on the initial diagonal forces a row swap.
+  std::vector<double> A = {0, 1, 1, 0};
+  std::vector<double> B = {5, 7};
+  std::vector<double> X = solveLinearSystem(A, B, 2);
+  ASSERT_EQ(X.size(), 2u);
+  EXPECT_DOUBLE_EQ(X[0], 7.0);
+  EXPECT_DOUBLE_EQ(X[1], 5.0);
+}
+
+TEST(SolveLinearSystem, SingularReturnsEmpty) {
+  std::vector<double> A = {1, 2, 2, 4}; // rank 1.
+  std::vector<double> B = {1, 2};
+  EXPECT_TRUE(solveLinearSystem(A, B, 2).empty());
+}
+
+TEST(FitPolynomial, RecoversExactConstant) {
+  std::vector<double> Xs = {1, 2, 3, 4};
+  std::vector<double> Ys = {5, 5, 5, 5};
+  Polynomial P = fitPolynomial(Xs, Ys, 0);
+  ASSERT_EQ(P.coefficients().size(), 1u);
+  EXPECT_NEAR(P.coefficients()[0], 5.0, 1e-9);
+}
+
+TEST(FitPolynomial, RecoversExactLine) {
+  std::vector<double> Xs = {10, 20, 30, 40, 50};
+  std::vector<double> Ys;
+  for (double X : Xs)
+    Ys.push_back(3.0 + 0.25 * X);
+  Polynomial P = fitPolynomial(Xs, Ys, 1);
+  EXPECT_NEAR(P.evaluate(100.0), 28.0, 1e-6);
+  EXPECT_NEAR(P.coefficients()[0], 3.0, 1e-6);
+  EXPECT_NEAR(P.coefficients()[1], 0.25, 1e-9);
+}
+
+TEST(FitPolynomial, RecoversExactCubicAtPaperScale) {
+  // Sizes up to 10^4 like the real model builder; exact recovery shows
+  // the x-scaling keeps the normal equations well conditioned.
+  std::vector<double> Xs;
+  for (double X = 10; X <= 10000; X += 250)
+    Xs.push_back(X);
+  auto F = [](double X) {
+    return 12.0 + 0.5 * X - 2e-4 * X * X + 3e-8 * X * X * X;
+  };
+  std::vector<double> Ys;
+  for (double X : Xs)
+    Ys.push_back(F(X));
+  Polynomial P = fitPolynomial(Xs, Ys, 3);
+  for (double X : {15.0, 500.0, 5000.0, 9000.0})
+    EXPECT_NEAR(P.evaluate(X), F(X), std::abs(F(X)) * 1e-6 + 1e-6);
+}
+
+TEST(FitPolynomial, OverdeterminedNoisyFitIsClose) {
+  SplitMix64 Rng(7);
+  std::vector<double> Xs, Ys;
+  for (double X = 1; X <= 200; X += 1) {
+    Xs.push_back(X);
+    // y = 2 + 0.1x with +-0.5 uniform noise.
+    Ys.push_back(2.0 + 0.1 * X + (Rng.nextDouble() - 0.5));
+  }
+  Polynomial P = fitPolynomial(Xs, Ys, 1);
+  EXPECT_NEAR(P.coefficients()[0], 2.0, 0.3);
+  EXPECT_NEAR(P.coefficients()[1], 0.1, 0.01);
+}
+
+TEST(FitPolynomial, AllIdenticalXsIsSingular) {
+  std::vector<double> Xs = {5, 5, 5, 5};
+  std::vector<double> Ys = {1, 2, 3, 4};
+  Polynomial P = fitPolynomial(Xs, Ys, 1);
+  EXPECT_TRUE(P.coefficients().empty());
+}
+
+TEST(ResidualSumOfSquares, ZeroForExactFit) {
+  std::vector<double> Xs = {1, 2, 3};
+  std::vector<double> Ys = {2, 4, 6};
+  Polynomial P({0.0, 2.0});
+  EXPECT_NEAR(residualSumOfSquares(P, Xs, Ys), 0.0, 1e-12);
+}
+
+TEST(ResidualSumOfSquares, CountsSquaredResiduals) {
+  std::vector<double> Xs = {0, 1};
+  std::vector<double> Ys = {1, 3};
+  Polynomial P({0.0}); // predicts 0 everywhere.
+  EXPECT_DOUBLE_EQ(residualSumOfSquares(P, Xs, Ys), 1.0 + 9.0);
+}
+
+TEST(FitPolynomial, HigherDegreeNeverIncreasesResidual) {
+  SplitMix64 Rng(11);
+  std::vector<double> Xs, Ys;
+  for (double X = 1; X <= 60; X += 1) {
+    Xs.push_back(X);
+    Ys.push_back(5.0 + 0.3 * X + 0.01 * X * X + Rng.nextDouble());
+  }
+  double PrevRss = 1e300;
+  for (size_t Degree = 0; Degree <= 3; ++Degree) {
+    Polynomial P = fitPolynomial(Xs, Ys, Degree);
+    double Rss = residualSumOfSquares(P, Xs, Ys);
+    EXPECT_LE(Rss, PrevRss * (1.0 + 1e-9));
+    PrevRss = Rss;
+  }
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- MemoryTrackerTest.cpp - Allocation accounting unit tests -----------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryTracker.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(MemoryTracker, AllocatedIsCumulative) {
+  uint64_t Before = MemoryTracker::allocatedBytes();
+  MemoryTracker::recordAlloc(100);
+  MemoryTracker::recordFree(100);
+  MemoryTracker::recordAlloc(50);
+  EXPECT_EQ(MemoryTracker::allocatedBytes() - Before, 150u);
+  MemoryTracker::recordFree(50);
+}
+
+TEST(MemoryTracker, LiveTracksBalance) {
+  int64_t Before = MemoryTracker::liveBytes();
+  MemoryTracker::recordAlloc(200);
+  EXPECT_EQ(MemoryTracker::liveBytes() - Before, 200);
+  MemoryTracker::recordFree(120);
+  EXPECT_EQ(MemoryTracker::liveBytes() - Before, 80);
+  MemoryTracker::recordFree(80);
+  EXPECT_EQ(MemoryTracker::liveBytes() - Before, 0);
+}
+
+TEST(MemoryTracker, PeakRidesHighWaterMark) {
+  MemoryTracker::resetPeak();
+  int64_t Base = MemoryTracker::peakLiveBytes();
+  MemoryTracker::recordAlloc(1000);
+  MemoryTracker::recordFree(1000);
+  MemoryTracker::recordAlloc(300);
+  EXPECT_EQ(MemoryTracker::peakLiveBytes() - Base, 1000);
+  MemoryTracker::recordFree(300);
+  MemoryTracker::resetPeak();
+  EXPECT_EQ(MemoryTracker::peakLiveBytes(), MemoryTracker::liveBytes());
+}
+
+TEST(AllocationScope, MeasuresWithinScopeOnly) {
+  MemoryTracker::recordAlloc(64);
+  MemoryTracker::recordFree(64);
+  AllocationScope Scope;
+  EXPECT_EQ(Scope.allocatedInScope(), 0u);
+  MemoryTracker::recordAlloc(128);
+  EXPECT_EQ(Scope.allocatedInScope(), 128u);
+  MemoryTracker::recordFree(128);
+  // Frees do not reduce the cumulative measure.
+  EXPECT_EQ(Scope.allocatedInScope(), 128u);
+}
+
+TEST(CountingAllocator, VectorAllocationsAreCounted) {
+  AllocationScope Scope;
+  {
+    std::vector<int64_t, CountingAllocator<int64_t>> V;
+    V.reserve(100);
+    EXPECT_GE(Scope.allocatedInScope(), 100 * sizeof(int64_t));
+  }
+  int64_t LiveBefore = MemoryTracker::liveBytes();
+  {
+    std::vector<int64_t, CountingAllocator<int64_t>> V;
+    V.resize(64);
+    EXPECT_GT(MemoryTracker::liveBytes(), LiveBefore);
+  }
+  // Destruction releases the live bytes again.
+  EXPECT_EQ(MemoryTracker::liveBytes(), LiveBefore);
+}
+
+TEST(CountingAllocator, EqualityAndRebind) {
+  CountingAllocator<int> A;
+  CountingAllocator<double> B;
+  EXPECT_TRUE(A == CountingAllocator<int>(B));
+  EXPECT_FALSE(A != CountingAllocator<int>(B));
+}
+
+TEST(NewCounted, PairsWithDeleteCounted) {
+  int64_t LiveBefore = MemoryTracker::liveBytes();
+  struct Node {
+    int64_t Value;
+    Node *Next;
+  };
+  Node *N = newCounted<Node>(Node{7, nullptr});
+  EXPECT_EQ(N->Value, 7);
+  EXPECT_EQ(MemoryTracker::liveBytes() - LiveBefore,
+            static_cast<int64_t>(sizeof(Node)));
+  deleteCounted(N);
+  EXPECT_EQ(MemoryTracker::liveBytes(), LiveBefore);
+}
+
+TEST(DeleteCounted, NullIsNoop) {
+  int *P = nullptr;
+  deleteCounted(P); // must not crash
+}
+
+TEST(MemoryTracker, CountersAreThreadLocal) {
+  MemoryTracker::recordAlloc(512);
+  int64_t MainLive = MemoryTracker::liveBytes();
+  int64_t OtherLive = -1;
+  std::thread T([&OtherLive] {
+    OtherLive = MemoryTracker::liveBytes();
+    MemoryTracker::recordAlloc(4096);
+    MemoryTracker::recordFree(4096);
+  });
+  T.join();
+  // The other thread starts from its own zeroed counters and its
+  // activity does not disturb this thread's balance.
+  EXPECT_EQ(OtherLive, 0);
+  EXPECT_EQ(MemoryTracker::liveBytes(), MainLive);
+  MemoryTracker::recordFree(512);
+}
+
+} // namespace

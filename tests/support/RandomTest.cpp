@@ -1,0 +1,133 @@
+//===- RandomTest.cpp - PRNG unit tests ------------------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(SplitMix64, DeterministicForSameSeed) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I != 100; ++I)
+    Equal += A.next() == B.next();
+  EXPECT_LT(Equal, 3);
+}
+
+TEST(SplitMix64, KnownReferenceValue) {
+  // SplitMix64 with seed 0 produces this well-known first output.
+  SplitMix64 Rng(0);
+  EXPECT_EQ(Rng.next(), 0xe220a8397b1dcdafULL);
+}
+
+TEST(SplitMix64, NextBelowStaysInBounds) {
+  SplitMix64 Rng(9);
+  for (uint64_t Bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(SplitMix64, NextBelowOneIsAlwaysZero) {
+  SplitMix64 Rng(10);
+  for (int I = 0; I != 50; ++I)
+    EXPECT_EQ(Rng.nextBelow(1), 0u);
+}
+
+TEST(SplitMix64, NextInRangeInclusiveBounds) {
+  SplitMix64 Rng(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = Rng.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 Rng(12);
+  double Sum = 0;
+  for (int I = 0; I != 5000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+    Sum += D;
+  }
+  EXPECT_NEAR(Sum / 5000.0, 0.5, 0.03);
+}
+
+TEST(SplitMix64, NextBoolExtremes) {
+  SplitMix64 Rng(13);
+  for (int I = 0; I != 100; ++I) {
+    EXPECT_FALSE(Rng.nextBool(0.0));
+    EXPECT_TRUE(Rng.nextBool(1.0));
+  }
+}
+
+TEST(DistinctIntegers, ProducesDistinctInBounds) {
+  SplitMix64 Rng(14);
+  std::vector<int64_t> V = distinctIntegers(Rng, 500, 1 << 20);
+  EXPECT_EQ(V.size(), 500u);
+  std::unordered_set<int64_t> Seen(V.begin(), V.end());
+  EXPECT_EQ(Seen.size(), 500u);
+  for (int64_t X : V) {
+    EXPECT_GE(X, 0);
+    EXPECT_LT(X, 1 << 20);
+  }
+}
+
+TEST(DistinctIntegers, DenseDrawUsesWholeUniverse) {
+  SplitMix64 Rng(15);
+  // Requesting 90% of the universe exercises the shuffled-prefix path.
+  std::vector<int64_t> V = distinctIntegers(Rng, 90, 100);
+  EXPECT_EQ(V.size(), 90u);
+  std::unordered_set<int64_t> Seen(V.begin(), V.end());
+  EXPECT_EQ(Seen.size(), 90u);
+  for (int64_t X : V)
+    EXPECT_LT(X, 100);
+}
+
+TEST(DistinctIntegers, ExactUniverseDrawIsPermutation) {
+  SplitMix64 Rng(16);
+  std::vector<int64_t> V = distinctIntegers(Rng, 64, 64);
+  std::sort(V.begin(), V.end());
+  for (int64_t I = 0; I != 64; ++I)
+    EXPECT_EQ(V[static_cast<size_t>(I)], I);
+}
+
+TEST(Shuffled, IsPermutationAndUsuallyMoves) {
+  SplitMix64 Rng(17);
+  std::vector<int64_t> In;
+  for (int64_t I = 0; I != 100; ++I)
+    In.push_back(I);
+  std::vector<int64_t> Out = shuffled(Rng, In);
+  EXPECT_TRUE(std::is_permutation(Out.begin(), Out.end(), In.begin()));
+  EXPECT_NE(Out, In);
+}
+
+TEST(Shuffled, EmptyAndSingleton) {
+  SplitMix64 Rng(18);
+  EXPECT_TRUE(shuffled(Rng, {}).empty());
+  EXPECT_EQ(shuffled(Rng, {7}), std::vector<int64_t>({7}));
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- StatisticsTest.cpp - Statistics unit tests --------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace cswitch;
+
+namespace {
+
+TEST(Summarize, EmptySampleIsAllZero) {
+  SampleStats S = summarize({});
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_DOUBLE_EQ(S.Mean, 0.0);
+  EXPECT_DOUBLE_EQ(S.Variance, 0.0);
+}
+
+TEST(Summarize, SingleObservation) {
+  SampleStats S = summarize({42.0});
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_DOUBLE_EQ(S.Mean, 42.0);
+  EXPECT_DOUBLE_EQ(S.Variance, 0.0);
+  EXPECT_DOUBLE_EQ(S.Min, 42.0);
+  EXPECT_DOUBLE_EQ(S.Max, 42.0);
+  EXPECT_DOUBLE_EQ(S.ci95HalfWidth(), 0.0);
+}
+
+TEST(Summarize, KnownMeanAndVariance) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample variance 32/7.
+  SampleStats S = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(S.Count, 8u);
+  EXPECT_DOUBLE_EQ(S.Mean, 5.0);
+  EXPECT_NEAR(S.Variance, 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(S.Min, 2.0);
+  EXPECT_DOUBLE_EQ(S.Max, 9.0);
+  EXPECT_GT(S.ci95HalfWidth(), 0.0);
+}
+
+TEST(TCritical, TabulatedEndpoints) {
+  EXPECT_NEAR(tCriticalValue5Percent(1), 12.706, 1e-9);
+  EXPECT_NEAR(tCriticalValue5Percent(10), 2.228, 1e-9);
+  EXPECT_NEAR(tCriticalValue5Percent(1000), 1.96, 1e-9);
+}
+
+TEST(TCritical, InterpolatesBetweenRows) {
+  double T = tCriticalValue5Percent(11); // between df 10 and 12.
+  EXPECT_LT(T, 2.228);
+  EXPECT_GT(T, 2.179);
+}
+
+TEST(TCritical, MonotoneDecreasing) {
+  double Prev = tCriticalValue5Percent(1);
+  for (double Df = 2; Df <= 200; Df += 1) {
+    double Cur = tCriticalValue5Percent(Df);
+    EXPECT_LE(Cur, Prev + 1e-12);
+    Prev = Cur;
+  }
+}
+
+TEST(CompareMeans, ClearDifferenceIsSignificant) {
+  std::vector<double> A, B;
+  SplitMix64 Rng(3);
+  for (int I = 0; I != 30; ++I) {
+    A.push_back(100.0 + Rng.nextDouble());
+    B.push_back(110.0 + Rng.nextDouble());
+  }
+  ComparisonResult R = compareMeans(A, B);
+  EXPECT_TRUE(R.Significant);
+  EXPECT_NEAR(R.MeanDifference, 10.0, 1.0);
+  EXPECT_NEAR(R.RelativeChange, 0.1, 0.02);
+}
+
+TEST(CompareMeans, NoiseOnlyIsInsignificant) {
+  std::vector<double> A, B;
+  SplitMix64 Rng(4);
+  for (int I = 0; I != 30; ++I) {
+    A.push_back(100.0 + 10.0 * Rng.nextDouble());
+    B.push_back(100.0 + 10.0 * Rng.nextDouble());
+  }
+  ComparisonResult R = compareMeans(A, B);
+  EXPECT_FALSE(R.Significant);
+}
+
+TEST(CompareMeans, TinySamplesNeverSignificant) {
+  ComparisonResult R = compareMeans({1.0}, {100.0});
+  EXPECT_FALSE(R.Significant);
+}
+
+TEST(CompareMeans, ZeroVarianceExactDifference) {
+  ComparisonResult R = compareMeans({5, 5, 5}, {6, 6, 6});
+  EXPECT_TRUE(R.Significant);
+  EXPECT_DOUBLE_EQ(R.MeanDifference, 1.0);
+}
+
+TEST(CompareMeans, ZeroVarianceIdenticalSamples) {
+  ComparisonResult R = compareMeans({5, 5, 5}, {5, 5, 5});
+  EXPECT_FALSE(R.Significant);
+  EXPECT_DOUBLE_EQ(R.MeanDifference, 0.0);
+}
+
+TEST(CompareMeans, RelativeChangeAgainstBaseline) {
+  ComparisonResult R = compareMeans({10, 10, 10, 10}, {8, 8, 8, 8});
+  EXPECT_TRUE(R.Significant);
+  EXPECT_DOUBLE_EQ(R.RelativeChange, -0.2);
+}
+
+} // namespace

@@ -1,0 +1,80 @@
+//===- cswitch_advisor.cpp - Offline recommendation tool ------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// The offline-selection workflow of the tools the paper positions itself
+// against (§6, Chameleon/Brainy): read a workload trace recorded by a
+// profiling run (core/ProfileTrace.h), evaluate it against a performance
+// model, and print a per-site recommendation report.
+//
+//   cswitch_advisor trace.txt                       # Rtime, built-in model
+//   cswitch_advisor --rule ralloc trace.txt
+//   cswitch_advisor --model cswitch_model.txt trace.txt
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProfileTrace.h"
+#include "model/DefaultModel.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace cswitch;
+
+int main(int Argc, char **Argv) {
+  std::string RuleName = "rtime";
+  std::string ModelPath;
+  const char *TracePath = nullptr;
+  for (int I = 1; I != Argc; ++I) {
+    if (std::strcmp(Argv[I], "--rule") == 0 && I + 1 != Argc)
+      RuleName = Argv[++I];
+    else if (std::strcmp(Argv[I], "--model") == 0 && I + 1 != Argc)
+      ModelPath = Argv[++I];
+    else
+      TracePath = Argv[I];
+  }
+  if (!TracePath) {
+    std::fprintf(stderr, "usage: cswitch_advisor [--rule "
+                         "rtime|ralloc|renergy] [--model <file>] "
+                         "<trace-file>\n");
+    return 2;
+  }
+
+  SelectionRule Rule = SelectionRule::timeRule();
+  if (RuleName == "ralloc")
+    Rule = SelectionRule::allocRule();
+  else if (RuleName == "renergy")
+    Rule = SelectionRule::energyRule();
+  else if (RuleName != "rtime") {
+    std::fprintf(stderr, "error: unknown rule '%s'\n", RuleName.c_str());
+    return 2;
+  }
+
+  PerformanceModel Model;
+  if (!ModelPath.empty()) {
+    if (!Model.loadFromFile(ModelPath)) {
+      std::fprintf(stderr, "error: cannot load model %s\n",
+                   ModelPath.c_str());
+      return 1;
+    }
+  } else {
+    Model = defaultPerformanceModel();
+  }
+
+  std::vector<SiteTrace> Sites;
+  if (!loadTraceFromFile(TracePath, Sites)) {
+    std::fprintf(stderr, "error: cannot parse trace %s\n", TracePath);
+    return 1;
+  }
+
+  std::vector<SiteRecommendation> Report =
+      adviseOffline(Sites, Model, Rule);
+  std::printf("offline recommendations (%s, %zu sites):\n",
+              Rule.Name.c_str(), Report.size());
+  for (const SiteRecommendation &Rec : Report)
+    std::printf("  %s\n", Rec.toString().c_str());
+  return 0;
+}
