@@ -12,6 +12,9 @@
 // harness reports the same comparison, plus the ~1 KB-per-context
 // footprint claim.
 //
+// Pass --json <path> to also emit the per-app comparison and the
+// footprint probe as machine-readable JSON.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
@@ -20,10 +23,30 @@
 #include "support/Statistics.h"
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 using namespace cswitch;
 using namespace cswitch::bench;
+
+namespace {
+
+struct AppRow {
+  const char *Name;
+  double OriginalMean;
+  double MonitoredMean;
+  double RelativeChange;
+  bool Significant;
+};
+
+const char *jsonPath(int Argc, char **Argv) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--json") == 0)
+      return Argv[I + 1];
+  return nullptr;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   bool Paper = hasFlag(Argc, Argv, "--paper");
@@ -44,6 +67,7 @@ int main(int Argc, char **Argv) {
   std::printf("%-10s %12s %14s %10s %12s\n", "bench", "orig T(s)",
               "monitored T(s)", "overhead", "significant?");
 
+  std::vector<AppRow> Rows;
   for (AppKind App : AllAppKinds) {
     std::vector<double> Original, Monitored;
     for (size_t I = 0; I != Warmup + Measured; ++I) {
@@ -62,10 +86,14 @@ int main(int Argc, char **Argv) {
         Monitored.push_back(R.Seconds);
     }
     ComparisonResult Cmp = compareMeans(Original, Monitored);
-    std::printf("%-10s %12.4f %14.4f %9.1f%% %12s\n", appKindName(App),
-                summarize(Original).Mean, summarize(Monitored).Mean,
-                Cmp.RelativeChange * 100.0,
-                Cmp.Significant ? "yes" : "no");
+    AppRow Row = {appKindName(App), summarize(Original).Mean,
+                  summarize(Monitored).Mean, Cmp.RelativeChange,
+                  Cmp.Significant};
+    Rows.push_back(Row);
+    std::printf("%-10s %12.4f %14.4f %9.1f%% %12s\n", Row.Name,
+                Row.OriginalMean, Row.MonitoredMean,
+                Row.RelativeChange * 100.0,
+                Row.Significant ? "yes" : "no");
   }
 
   // Context footprint (paper: ~1 KB per allocation context).
@@ -74,8 +102,35 @@ int main(int Argc, char **Argv) {
   Options.LogEvents = false;
   ListContext<int64_t> Ctx("footprint-probe", ListVariant::ArrayList,
                            Base.Model, SelectionRule::timeRule(), Options);
+  size_t Footprint = Ctx.memoryFootprint();
   std::printf("\nallocation-context footprint at window size 100: %zu "
               "bytes (paper: ~1 KB)\n",
-              Ctx.memoryFootprint());
+              Footprint);
+
+  if (const char *Path = jsonPath(Argc, Argv)) {
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path);
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"overhead_impossible_rule\",\n");
+    std::fprintf(F, "  \"warmup_runs\": %zu,\n  \"measured_runs\": %zu,\n",
+                 Warmup, Measured);
+    std::fprintf(F, "  \"apps\": [\n");
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const AppRow &R = Rows[I];
+      std::fprintf(F,
+                   "    {\"app\": \"%s\", \"original_s\": %.6f, "
+                   "\"monitored_s\": %.6f, \"overhead\": %.4f, "
+                   "\"significant\": %s}%s\n",
+                   R.Name, R.OriginalMean, R.MonitoredMean,
+                   R.RelativeChange, R.Significant ? "true" : "false",
+                   I + 1 == Rows.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ],\n");
+    std::fprintf(F, "  \"context_footprint_bytes\": %zu\n}\n", Footprint);
+    std::fclose(F);
+    std::printf("[wrote %s]\n", Path);
+  }
   return 0;
 }

@@ -11,8 +11,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <thread>
 
 using namespace cswitch;
+
+namespace {
+
+/// Saturating narrowing for the compact window-slot profiles.
+uint32_t saturate32(uint64_t Value) {
+  return Value > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(Value);
+}
+
+/// Bounded-wait helper for the analyzer: a claimer or finisher is
+/// between its RoundState CAS and the matching slot-state store, which
+/// is a handful of instructions away (or a descheduled thread).
+void relaxSpin(unsigned &Spins) {
+  if (++Spins < 64)
+    return;
+  std::this_thread::yield();
+}
+
+} // namespace
 
 AllocationContextBase::AllocationContextBase(
     std::string Name, AbstractionKind Kind, unsigned InitialVariantIndex,
@@ -25,9 +44,24 @@ AllocationContextBase::AllocationContextBase(
   assert(InitialVariantIndex < numVariantsOf(Kind) &&
          "initial variant out of range");
   assert(this->Options.WindowSize > 0 && "window size must be positive");
-  Window.resize(this->Options.WindowSize);
+  assert(this->Options.WindowSize < UINT32_MAX &&
+         "window size must fit the packed assigned counter");
+  Slots = std::make_unique<WindowSlot[]>(2 * this->Options.WindowSize);
+  FinishedState[0].store(0, std::memory_order_relaxed);
+  FinishedState[1].store(uint64_t(1) << 32, std::memory_order_relaxed);
   for (const Criterion &C : this->Rule.Criteria)
     UsedDimensions[static_cast<size_t>(C.Dimension)] = true;
+  // The model is immutable for the lifetime of the context: precompute
+  // coverage and the adaptive-variant index so analysis rounds never
+  // re-scan polynomials (hasVariant is itself O(1), but the per-round
+  // loop disappears entirely).
+  size_t NumVariants = numVariantsOf(Kind);
+  for (unsigned V = 0; V != NumVariants; ++V) {
+    if (this->Model->hasVariant({Kind, V}))
+      CoverageMask |= 1u << V;
+    if (isAdaptiveVariant(Kind, V))
+      AdaptiveIndex = static_cast<int>(V);
+  }
   if (this->Options.LogEvents)
     EventLog::global().record(EventKind::ContextCreated, this->Name,
                               currentVariant().name());
@@ -37,39 +71,70 @@ AllocationContextBase::~AllocationContextBase() = default;
 
 size_t AllocationContextBase::acquireMonitorSlot() {
   Created.fetch_add(1, std::memory_order_relaxed);
-  // Lock-free fast path: the window of this round is already full.
-  if (AssignedInRound.load(std::memory_order_acquire) >=
-      Options.WindowSize)
-    return NoSlot;
-
-  std::lock_guard<std::mutex> Lock(Mutex);
-  size_t Assigned = AssignedInRound.load(std::memory_order_relaxed);
-  if (Assigned >= Options.WindowSize)
-    return NoSlot;
-  Window[Assigned] = WindowEntry();
-  AssignedInRound.store(Assigned + 1, std::memory_order_release);
+  uint64_t State = RoundState.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t Assigned = static_cast<uint32_t>(State);
+    // Lock-free fast path: the window of this round is already full —
+    // the common steady-state case is a single atomic load.
+    if (Assigned >= Options.WindowSize)
+      return NoSlot;
+    // Claim slot `Assigned` of the current round. The CAS covers the
+    // round bits too: if evaluate() rotates concurrently, the claim
+    // retries against the new round instead of landing in a retired
+    // window.
+    if (RoundState.compare_exchange_weak(State, State + 1,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+      break;
+  }
+  uint32_t Round = static_cast<uint32_t>(State >> 32);
+  uint32_t Index = static_cast<uint32_t>(State);
+  // The claim store publishes slot ownership to the finisher and the
+  // analyzer (which spins briefly if it wins the race to this line).
+  bufferOf(Round)[Index].State.store(slotState(Round, SlotStatus::Claimed),
+                                     std::memory_order_release);
   Monitored.fetch_add(1, std::memory_order_relaxed);
-  return (static_cast<size_t>(Round) << 32) | Assigned;
+  return (static_cast<size_t>(Round) << 32) | Index;
 }
 
 void AllocationContextBase::onInstanceFinished(
     size_t Slot, const WorkloadProfile &Profile) {
-  auto SlotRound = static_cast<uint32_t>(Slot >> 32);
-  size_t Index = Slot & 0xffffffffu;
+  auto Round = static_cast<uint32_t>(Slot >> 32);
+  auto Index = static_cast<uint32_t>(Slot & 0xffffffffu);
+  assert(Index < Options.WindowSize && "slot out of range");
+  WindowSlot &Entry = bufferOf(Round)[Index];
 
-  std::lock_guard<std::mutex> Lock(Mutex);
-  // Instances created in a previous round report after the window was
-  // recycled; their profiles belong to an already-analyzed (or
-  // abandoned) round and are discarded.
-  if (SlotRound != Round)
+  // Acquire exclusive write access to the slot. Failure means the round
+  // was retired and the analyzer closed the slot (or a later round owns
+  // it): the profile belongs to an already-analyzed (or abandoned)
+  // round and is discarded.
+  uint64_t Expected = slotState(Round, SlotStatus::Claimed);
+  if (!Entry.State.compare_exchange_strong(
+          Expected, slotState(Round, SlotStatus::Writing),
+          std::memory_order_acq_rel, std::memory_order_relaxed)) {
+    Discarded.fetch_add(1, std::memory_order_relaxed);
     return;
-  assert(Index < Window.size() && "slot out of range");
-  WindowEntry &Entry = Window[Index];
-  if (Entry.Finished)
-    return;
-  Entry.Profile = Profile;
-  Entry.Finished = true;
-  ++FinishedInRound;
+  }
+
+  for (size_t I = 0; I != NumOperationKinds; ++I)
+    Entry.Counts[I] = saturate32(Profile.Counts[I]);
+  Entry.MaxSize = saturate32(Profile.MaxSize);
+  // Release-publish: the analyzer's acquire load of Finished orders the
+  // profile write before its reads.
+  Entry.State.store(slotState(Round, SlotStatus::Finished),
+                    std::memory_order_release);
+  Finished.fetch_add(1, std::memory_order_relaxed);
+
+  // Count the publication toward this round's finished-ratio gate. The
+  // round tag in the counter word makes a stale increment (the round
+  // rotated after the publication above) fail and drop out harmlessly.
+  std::atomic<uint64_t> &Counter = FinishedState[Round & 1];
+  uint64_t Count = Counter.load(std::memory_order_relaxed);
+  while (static_cast<uint32_t>(Count >> 32) == Round &&
+         !Counter.compare_exchange_weak(Count, Count + 1,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+  }
 }
 
 bool AllocationContextBase::isAdaptiveVariant(AbstractionKind Kind,
@@ -99,85 +164,163 @@ AllocationContextBase::adaptiveThresholdFor(AbstractionKind Kind) const {
   return 0;
 }
 
-std::optional<unsigned> AllocationContextBase::analyzeLocked() {
-  // Gather the finished profiles of this round.
-  size_t Assigned = AssignedInRound.load(std::memory_order_relaxed);
-  uint64_t MinMaxSize = UINT64_MAX;
-  uint64_t MaxMaxSize = 0;
-
-  size_t NumVariants = numVariantsOf(Kind);
-  std::vector<VariantCosts> Costs(NumVariants);
-  size_t Used = 0;
+std::optional<unsigned> AllocationContextBase::analyzeRound(uint32_t Round,
+                                                            size_t Assigned) {
+  // Drain the retired buffer: consume published profiles, lock stale
+  // stragglers out of unfinished slots, and merge the profiles of
+  // instances that peaked at the same maximum size. Sizes repeat
+  // heavily in practice (the paper's workloads allocate thousands of
+  // same-shaped collections per site), so the merge is what makes cost
+  // evaluation O(groups) instead of O(instances).
+  Groups.clear();
+  GroupIndex.clear();
+  WindowSlot *Buffer = bufferOf(Round);
   for (size_t I = 0; I != Assigned; ++I) {
-    const WindowEntry &Entry = Window[I];
-    if (!Entry.Finished)
-      continue;
-    ++Used;
-    MinMaxSize = std::min(MinMaxSize, Entry.Profile.MaxSize);
-    MaxMaxSize = std::max(MaxMaxSize, Entry.Profile.MaxSize);
-    for (unsigned V = 0; V != NumVariants; ++V) {
-      VariantId Id{Kind, V};
-      for (CostDimension Dim : AllCostDimensions) {
-        if (!UsedDimensions[static_cast<size_t>(Dim)])
-          continue;
-        Costs[V].Total[static_cast<size_t>(Dim)] +=
-            Model->totalCost(Id, Entry.Profile, Dim);
+    WindowSlot &Entry = Buffer[I];
+    unsigned Spins = 0;
+    bool Consume = false;
+    for (;;) {
+      uint64_t State = Entry.State.load(std::memory_order_acquire);
+      if (State == slotState(Round, SlotStatus::Finished)) {
+        Consume = true;
+        break;
       }
+      if (State == slotState(Round, SlotStatus::Writing)) {
+        // A finisher is mid-publication; it completes in a bounded
+        // number of instructions.
+        relaxSpin(Spins);
+        continue;
+      }
+      if (State == slotState(Round, SlotStatus::Claimed)) {
+        // Still alive: close the slot so a late publication is
+        // discarded instead of racing with the next reuse.
+        if (Entry.State.compare_exchange_strong(
+                State, slotState(Round, SlotStatus::Closed),
+                std::memory_order_acq_rel, std::memory_order_relaxed))
+          break;
+        continue;
+      }
+      if (State == slotState(Round, SlotStatus::Closed))
+        break;
+      // The slot was claimed via the RoundState CAS but the claim store
+      // has not propagated yet; it is at most a context switch away.
+      relaxSpin(Spins);
     }
+    if (!Consume)
+      continue;
+    auto [It, Inserted] = GroupIndex.try_emplace(Entry.MaxSize, Groups.size());
+    if (Inserted) {
+      Groups.emplace_back();
+      Groups.back().MaxSize = Entry.MaxSize;
+    }
+    MergedGroup &Group = Groups[It->second];
+    for (size_t Op = 0; Op != NumOperationKinds; ++Op)
+      Group.Counts[Op] += Entry.Counts[Op];
   }
-  if (Used == 0)
+  GroupIndex.clear();
+  if (Groups.empty())
     return std::nullopt;
 
-  // Variants without performance-model coverage must not compete: their
-  // total cost would read as zero and they would win every rule.
-  for (unsigned V = 0; V != NumVariants; ++V)
-    if (!Model->hasVariant({Kind, V}))
+  // Deterministic accumulation order regardless of instance finish
+  // order (floating-point sums are order-sensitive).
+  std::sort(Groups.begin(), Groups.end(),
+            [](const MergedGroup &A, const MergedGroup &B) {
+              return A.MaxSize < B.MaxSize;
+            });
+  uint64_t MinMaxSize = Groups.front().MaxSize;
+  uint64_t MaxMaxSize = Groups.back().MaxSize;
+
+  // Memoized total costs: every cost_op,V(s) polynomial is evaluated
+  // once per (variant, op, dimension, distinct size) — not once per
+  // instance. Variants without model coverage are skipped outright:
+  // their total cost would read as zero and they must not compete.
+  size_t NumVariants = numVariantsOf(Kind);
+  std::vector<VariantCosts> Costs(NumVariants);
+  for (unsigned V = 0; V != NumVariants; ++V) {
+    if (!(CoverageMask & (1u << V))) {
       Costs[V].Eligible = false;
+      continue;
+    }
+    VariantId Id{Kind, V};
+    for (CostDimension Dim : AllCostDimensions) {
+      if (!UsedDimensions[static_cast<size_t>(Dim)])
+        continue;
+      double Total = 0.0;
+      for (const MergedGroup &G : Groups) {
+        double Size = static_cast<double>(G.MaxSize);
+        for (OperationKind Op : AllOperationKinds) {
+          uint64_t N = G.Counts[static_cast<size_t>(Op)];
+          if (N == 0)
+            continue;
+          Total += static_cast<double>(N) *
+                   Model->operationCost(Id, Op, Dim, Size);
+        }
+      }
+      Costs[V].Total[static_cast<size_t>(Dim)] = Total;
+    }
+  }
 
   // Adaptive-variant gate (§3.2): only a candidate when the observed
   // maximum sizes ranged widely — straddling the adaptive threshold, or
   // spread by at least the configured factor.
-  size_t Threshold = adaptiveThresholdFor(Kind);
-  bool Straddles =
-      MinMaxSize <= Threshold && MaxMaxSize > Threshold;
-  bool WideSpread = static_cast<double>(MaxMaxSize) >=
-                    Options.WideRangeFactor *
-                        std::max<double>(1.0, static_cast<double>(MinMaxSize));
-  bool AdaptiveEligible = Straddles || WideSpread;
-  for (unsigned V = 0; V != NumVariants; ++V)
-    if (isAdaptiveVariant(Kind, V))
-      Costs[V].Eligible = AdaptiveEligible;
+  if (AdaptiveIndex >= 0 && Costs[AdaptiveIndex].Eligible) {
+    size_t Threshold = adaptiveThresholdFor(Kind);
+    bool Straddles = MinMaxSize <= Threshold && MaxMaxSize > Threshold;
+    bool WideSpread =
+        static_cast<double>(MaxMaxSize) >=
+        Options.WideRangeFactor *
+            std::max<double>(1.0, static_cast<double>(MinMaxSize));
+    Costs[AdaptiveIndex].Eligible = Straddles || WideSpread;
+  }
 
   return selectVariant(Costs, Current.load(std::memory_order_relaxed),
                        Rule);
 }
 
 bool AllocationContextBase::evaluate() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  size_t Assigned = AssignedInRound.load(std::memory_order_relaxed);
-  if (Assigned == 0)
+  std::lock_guard<std::mutex> Lock(EvalMutex);
+  uint64_t State = RoundState.load(std::memory_order_acquire);
+  auto Round = static_cast<uint32_t>(State >> 32);
+  if (static_cast<uint32_t>(State) == 0)
     return false;
   auto Needed = static_cast<size_t>(
       std::ceil(Options.FinishedRatio *
                 static_cast<double>(Options.WindowSize)));
+  uint64_t FinishedWord =
+      FinishedState[Round & 1].load(std::memory_order_acquire);
+  size_t FinishedInRound =
+      static_cast<uint32_t>(FinishedWord >> 32) == Round
+          ? static_cast<uint32_t>(FinishedWord)
+          : 0;
   if (FinishedInRound < std::max<size_t>(Needed, 1))
     return false;
 
-  std::optional<unsigned> Choice = analyzeLocked();
+  // Rotate: prime the inactive buffer's publication counter for the
+  // next round, then swap rounds with one CAS. Creation immediately
+  // continues into the fresh buffer while the retired one is analyzed
+  // below, off the hot path. (Stale-round increments on the counter
+  // fail their round-tag check, so the plain store cannot be corrupted.)
+  uint32_t NextRound = Round + 1;
+  FinishedState[NextRound & 1].store(static_cast<uint64_t>(NextRound) << 32,
+                                     std::memory_order_relaxed);
+  uint64_t Rotated = static_cast<uint64_t>(NextRound) << 32;
+  while (!RoundState.compare_exchange_weak(State, Rotated,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+    // Only the assigned count can move under us (rotation is serialized
+    // by EvalMutex); retry with the refreshed claim count.
+  }
+  size_t Assigned = static_cast<uint32_t>(State);
+
+  std::optional<unsigned> Choice = analyzeRound(Round, Assigned);
   Evaluations.fetch_add(1, std::memory_order_relaxed);
-  if (Options.LogEvents)
+  if (Options.LogEvents) {
     EventLog::global().record(EventKind::Evaluation, Name,
                               currentVariant().name());
-
-  // Start a new monitoring round regardless of the outcome, so the
-  // context keeps adapting to workload drift (§3.1: "after switching ...
-  // a fraction of the instances is monitored to allow a continuous
-  // adaptation process").
-  ++Round;
-  FinishedInRound = 0;
-  AssignedInRound.store(0, std::memory_order_release);
-  if (Options.LogEvents)
+    // §3.1: "after switching ... a fraction of the instances is
+    // monitored to allow a continuous adaptation process".
     EventLog::global().record(EventKind::MonitoringRound, Name, "");
+  }
 
   unsigned Cur = Current.load(std::memory_order_relaxed);
   if (!Choice || *Choice == Cur)
@@ -193,7 +336,6 @@ bool AllocationContextBase::evaluate() {
 }
 
 size_t AllocationContextBase::memoryFootprint() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return sizeof(*this) + Window.capacity() * sizeof(WindowEntry) +
-         Name.capacity();
+  return sizeof(*this) + 2 * Options.WindowSize * sizeof(WindowSlot) +
+         Name.capacity() + Groups.capacity() * sizeof(MergedGroup);
 }

@@ -29,6 +29,14 @@
 /// reporting the workload profile back (DESIGN.md §1 discusses this
 /// substitution for Java's WeakReference polling).
 ///
+/// Concurrency (DESIGN.md §4, "lock-free monitoring window"): both
+/// per-instance paths — slot acquisition at creation and profile
+/// publication at destruction — are lock-free. The monitoring window is
+/// double-buffered; rounds rotate with a single CAS on a packed
+/// (round, assigned) word and the retired buffer is analyzed off the
+/// hot path. Only evaluate() takes a mutex, and only to serialize
+/// analysis with other evaluators.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSWITCH_CORE_ALLOCATIONCONTEXT_H
@@ -44,6 +52,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace cswitch {
@@ -66,8 +75,9 @@ struct ContextOptions {
 /// Abstraction-independent allocation-context machinery.
 ///
 /// Thread-safe: instances may be created, finish, and be evaluated from
-/// different threads concurrently. The unmonitored creation fast path is
-/// lock-free.
+/// different threads concurrently. Creation and destruction of monitored
+/// instances are lock-free (one CAS each); unmonitored creation while
+/// the window is full is a single atomic load.
 class AllocationContextBase : public ProfileSink {
 public:
   AllocationContextBase(std::string Name, AbstractionKind Kind,
@@ -83,10 +93,11 @@ public:
   /// Analyzes the current monitoring round if the finished ratio has been
   /// reached; may switch the current variant. \returns true if a
   /// transition happened. Called periodically by the SwitchEngine, or
-  /// manually for deterministic tests.
+  /// manually for deterministic tests. Serialized internally; safe to
+  /// call concurrently with instance creation and destruction.
   bool evaluate();
 
-  // ProfileSink: called by dying monitored collection facades.
+  // ProfileSink: called by dying monitored collection facades. Lock-free.
   void onInstanceFinished(size_t Slot,
                           const WorkloadProfile &Profile) override;
 
@@ -116,6 +127,18 @@ public:
     return Monitored.load(std::memory_order_relaxed);
   }
 
+  /// Total monitored instances whose profile was published into a window
+  /// (finished while their round was still live).
+  uint64_t instancesFinished() const {
+    return Finished.load(std::memory_order_relaxed);
+  }
+
+  /// Total monitored instances whose profile was discarded because they
+  /// outlived their monitoring round (stale stragglers).
+  uint64_t profilesDiscarded() const {
+    return Discarded.load(std::memory_order_relaxed);
+  }
+
   /// Completed analysis rounds.
   uint64_t evaluationCount() const {
     return Evaluations.load(std::memory_order_relaxed);
@@ -126,8 +149,11 @@ public:
     return Switches.load(std::memory_order_relaxed);
   }
 
-  /// Approximate bytes of memory this context occupies (the paper
-  /// reports ~1 KB per context, §5.3).
+  /// Approximate bytes of memory this context occupies, including both
+  /// monitoring window buffers (the paper reports ~1 KB per context,
+  /// §5.3; window slots here store compact fixed-width profiles to keep
+  /// the doubled window within the same budget as the single-buffered
+  /// design). Lock-free.
   size_t memoryFootprint() const;
 
   /// The rule this context selects by.
@@ -143,20 +169,70 @@ protected:
   /// Reserves a monitoring slot in the current round, or NoSlot when the
   /// window is full. Also counts the creation. Slots encode the round in
   /// their upper 32 bits so that stale instances finishing after a round
-  /// reset are discarded rather than polluting the next round.
+  /// rotation are discarded rather than polluting a later round.
+  /// Lock-free: one CAS on the packed (round, assigned) word plus one
+  /// release-store claiming the slot.
   size_t acquireMonitorSlot();
 
 private:
-  struct WindowEntry {
-    WorkloadProfile Profile;
-    bool Finished = false;
+  /// Life-cycle of one window slot within a round R. Transitions:
+  ///   Idle/stale --store--> Claimed(R)      [creator, after winning CAS
+  ///                                          on the RoundState word]
+  ///   Claimed(R) --CAS--> Writing(R)        [finisher; grants exclusive
+  ///                                          write access to the slot
+  ///                                          profile]
+  ///   Writing(R) --store--> Finished(R)     [finisher; release-publishes
+  ///                                          the profile]
+  ///   Claimed(R) --CAS--> Closed(R)         [analyzer; locks stale
+  ///                                          stragglers out of the slot]
+  /// The analyzer consumes Finished(R) slots and briefly spins on
+  /// Writing(R) slots (a finisher is mid-publication); a finisher whose
+  /// Claimed->Writing CAS fails discards its profile.
+  enum class SlotStatus : uint64_t {
+    Claimed = 0,
+    Writing = 1,
+    Finished = 2,
+    Closed = 3,
+  };
+
+  /// Slot state never taken by any live round (rounds are 32-bit).
+  static constexpr uint64_t IdleSlotState = UINT64_MAX;
+
+  static constexpr uint64_t slotState(uint32_t Round, SlotStatus Status) {
+    return (static_cast<uint64_t>(Round) << 2) |
+           static_cast<uint64_t>(Status);
+  }
+
+  /// One monitoring slot. The profile is stored compactly (saturating
+  /// 32-bit counters) so the double-buffered window stays within the
+  /// §5.3 per-context memory budget.
+  struct WindowSlot {
+    std::atomic<uint64_t> State{IdleSlotState};
+    std::array<uint32_t, NumOperationKinds> Counts = {};
+    uint32_t MaxSize = 0;
+  };
+
+  /// A group of finished profiles sharing one maximum size; the unit of
+  /// memoized cost evaluation (each cost polynomial is evaluated once
+  /// per group instead of once per instance).
+  struct MergedGroup {
+    uint32_t MaxSize = 0;
+    std::array<uint64_t, NumOperationKinds> Counts = {};
   };
 
   static bool isAdaptiveVariant(AbstractionKind Kind, unsigned Index);
   size_t adaptiveThresholdFor(AbstractionKind Kind) const;
 
-  /// Analysis of a completed round; Mutex must be held.
-  std::optional<unsigned> analyzeLocked();
+  /// First slot of the buffer used by \p Round.
+  WindowSlot *bufferOf(uint32_t Round) {
+    return Slots.get() + (Round & 1) * Options.WindowSize;
+  }
+
+  /// Analysis of the retired round \p Round with \p Assigned claimed
+  /// slots; EvalMutex must be held. Consumes finished slots, closes
+  /// unfinished ones, merges profiles per distinct maximum size and
+  /// evaluates the memoized total costs.
+  std::optional<unsigned> analyzeRound(uint32_t Round, size_t Assigned);
 
   const std::string Name;
   const AbstractionKind Kind;
@@ -167,18 +243,41 @@ private:
   /// accumulates these (evaluating unused cost polynomials would only
   /// inflate the §5.3 overhead).
   std::array<bool, NumCostDimensions> UsedDimensions = {};
+  /// Bit V set iff the model covers variant V of this abstraction;
+  /// precomputed once (the model is immutable) so analysis never
+  /// re-scans polynomials.
+  uint32_t CoverageMask = 0;
+  /// Index of this abstraction's adaptive variant, or -1.
+  int AdaptiveIndex = -1;
 
   std::atomic<unsigned> Current;
   std::atomic<uint64_t> Created{0};
   std::atomic<uint64_t> Monitored{0};
+  std::atomic<uint64_t> Finished{0};
+  std::atomic<uint64_t> Discarded{0};
   std::atomic<uint64_t> Evaluations{0};
   std::atomic<uint64_t> Switches{0};
 
-  mutable std::mutex Mutex;
-  std::vector<WindowEntry> Window;       ///< Guarded by Mutex.
-  std::atomic<size_t> AssignedInRound{0};
-  size_t FinishedInRound = 0;            ///< Guarded by Mutex.
-  uint32_t Round = 0;                    ///< Guarded by Mutex.
+  /// Packed (round << 32 | assigned) word: the single point of
+  /// contention on the creation path. Claimed by CAS; rotated by
+  /// evaluate() with a CAS that resets the assigned count.
+  std::atomic<uint64_t> RoundState{0};
+  /// Packed (round << 32 | finished) publication counters, one per
+  /// window buffer. The round tag makes stale increments from stragglers
+  /// fail their CAS instead of corrupting a later round's count.
+  std::array<std::atomic<uint64_t>, 2> FinishedState;
+  /// Double-buffered window: buffer (round & 1) is live, the other one
+  /// is being analyzed or idle. 2 * WindowSize slots.
+  std::unique_ptr<WindowSlot[]> Slots;
+
+  /// Serializes evaluate() (round rotation + analysis) with itself; the
+  /// per-instance paths never touch it.
+  std::mutex EvalMutex;
+  /// Analysis scratch, guarded by EvalMutex; reused across rounds so
+  /// steady-state analysis does not allocate.
+  std::vector<MergedGroup> Groups;
+  /// MaxSize -> index into Groups, cleared after every analysis.
+  std::unordered_map<uint32_t, size_t> GroupIndex;
 };
 
 /// Allocation context for list sites.

@@ -57,6 +57,23 @@ public:
   /// model they were created with.
   static void setModel(std::shared_ptr<const PerformanceModel> Model);
 
+  /// Sets the parallelism of periodic context evaluation (see
+  /// SwitchEngine::setEvaluationThreads): 0/1 = deterministic
+  /// sequential evaluation (default), N > 1 = worker pool.
+  static void setEvaluationThreads(size_t Threads) {
+    SwitchEngine::global().setEvaluationThreads(Threads);
+  }
+
+  /// Current evaluateAll() parallelism of the global engine.
+  static size_t evaluationThreads() {
+    return SwitchEngine::global().evaluationThreads();
+  }
+
+  /// Aggregate monitoring counters over every registered context: the
+  /// runtime's own report of how much work the always-on monitoring
+  /// pipeline performed (paper §5.3's overhead discussion).
+  static EngineStats stats() { return SwitchEngine::global().stats(); }
+
   /// Creates and registers an adaptive list allocation context.
   template <typename T>
   static ContextHandle<ListContext<T>>

@@ -15,32 +15,146 @@ SwitchEngine &SwitchEngine::global() {
   return Instance;
 }
 
-SwitchEngine::~SwitchEngine() { stop(); }
+SwitchEngine::~SwitchEngine() {
+  stop();
+  stopPool();
+}
+
+size_t SwitchEngine::shardOf(const AllocationContextBase *Context) {
+  // Fibonacci hash of the pointer; the low bits of a heap pointer are
+  // alignment zeros, so shift them out first.
+  auto Ptr = reinterpret_cast<uintptr_t>(Context);
+  return ((Ptr >> 4) * 11400714819323198485ull) >> 60 & (NumShards - 1);
+}
 
 void SwitchEngine::registerContext(AllocationContextBase *Context) {
-  std::lock_guard<std::mutex> Lock(RegistryMutex);
-  Contexts.push_back(Context);
+  Shard &S = Shards[shardOf(Context)];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Contexts.push_back(Context);
 }
 
 void SwitchEngine::unregisterContext(AllocationContextBase *Context) {
-  std::lock_guard<std::mutex> Lock(RegistryMutex);
-  Contexts.erase(std::remove(Contexts.begin(), Contexts.end(), Context),
-                 Contexts.end());
+  Shard &S = Shards[shardOf(Context)];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  S.Contexts.erase(
+      std::remove(S.Contexts.begin(), S.Contexts.end(), Context),
+      S.Contexts.end());
+}
+
+std::vector<AllocationContextBase *> SwitchEngine::snapshotContexts() const {
+  // Snapshot shard by shard: evaluation must not hold registry locks
+  // (context evaluation can be slow and must not block registration
+  // from other threads).
+  std::vector<AllocationContextBase *> Snapshot;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Snapshot.insert(Snapshot.end(), S.Contexts.begin(), S.Contexts.end());
+  }
+  return Snapshot;
 }
 
 size_t SwitchEngine::evaluateAll() {
-  // Snapshot under the lock, evaluate outside it: context evaluation can
-  // be slow and must not block registration from other threads.
-  std::vector<AllocationContextBase *> Snapshot;
-  {
-    std::lock_guard<std::mutex> Lock(RegistryMutex);
-    Snapshot = Contexts;
+  std::vector<AllocationContextBase *> Snapshot = snapshotContexts();
+  size_t Threads = EvalThreads.load(std::memory_order_relaxed);
+  if (Threads <= 1 || Snapshot.size() < 2) {
+    // Deterministic sequential mode.
+    size_t Transitions = 0;
+    for (AllocationContextBase *Context : Snapshot)
+      if (Context->evaluate())
+        ++Transitions;
+    return Transitions;
   }
-  size_t Transitions = 0;
-  for (AllocationContextBase *Context : Snapshot)
-    if (Context->evaluate())
-      ++Transitions;
-  return Transitions;
+
+  std::atomic<size_t> Next{0};
+  std::atomic<size_t> Transitions{0};
+  std::function<void()> Task = [&Snapshot, &Next, &Transitions] {
+    size_t LocalTransitions = 0;
+    for (size_t I;
+         (I = Next.fetch_add(1, std::memory_order_relaxed)) <
+         Snapshot.size();)
+      if (Snapshot[I]->evaluate())
+        ++LocalTransitions;
+    if (LocalTransitions)
+      Transitions.fetch_add(LocalTransitions, std::memory_order_relaxed);
+  };
+  dispatchToPool(Task);
+  return Transitions.load(std::memory_order_relaxed);
+}
+
+void SwitchEngine::dispatchToPool(const std::function<void()> &Task) {
+  // Serialize dispatches: concurrent evaluateAll() calls (background
+  // thread + manual driver) take turns; context evaluation itself is
+  // thread-safe either way.
+  std::lock_guard<std::mutex> DispatchLock(DispatchMutex);
+  size_t Expected;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    Expected = PoolThreads.size();
+    ActiveTask = &Task;
+    FinishedWorkers = 0;
+    ++TaskGeneration;
+  }
+  PoolWake.notify_all();
+  Task(); // the caller is the pool's final worker
+  std::unique_lock<std::mutex> Lock(PoolMutex);
+  PoolDone.wait(Lock, [this, Expected] {
+    return FinishedWorkers == Expected;
+  });
+  ActiveTask = nullptr;
+}
+
+void SwitchEngine::poolMain(uint64_t SeenGeneration) {
+  std::unique_lock<std::mutex> Lock(PoolMutex);
+  for (;;) {
+    PoolWake.wait(Lock, [this, SeenGeneration] {
+      return PoolShutdown || TaskGeneration != SeenGeneration;
+    });
+    if (PoolShutdown)
+      return;
+    SeenGeneration = TaskGeneration;
+    const std::function<void()> *Task = ActiveTask;
+    Lock.unlock();
+    (*Task)();
+    Lock.lock();
+    ++FinishedWorkers;
+    PoolDone.notify_all();
+  }
+}
+
+void SwitchEngine::startPool(size_t Workers) {
+  uint64_t Generation;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    PoolShutdown = false;
+    // No dispatch can run while the caller holds DispatchMutex, so
+    // every new worker starts with the current generation as "seen".
+    Generation = TaskGeneration;
+  }
+  for (size_t I = 0; I != Workers; ++I)
+    PoolThreads.emplace_back([this, Generation] { poolMain(Generation); });
+}
+
+void SwitchEngine::stopPool() {
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    if (PoolThreads.empty())
+      return;
+    PoolShutdown = true;
+  }
+  PoolWake.notify_all();
+  for (std::thread &T : PoolThreads)
+    T.join();
+  PoolThreads.clear();
+}
+
+void SwitchEngine::setEvaluationThreads(size_t Threads) {
+  // Hold the dispatch lock so the pool is never resized mid-dispatch.
+  std::lock_guard<std::mutex> DispatchLock(DispatchMutex);
+  stopPool();
+  EvalThreads.store(std::max<size_t>(Threads, 1),
+                    std::memory_order_relaxed);
+  if (Threads > 1)
+    startPool(Threads - 1);
 }
 
 void SwitchEngine::start(std::chrono::milliseconds MonitoringRate) {
@@ -83,14 +197,37 @@ void SwitchEngine::threadMain(std::chrono::milliseconds Rate) {
 }
 
 size_t SwitchEngine::contextCount() const {
-  std::lock_guard<std::mutex> Lock(RegistryMutex);
-  return Contexts.size();
+  size_t Total = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Total += S.Contexts.size();
+  }
+  return Total;
 }
 
 uint64_t SwitchEngine::totalSwitches() const {
-  std::lock_guard<std::mutex> Lock(RegistryMutex);
   uint64_t Total = 0;
-  for (const AllocationContextBase *Context : Contexts)
-    Total += Context->switchCount();
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (const AllocationContextBase *Context : S.Contexts)
+      Total += Context->switchCount();
+  }
   return Total;
+}
+
+EngineStats SwitchEngine::stats() const {
+  EngineStats Stats;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    Stats.Contexts += S.Contexts.size();
+    for (const AllocationContextBase *Context : S.Contexts) {
+      Stats.InstancesCreated += Context->instancesCreated();
+      Stats.InstancesMonitored += Context->instancesMonitored();
+      Stats.ProfilesPublished += Context->instancesFinished();
+      Stats.ProfilesDiscarded += Context->profilesDiscarded();
+      Stats.Evaluations += Context->evaluationCount();
+      Stats.Switches += Context->switchCount();
+    }
+  }
+  return Stats;
 }

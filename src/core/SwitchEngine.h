@@ -13,6 +13,12 @@
 /// analysis synchronously, which deterministic tests and single-threaded
 /// harnesses use.
 ///
+/// The registry is sharded to keep registration cheap under many
+/// concurrently created sites, and evaluateAll() can fan contexts out to
+/// a small worker pool (setEvaluationThreads) for processes with
+/// thousands of hot sites. The default is single-threaded evaluation,
+/// which is fully deterministic and what tests rely on.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSWITCH_CORE_SWITCHENGINE_H
@@ -20,13 +26,27 @@
 
 #include "core/AllocationContext.h"
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace cswitch {
+
+/// Aggregate monitoring statistics over every registered context (the
+/// facade-level report of the §5.3 overhead discussion).
+struct EngineStats {
+  size_t Contexts = 0;
+  uint64_t InstancesCreated = 0;
+  uint64_t InstancesMonitored = 0;
+  uint64_t ProfilesPublished = 0;
+  uint64_t ProfilesDiscarded = 0;
+  uint64_t Evaluations = 0;
+  uint64_t Switches = 0;
+};
 
 /// Registry of live allocation contexts plus the periodic evaluator.
 class SwitchEngine {
@@ -48,8 +68,22 @@ public:
   void unregisterContext(AllocationContextBase *Context);
 
   /// Evaluates every registered context once; returns the number of
-  /// contexts that performed a transition.
+  /// contexts that performed a transition. With evaluationThreads() <= 1
+  /// (the default) contexts are evaluated sequentially on the calling
+  /// thread — the deterministic mode tests rely on; otherwise they are
+  /// fanned out to the worker pool.
   size_t evaluateAll();
+
+  /// Sets the number of threads evaluateAll() uses: 0 or 1 selects the
+  /// deterministic sequential mode, N > 1 keeps a pool of N - 1 workers
+  /// (the caller participates as the Nth). Safe to call at any time;
+  /// blocks until an in-flight parallel evaluation finishes.
+  void setEvaluationThreads(size_t Threads);
+
+  /// Current evaluateAll() parallelism (1 = sequential).
+  size_t evaluationThreads() const {
+    return EvalThreads.load(std::memory_order_relaxed);
+  }
 
   /// Starts the background evaluation thread at the given monitoring
   /// rate (paper default 50 ms). No-op if already running.
@@ -69,11 +103,42 @@ public:
   /// Sum of switchCount() over all registered contexts.
   uint64_t totalSwitches() const;
 
+  /// Aggregated counters over all registered contexts.
+  EngineStats stats() const;
+
 private:
   void threadMain(std::chrono::milliseconds Rate);
+  std::vector<AllocationContextBase *> snapshotContexts() const;
+  static size_t shardOf(const AllocationContextBase *Context);
 
-  mutable std::mutex RegistryMutex;
-  std::vector<AllocationContextBase *> Contexts;
+  /// Runs \p Task on every pool worker plus the calling thread and
+  /// waits for all of them; PoolMutex protocol in SwitchEngine.cpp.
+  void dispatchToPool(const std::function<void()> &Task);
+  void startPool(size_t Workers);
+  void stopPool();
+  void poolMain(uint64_t SeenGeneration);
+
+  /// Registry shards: registration/unregistration from many threads
+  /// only contend within one shard. Padded to keep shard locks on
+  /// separate cache lines.
+  static constexpr size_t NumShards = 16;
+  struct alignas(64) Shard {
+    mutable std::mutex Mutex;
+    std::vector<AllocationContextBase *> Contexts;
+  };
+  std::array<Shard, NumShards> Shards;
+
+  /// Worker pool for parallel evaluateAll().
+  std::atomic<size_t> EvalThreads{1};
+  mutable std::mutex DispatchMutex; ///< Serializes parallel dispatches.
+  mutable std::mutex PoolMutex;
+  std::condition_variable PoolWake;
+  std::condition_variable PoolDone;
+  std::vector<std::thread> PoolThreads;
+  const std::function<void()> *ActiveTask = nullptr; ///< Guarded by PoolMutex.
+  uint64_t TaskGeneration = 0;                       ///< Guarded by PoolMutex.
+  size_t FinishedWorkers = 0;                        ///< Guarded by PoolMutex.
+  bool PoolShutdown = false;                         ///< Guarded by PoolMutex.
 
   mutable std::mutex ThreadMutex;
   std::condition_variable StopCondition;

@@ -58,7 +58,23 @@ size_t PerformanceModel::indexOf(VariantId Variant, OperationKind Op,
 
 void PerformanceModel::setCost(VariantId Variant, OperationKind Op,
                                CostDimension Dim, Polynomial Cost) {
+  bool NonEmpty = !Cost.coefficients().empty();
   Costs[indexOf(Variant, Op, Dim)] = std::move(Cost);
+  size_t A = static_cast<size_t>(Variant.Abstraction);
+  uint32_t Bit = 1u << Variant.Index;
+  if (NonEmpty) {
+    Coverage[A] |= Bit;
+    return;
+  }
+  if (!(Coverage[A] & Bit))
+    return;
+  // An installed polynomial was cleared: the bit survives only if some
+  // other (op, dimension) slot of this variant is still populated.
+  for (OperationKind O : AllOperationKinds)
+    for (CostDimension D : AllCostDimensions)
+      if (!cost(Variant, O, D).coefficients().empty())
+        return;
+  Coverage[A] &= ~Bit;
 }
 
 const Polynomial &PerformanceModel::cost(VariantId Variant, OperationKind Op,
@@ -87,11 +103,11 @@ double PerformanceModel::totalCost(VariantId Variant,
 }
 
 bool PerformanceModel::hasVariant(VariantId Variant) const {
-  for (OperationKind Op : AllOperationKinds)
-    for (CostDimension Dim : AllCostDimensions)
-      if (!cost(Variant, Op, Dim).coefficients().empty())
-        return true;
-  return false;
+  assert(Variant.Index < numVariantsOf(Variant.Abstraction) &&
+         "variant index out of range");
+  return (Coverage[static_cast<size_t>(Variant.Abstraction)] >>
+          Variant.Index) &
+         1u;
 }
 
 void PerformanceModel::save(std::ostream &OS) const {

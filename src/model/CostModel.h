@@ -86,8 +86,16 @@ public:
   double totalCost(VariantId Variant, const WorkloadProfile &Profile,
                    CostDimension Dim) const;
 
-  /// True if any polynomial is set for \p Variant.
+  /// True if any polynomial is set for \p Variant. O(1): coverage is
+  /// tracked as a per-abstraction bitmap maintained by setCost()/load()
+  /// instead of re-scanning every (op, dimension) polynomial.
   bool hasVariant(VariantId Variant) const;
+
+  /// Bitmap of covered variants of \p Kind (bit V set iff variant V has
+  /// at least one polynomial).
+  uint32_t coverageMask(AbstractionKind Kind) const {
+    return Coverage[static_cast<size_t>(Kind)];
+  }
 
   /// Serializes the model as a line-oriented text document.
   void save(std::ostream &OS) const;
@@ -109,6 +117,9 @@ private:
   std::vector<Polynomial> Costs;
   /// Start offset of each abstraction in Costs.
   std::array<size_t, NumAbstractionKinds> AbstractionOffsets;
+  /// Per-abstraction coverage bitmaps (bit V set iff variant V has at
+  /// least one non-empty polynomial); kept in sync by setCost().
+  std::array<uint32_t, NumAbstractionKinds> Coverage = {};
 };
 
 } // namespace cswitch

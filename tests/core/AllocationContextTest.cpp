@@ -327,6 +327,28 @@ TEST(AllocationContext, MemoryFootprintIsAboutOneKilobyte) {
   EXPECT_LT(Bytes, 16384u);
 }
 
+TEST(AllocationContext, FootprintAccountsForDoubleBufferedWindow) {
+  // Regression pin for the lock-free rework: the window is
+  // double-buffered, and both buffers must be visible in the footprint
+  // report. Slots store compact fixed-width profiles, so the doubled
+  // window still fits the same §5.3 budget the single-buffered design
+  // reported.
+  auto FootprintAt = [](size_t Window) {
+    ListContext<int64_t> Ctx("t:fp" + std::to_string(Window),
+                             ListVariant::ArrayList, defaultModel(),
+                             SelectionRule::timeRule(),
+                             quietOptions(Window));
+    return Ctx.memoryFootprint();
+  };
+  size_t At100 = FootprintAt(100);
+  size_t At1000 = FootprintAt(1000);
+  // Both buffers scale with the window: the delta over 900 extra slots
+  // must cover 2 x 900 compact slots (>= 36 bytes each).
+  EXPECT_GE(At1000 - At100, 2u * 900u * 36u);
+  // Paper-window footprint stays within the seed's reported budget.
+  EXPECT_LT(At100, 12u * 1024u);
+}
+
 TEST(AllocationContext, ReportsIdentity) {
   MapContext<int64_t, int64_t> Ctx("site:42", MapVariant::ArrayMap,
                                    defaultModel(),
