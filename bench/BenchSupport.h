@@ -78,6 +78,15 @@ inline long intOption(int Argc, char **Argv, const char *Name,
   return Default;
 }
 
+/// Parses `--name value` (string); returns Default when absent.
+inline const char *stringOption(int Argc, char **Argv, const char *Name,
+                                const char *Default) {
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], Name) == 0)
+      return Argv[I + 1];
+  return Default;
+}
+
 } // namespace bench
 } // namespace cswitch
 

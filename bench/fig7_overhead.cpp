@@ -17,14 +17,21 @@
 // workload the lock-free window rework targets (the seed design took a
 // mutex on both per-instance paths).
 //
+// Part 3 — the cost of the telemetry ring itself: contended
+// EventLog::record() (interned ids, no strings) under 1/4/8 recorder
+// threads racing one drainer, in nanoseconds per record() call. This is
+// the price a context pays per event when LogEvents is on.
+//
 // Results are emitted as machine-readable JSON (default:
-// BENCH_overhead.json; --json <path> overrides, --no-json disables) to
-// seed the repo's perf trajectory.
+// BENCH_overhead.json + BENCH_telemetry.json; --json <path> /
+// --telemetry-json <path> override, --no-json disables both) to seed
+// the repo's perf trajectory.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
 #include "core/Switch.h"
+#include "support/EventLog.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -159,6 +166,61 @@ ContendedResult contendedMonitoringCost(
   return R;
 }
 
+struct RecordResult {
+  size_t Threads = 0;
+  uint64_t Recorded = 0;
+  uint64_t Dropped = 0;
+  uint64_t Drained = 0;
+  double NanosPerRecord = 0.0;
+};
+
+/// Hammers a private EventLog with record() calls (pre-interned ids —
+/// the evaluation-path shape) from \p Threads threads while one drainer
+/// keeps consuming, and returns wall nanoseconds per record() call.
+RecordResult contendedRecordCost(size_t Threads, size_t PerThread) {
+  EventLog Log(1 << 16);
+  uint32_t Ctx = Log.intern("fig7:telemetry");
+  uint32_t Detail = Log.intern("record-bench");
+
+  std::atomic<bool> Stop{false};
+  std::atomic<size_t> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Workers;
+  for (size_t T = 0; T != Threads; ++T) {
+    Workers.emplace_back([&Log, &Ready, &Go, PerThread, Ctx, Detail] {
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      for (size_t I = 0; I != PerThread; ++I)
+        Log.record(EventKind::MonitoringRound, Ctx, Detail);
+    });
+  }
+  std::atomic<uint64_t> Drained{0};
+  std::thread Drainer([&Log, &Stop, &Drained] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      Drained.fetch_add(Log.drain().size(), std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+  });
+  while (Ready.load() != Threads) {
+  }
+  Timer Clock;
+  Go.store(true, std::memory_order_release);
+  for (std::thread &W : Workers)
+    W.join();
+  double Nanos = static_cast<double>(Clock.elapsedNanos());
+  Stop.store(true, std::memory_order_relaxed);
+  Drainer.join();
+
+  RecordResult R;
+  R.Threads = Threads;
+  R.Recorded = Log.totalRecorded();
+  R.Dropped = Log.droppedCount();
+  R.Drained = Drained.load(std::memory_order_relaxed);
+  R.NanosPerRecord = Nanos / static_cast<double>(Threads * PerThread);
+  return R;
+}
+
 const char *jsonPath(int Argc, char **Argv) {
   if (hasFlag(Argc, Argv, "--no-json"))
     return nullptr;
@@ -166,6 +228,15 @@ const char *jsonPath(int Argc, char **Argv) {
     if (std::strcmp(Argv[I], "--json") == 0)
       return Argv[I + 1];
   return "BENCH_overhead.json";
+}
+
+const char *telemetryJsonPath(int Argc, char **Argv) {
+  if (hasFlag(Argc, Argv, "--no-json"))
+    return nullptr;
+  for (int I = 1; I + 1 < Argc; ++I)
+    if (std::strcmp(Argv[I], "--telemetry-json") == 0)
+      return Argv[I + 1];
+  return "BENCH_telemetry.json";
 }
 
 } // namespace
@@ -225,6 +296,26 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Median.Rounds));
   }
 
+  std::printf("\nTelemetry ring: contended EventLog::record() cost\n");
+  std::printf("%8s  %12s  %12s  %12s\n", "threads", "ns/record",
+              "recorded", "dropped");
+  std::vector<RecordResult> Records;
+  for (size_t Threads : {1u, 4u, 8u}) {
+    std::vector<RecordResult> Reps;
+    for (int R = 0; R != 9; ++R)
+      Reps.push_back(contendedRecordCost(Threads, PerThread / Threads));
+    std::sort(Reps.begin(), Reps.end(),
+              [](const RecordResult &A, const RecordResult &B) {
+                return A.NanosPerRecord < B.NanosPerRecord;
+              });
+    RecordResult Median = Reps[4];
+    Records.push_back(Median);
+    std::printf("%8zu  %12.1f  %12llu  %12llu\n", Threads,
+                Median.NanosPerRecord,
+                static_cast<unsigned long long>(Median.Recorded),
+                static_cast<unsigned long long>(Median.Dropped));
+  }
+
   if (const char *Path = jsonPath(Argc, Argv)) {
     std::FILE *F = std::fopen(Path, "w");
     if (!F) {
@@ -257,6 +348,31 @@ int main(int Argc, char **Argv) {
     std::fprintf(F, "  ]\n}\n");
     std::fclose(F);
     std::printf("\n[wrote %s]\n", Path);
+  }
+
+  if (const char *Path = telemetryJsonPath(Argc, Argv)) {
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F) {
+      std::fprintf(stderr, "cannot write %s\n", Path);
+      return 1;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"telemetry_record\",\n");
+    std::fprintf(F, "  \"record_ns_per_op\": [\n");
+    for (size_t I = 0; I != Records.size(); ++I) {
+      const RecordResult &R = Records[I];
+      std::fprintf(F,
+                   "    {\"threads\": %zu, \"ns\": %.1f, "
+                   "\"recorded\": %llu, \"dropped\": %llu, "
+                   "\"drained\": %llu}%s\n",
+                   R.Threads, R.NanosPerRecord,
+                   static_cast<unsigned long long>(R.Recorded),
+                   static_cast<unsigned long long>(R.Dropped),
+                   static_cast<unsigned long long>(R.Drained),
+                   I + 1 == Records.size() ? "" : ",");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    std::printf("[wrote %s]\n", Path);
   }
   return 0;
 }

@@ -19,6 +19,9 @@
 
 #include "BenchSupport.h"
 #include "apps/Apps.h"
+#include "core/Switch.h"
+#include "support/EventLog.h"
+#include "support/MetricsExport.h"
 #include "support/Statistics.h"
 
 #include <cstdio>
@@ -34,7 +37,9 @@ struct RunSeries {
   std::vector<double> PeakMB;
   uint64_t Instances = 0;
   size_t Sites = 0;
-  size_t Transitions = 0;
+  /// Engine-stats interval of the last measured run — the framework's
+  /// own account of the monitoring work (AppResult::Stats).
+  EngineStats Stats;
 };
 
 RunSeries runSeries(AppKind App, const AppRunConfig &Base, size_t Warmup,
@@ -49,7 +54,7 @@ RunSeries runSeries(AppKind App, const AppRunConfig &Base, size_t Warmup,
     Series.PeakMB.push_back(static_cast<double>(R.PeakLiveBytes) / 1e3);
     Series.Instances = R.InstancesCreated;
     Series.Sites = R.TargetSites;
-    Series.Transitions = R.Transitions;
+    Series.Stats = R.Stats;
   }
   return Series;
 }
@@ -70,6 +75,7 @@ std::string gain(const std::vector<double> &Original,
 
 int main(int Argc, char **Argv) {
   bool Paper = hasFlag(Argc, Argv, "--paper");
+  const char *TelemetryPath = stringOption(Argc, Argv, "--telemetry", "");
   size_t Warmup = Paper ? 5 : 2;
   size_t Measured = Paper ? 30 : 10;
   double Scale = Paper ? 1.0 : 0.5;
@@ -93,6 +99,8 @@ int main(int Argc, char **Argv) {
               "original", "FullAdap Rtime", "FullAdap Ralloc",
               "InstanceAdap");
 
+  EngineStats Monitoring;
+  TelemetrySnapshot Export;
   for (AppKind App : AllAppKinds) {
     AppRunConfig Original = Base;
     Original.Config = AppConfig::Original;
@@ -123,8 +131,51 @@ int main(int Argc, char **Argv) {
         gain(O.PeakMB, T2.PeakMB).c_str(), summarize(T3.Seconds).Mean,
         gain(O.Seconds, T3.Seconds).c_str(),
         gain(O.PeakMB, T3.PeakMB).c_str());
+
+    Monitoring += T1.Stats;
+
+    // One telemetry row per app: the FullAdap Rtime interval of the
+    // last measured run, aggregated over that app's contexts (the
+    // contexts themselves die with the harness, so per-site rows are
+    // not available after the fact).
+    ContextSnapshot Row;
+    Row.Name = appKindName(App);
+    Row.Abstraction = "app";
+    Row.Variant = "FullAdap Rtime";
+    Row.Stats.InstancesCreated = T1.Stats.InstancesCreated;
+    Row.Stats.InstancesMonitored = T1.Stats.InstancesMonitored;
+    Row.Stats.ProfilesPublished = T1.Stats.ProfilesPublished;
+    Row.Stats.ProfilesDiscarded = T1.Stats.ProfilesDiscarded;
+    Row.Stats.Evaluations = T1.Stats.Evaluations;
+    Row.Stats.Switches = T1.Stats.Switches;
+    Export.Engine += T1.Stats;
+    // Stats is an interval, so its context gauge diffs to zero; the
+    // app's real site count is the meaningful figure here.
+    Export.Engine.Contexts += T1.Sites;
+    Export.Contexts.push_back(std::move(Row));
   }
   std::printf("\n(dT/dM: significant improvement vs original run; '--' = "
               "no significant difference)\n");
+  std::printf("\nFullAdap Rtime monitoring account (last measured run per "
+              "app, engine-stats intervals):\n"
+              "  sites %llu, instances created %llu / monitored %llu, "
+              "profiles published %llu / discarded %llu,\n"
+              "  evaluations %llu, switches %llu\n",
+              (unsigned long long)Export.Engine.Contexts,
+              (unsigned long long)Monitoring.InstancesCreated,
+              (unsigned long long)Monitoring.InstancesMonitored,
+              (unsigned long long)Monitoring.ProfilesPublished,
+              (unsigned long long)Monitoring.ProfilesDiscarded,
+              (unsigned long long)Monitoring.Evaluations,
+              (unsigned long long)Monitoring.Switches);
+
+  if (TelemetryPath[0]) {
+    Export.Events.Recorded = EventLog::global().totalRecorded();
+    Export.Events.Dropped = EventLog::global().droppedCount();
+    if (writeTextFile(TelemetryPath, toJson(Export)))
+      std::printf("[wrote telemetry snapshot to %s]\n", TelemetryPath);
+    else
+      std::fprintf(stderr, "[failed to write %s]\n", TelemetryPath);
+  }
   return 0;
 }

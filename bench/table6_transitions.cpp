@@ -12,7 +12,7 @@
 
 #include "BenchSupport.h"
 #include "apps/Apps.h"
-#include "support/EventLog.h"
+#include "core/Switch.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -38,7 +38,7 @@ std::set<std::string> &selectedVariants() {
 /// frequency (top 2), or "--" when none happened.
 std::string dominantTransition(AppKind App, const SelectionRule &Rule,
                                std::shared_ptr<const PerformanceModel> M) {
-  EventLog::global().clear();
+  Switch::drainEvents(); // discard events of earlier runs
   AppRunConfig RC;
   RC.Config = AppConfig::FullAdap;
   RC.Rule = Rule;
@@ -51,14 +51,14 @@ std::string dominantTransition(AppKind App, const SelectionRule &Rule,
   runApp(App, RC);
 
   std::map<std::string, int> Counts;
-  for (const Event &E :
-       EventLog::global().snapshotOfKind(EventKind::Transition)) {
+  for (const Event &E : Switch::drainEvents()) {
+    if (E.Kind != EventKind::Transition)
+      continue;
     ++Counts[E.Detail];
     size_t Arrow = E.Detail.find(" -> ");
     if (Arrow != std::string::npos)
       selectedVariants().insert(E.Detail.substr(Arrow + 4));
   }
-  EventLog::global().clear();
   if (Counts.empty())
     return "--";
   std::vector<std::pair<std::string, int>> Sorted(Counts.begin(),

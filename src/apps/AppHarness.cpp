@@ -26,7 +26,12 @@ AppHarness::AppHarness(AppConfig Config, SelectionRule Rule,
     : Config(Config), Rule(std::move(Rule)), Model(std::move(Model)),
       CtxOptions(CtxOptions) {}
 
-AppHarness::~AppHarness() = default;
+AppHarness::~AppHarness() {
+  // Contexts are registered with the global engine (so engine-level
+  // telemetry observes app runs); detach them before they die.
+  for (auto &Ctx : Owned)
+    SwitchEngine::global().unregisterContext(Ctx.get());
+}
 
 AppHarness::ListSite AppHarness::declareListSite(const std::string &Name,
                                                  ListVariant Default) {
@@ -44,6 +49,7 @@ AppHarness::ListSite AppHarness::declareListSite(const std::string &Name,
                                                       Rule, CtxOptions);
     Site.Ctx = Ctx.get();
     Owned.push_back(std::move(Ctx));
+    SwitchEngine::global().registerContext(Site.Ctx);
     break;
   }
   }
@@ -66,6 +72,7 @@ AppHarness::SetSite AppHarness::declareSetSite(const std::string &Name,
                                                      Rule, CtxOptions);
     Site.Ctx = Ctx.get();
     Owned.push_back(std::move(Ctx));
+    SwitchEngine::global().registerContext(Site.Ctx);
     break;
   }
   }
@@ -88,6 +95,7 @@ AppHarness::MapSite AppHarness::declareMapSite(const std::string &Name,
         Name, Default, Model, Rule, CtxOptions);
     Site.Ctx = Ctx.get();
     Owned.push_back(std::move(Ctx));
+    SwitchEngine::global().registerContext(Site.Ctx);
     break;
   }
   }

@@ -23,28 +23,36 @@ namespace cswitch {
 namespace detail {
 
 /// RAII bracket around one application run: resets the peak-footprint
-/// tracker, times the run, and assembles the AppResult.
+/// tracker, captures the engine-stats baseline, times the run, and
+/// assembles the AppResult. Transitions and monitoring counters come
+/// from the engine's own interval (EngineStats operator-), not from
+/// hand-maintained tallies.
 class AppRunScope {
 public:
-  AppRunScope() : BaseLive(MemoryTracker::liveBytes()) {
+  AppRunScope()
+      : BaseLive(MemoryTracker::liveBytes()),
+        BaseStats(SwitchEngine::global().stats()) {
     MemoryTracker::resetPeak();
   }
 
-  /// Finalizes the result (call exactly once, at the end of the run).
+  /// Finalizes the result (call exactly once, at the end of the run,
+  /// while the harness — and thus its registered contexts — is alive).
   AppResult finish(const AppHarness &Harness, uint64_t Checksum,
-                   uint64_t Instances, size_t Transitions) const {
+                   uint64_t Instances) const {
     AppResult Result;
     Result.Seconds = Clock.elapsedSeconds();
     Result.PeakLiveBytes = MemoryTracker::peakLiveBytes() - BaseLive;
     Result.Checksum = Checksum;
     Result.InstancesCreated = Instances;
     Result.TargetSites = Harness.siteCount();
-    Result.Transitions = Transitions;
+    Result.Stats = SwitchEngine::global().stats() - BaseStats;
+    Result.Transitions = static_cast<size_t>(Result.Stats.Switches);
     return Result;
   }
 
 private:
   int64_t BaseLive;
+  EngineStats BaseStats;
   Timer Clock;
 };
 

@@ -78,6 +78,10 @@ struct AppResult {
   uint64_t InstancesCreated = 0; ///< Collections created at target sites.
   size_t TargetSites = 0;        ///< Declared target allocation sites.
   size_t Transitions = 0;        ///< FullAdap variant transitions.
+  /// Engine-stats interval over the run (app contexts are registered
+  /// with the global engine, so this is the framework's own account of
+  /// the monitoring work — no hand-diffed counters).
+  EngineStats Stats;
 };
 
 /// Runs \p Kind under \p RunConfig and reports timing, peak collection

@@ -50,7 +50,6 @@ AppResult cswitch::runBloatSim(const AppRunConfig &RunConfig) {
   AppRunScope Scope;
   uint64_t Checksum = 0;
   uint64_t Instances = 0;
-  size_t Transitions = 0;
 
   // The analysis database keeps every third def-use set alive for the
   // rest of the run, so the peak footprint tracks the set variant in
@@ -122,7 +121,7 @@ AppResult cswitch::runBloatSim(const AppRunConfig &RunConfig) {
     }
 
     if (Method % 100 == 99)
-      Transitions += Harness.evaluateAll();
+      Harness.evaluateAll();
   }
 
   // Constant pool: one long-lived map, built once, heavily queried.
@@ -136,5 +135,5 @@ AppResult cswitch::runBloatSim(const AppRunConfig &RunConfig) {
     Checksum += V ? static_cast<uint64_t>(*V) : 1;
   }
 
-  return Scope.finish(Harness, Checksum, Instances, Transitions);
+  return Scope.finish(Harness, Checksum, Instances);
 }

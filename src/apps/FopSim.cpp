@@ -49,7 +49,6 @@ AppResult cswitch::runFopSim(const AppRunConfig &RunConfig) {
   AppRunScope Scope;
   uint64_t Checksum = 0;
   uint64_t Instances = 0;
-  size_t Transitions = 0;
 
   // Every third child list joins the long-lived area tree, so peak
   // memory reflects the list variant while the short-lived majority
@@ -142,8 +141,8 @@ AppResult cswitch::runFopSim(const AppRunConfig &RunConfig) {
           static_cast<AppElem>(Rng.nextBelow(LineCount * 2)));
 
     if (Page % 60 == 59)
-      Transitions += Harness.evaluateAll();
+      Harness.evaluateAll();
   }
 
-  return Scope.finish(Harness, Checksum, Instances, Transitions);
+  return Scope.finish(Harness, Checksum, Instances);
 }

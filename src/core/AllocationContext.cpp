@@ -62,9 +62,17 @@ AllocationContextBase::AllocationContextBase(
     if (isAdaptiveVariant(Kind, V))
       AdaptiveIndex = static_cast<int>(V);
   }
-  if (this->Options.LogEvents)
-    EventLog::global().record(EventKind::ContextCreated, this->Name,
-                              currentVariant().name());
+  if (this->Options.LogEvents) {
+    // Intern once here so every later record() on the evaluation path
+    // is allocation-free: events carry these ids, never strings.
+    EventLog &Log = EventLog::global();
+    LogNameId = Log.intern(this->Name);
+    VariantNameIds.reserve(NumVariants);
+    for (unsigned V = 0; V != NumVariants; ++V)
+      VariantNameIds.push_back(Log.intern(VariantId{Kind, V}.name()));
+    Log.record(EventKind::ContextCreated, LogNameId,
+               VariantNameIds[InitialVariantIndex]);
+  }
 }
 
 AllocationContextBase::~AllocationContextBase() = default;
@@ -315,27 +323,37 @@ bool AllocationContextBase::evaluate() {
   std::optional<unsigned> Choice = analyzeRound(Round, Assigned);
   Evaluations.fetch_add(1, std::memory_order_relaxed);
   if (Options.LogEvents) {
-    EventLog::global().record(EventKind::Evaluation, Name,
-                              currentVariant().name());
+    EventLog &Log = EventLog::global();
+    Log.record(EventKind::Evaluation, LogNameId,
+               VariantNameIds[currentVariantIndex()]);
     // §3.1: "after switching ... a fraction of the instances is
     // monitored to allow a continuous adaptation process".
-    EventLog::global().record(EventKind::MonitoringRound, Name, "");
+    Log.record(EventKind::MonitoringRound, LogNameId);
   }
 
   unsigned Cur = Current.load(std::memory_order_relaxed);
   if (!Choice || *Choice == Cur)
     return false;
 
-  std::string Detail = VariantId{Kind, Cur}.name() + " -> " +
-                       VariantId{Kind, *Choice}.name();
   Current.store(*Choice, std::memory_order_relaxed);
   Switches.fetch_add(1, std::memory_order_relaxed);
-  if (Options.LogEvents)
-    EventLog::global().record(EventKind::Transition, Name, Detail);
+  if (Options.LogEvents) {
+    // Transitions are rare (bounded by the variant pool in steady
+    // state); building + interning the detail string here keeps the
+    // common no-switch evaluation completely allocation-free.
+    std::string Detail = VariantId{Kind, Cur}.name() + " -> " +
+                         VariantId{Kind, *Choice}.name();
+    EventLog &Log = EventLog::global();
+    Log.record(EventKind::Transition, LogNameId, Log.intern(Detail));
+  }
   return true;
 }
 
 size_t AllocationContextBase::memoryFootprint() const {
+  // Groups is analysis scratch that evaluate() may be growing on the
+  // background thread; its capacity is only stable under EvalMutex.
+  std::lock_guard<std::mutex> Lock(EvalMutex);
   return sizeof(*this) + 2 * Options.WindowSize * sizeof(WindowSlot) +
-         Name.capacity() + Groups.capacity() * sizeof(MergedGroup);
+         Name.capacity() + Groups.capacity() * sizeof(MergedGroup) +
+         VariantNameIds.capacity() * sizeof(uint32_t);
 }

@@ -47,6 +47,7 @@
 #include "core/VariantSelection.h"
 #include "model/CostModel.h"
 #include "profile/WorkloadProfile.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
 #include <memory>
@@ -58,6 +59,15 @@
 namespace cswitch {
 
 /// Tuning knobs of an allocation context (defaults follow the paper §5).
+///
+/// Plain aggregate with a fluent builder spelling on top; both styles
+/// configure the same fields:
+/// \code
+///   ContextOptions O;
+///   O.WindowSize = 50;                     // aggregate style
+///   auto P = ContextOptions{}.windowSize(50).finishedRatio(0.5)
+///                            .logEvents(false);  // fluent style
+/// \endcode
 struct ContextOptions {
   /// Number of instances monitored per round (paper: 100).
   size_t WindowSize = 100;
@@ -70,6 +80,23 @@ struct ContextOptions {
   /// considered "widely ranging" (§3.2); they also qualify whenever the
   /// observed sizes straddle the adaptive threshold.
   double WideRangeFactor = 4.0;
+
+  ContextOptions &windowSize(size_t Value) {
+    WindowSize = Value;
+    return *this;
+  }
+  ContextOptions &finishedRatio(double Value) {
+    FinishedRatio = Value;
+    return *this;
+  }
+  ContextOptions &logEvents(bool Value) {
+    LogEvents = Value;
+    return *this;
+  }
+  ContextOptions &wideRangeFactor(double Value) {
+    WideRangeFactor = Value;
+    return *this;
+  }
 };
 
 /// Abstraction-independent allocation-context machinery.
@@ -147,6 +174,20 @@ public:
   /// Variant transitions performed.
   uint64_t switchCount() const {
     return Switches.load(std::memory_order_relaxed);
+  }
+
+  /// All monitoring counters batched into one value (the unit the
+  /// telemetry layer snapshots; each individual accessor above reads the
+  /// same atomics).
+  ContextStats stats() const {
+    ContextStats S;
+    S.InstancesCreated = Created.load(std::memory_order_relaxed);
+    S.InstancesMonitored = Monitored.load(std::memory_order_relaxed);
+    S.ProfilesPublished = Finished.load(std::memory_order_relaxed);
+    S.ProfilesDiscarded = Discarded.load(std::memory_order_relaxed);
+    S.Evaluations = Evaluations.load(std::memory_order_relaxed);
+    S.Switches = Switches.load(std::memory_order_relaxed);
+    return S;
   }
 
   /// Approximate bytes of memory this context occupies, including both
@@ -249,6 +290,12 @@ private:
   uint32_t CoverageMask = 0;
   /// Index of this abstraction's adaptive variant, or -1.
   int AdaptiveIndex = -1;
+  /// Interned EventLog id of Name, and of each variant's display name
+  /// (index = variant index); populated only when Options.LogEvents so
+  /// the evaluation-path record() calls pass ids instead of building
+  /// strings.
+  uint32_t LogNameId = 0;
+  std::vector<uint32_t> VariantNameIds;
 
   std::atomic<unsigned> Current;
   std::atomic<uint64_t> Created{0};
@@ -270,9 +317,10 @@ private:
   /// is being analyzed or idle. 2 * WindowSize slots.
   std::unique_ptr<WindowSlot[]> Slots;
 
-  /// Serializes evaluate() (round rotation + analysis) with itself; the
+  /// Serializes evaluate() (round rotation + analysis) with itself and
+  /// with memoryFootprint()'s read of the scratch capacity; the
   /// per-instance paths never touch it.
-  std::mutex EvalMutex;
+  mutable std::mutex EvalMutex;
   /// Analysis scratch, guarded by EvalMutex; reused across rounds so
   /// steady-state analysis does not allocate.
   std::vector<MergedGroup> Groups;

@@ -8,15 +8,35 @@
 /// The top-level convenience API mirroring the paper's usage (Fig. 4):
 ///
 /// \code
-///   static auto Ctx = Switch::createListContext<int>(
+///   static auto Ctx = Switch::makeContext<List<int>>(
 ///       "MyFile.cpp:42", ListVariant::ArrayList);
 ///   auto MyList = Ctx->createList();
+/// \endcode
+///
+/// makeContext<Collection>() is the single generic entry point for every
+/// abstraction (List<T>, Set<T>, Map<K, V>); the older per-abstraction
+/// factories (createListContext / createSetContext / createMapContext)
+/// are kept as thin wrappers so existing call sites compile unchanged,
+/// but new code should prefer the generic spelling together with the
+/// fluent ContextOptions builder:
+///
+/// \code
+///   auto Ctx = Switch::makeContext<Map<int, int>>(
+///       "cache", MapVariant::ChainedHashMap, SelectionRule::allocRule(),
+///       ContextOptions{}.windowSize(50).finishedRatio(0.5)
+///                       .logEvents(false));
 /// \endcode
 ///
 /// Contexts created here share the process-wide performance model (the
 /// built-in default until setModel() installs a measured one), default to
 /// the Rtime rule, and are automatically registered with — and on
 /// destruction unregistered from — the global SwitchEngine.
+///
+/// Observability: the facade also fronts the telemetry subsystem —
+/// stats() for the aggregate counters, telemetry() for the full
+/// engine-wide snapshot (serializable via support/MetricsExport.h),
+/// drainEvents() for consuming the framework event log, and
+/// setReporter() for periodic background reports.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +45,7 @@
 
 #include "core/AllocationContext.h"
 #include "core/SwitchEngine.h"
+#include "support/EventLog.h"
 
 #include <memory>
 
@@ -44,6 +65,33 @@ struct UnregisteringDeleter {
 /// Owning handle for an engine-registered context.
 template <typename ContextT>
 using ContextHandle = std::unique_ptr<ContextT, UnregisteringDeleter>;
+
+/// Maps a collection facade type (List<T>, Set<T>, Map<K, V>) — or the
+/// context type itself — to its allocation-context machinery. The trait
+/// behind Switch::makeContext<>; specialize it to plug custom
+/// abstractions into the generic factory.
+template <typename Collection> struct ContextTraits;
+
+template <typename T> struct ContextTraits<List<T>> {
+  using Context = ListContext<T>;
+  using Variant = ListVariant;
+};
+template <typename T> struct ContextTraits<Set<T>> {
+  using Context = SetContext<T>;
+  using Variant = SetVariant;
+};
+template <typename K, typename V> struct ContextTraits<Map<K, V>> {
+  using Context = MapContext<K, V>;
+  using Variant = MapVariant;
+};
+// Context types name themselves, so makeContext<ListContext<T>> also
+// works.
+template <typename T>
+struct ContextTraits<ListContext<T>> : ContextTraits<List<T>> {};
+template <typename T>
+struct ContextTraits<SetContext<T>> : ContextTraits<Set<T>> {};
+template <typename K, typename V>
+struct ContextTraits<MapContext<K, V>> : ContextTraits<Map<K, V>> {};
 
 /// Facade over the process-wide CollectionSwitch runtime.
 class Switch {
@@ -71,43 +119,83 @@ public:
 
   /// Aggregate monitoring counters over every registered context: the
   /// runtime's own report of how much work the always-on monitoring
-  /// pipeline performed (paper §5.3's overhead discussion).
+  /// pipeline performed (paper §5.3's overhead discussion). Bracket a
+  /// workload with two calls and subtract (EngineStats operator-) for
+  /// interval behaviour.
   static EngineStats stats() { return SwitchEngine::global().stats(); }
 
+  /// Full engine-wide observability snapshot (aggregate + per-context
+  /// breakdown + event-log counters); serialize it with
+  /// support/MetricsExport.h.
+  static TelemetrySnapshot telemetry() {
+    return SwitchEngine::global().telemetry();
+  }
+
+  /// Consumes and returns the framework events recorded since the last
+  /// drainEvents() (or EventLog clear). This is how benchmarks harvest
+  /// transition trails (Table 6) without reaching into EventLog::global().
+  static std::vector<Event> drainEvents() {
+    return EventLog::global().drain();
+  }
+
+  /// Installs the periodic telemetry reporter on the global engine (see
+  /// SwitchEngine::setReporter; reports flow while the background
+  /// thread runs).
+  static void setReporter(ReporterOptions Options) {
+    SwitchEngine::global().setReporter(std::move(Options));
+  }
+
+  /// Removes the periodic telemetry reporter.
+  static void clearReporter() { SwitchEngine::global().clearReporter(); }
+
+  /// Creates and registers an allocation context for \p Collection
+  /// (List<T>, Set<T> or Map<K, V>) — the single generic factory all
+  /// abstraction-specific spellings forward to.
+  template <typename Collection>
+  static ContextHandle<typename ContextTraits<Collection>::Context>
+  makeContext(std::string Name,
+              typename ContextTraits<Collection>::Variant Initial,
+              SelectionRule Rule = SelectionRule::timeRule(),
+              ContextOptions Options = {}) {
+    using ContextT = typename ContextTraits<Collection>::Context;
+    ContextHandle<ContextT> Ctx(new ContextT(
+        std::move(Name), Initial, model(), std::move(Rule), Options));
+    SwitchEngine::global().registerContext(Ctx.get());
+    return Ctx;
+  }
+
   /// Creates and registers an adaptive list allocation context.
+  /// (Deprecated spelling of makeContext<List<T>>; kept so existing
+  /// call sites compile unchanged.)
   template <typename T>
   static ContextHandle<ListContext<T>>
   createListContext(std::string Name, ListVariant Initial,
                     SelectionRule Rule = SelectionRule::timeRule(),
                     ContextOptions Options = {}) {
-    ContextHandle<ListContext<T>> Ctx(new ListContext<T>(
-        std::move(Name), Initial, model(), std::move(Rule), Options));
-    SwitchEngine::global().registerContext(Ctx.get());
-    return Ctx;
+    return makeContext<List<T>>(std::move(Name), Initial, std::move(Rule),
+                                Options);
   }
 
   /// Creates and registers an adaptive set allocation context.
+  /// (Deprecated spelling of makeContext<Set<T>>.)
   template <typename T>
   static ContextHandle<SetContext<T>>
   createSetContext(std::string Name, SetVariant Initial,
                    SelectionRule Rule = SelectionRule::timeRule(),
                    ContextOptions Options = {}) {
-    ContextHandle<SetContext<T>> Ctx(new SetContext<T>(
-        std::move(Name), Initial, model(), std::move(Rule), Options));
-    SwitchEngine::global().registerContext(Ctx.get());
-    return Ctx;
+    return makeContext<Set<T>>(std::move(Name), Initial, std::move(Rule),
+                               Options);
   }
 
   /// Creates and registers an adaptive map allocation context.
+  /// (Deprecated spelling of makeContext<Map<K, V>>.)
   template <typename K, typename V>
   static ContextHandle<MapContext<K, V>>
   createMapContext(std::string Name, MapVariant Initial,
                    SelectionRule Rule = SelectionRule::timeRule(),
                    ContextOptions Options = {}) {
-    ContextHandle<MapContext<K, V>> Ctx(new MapContext<K, V>(
-        std::move(Name), Initial, model(), std::move(Rule), Options));
-    SwitchEngine::global().registerContext(Ctx.get());
-    return Ctx;
+    return makeContext<Map<K, V>>(std::move(Name), Initial,
+                                  std::move(Rule), Options);
   }
 };
 

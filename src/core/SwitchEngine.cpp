@@ -6,6 +6,8 @@
 
 #include "core/SwitchEngine.h"
 
+#include "support/EventLog.h"
+
 #include <algorithm>
 
 using namespace cswitch;
@@ -192,8 +194,38 @@ void SwitchEngine::threadMain(std::chrono::milliseconds Rate) {
       break;
     Lock.unlock();
     evaluateAll();
+    maybeReport();
     Lock.lock();
   }
+}
+
+void SwitchEngine::setReporter(ReporterOptions Options) {
+  std::lock_guard<std::mutex> Lock(ReporterMutex);
+  Reporter = std::move(Options);
+  NextReport = std::chrono::steady_clock::now() + Reporter.Interval;
+}
+
+void SwitchEngine::clearReporter() {
+  std::lock_guard<std::mutex> Lock(ReporterMutex);
+  Reporter = ReporterOptions{};
+}
+
+void SwitchEngine::maybeReport() {
+  std::function<void(const TelemetrySnapshot &)> Sink;
+  {
+    std::lock_guard<std::mutex> Lock(ReporterMutex);
+    if (!Reporter.Sink)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    if (Now < NextReport)
+      return;
+    NextReport = Now + Reporter.Interval;
+    Sink = Reporter.Sink;
+  }
+  // The snapshot and the sink run outside every engine lock: a slow
+  // sink delays at most the background thread's own next sweep.
+  Sink(telemetry());
+  ReportsEmitted.fetch_add(1, std::memory_order_relaxed);
 }
 
 size_t SwitchEngine::contextCount() const {
@@ -219,15 +251,29 @@ EngineStats SwitchEngine::stats() const {
   EngineStats Stats;
   for (const Shard &S : Shards) {
     std::lock_guard<std::mutex> Lock(S.Mutex);
-    Stats.Contexts += S.Contexts.size();
-    for (const AllocationContextBase *Context : S.Contexts) {
-      Stats.InstancesCreated += Context->instancesCreated();
-      Stats.InstancesMonitored += Context->instancesMonitored();
-      Stats.ProfilesPublished += Context->instancesFinished();
-      Stats.ProfilesDiscarded += Context->profilesDiscarded();
-      Stats.Evaluations += Context->evaluationCount();
-      Stats.Switches += Context->switchCount();
-    }
+    for (const AllocationContextBase *Context : S.Contexts)
+      Stats += Context->stats();
   }
   return Stats;
+}
+
+TelemetrySnapshot SwitchEngine::telemetry() const {
+  TelemetrySnapshot Snapshot;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    for (const AllocationContextBase *Context : S.Contexts) {
+      ContextSnapshot C;
+      C.Name = Context->name();
+      C.Abstraction = abstractionKindName(Context->abstraction());
+      C.Variant = Context->currentVariant().name();
+      C.Stats = Context->stats();
+      C.FootprintBytes = Context->memoryFootprint();
+      Snapshot.Engine += C.Stats;
+      Snapshot.Contexts.push_back(std::move(C));
+    }
+  }
+  EventLog &Log = EventLog::global();
+  Snapshot.Events.Recorded = Log.totalRecorded();
+  Snapshot.Events.Dropped = Log.droppedCount();
+  return Snapshot;
 }

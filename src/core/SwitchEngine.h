@@ -25,6 +25,7 @@
 #define CSWITCH_CORE_SWITCHENGINE_H
 
 #include "core/AllocationContext.h"
+#include "support/Telemetry.h"
 
 #include <array>
 #include <chrono>
@@ -36,16 +37,21 @@
 
 namespace cswitch {
 
-/// Aggregate monitoring statistics over every registered context (the
-/// facade-level report of the §5.3 overhead discussion).
-struct EngineStats {
-  size_t Contexts = 0;
-  uint64_t InstancesCreated = 0;
-  uint64_t InstancesMonitored = 0;
-  uint64_t ProfilesPublished = 0;
-  uint64_t ProfilesDiscarded = 0;
-  uint64_t Evaluations = 0;
-  uint64_t Switches = 0;
+// EngineStats (the aggregate monitoring statistics over every
+// registered context — the facade-level report of the §5.3 overhead
+// discussion) lives in support/Telemetry.h together with the rest of
+// the telemetry schema, so exporters need no core dependency.
+
+/// Configuration of the engine's periodic telemetry reporter. The
+/// reporter piggybacks on the background evaluation thread (start()):
+/// after each evaluation sweep it checks whether Interval elapsed and,
+/// if so, emits an engine-wide TelemetrySnapshot to Sink.
+struct ReporterOptions {
+  /// Minimum time between two reports.
+  std::chrono::milliseconds Interval{1000};
+  /// Receives each snapshot; invoked on the background thread, outside
+  /// any engine lock. Must not be empty.
+  std::function<void(const TelemetrySnapshot &)> Sink;
 };
 
 /// Registry of live allocation contexts plus the periodic evaluator.
@@ -106,7 +112,31 @@ public:
   /// Aggregated counters over all registered contexts.
   EngineStats stats() const;
 
+  /// Full observability snapshot: aggregate stats, the per-context
+  /// breakdown (name, abstraction, current variant, counters,
+  /// footprint), and the global event-log counters. This is what the
+  /// periodic reporter emits and what MetricsExport serializes.
+  TelemetrySnapshot telemetry() const;
+
+  /// Installs (or replaces) the periodic telemetry reporter. Reports
+  /// are emitted from the background thread, so they only flow while
+  /// the engine is running (start()). Pass an Options.Sink; an empty
+  /// sink is equivalent to clearReporter().
+  void setReporter(ReporterOptions Options);
+
+  /// Removes the reporter. An in-flight report may still complete.
+  void clearReporter();
+
+  /// Snapshots emitted by the periodic reporter so far.
+  uint64_t reportsEmitted() const {
+    return ReportsEmitted.load(std::memory_order_relaxed);
+  }
+
 private:
+  /// Emits a telemetry report if the reporter is due; called by the
+  /// background thread after each evaluation sweep, without holding
+  /// ThreadMutex.
+  void maybeReport();
   void threadMain(std::chrono::milliseconds Rate);
   std::vector<AllocationContextBase *> snapshotContexts() const;
   static size_t shardOf(const AllocationContextBase *Context);
@@ -145,6 +175,14 @@ private:
   std::thread Worker;
   bool Running = false;
   bool StopRequested = false;
+
+  /// Periodic reporter state. The sink is copied out under ReporterMutex
+  /// and invoked without it, so a slow sink never blocks reconfiguration
+  /// for longer than one report.
+  mutable std::mutex ReporterMutex;
+  ReporterOptions Reporter;                         ///< Guarded by ReporterMutex.
+  std::chrono::steady_clock::time_point NextReport; ///< Guarded by ReporterMutex.
+  std::atomic<uint64_t> ReportsEmitted{0};
 };
 
 } // namespace cswitch

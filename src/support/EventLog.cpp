@@ -6,7 +6,34 @@
 
 #include "support/EventLog.h"
 
+#include <algorithm>
+
 using namespace cswitch;
+
+// TSan does not model std::atomic_thread_fence (GCC even rejects it
+// under -fsanitize=thread -Werror=tsan). Every slot field is atomic, so
+// the fences below are value-ordering devices only — no non-atomic
+// state is published through them — and can weaken to compiler fences
+// under the sanitizer without hiding any reportable race.
+#if defined(__SANITIZE_THREAD__)
+#define CSWITCH_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CSWITCH_TSAN 1
+#endif
+#endif
+
+namespace {
+
+inline void orderingFence(std::memory_order Order) {
+#ifdef CSWITCH_TSAN
+  std::atomic_signal_fence(Order);
+#else
+  std::atomic_thread_fence(Order);
+#endif
+}
+
+} // namespace
 
 const char *cswitch::eventKindName(EventKind Kind) {
   switch (Kind) {
@@ -29,27 +56,121 @@ EventLog &EventLog::global() {
   return Instance;
 }
 
-void EventLog::record(EventKind Kind, std::string Context,
-                      std::string Detail) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Event E{Kind, std::move(Context), std::move(Detail), NextSequence++};
-  if (Ring.size() < Capacity) {
-    Ring.push_back(std::move(E));
+namespace {
+
+size_t roundUpPow2(size_t Value) {
+  size_t Pow = 1;
+  while (Pow < Value)
+    Pow <<= 1;
+  return Pow;
+}
+
+} // namespace
+
+EventLog::EventLog(size_t Capacity)
+    : Cap(roundUpPow2(std::max<size_t>(Capacity, 2))), Mask(Cap - 1),
+      Slots(std::make_unique<Slot[]>(Cap)) {
+  // Id 0 is reserved for the empty string so that "no detail" needs no
+  // interning.
+  InternedText.emplace_back();
+  InternedIds.emplace("", 0);
+}
+
+uint32_t EventLog::intern(std::string_view Text) {
+  if (Text.empty())
+    return 0;
+  std::lock_guard<std::mutex> Lock(InternMutex);
+  auto It = InternedIds.find(std::string(Text));
+  if (It != InternedIds.end())
+    return It->second;
+  auto Id = static_cast<uint32_t>(InternedText.size());
+  InternedText.emplace_back(Text);
+  InternedIds.emplace(InternedText.back(), Id);
+  return Id;
+}
+
+std::string EventLog::textOf(uint32_t Id) const {
+  std::lock_guard<std::mutex> Lock(InternMutex);
+  if (Id >= InternedText.size())
+    return {};
+  return InternedText[Id];
+}
+
+void EventLog::record(EventKind Kind, uint32_t ContextId,
+                      uint32_t DetailId) {
+  if (!Enabled.load(std::memory_order_relaxed))
     return;
+  uint64_t Ticket = Next.fetch_add(1, std::memory_order_relaxed);
+  Slot &S = Slots[Ticket & Mask];
+  // Seqlock write protocol: odd version opens the write, the release
+  // fence orders it before the payload stores, the release store of the
+  // even version publishes the payload. Two writers racing on a wrapped
+  // slot leave one of their versions behind; readers reject the slot
+  // unless both version loads agree on the ticket they expect.
+  S.Ver.store(2 * Ticket + 1, std::memory_order_relaxed);
+  orderingFence(std::memory_order_release);
+  S.Context.store(ContextId, std::memory_order_relaxed);
+  S.Detail.store(DetailId, std::memory_order_relaxed);
+  S.Kind.store(static_cast<uint32_t>(Kind), std::memory_order_relaxed);
+  S.Ver.store(2 * Ticket + 2, std::memory_order_release);
+}
+
+void EventLog::record(EventKind Kind, std::string_view Context,
+                      std::string_view Detail) {
+  if (!Enabled.load(std::memory_order_relaxed))
+    return;
+  record(Kind, intern(Context), intern(Detail));
+}
+
+std::vector<EventLog::RawEvent> EventLog::collect(uint64_t Lo,
+                                                  uint64_t Hi) const {
+  std::vector<RawEvent> Out;
+  if (Lo >= Hi)
+    return Out;
+  Out.reserve(static_cast<size_t>(Hi - Lo));
+  for (uint64_t Ticket = Lo; Ticket != Hi; ++Ticket) {
+    const Slot &S = Slots[Ticket & Mask];
+    uint64_t Expected = 2 * Ticket + 2;
+    uint64_t V1 = S.Ver.load(std::memory_order_acquire);
+    if (V1 != Expected)
+      continue; // mid-write, overwritten, or never published
+    RawEvent Raw;
+    Raw.Ticket = Ticket;
+    Raw.Context = S.Context.load(std::memory_order_relaxed);
+    Raw.Detail = S.Detail.load(std::memory_order_relaxed);
+    Raw.Kind = S.Kind.load(std::memory_order_relaxed);
+    orderingFence(std::memory_order_acquire);
+    if (S.Ver.load(std::memory_order_relaxed) != Expected)
+      continue; // overwritten while reading
+    Out.push_back(Raw);
   }
-  // Ring full: overwrite the oldest slot.
-  Ring[Head] = std::move(E);
-  Head = (Head + 1) % Capacity;
-  ++Dropped;
+  return Out;
+}
+
+std::vector<Event> EventLog::resolve(
+    const std::vector<RawEvent> &Raw) const {
+  std::vector<Event> Out;
+  Out.reserve(Raw.size());
+  std::lock_guard<std::mutex> Lock(InternMutex);
+  for (const RawEvent &R : Raw) {
+    Event E;
+    E.Kind = static_cast<EventKind>(R.Kind);
+    E.SequenceNumber = R.Ticket;
+    E.ContextId = R.Context;
+    E.DetailId = R.Detail;
+    if (R.Context < InternedText.size())
+      E.Context = InternedText[R.Context];
+    if (R.Detail < InternedText.size())
+      E.Detail = InternedText[R.Detail];
+    Out.push_back(std::move(E));
+  }
+  return Out;
 }
 
 std::vector<Event> EventLog::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  std::vector<Event> Out;
-  Out.reserve(Ring.size());
-  for (size_t I = 0, E = Ring.size(); I != E; ++I)
-    Out.push_back(Ring[(Head + I) % Ring.size()]);
-  return Out;
+  std::lock_guard<std::mutex> Lock(ConsumerMutex);
+  uint64_t Hi = Next.load(std::memory_order_acquire);
+  return resolve(collect(windowStart(Hi), Hi));
 }
 
 std::vector<Event> EventLog::snapshotOfKind(EventKind Kind) const {
@@ -61,19 +182,48 @@ std::vector<Event> EventLog::snapshotOfKind(EventKind Kind) const {
   return Out;
 }
 
+std::vector<Event> EventLog::drain() {
+  std::lock_guard<std::mutex> Lock(ConsumerMutex);
+  uint64_t Hi = Next.load(std::memory_order_acquire);
+  uint64_t Lo = std::max(DrainCursor, windowStart(Hi));
+  std::vector<RawEvent> Raw;
+  uint64_t Ticket = Lo;
+  for (; Ticket != Hi; ++Ticket) {
+    const Slot &S = Slots[Ticket & Mask];
+    uint64_t Expected = 2 * Ticket + 2;
+    uint64_t V1 = S.Ver.load(std::memory_order_acquire);
+    if (V1 < Expected)
+      break; // writer still mid-publication: stop, next drain resumes here
+    if (V1 != Expected)
+      continue; // overwritten by a later ticket
+    RawEvent R;
+    R.Ticket = Ticket;
+    R.Context = S.Context.load(std::memory_order_relaxed);
+    R.Detail = S.Detail.load(std::memory_order_relaxed);
+    R.Kind = S.Kind.load(std::memory_order_relaxed);
+    orderingFence(std::memory_order_acquire);
+    if (S.Ver.load(std::memory_order_relaxed) != Expected)
+      continue; // overwritten while reading
+    Raw.push_back(R);
+  }
+  DrainCursor = Ticket;
+  return resolve(Raw);
+}
+
 void EventLog::clear() {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  Ring.clear();
-  Head = 0;
-  Dropped = 0;
+  std::lock_guard<std::mutex> Lock(ConsumerMutex);
+  uint64_t Hi = Next.load(std::memory_order_acquire);
+  Base.store(Hi, std::memory_order_relaxed);
+  DrainCursor = Hi;
 }
 
 uint64_t EventLog::droppedCount() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Dropped;
+  uint64_t Hi = Next.load(std::memory_order_acquire);
+  uint64_t Total = Hi - Base.load(std::memory_order_relaxed);
+  return Total > Cap ? Total - Cap : 0;
 }
 
 uint64_t EventLog::totalRecorded() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return NextSequence;
+  return Next.load(std::memory_order_acquire) -
+         Base.load(std::memory_order_relaxed);
 }

@@ -7,18 +7,31 @@
 /// \file
 /// The "detailed log system for tracing framework events" the paper names
 /// as its mitigation for the increased-complexity risk (§4.4). Events are
-/// recorded in a bounded in-memory ring and can be drained for inspection;
-/// Table 6 (most common transitions) is produced from the Transition
-/// events recorded here.
+/// recorded in a fixed-capacity lock-free ring and can be drained or
+/// snapshotted for inspection; Table 6 (most common transitions) is
+/// produced from the Transition events recorded here.
+///
+/// Record path (DESIGN.md §6, "telemetry ring protocol"): record() is
+/// wait-free apart from one atomic fetch_add — a ticket claims a slot,
+/// the payload is published under a per-slot sequence version, and
+/// writers never block on readers or on each other. Site names and
+/// detail strings are interned once (mutex-guarded cold path) and events
+/// carry 32-bit ids, so recording allocates nothing and copies no
+/// strings. When the ring wraps, the oldest events are overwritten and
+/// droppedCount() reports how many were lost.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSWITCH_SUPPORT_EVENTLOG_H
 #define CSWITCH_SUPPORT_EVENTLOG_H
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 namespace cswitch {
@@ -35,50 +48,162 @@ enum class EventKind {
 /// Returns a stable name for \p Kind (e.g. "transition").
 const char *eventKindName(EventKind Kind);
 
-/// One recorded framework event.
+/// One recorded framework event, resolved for consumption. The strings
+/// are materialized from the intern table at snapshot/drain time; the
+/// ring itself only stores the ids.
 struct Event {
   EventKind Kind;
   std::string Context; ///< Context/site name, or variant name for migrations.
   std::string Detail;  ///< Free-form detail, e.g. "ArrayList -> AdaptiveList".
   uint64_t SequenceNumber = 0;
+  uint32_t ContextId = 0; ///< Interned id of Context.
+  uint32_t DetailId = 0;  ///< Interned id of Detail.
 };
 
-/// Thread-safe, bounded, process-wide event log.
+/// Lock-free, bounded, process-wide event log.
 ///
-/// Bounded so that long benchmark runs cannot grow it without limit; when
-/// full, the oldest events are dropped (droppedCount() reports how many).
+/// Bounded so that long benchmark runs cannot grow it without limit;
+/// when full, the oldest events are overwritten (droppedCount() reports
+/// how many). The record path takes no mutex and performs no allocation:
+/// it is one relaxed fetch_add plus four slot stores. Consumers
+/// (snapshot / drain / clear) serialize against each other on a mutex
+/// but never against recorders; slots overwritten mid-read are detected
+/// by their sequence version and skipped.
 class EventLog {
 public:
   /// Returns the process-wide log instance.
   static EventLog &global();
 
-  explicit EventLog(size_t Capacity = 65536) : Capacity(Capacity) {}
+  /// \p Capacity is rounded up to a power of two.
+  explicit EventLog(size_t Capacity = 65536);
 
-  /// Appends an event.
-  void record(EventKind Kind, std::string Context, std::string Detail);
+  EventLog(const EventLog &) = delete;
+  EventLog &operator=(const EventLog &) = delete;
 
-  /// Returns a snapshot of the retained events in record order.
+  //===--------------------------------------------------------------===//
+  // Interning (cold path, mutex-guarded)
+  //===--------------------------------------------------------------===//
+
+  /// Interns \p Text and returns its stable id. Interning the same text
+  /// twice returns the same id. Id 0 is always the empty string.
+  uint32_t intern(std::string_view Text);
+
+  /// Returns the text interned under \p Id ("" for unknown ids).
+  std::string textOf(uint32_t Id) const;
+
+  //===--------------------------------------------------------------===//
+  // Record path (lock-free, allocation-free)
+  //===--------------------------------------------------------------===//
+
+  /// Appends an event carrying pre-interned ids. Lock-free: one atomic
+  /// fetch_add claims the slot; a per-slot sequence version publishes
+  /// the payload. Returns immediately without any work when recording
+  /// is disabled.
+  void record(EventKind Kind, uint32_t ContextId, uint32_t DetailId = 0);
+
+  /// Convenience overload that interns both strings first (cold paths
+  /// and tests; the framework's hot paths pre-intern and use the id
+  /// overload).
+  void record(EventKind Kind, std::string_view Context,
+              std::string_view Detail);
+
+  /// Globally enables/disables recording. While disabled, record() is a
+  /// single relaxed load and nothing is counted.
+  void setEnabled(bool Enabled) {
+    this->Enabled.store(Enabled, std::memory_order_relaxed);
+  }
+
+  /// True when recording is enabled (the default).
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  //===--------------------------------------------------------------===//
+  // Consumption (serialized on a consumer mutex; never blocks recorders)
+  //===--------------------------------------------------------------===//
+
+  /// Returns a snapshot of the retained events in record order. Events
+  /// overwritten while the snapshot runs are skipped.
   std::vector<Event> snapshot() const;
 
   /// Returns the retained events of kind \p Kind in record order.
   std::vector<Event> snapshotOfKind(EventKind Kind) const;
 
-  /// Removes all events (dropped count is reset too).
+  /// Consuming read: returns the events recorded since the previous
+  /// drain() (or clear()), in record order, and advances the drain
+  /// cursor past them. The cursor stops before any event whose writer
+  /// is still mid-publication, so a drain never loses an event that is
+  /// about to arrive — the next drain picks it up.
+  std::vector<Event> drain();
+
+  /// Forgets all recorded events (dropped count and drain cursor are
+  /// reset too). The intern table is retained: ids stay valid.
   void clear();
 
-  /// Number of events discarded because the ring was full.
+  /// Number of events lost because the ring wrapped (since clear()).
   uint64_t droppedCount() const;
 
-  /// Total events ever recorded (including dropped).
+  /// Total events recorded since clear() (including dropped ones).
   uint64_t totalRecorded() const;
 
+  /// Slot capacity of the ring.
+  size_t capacity() const { return Cap; }
+
 private:
-  mutable std::mutex Mutex;
-  size_t Capacity;
-  size_t Head = 0; ///< Index of the oldest retained event.
-  std::vector<Event> Ring;
-  uint64_t Dropped = 0;
-  uint64_t NextSequence = 0;
+  /// One ring slot. Ver carries the full ticket: 2*T+1 while the
+  /// payload of ticket T is being written, 2*T+2 once published. A
+  /// reader accepts a slot only when Ver reads 2*T+2 for the ticket it
+  /// expects both before and after loading the payload (seqlock
+  /// validation with Boehm's fence protocol), so overwrites and torn
+  /// writes are detected instead of locked out.
+  struct alignas(32) Slot {
+    std::atomic<uint64_t> Ver{0};
+    std::atomic<uint32_t> Context{0};
+    std::atomic<uint32_t> Detail{0};
+    std::atomic<uint32_t> Kind{0};
+  };
+
+  /// Raw (still id-based) event collected from the ring.
+  struct RawEvent {
+    uint64_t Ticket;
+    uint32_t Context;
+    uint32_t Detail;
+    uint32_t Kind;
+  };
+
+  /// Collects the validated events with tickets in [Lo, Hi), in ticket
+  /// order.
+  std::vector<RawEvent> collect(uint64_t Lo, uint64_t Hi) const;
+
+  /// Resolves raw events into Events (one intern-table lock for all).
+  std::vector<Event> resolve(const std::vector<RawEvent> &Raw) const;
+
+  /// Oldest ticket that can still be retained given \p Hi = Next.
+  uint64_t windowStart(uint64_t Hi) const {
+    uint64_t Lo = Base.load(std::memory_order_relaxed);
+    if (Hi - Lo > Cap)
+      Lo = Hi - Cap;
+    return Lo;
+  }
+
+  size_t Cap;  ///< Power-of-two slot count.
+  size_t Mask; ///< Cap - 1.
+  std::unique_ptr<Slot[]> Slots;
+
+  /// Monotonic ticket counter: the single point of contention on the
+  /// record path. Never reset (clear() moves Base instead so in-flight
+  /// recorders keep working).
+  std::atomic<uint64_t> Next{0};
+  /// Logical beginning of the log (advanced by clear()).
+  std::atomic<uint64_t> Base{0};
+  std::atomic<bool> Enabled{true};
+
+  /// Serializes consumers (snapshot/drain/clear) with each other only.
+  mutable std::mutex ConsumerMutex;
+  uint64_t DrainCursor = 0; ///< Guarded by ConsumerMutex.
+
+  /// Intern table (cold path).
+  mutable std::mutex InternMutex;
+  std::vector<std::string> InternedText;
+  std::unordered_map<std::string, uint32_t> InternedIds;
 };
 
 } // namespace cswitch

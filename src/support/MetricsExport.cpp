@@ -1,0 +1,139 @@
+//===- MetricsExport.cpp - Telemetry serialization -----------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MetricsExport.h"
+
+#include <cstdio>
+
+using namespace cswitch;
+
+std::string cswitch::jsonEscape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+namespace {
+
+void appendStatFields(std::string &Out, const ContextStats &S) {
+  Out += "\"instances_created\": " + std::to_string(S.InstancesCreated);
+  Out += ", \"instances_monitored\": " +
+         std::to_string(S.InstancesMonitored);
+  Out += ", \"profiles_published\": " + std::to_string(S.ProfilesPublished);
+  Out += ", \"profiles_discarded\": " + std::to_string(S.ProfilesDiscarded);
+  Out += ", \"evaluations\": " + std::to_string(S.Evaluations);
+  Out += ", \"switches\": " + std::to_string(S.Switches);
+}
+
+} // namespace
+
+std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
+  std::string Out;
+  Out += "{\n  \"schema\": \"cswitch-telemetry-v1\",\n";
+  Out += "  \"engine\": {\"contexts\": " +
+         std::to_string(Snapshot.Engine.Contexts) + ", ";
+  ContextStats EngineTotals;
+  EngineTotals.InstancesCreated = Snapshot.Engine.InstancesCreated;
+  EngineTotals.InstancesMonitored = Snapshot.Engine.InstancesMonitored;
+  EngineTotals.ProfilesPublished = Snapshot.Engine.ProfilesPublished;
+  EngineTotals.ProfilesDiscarded = Snapshot.Engine.ProfilesDiscarded;
+  EngineTotals.Evaluations = Snapshot.Engine.Evaluations;
+  EngineTotals.Switches = Snapshot.Engine.Switches;
+  appendStatFields(Out, EngineTotals);
+  Out += "},\n";
+  Out += "  \"events\": {\"recorded\": " +
+         std::to_string(Snapshot.Events.Recorded) +
+         ", \"dropped\": " + std::to_string(Snapshot.Events.Dropped) +
+         "},\n";
+  Out += "  \"contexts\": [";
+  for (size_t I = 0; I != Snapshot.Contexts.size(); ++I) {
+    const ContextSnapshot &C = Snapshot.Contexts[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"name\": \"" + jsonEscape(C.Name) + "\", ";
+    Out += "\"abstraction\": \"" + jsonEscape(C.Abstraction) + "\", ";
+    Out += "\"variant\": \"" + jsonEscape(C.Variant) + "\", ";
+    appendStatFields(Out, C.Stats);
+    Out += ", \"footprint_bytes\": " + std::to_string(C.FootprintBytes);
+    Out += "}";
+  }
+  Out += Snapshot.Contexts.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return Out;
+}
+
+namespace {
+
+/// CSV-quotes \p Field when it contains a comma, quote, or newline.
+std::string csvField(const std::string &Field) {
+  if (Field.find_first_of(",\"\n") == std::string::npos)
+    return Field;
+  std::string Out = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+} // namespace
+
+std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
+  std::string Out = "name,abstraction,variant,instances_created,"
+                    "instances_monitored,profiles_published,"
+                    "profiles_discarded,evaluations,switches,"
+                    "footprint_bytes\n";
+  for (const ContextSnapshot &C : Snapshot.Contexts) {
+    Out += csvField(C.Name) + ',' + csvField(C.Abstraction) + ',' +
+           csvField(C.Variant) + ',';
+    Out += std::to_string(C.Stats.InstancesCreated) + ',';
+    Out += std::to_string(C.Stats.InstancesMonitored) + ',';
+    Out += std::to_string(C.Stats.ProfilesPublished) + ',';
+    Out += std::to_string(C.Stats.ProfilesDiscarded) + ',';
+    Out += std::to_string(C.Stats.Evaluations) + ',';
+    Out += std::to_string(C.Stats.Switches) + ',';
+    Out += std::to_string(C.FootprintBytes) + '\n';
+  }
+  return Out;
+}
+
+bool cswitch::writeTextFile(const std::string &Path,
+                            std::string_view Content) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Content.data(), 1, Content.size(), F);
+  bool Ok = Written == Content.size();
+  return std::fclose(F) == 0 && Ok;
+}

@@ -1,0 +1,55 @@
+//===- MetricsExport.h - Telemetry serialization ----------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializers for TelemetrySnapshot: a stable JSON document (schema
+/// "cswitch-telemetry-v1", consumed by the CI bench artifacts and the
+/// snapshot-consistency tests) and a flat CSV table (one row per
+/// context) for spreadsheet-grade analysis. Plus the small JSON string
+/// escaping helper the tools reuse for their own reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_METRICSEXPORT_H
+#define CSWITCH_SUPPORT_METRICSEXPORT_H
+
+#include "support/Telemetry.h"
+
+#include <string>
+#include <string_view>
+
+namespace cswitch {
+
+/// Escapes \p Text for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(std::string_view Text);
+
+/// Serializes \p Snapshot as a JSON document:
+/// \code
+/// {
+///   "schema": "cswitch-telemetry-v1",
+///   "engine": {"contexts": N, "instances_created": ..., ...},
+///   "events": {"recorded": ..., "dropped": ...},
+///   "contexts": [{"name": ..., "abstraction": ..., "variant": ...,
+///                 "instances_created": ..., ..., "footprint_bytes": ...}]
+/// }
+/// \endcode
+/// Engine totals always equal the per-context column sums of the same
+/// snapshot (the round-trip invariant the tests pin down).
+std::string toJson(const TelemetrySnapshot &Snapshot);
+
+/// Serializes the per-context breakdown as CSV with a header row:
+/// name,abstraction,variant,instances_created,instances_monitored,
+/// profiles_published,profiles_discarded,evaluations,switches,
+/// footprint_bytes
+std::string toCsv(const TelemetrySnapshot &Snapshot);
+
+/// Writes \p Content to \p Path; returns false on I/O failure.
+bool writeTextFile(const std::string &Path, std::string_view Content);
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_METRICSEXPORT_H

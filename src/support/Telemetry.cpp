@@ -1,0 +1,141 @@
+//===- Telemetry.cpp - Observability snapshot schema ---------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <unordered_map>
+#include <utility>
+
+using namespace cswitch;
+
+namespace {
+
+uint64_t monus(uint64_t A, uint64_t B) { return A > B ? A - B : 0; }
+
+} // namespace
+
+ContextStats &ContextStats::operator+=(const ContextStats &Other) {
+  InstancesCreated += Other.InstancesCreated;
+  InstancesMonitored += Other.InstancesMonitored;
+  ProfilesPublished += Other.ProfilesPublished;
+  ProfilesDiscarded += Other.ProfilesDiscarded;
+  Evaluations += Other.Evaluations;
+  Switches += Other.Switches;
+  return *this;
+}
+
+ContextStats cswitch::operator-(const ContextStats &A,
+                                const ContextStats &B) {
+  ContextStats Out;
+  Out.InstancesCreated = monus(A.InstancesCreated, B.InstancesCreated);
+  Out.InstancesMonitored = monus(A.InstancesMonitored, B.InstancesMonitored);
+  Out.ProfilesPublished = monus(A.ProfilesPublished, B.ProfilesPublished);
+  Out.ProfilesDiscarded = monus(A.ProfilesDiscarded, B.ProfilesDiscarded);
+  Out.Evaluations = monus(A.Evaluations, B.Evaluations);
+  Out.Switches = monus(A.Switches, B.Switches);
+  return Out;
+}
+
+bool cswitch::operator==(const ContextStats &A, const ContextStats &B) {
+  return A.InstancesCreated == B.InstancesCreated &&
+         A.InstancesMonitored == B.InstancesMonitored &&
+         A.ProfilesPublished == B.ProfilesPublished &&
+         A.ProfilesDiscarded == B.ProfilesDiscarded &&
+         A.Evaluations == B.Evaluations && A.Switches == B.Switches;
+}
+
+EngineStats &EngineStats::operator+=(const ContextStats &Context) {
+  ++Contexts;
+  InstancesCreated += Context.InstancesCreated;
+  InstancesMonitored += Context.InstancesMonitored;
+  ProfilesPublished += Context.ProfilesPublished;
+  ProfilesDiscarded += Context.ProfilesDiscarded;
+  Evaluations += Context.Evaluations;
+  Switches += Context.Switches;
+  return *this;
+}
+
+EngineStats &EngineStats::operator+=(const EngineStats &Other) {
+  Contexts += Other.Contexts;
+  InstancesCreated += Other.InstancesCreated;
+  InstancesMonitored += Other.InstancesMonitored;
+  ProfilesPublished += Other.ProfilesPublished;
+  ProfilesDiscarded += Other.ProfilesDiscarded;
+  Evaluations += Other.Evaluations;
+  Switches += Other.Switches;
+  return *this;
+}
+
+EngineStats cswitch::operator-(const EngineStats &A, const EngineStats &B) {
+  EngineStats Out;
+  Out.Contexts = A.Contexts > B.Contexts ? A.Contexts - B.Contexts : 0;
+  Out.InstancesCreated = monus(A.InstancesCreated, B.InstancesCreated);
+  Out.InstancesMonitored = monus(A.InstancesMonitored, B.InstancesMonitored);
+  Out.ProfilesPublished = monus(A.ProfilesPublished, B.ProfilesPublished);
+  Out.ProfilesDiscarded = monus(A.ProfilesDiscarded, B.ProfilesDiscarded);
+  Out.Evaluations = monus(A.Evaluations, B.Evaluations);
+  Out.Switches = monus(A.Switches, B.Switches);
+  return Out;
+}
+
+bool cswitch::operator==(const EngineStats &A, const EngineStats &B) {
+  return A.Contexts == B.Contexts &&
+         A.InstancesCreated == B.InstancesCreated &&
+         A.InstancesMonitored == B.InstancesMonitored &&
+         A.ProfilesPublished == B.ProfilesPublished &&
+         A.ProfilesDiscarded == B.ProfilesDiscarded &&
+         A.Evaluations == B.Evaluations && A.Switches == B.Switches;
+}
+
+EventLogStats cswitch::operator-(const EventLogStats &A,
+                                 const EventLogStats &B) {
+  EventLogStats Out;
+  Out.Recorded = monus(A.Recorded, B.Recorded);
+  Out.Dropped = monus(A.Dropped, B.Dropped);
+  return Out;
+}
+
+TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
+                                     const TelemetrySnapshot &Before) {
+  TelemetrySnapshot Out;
+  Out.Engine = Now.Engine - Before.Engine;
+  Out.Events = Now.Events - Before.Events;
+  std::unordered_map<std::string, const ContextSnapshot *> Baseline;
+  Baseline.reserve(Before.Contexts.size());
+  for (const ContextSnapshot &C : Before.Contexts)
+    Baseline.emplace(C.Name, &C);
+  Out.Contexts.reserve(Now.Contexts.size());
+  for (const ContextSnapshot &C : Now.Contexts) {
+    ContextSnapshot Delta = C;
+    auto It = Baseline.find(C.Name);
+    if (It != Baseline.end())
+      Delta.Stats = C.Stats - It->second->Stats;
+    Out.Contexts.push_back(std::move(Delta));
+  }
+  return Out;
+}
+
+Telemetry::Telemetry(Source SnapshotSource)
+    : Snap(std::move(SnapshotSource)) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Last = Snap();
+}
+
+TelemetrySnapshot Telemetry::capture() const { return Snap(); }
+
+TelemetrySnapshot Telemetry::interval() {
+  TelemetrySnapshot Now = Snap();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  TelemetrySnapshot Delta = Now - Last;
+  Last = std::move(Now);
+  return Delta;
+}
+
+void Telemetry::reset() {
+  TelemetrySnapshot Now = Snap();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Last = std::move(Now);
+}

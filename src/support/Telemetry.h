@@ -1,0 +1,143 @@
+//===- Telemetry.h - Observability snapshot schema --------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry schema of the framework's observability layer: typed,
+/// string-keyed snapshots of the monitoring pipeline that the engine
+/// fills, the periodic reporter emits, and MetricsExport serializes.
+///
+/// Layering: this header is pure data plus delta arithmetic — it knows
+/// nothing about contexts, engines, or collections, so the support
+/// library stays at the bottom of the dependency stack. The core layer
+/// (SwitchEngine::telemetry()) produces snapshots; consumers diff,
+/// export, or stream them.
+///
+/// All counters are cumulative ("since process start" for a live
+/// snapshot). Interval behaviour is obtained by subtracting two
+/// snapshots: `Now - Before` via the saturating operator- overloads, or
+/// statefully via the Telemetry interval tracker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_SUPPORT_TELEMETRY_H
+#define CSWITCH_SUPPORT_TELEMETRY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cswitch {
+
+/// Monitoring counters of one allocation context (the "accessor pile"
+/// of AllocationContextBase, batched into one value type).
+struct ContextStats {
+  uint64_t InstancesCreated = 0;
+  uint64_t InstancesMonitored = 0;
+  uint64_t ProfilesPublished = 0;
+  uint64_t ProfilesDiscarded = 0;
+  uint64_t Evaluations = 0;
+  uint64_t Switches = 0;
+
+  ContextStats &operator+=(const ContextStats &Other);
+};
+
+/// Saturating per-field difference (counters are monotonic; a negative
+/// interval can only come from contexts vanishing and clamps to zero).
+ContextStats operator-(const ContextStats &A, const ContextStats &B);
+bool operator==(const ContextStats &A, const ContextStats &B);
+
+/// Aggregate monitoring statistics over every registered context (the
+/// facade-level report of the §5.3 overhead discussion).
+struct EngineStats {
+  size_t Contexts = 0;
+  uint64_t InstancesCreated = 0;
+  uint64_t InstancesMonitored = 0;
+  uint64_t ProfilesPublished = 0;
+  uint64_t ProfilesDiscarded = 0;
+  uint64_t Evaluations = 0;
+  uint64_t Switches = 0;
+
+  EngineStats &operator+=(const ContextStats &Context);
+  EngineStats &operator+=(const EngineStats &Other);
+};
+
+/// Saturating per-field difference: the interval behaviour between two
+/// engine-wide snapshots (benchmarks bracket runs with this instead of
+/// hand-diffing individual counters).
+EngineStats operator-(const EngineStats &A, const EngineStats &B);
+bool operator==(const EngineStats &A, const EngineStats &B);
+
+/// Per-context slice of a telemetry snapshot. Strings, not enums, so
+/// the schema (and its exports) need no knowledge of the collection
+/// layer.
+struct ContextSnapshot {
+  std::string Name;        ///< Allocation-site name.
+  std::string Abstraction; ///< "list", "set" or "map".
+  std::string Variant;     ///< Current variant name.
+  ContextStats Stats;
+  size_t FootprintBytes = 0; ///< Approximate context memory footprint.
+};
+
+/// Counters of the event-log ring at snapshot time.
+struct EventLogStats {
+  uint64_t Recorded = 0; ///< Events recorded (including dropped).
+  uint64_t Dropped = 0;  ///< Events lost to ring wrap-around.
+};
+
+EventLogStats operator-(const EventLogStats &A, const EventLogStats &B);
+
+/// One engine-wide observability snapshot: aggregate counters, the
+/// per-context breakdown, and the state of the event log.
+struct TelemetrySnapshot {
+  EngineStats Engine;
+  std::vector<ContextSnapshot> Contexts;
+  EventLogStats Events;
+};
+
+/// Interval difference between two snapshots: aggregate and event
+/// counters subtract saturating; contexts are matched by name (a
+/// context present only in \p Now appears verbatim — it is new activity
+/// by definition; contexts that vanished are omitted). Variant and
+/// footprint are taken from \p Now.
+TelemetrySnapshot operator-(const TelemetrySnapshot &Now,
+                            const TelemetrySnapshot &Before);
+
+/// Stateful interval tracker over a snapshot source: capture() returns
+/// the absolute snapshot, interval() the delta since the previous
+/// interval() (or since construction/reset). Thread-safe.
+///
+/// The source is a callable so this layer stays decoupled from the
+/// engine; wire it up with e.g.
+/// \code
+///   Telemetry T([] { return SwitchEngine::global().telemetry(); });
+/// \endcode
+class Telemetry {
+public:
+  using Source = std::function<TelemetrySnapshot()>;
+
+  explicit Telemetry(Source SnapshotSource);
+
+  /// Current absolute snapshot.
+  TelemetrySnapshot capture() const;
+
+  /// Delta since the previous interval() call (or reset/construction).
+  TelemetrySnapshot interval();
+
+  /// Restarts the interval baseline at the current snapshot.
+  void reset();
+
+private:
+  Source Snap;
+  mutable std::mutex Mutex;
+  TelemetrySnapshot Last; ///< Guarded by Mutex.
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_SUPPORT_TELEMETRY_H

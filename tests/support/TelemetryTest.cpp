@@ -1,0 +1,212 @@
+//===- TelemetryTest.cpp - Telemetry schema and export unit tests ---------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests of the support-layer telemetry schema in isolation: counter
+// arithmetic (saturating deltas), snapshot diffing by context name, the
+// stateful interval tracker, and the JSON/CSV serializers. The
+// engine-facing round-trip tests (snapshot == SwitchEngine::stats())
+// live in tests/core/SwitchApiTest.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MetricsExport.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace cswitch;
+
+namespace {
+
+ContextStats makeStats(uint64_t Base) {
+  ContextStats S;
+  S.InstancesCreated = Base + 1;
+  S.InstancesMonitored = Base + 2;
+  S.ProfilesPublished = Base + 3;
+  S.ProfilesDiscarded = Base + 4;
+  S.Evaluations = Base + 5;
+  S.Switches = Base + 6;
+  return S;
+}
+
+TEST(Telemetry, ContextStatsAccumulateAndSubtract) {
+  ContextStats A = makeStats(10);
+  ContextStats B = makeStats(0);
+  ContextStats Sum = A;
+  Sum += B;
+  EXPECT_EQ(Sum.InstancesCreated, 12u); // 11 + 1
+  EXPECT_EQ(Sum.Switches, 22u);         // 16 + 6
+  ContextStats Delta = Sum - A;
+  EXPECT_TRUE(Delta == B);
+}
+
+TEST(Telemetry, SubtractionSaturatesAtZero) {
+  ContextStats Small = makeStats(0);
+  ContextStats Big = makeStats(100);
+  ContextStats Delta = Small - Big; // counters went "backwards"
+  EXPECT_TRUE(Delta == ContextStats{});
+
+  EngineStats ESmall;
+  ESmall.Contexts = 1;
+  ESmall.Switches = 2;
+  EngineStats EBig;
+  EBig.Contexts = 5;
+  EBig.Switches = 9;
+  EngineStats EDelta = ESmall - EBig;
+  EXPECT_EQ(EDelta.Contexts, 0u);
+  EXPECT_EQ(EDelta.Switches, 0u);
+}
+
+TEST(Telemetry, EngineStatsCountContextsWhenAggregating) {
+  EngineStats E;
+  E += makeStats(0);
+  E += makeStats(10);
+  EXPECT_EQ(E.Contexts, 2u);
+  EXPECT_EQ(E.InstancesCreated, 12u); // 1 + 11
+  EngineStats Twice = E;
+  Twice += E;
+  EXPECT_EQ(Twice.Contexts, 4u);
+  EXPECT_EQ(Twice.InstancesCreated, 24u);
+}
+
+TEST(Telemetry, SnapshotDiffMatchesContextsByName) {
+  TelemetrySnapshot Before;
+  ContextSnapshot Old;
+  Old.Name = "site-a";
+  Old.Stats = makeStats(0);
+  Before.Contexts.push_back(Old);
+  ContextSnapshot Vanished;
+  Vanished.Name = "site-gone";
+  Before.Contexts.push_back(Vanished);
+  Before.Engine += Old.Stats;
+  Before.Events.Recorded = 10;
+
+  TelemetrySnapshot Now;
+  ContextSnapshot NewA;
+  NewA.Name = "site-a";
+  NewA.Variant = "LinkedList";
+  NewA.Stats = makeStats(100);
+  NewA.FootprintBytes = 640;
+  Now.Contexts.push_back(NewA);
+  ContextSnapshot Fresh;
+  Fresh.Name = "site-new";
+  Fresh.Stats = makeStats(5);
+  Now.Contexts.push_back(Fresh);
+  Now.Engine += NewA.Stats;
+  Now.Engine += Fresh.Stats;
+  Now.Events.Recorded = 25;
+
+  TelemetrySnapshot Delta = Now - Before;
+  ASSERT_EQ(Delta.Contexts.size(), 2u); // vanished context omitted
+  EXPECT_EQ(Delta.Contexts[0].Name, "site-a");
+  EXPECT_TRUE(Delta.Contexts[0].Stats == makeStats(100) - makeStats(0));
+  // Variant and footprint come from the Now side.
+  EXPECT_EQ(Delta.Contexts[0].Variant, "LinkedList");
+  EXPECT_EQ(Delta.Contexts[0].FootprintBytes, 640u);
+  // A context only present in Now appears verbatim.
+  EXPECT_EQ(Delta.Contexts[1].Name, "site-new");
+  EXPECT_TRUE(Delta.Contexts[1].Stats == makeStats(5));
+  EXPECT_EQ(Delta.Events.Recorded, 15u);
+}
+
+TEST(Telemetry, IntervalTrackerReportsDeltas) {
+  uint64_t Counter = 0;
+  Telemetry Tracker([&Counter] {
+    TelemetrySnapshot S;
+    S.Engine.InstancesCreated = Counter;
+    S.Events.Recorded = Counter;
+    return S;
+  });
+  Counter = 10;
+  EXPECT_EQ(Tracker.capture().Engine.InstancesCreated, 10u);
+  EXPECT_EQ(Tracker.interval().Engine.InstancesCreated, 10u);
+  Counter = 25;
+  TelemetrySnapshot Delta = Tracker.interval();
+  EXPECT_EQ(Delta.Engine.InstancesCreated, 15u);
+  EXPECT_EQ(Delta.Events.Recorded, 15u);
+  Counter = 40;
+  Tracker.reset();
+  EXPECT_EQ(Tracker.interval().Engine.InstancesCreated, 0u);
+}
+
+TEST(Telemetry, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TelemetrySnapshot sampleSnapshot() {
+  TelemetrySnapshot S;
+  ContextSnapshot A;
+  A.Name = "bench \"quoted\"";
+  A.Abstraction = "list";
+  A.Variant = "ArrayList";
+  A.Stats = makeStats(0);
+  A.FootprintBytes = 128;
+  ContextSnapshot B;
+  B.Name = "site,with,commas";
+  B.Abstraction = "map";
+  B.Variant = "ChainedHashMap";
+  B.Stats = makeStats(50);
+  B.FootprintBytes = 256;
+  S.Contexts = {A, B};
+  S.Engine += A.Stats;
+  S.Engine += B.Stats;
+  S.Events.Recorded = 42;
+  S.Events.Dropped = 2;
+  return S;
+}
+
+TEST(Telemetry, JsonCarriesSchemaAndTotals) {
+  std::string Json = toJson(sampleSnapshot());
+  EXPECT_NE(Json.find("\"schema\": \"cswitch-telemetry-v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"contexts\": 2"), std::string::npos);
+  // 1 + 51: engine totals are the per-context sums.
+  EXPECT_NE(Json.find("\"instances_created\": 52"), std::string::npos);
+  EXPECT_NE(Json.find("\"recorded\": 42"), std::string::npos);
+  EXPECT_NE(Json.find("bench \\\"quoted\\\""), std::string::npos);
+}
+
+TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
+  std::string Csv = toCsv(sampleSnapshot());
+  std::istringstream Lines(Csv);
+  std::string Header;
+  ASSERT_TRUE(std::getline(Lines, Header));
+  EXPECT_EQ(Header,
+            "name,abstraction,variant,instances_created,"
+            "instances_monitored,profiles_published,profiles_discarded,"
+            "evaluations,switches,footprint_bytes");
+  std::string Row1, Row2, Extra;
+  ASSERT_TRUE(std::getline(Lines, Row1));
+  ASSERT_TRUE(std::getline(Lines, Row2));
+  EXPECT_FALSE(std::getline(Lines, Extra));
+  // Embedded quotes double, fields with commas/quotes get quoted.
+  EXPECT_NE(Row1.find("\"bench \"\"quoted\"\"\""), std::string::npos);
+  EXPECT_NE(Row2.find("\"site,with,commas\""), std::string::npos);
+  EXPECT_NE(Row2.find(",256"), std::string::npos);
+}
+
+TEST(Telemetry, WriteTextFileRoundTrips) {
+  const char *Path = "telemetry_test_tmp.json";
+  std::string Content = toJson(sampleSnapshot());
+  ASSERT_TRUE(writeTextFile(Path, Content));
+  std::ifstream In(Path);
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  EXPECT_EQ(Buffer.str(), Content);
+  In.close();
+  std::remove(Path);
+  EXPECT_FALSE(writeTextFile("no-such-dir/x/y.json", "x"));
+}
+
+} // namespace

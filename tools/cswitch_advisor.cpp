@@ -12,11 +12,13 @@
 //   cswitch_advisor trace.txt                       # Rtime, built-in model
 //   cswitch_advisor --rule ralloc trace.txt
 //   cswitch_advisor --model cswitch_model.txt trace.txt
+//   cswitch_advisor --json report.json trace.txt    # machine-readable copy
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/ProfileTrace.h"
 #include "model/DefaultModel.h"
+#include "support/MetricsExport.h"
 
 #include <cstdio>
 #include <cstring>
@@ -24,22 +26,60 @@
 
 using namespace cswitch;
 
+namespace {
+
+/// Machine-readable twin of the printed report.
+std::string reportToJson(const SelectionRule &Rule,
+                         const std::vector<SiteRecommendation> &Report) {
+  std::string Out = "{\n  \"schema\": \"cswitch-advisor-v1\",\n  \"rule\": \"" +
+                    jsonEscape(Rule.Name) + "\",\n  \"sites\": [\n";
+  for (size_t I = 0; I != Report.size(); ++I) {
+    const SiteRecommendation &Rec = Report[I];
+    Out += "    {\"site\": \"" + jsonEscape(Rec.Site) + "\", \"declared\": \"" +
+           jsonEscape(VariantId{Rec.Kind, Rec.DeclaredVariantIndex}.name()) +
+           "\", ";
+    if (Rec.RecommendedVariantIndex)
+      Out += "\"recommended\": \"" +
+             jsonEscape(
+                 VariantId{Rec.Kind, *Rec.RecommendedVariantIndex}.name()) +
+             "\", ";
+    else
+      Out += "\"recommended\": null, ";
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"instances\": %zu, \"time_ratio\": %.4f, "
+                  "\"alloc_ratio\": %.4f}",
+                  Rec.InstancesProfiled,
+                  Rec.improvementRatio(CostDimension::Time),
+                  Rec.improvementRatio(CostDimension::Alloc));
+    Out += Buf;
+    Out += I + 1 == Report.size() ? "\n" : ",\n";
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   std::string RuleName = "rtime";
   std::string ModelPath;
+  std::string JsonPath;
   const char *TracePath = nullptr;
   for (int I = 1; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "--rule") == 0 && I + 1 != Argc)
       RuleName = Argv[++I];
     else if (std::strcmp(Argv[I], "--model") == 0 && I + 1 != Argc)
       ModelPath = Argv[++I];
+    else if (std::strcmp(Argv[I], "--json") == 0 && I + 1 != Argc)
+      JsonPath = Argv[++I];
     else
       TracePath = Argv[I];
   }
   if (!TracePath) {
     std::fprintf(stderr, "usage: cswitch_advisor [--rule "
                          "rtime|ralloc|renergy] [--model <file>] "
-                         "<trace-file>\n");
+                         "[--json <file>] <trace-file>\n");
     return 2;
   }
 
@@ -76,5 +116,12 @@ int main(int Argc, char **Argv) {
               Rule.Name.c_str(), Report.size());
   for (const SiteRecommendation &Rec : Report)
     std::printf("  %s\n", Rec.toString().c_str());
+  if (!JsonPath.empty()) {
+    if (!writeTextFile(JsonPath, reportToJson(Rule, Report))) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("[wrote %s]\n", JsonPath.c_str());
+  }
   return 0;
 }
