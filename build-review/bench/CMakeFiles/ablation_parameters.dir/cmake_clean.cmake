@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_parameters.dir/ablation_parameters.cpp.o"
+  "CMakeFiles/ablation_parameters.dir/ablation_parameters.cpp.o.d"
+  "ablation_parameters"
+  "ablation_parameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

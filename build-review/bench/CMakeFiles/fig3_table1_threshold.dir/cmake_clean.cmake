@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_table1_threshold.dir/fig3_table1_threshold.cpp.o"
+  "CMakeFiles/fig3_table1_threshold.dir/fig3_table1_threshold.cpp.o.d"
+  "fig3_table1_threshold"
+  "fig3_table1_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_table1_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_single_phase.dir/fig5_single_phase.cpp.o"
+  "CMakeFiles/fig5_single_phase.dir/fig5_single_phase.cpp.o.d"
+  "fig5_single_phase"
+  "fig5_single_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_single_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

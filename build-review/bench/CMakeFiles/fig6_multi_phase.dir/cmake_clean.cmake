@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_multi_phase.dir/fig6_multi_phase.cpp.o"
+  "CMakeFiles/fig6_multi_phase.dir/fig6_multi_phase.cpp.o.d"
+  "fig6_multi_phase"
+  "fig6_multi_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_multi_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_overhead.dir/fig7_overhead.cpp.o"
+  "CMakeFiles/fig7_overhead.dir/fig7_overhead.cpp.o.d"
+  "fig7_overhead"
+  "fig7_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

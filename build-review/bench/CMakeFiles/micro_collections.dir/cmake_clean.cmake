@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_collections.dir/micro_collections.cpp.o"
+  "CMakeFiles/micro_collections.dir/micro_collections.cpp.o.d"
+  "micro_collections"
+  "micro_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_builder.dir/model_builder.cpp.o"
+  "CMakeFiles/model_builder.dir/model_builder.cpp.o.d"
+  "model_builder"
+  "model_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_vs_online.dir/offline_vs_online.cpp.o"
+  "CMakeFiles/offline_vs_online.dir/offline_vs_online.cpp.o.d"
+  "offline_vs_online"
+  "offline_vs_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_vs_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

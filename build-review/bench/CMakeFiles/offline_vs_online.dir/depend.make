@@ -1,0 +1,2 @@
+# Empty dependencies file for offline_vs_online.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/overhead_impossible_rule.cpp" "bench/CMakeFiles/overhead_impossible_rule.dir/overhead_impossible_rule.cpp.o" "gcc" "bench/CMakeFiles/overhead_impossible_rule.dir/overhead_impossible_rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rewriter/CMakeFiles/cswitch_rewriter_lib.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/CMakeFiles/cswitch_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/cswitch_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/cswitch_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/collections/CMakeFiles/cswitch_collections.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/cswitch_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cswitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_impossible_rule.dir/overhead_impossible_rule.cpp.o"
+  "CMakeFiles/overhead_impossible_rule.dir/overhead_impossible_rule.cpp.o.d"
+  "overhead_impossible_rule"
+  "overhead_impossible_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_impossible_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for overhead_impossible_rule.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for overhead_impossible_rule.
+# This may be replaced when dependencies are built.

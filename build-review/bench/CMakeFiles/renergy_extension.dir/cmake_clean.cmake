@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renergy_extension.dir/renergy_extension.cpp.o"
+  "CMakeFiles/renergy_extension.dir/renergy_extension.cpp.o.d"
+  "renergy_extension"
+  "renergy_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renergy_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

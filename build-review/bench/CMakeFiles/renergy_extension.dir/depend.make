@@ -1,0 +1,2 @@
+# Empty dependencies file for renergy_extension.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_variants.dir/table2_variants.cpp.o"
+  "CMakeFiles/table2_variants.dir/table2_variants.cpp.o.d"
+  "table2_variants"
+  "table2_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

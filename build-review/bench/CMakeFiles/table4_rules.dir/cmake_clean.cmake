@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_rules.dir/table4_rules.cpp.o"
+  "CMakeFiles/table4_rules.dir/table4_rules.cpp.o.d"
+  "table4_rules"
+  "table4_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_dacapo.dir/table5_dacapo.cpp.o"
+  "CMakeFiles/table5_dacapo.dir/table5_dacapo.cpp.o.d"
+  "table5_dacapo"
+  "table5_dacapo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_dacapo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_transitions.dir/table6_transitions.cpp.o"
+  "CMakeFiles/table6_transitions.dir/table6_transitions.cpp.o.d"
+  "table6_transitions"
+  "table6_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_tour.dir/adaptive_tour.cpp.o"
+  "CMakeFiles/adaptive_tour.dir/adaptive_tour.cpp.o.d"
+  "adaptive_tour"
+  "adaptive_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for adaptive_tour.
+# This may be replaced when dependencies are built.

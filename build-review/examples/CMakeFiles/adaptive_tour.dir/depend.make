@@ -1,0 +1,2 @@
+# Empty dependencies file for adaptive_tour.
+# This may be replaced when dependencies are built.

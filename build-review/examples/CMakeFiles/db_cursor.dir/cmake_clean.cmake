@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_cursor.dir/db_cursor.cpp.o"
+  "CMakeFiles/db_cursor.dir/db_cursor.cpp.o.d"
+  "db_cursor"
+  "db_cursor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_cursor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for db_cursor.
+# This may be replaced when dependencies are built.

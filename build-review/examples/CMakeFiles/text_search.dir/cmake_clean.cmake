@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_search.dir/text_search.cpp.o"
+  "CMakeFiles/text_search.dir/text_search.cpp.o.d"
+  "text_search"
+  "text_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for text_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/AppHarness.cpp" "src/apps/CMakeFiles/cswitch_apps.dir/AppHarness.cpp.o" "gcc" "src/apps/CMakeFiles/cswitch_apps.dir/AppHarness.cpp.o.d"
+  "/root/repo/src/apps/Apps.cpp" "src/apps/CMakeFiles/cswitch_apps.dir/Apps.cpp.o" "gcc" "src/apps/CMakeFiles/cswitch_apps.dir/Apps.cpp.o.d"
+  "/root/repo/src/apps/AvroraSim.cpp" "src/apps/CMakeFiles/cswitch_apps.dir/AvroraSim.cpp.o" "gcc" "src/apps/CMakeFiles/cswitch_apps.dir/AvroraSim.cpp.o.d"
+  "/root/repo/src/apps/BloatSim.cpp" "src/apps/CMakeFiles/cswitch_apps.dir/BloatSim.cpp.o" "gcc" "src/apps/CMakeFiles/cswitch_apps.dir/BloatSim.cpp.o.d"
+  "/root/repo/src/apps/FopSim.cpp" "src/apps/CMakeFiles/cswitch_apps.dir/FopSim.cpp.o" "gcc" "src/apps/CMakeFiles/cswitch_apps.dir/FopSim.cpp.o.d"
+  "/root/repo/src/apps/H2Sim.cpp" "src/apps/CMakeFiles/cswitch_apps.dir/H2Sim.cpp.o" "gcc" "src/apps/CMakeFiles/cswitch_apps.dir/H2Sim.cpp.o.d"
+  "/root/repo/src/apps/LusearchSim.cpp" "src/apps/CMakeFiles/cswitch_apps.dir/LusearchSim.cpp.o" "gcc" "src/apps/CMakeFiles/cswitch_apps.dir/LusearchSim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/cswitch_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/cswitch_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/collections/CMakeFiles/cswitch_collections.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/cswitch_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cswitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

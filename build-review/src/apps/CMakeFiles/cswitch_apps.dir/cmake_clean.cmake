@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_apps.dir/AppHarness.cpp.o"
+  "CMakeFiles/cswitch_apps.dir/AppHarness.cpp.o.d"
+  "CMakeFiles/cswitch_apps.dir/Apps.cpp.o"
+  "CMakeFiles/cswitch_apps.dir/Apps.cpp.o.d"
+  "CMakeFiles/cswitch_apps.dir/AvroraSim.cpp.o"
+  "CMakeFiles/cswitch_apps.dir/AvroraSim.cpp.o.d"
+  "CMakeFiles/cswitch_apps.dir/BloatSim.cpp.o"
+  "CMakeFiles/cswitch_apps.dir/BloatSim.cpp.o.d"
+  "CMakeFiles/cswitch_apps.dir/FopSim.cpp.o"
+  "CMakeFiles/cswitch_apps.dir/FopSim.cpp.o.d"
+  "CMakeFiles/cswitch_apps.dir/H2Sim.cpp.o"
+  "CMakeFiles/cswitch_apps.dir/H2Sim.cpp.o.d"
+  "CMakeFiles/cswitch_apps.dir/LusearchSim.cpp.o"
+  "CMakeFiles/cswitch_apps.dir/LusearchSim.cpp.o.d"
+  "libcswitch_apps.a"
+  "libcswitch_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

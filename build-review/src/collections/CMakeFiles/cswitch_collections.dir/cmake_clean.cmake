@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_collections.dir/AdaptiveConfig.cpp.o"
+  "CMakeFiles/cswitch_collections.dir/AdaptiveConfig.cpp.o.d"
+  "CMakeFiles/cswitch_collections.dir/Variants.cpp.o"
+  "CMakeFiles/cswitch_collections.dir/Variants.cpp.o.d"
+  "libcswitch_collections.a"
+  "libcswitch_collections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_collections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

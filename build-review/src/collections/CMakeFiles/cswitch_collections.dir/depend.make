@@ -1,0 +1,2 @@
+# Empty dependencies file for cswitch_collections.
+# This may be replaced when dependencies are built.

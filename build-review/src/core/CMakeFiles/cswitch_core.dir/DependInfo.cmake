@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/AllocationContext.cpp" "src/core/CMakeFiles/cswitch_core.dir/AllocationContext.cpp.o" "gcc" "src/core/CMakeFiles/cswitch_core.dir/AllocationContext.cpp.o.d"
+  "/root/repo/src/core/OfflineAdvisor.cpp" "src/core/CMakeFiles/cswitch_core.dir/OfflineAdvisor.cpp.o" "gcc" "src/core/CMakeFiles/cswitch_core.dir/OfflineAdvisor.cpp.o.d"
+  "/root/repo/src/core/ProfileTrace.cpp" "src/core/CMakeFiles/cswitch_core.dir/ProfileTrace.cpp.o" "gcc" "src/core/CMakeFiles/cswitch_core.dir/ProfileTrace.cpp.o.d"
+  "/root/repo/src/core/SelectionRule.cpp" "src/core/CMakeFiles/cswitch_core.dir/SelectionRule.cpp.o" "gcc" "src/core/CMakeFiles/cswitch_core.dir/SelectionRule.cpp.o.d"
+  "/root/repo/src/core/Switch.cpp" "src/core/CMakeFiles/cswitch_core.dir/Switch.cpp.o" "gcc" "src/core/CMakeFiles/cswitch_core.dir/Switch.cpp.o.d"
+  "/root/repo/src/core/SwitchEngine.cpp" "src/core/CMakeFiles/cswitch_core.dir/SwitchEngine.cpp.o" "gcc" "src/core/CMakeFiles/cswitch_core.dir/SwitchEngine.cpp.o.d"
+  "/root/repo/src/core/VariantSelection.cpp" "src/core/CMakeFiles/cswitch_core.dir/VariantSelection.cpp.o" "gcc" "src/core/CMakeFiles/cswitch_core.dir/VariantSelection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/model/CMakeFiles/cswitch_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/collections/CMakeFiles/cswitch_collections.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/cswitch_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cswitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_core.dir/AllocationContext.cpp.o"
+  "CMakeFiles/cswitch_core.dir/AllocationContext.cpp.o.d"
+  "CMakeFiles/cswitch_core.dir/OfflineAdvisor.cpp.o"
+  "CMakeFiles/cswitch_core.dir/OfflineAdvisor.cpp.o.d"
+  "CMakeFiles/cswitch_core.dir/ProfileTrace.cpp.o"
+  "CMakeFiles/cswitch_core.dir/ProfileTrace.cpp.o.d"
+  "CMakeFiles/cswitch_core.dir/SelectionRule.cpp.o"
+  "CMakeFiles/cswitch_core.dir/SelectionRule.cpp.o.d"
+  "CMakeFiles/cswitch_core.dir/Switch.cpp.o"
+  "CMakeFiles/cswitch_core.dir/Switch.cpp.o.d"
+  "CMakeFiles/cswitch_core.dir/SwitchEngine.cpp.o"
+  "CMakeFiles/cswitch_core.dir/SwitchEngine.cpp.o.d"
+  "CMakeFiles/cswitch_core.dir/VariantSelection.cpp.o"
+  "CMakeFiles/cswitch_core.dir/VariantSelection.cpp.o.d"
+  "libcswitch_core.a"
+  "libcswitch_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/CostModel.cpp" "src/model/CMakeFiles/cswitch_model.dir/CostModel.cpp.o" "gcc" "src/model/CMakeFiles/cswitch_model.dir/CostModel.cpp.o.d"
+  "/root/repo/src/model/DefaultModel.cpp" "src/model/CMakeFiles/cswitch_model.dir/DefaultModel.cpp.o" "gcc" "src/model/CMakeFiles/cswitch_model.dir/DefaultModel.cpp.o.d"
+  "/root/repo/src/model/EnergyModel.cpp" "src/model/CMakeFiles/cswitch_model.dir/EnergyModel.cpp.o" "gcc" "src/model/CMakeFiles/cswitch_model.dir/EnergyModel.cpp.o.d"
+  "/root/repo/src/model/ModelBuilder.cpp" "src/model/CMakeFiles/cswitch_model.dir/ModelBuilder.cpp.o" "gcc" "src/model/CMakeFiles/cswitch_model.dir/ModelBuilder.cpp.o.d"
+  "/root/repo/src/model/ThresholdAnalyzer.cpp" "src/model/CMakeFiles/cswitch_model.dir/ThresholdAnalyzer.cpp.o" "gcc" "src/model/CMakeFiles/cswitch_model.dir/ThresholdAnalyzer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/collections/CMakeFiles/cswitch_collections.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/cswitch_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cswitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_model.dir/CostModel.cpp.o"
+  "CMakeFiles/cswitch_model.dir/CostModel.cpp.o.d"
+  "CMakeFiles/cswitch_model.dir/DefaultModel.cpp.o"
+  "CMakeFiles/cswitch_model.dir/DefaultModel.cpp.o.d"
+  "CMakeFiles/cswitch_model.dir/EnergyModel.cpp.o"
+  "CMakeFiles/cswitch_model.dir/EnergyModel.cpp.o.d"
+  "CMakeFiles/cswitch_model.dir/ModelBuilder.cpp.o"
+  "CMakeFiles/cswitch_model.dir/ModelBuilder.cpp.o.d"
+  "CMakeFiles/cswitch_model.dir/ThresholdAnalyzer.cpp.o"
+  "CMakeFiles/cswitch_model.dir/ThresholdAnalyzer.cpp.o.d"
+  "libcswitch_model.a"
+  "libcswitch_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/OperationKind.cpp" "src/profile/CMakeFiles/cswitch_profile.dir/OperationKind.cpp.o" "gcc" "src/profile/CMakeFiles/cswitch_profile.dir/OperationKind.cpp.o.d"
+  "/root/repo/src/profile/WorkloadProfile.cpp" "src/profile/CMakeFiles/cswitch_profile.dir/WorkloadProfile.cpp.o" "gcc" "src/profile/CMakeFiles/cswitch_profile.dir/WorkloadProfile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/cswitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_profile.dir/OperationKind.cpp.o"
+  "CMakeFiles/cswitch_profile.dir/OperationKind.cpp.o.d"
+  "CMakeFiles/cswitch_profile.dir/WorkloadProfile.cpp.o"
+  "CMakeFiles/cswitch_profile.dir/WorkloadProfile.cpp.o.d"
+  "libcswitch_profile.a"
+  "libcswitch_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

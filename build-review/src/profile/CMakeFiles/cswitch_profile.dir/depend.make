@@ -1,0 +1,2 @@
+# Empty dependencies file for cswitch_profile.
+# This may be replaced when dependencies are built.

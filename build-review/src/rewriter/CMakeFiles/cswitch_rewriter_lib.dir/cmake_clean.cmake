@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_rewriter_lib.dir/Rewriter.cpp.o"
+  "CMakeFiles/cswitch_rewriter_lib.dir/Rewriter.cpp.o.d"
+  "libcswitch_rewriter_lib.a"
+  "libcswitch_rewriter_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_rewriter_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/BenchmarkRunner.cpp" "src/support/CMakeFiles/cswitch_support.dir/BenchmarkRunner.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/BenchmarkRunner.cpp.o.d"
+  "/root/repo/src/support/EventLog.cpp" "src/support/CMakeFiles/cswitch_support.dir/EventLog.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/EventLog.cpp.o.d"
+  "/root/repo/src/support/LeastSquares.cpp" "src/support/CMakeFiles/cswitch_support.dir/LeastSquares.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/LeastSquares.cpp.o.d"
+  "/root/repo/src/support/MemoryTracker.cpp" "src/support/CMakeFiles/cswitch_support.dir/MemoryTracker.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/MemoryTracker.cpp.o.d"
+  "/root/repo/src/support/MetricsExport.cpp" "src/support/CMakeFiles/cswitch_support.dir/MetricsExport.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/MetricsExport.cpp.o.d"
+  "/root/repo/src/support/Polynomial.cpp" "src/support/CMakeFiles/cswitch_support.dir/Polynomial.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/Polynomial.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/cswitch_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/cswitch_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/Telemetry.cpp" "src/support/CMakeFiles/cswitch_support.dir/Telemetry.cpp.o" "gcc" "src/support/CMakeFiles/cswitch_support.dir/Telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_support.dir/BenchmarkRunner.cpp.o"
+  "CMakeFiles/cswitch_support.dir/BenchmarkRunner.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/EventLog.cpp.o"
+  "CMakeFiles/cswitch_support.dir/EventLog.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/LeastSquares.cpp.o"
+  "CMakeFiles/cswitch_support.dir/LeastSquares.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/MemoryTracker.cpp.o"
+  "CMakeFiles/cswitch_support.dir/MemoryTracker.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/MetricsExport.cpp.o"
+  "CMakeFiles/cswitch_support.dir/MetricsExport.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/Polynomial.cpp.o"
+  "CMakeFiles/cswitch_support.dir/Polynomial.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/Random.cpp.o"
+  "CMakeFiles/cswitch_support.dir/Random.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/Statistics.cpp.o"
+  "CMakeFiles/cswitch_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/cswitch_support.dir/Telemetry.cpp.o"
+  "CMakeFiles/cswitch_support.dir/Telemetry.cpp.o.d"
+  "libcswitch_support.a"
+  "libcswitch_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

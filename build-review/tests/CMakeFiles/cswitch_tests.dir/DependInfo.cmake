@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/IntegrationTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/IntegrationTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/IntegrationTest.cpp.o.d"
+  "/root/repo/tests/SmokeTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/SmokeTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/SmokeTest.cpp.o.d"
+  "/root/repo/tests/apps/AppsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/apps/AppsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/apps/AppsTest.cpp.o.d"
+  "/root/repo/tests/collections/AdaptiveCollectionsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/AdaptiveCollectionsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/AdaptiveCollectionsTest.cpp.o.d"
+  "/root/repo/tests/collections/FacadeMonitoringTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/FacadeMonitoringTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/FacadeMonitoringTest.cpp.o.d"
+  "/root/repo/tests/collections/HashBagTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/HashBagTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/HashBagTest.cpp.o.d"
+  "/root/repo/tests/collections/ListVariantsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/ListVariantsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/ListVariantsTest.cpp.o.d"
+  "/root/repo/tests/collections/MapVariantsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/MapVariantsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/MapVariantsTest.cpp.o.d"
+  "/root/repo/tests/collections/PropertySweepTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/PropertySweepTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/PropertySweepTest.cpp.o.d"
+  "/root/repo/tests/collections/SetVariantsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/SetVariantsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/SetVariantsTest.cpp.o.d"
+  "/root/repo/tests/collections/SortedVariantsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/SortedVariantsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/SortedVariantsTest.cpp.o.d"
+  "/root/repo/tests/collections/StringElementsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/StringElementsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/StringElementsTest.cpp.o.d"
+  "/root/repo/tests/collections/SynchronizedTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/SynchronizedTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/SynchronizedTest.cpp.o.d"
+  "/root/repo/tests/collections/VariantsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/collections/VariantsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/collections/VariantsTest.cpp.o.d"
+  "/root/repo/tests/core/AllocationContextTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/AllocationContextTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/AllocationContextTest.cpp.o.d"
+  "/root/repo/tests/core/ConcurrentMonitoringTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/ConcurrentMonitoringTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/ConcurrentMonitoringTest.cpp.o.d"
+  "/root/repo/tests/core/ContextEdgeCasesTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/ContextEdgeCasesTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/ContextEdgeCasesTest.cpp.o.d"
+  "/root/repo/tests/core/OfflineAdvisorTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/OfflineAdvisorTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/OfflineAdvisorTest.cpp.o.d"
+  "/root/repo/tests/core/ProfileTraceTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/ProfileTraceTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/ProfileTraceTest.cpp.o.d"
+  "/root/repo/tests/core/SiteMacrosTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/SiteMacrosTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/SiteMacrosTest.cpp.o.d"
+  "/root/repo/tests/core/SwitchApiTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/SwitchApiTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/SwitchApiTest.cpp.o.d"
+  "/root/repo/tests/core/SwitchEngineTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/SwitchEngineTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/SwitchEngineTest.cpp.o.d"
+  "/root/repo/tests/core/VariantSelectionTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/core/VariantSelectionTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/core/VariantSelectionTest.cpp.o.d"
+  "/root/repo/tests/model/CostModelTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/model/CostModelTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/model/CostModelTest.cpp.o.d"
+  "/root/repo/tests/model/DefaultModelTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/model/DefaultModelTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/model/DefaultModelTest.cpp.o.d"
+  "/root/repo/tests/model/EnergyModelTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/model/EnergyModelTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/model/EnergyModelTest.cpp.o.d"
+  "/root/repo/tests/model/ModelBuilderTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/model/ModelBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/model/ModelBuilderTest.cpp.o.d"
+  "/root/repo/tests/model/ModelSerializationFuzzTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/model/ModelSerializationFuzzTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/model/ModelSerializationFuzzTest.cpp.o.d"
+  "/root/repo/tests/model/ThresholdAnalyzerTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/model/ThresholdAnalyzerTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/model/ThresholdAnalyzerTest.cpp.o.d"
+  "/root/repo/tests/profile/WorkloadProfileTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/profile/WorkloadProfileTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/profile/WorkloadProfileTest.cpp.o.d"
+  "/root/repo/tests/rewriter/RewriterTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/rewriter/RewriterTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/rewriter/RewriterTest.cpp.o.d"
+  "/root/repo/tests/support/BenchmarkRunnerTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/BenchmarkRunnerTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/BenchmarkRunnerTest.cpp.o.d"
+  "/root/repo/tests/support/EventLogTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/EventLogTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/EventLogTest.cpp.o.d"
+  "/root/repo/tests/support/FunctionRefTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/FunctionRefTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/FunctionRefTest.cpp.o.d"
+  "/root/repo/tests/support/HashingTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/HashingTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/HashingTest.cpp.o.d"
+  "/root/repo/tests/support/LeastSquaresTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/LeastSquaresTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/LeastSquaresTest.cpp.o.d"
+  "/root/repo/tests/support/MemoryTrackerTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/MemoryTrackerTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/MemoryTrackerTest.cpp.o.d"
+  "/root/repo/tests/support/PolynomialTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/PolynomialTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/PolynomialTest.cpp.o.d"
+  "/root/repo/tests/support/RandomTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/RandomTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/RandomTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/TelemetryTest.cpp" "tests/CMakeFiles/cswitch_tests.dir/support/TelemetryTest.cpp.o" "gcc" "tests/CMakeFiles/cswitch_tests.dir/support/TelemetryTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/rewriter/CMakeFiles/cswitch_rewriter_lib.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/apps/CMakeFiles/cswitch_apps.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/cswitch_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/cswitch_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/collections/CMakeFiles/cswitch_collections.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/cswitch_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/cswitch_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cswitch_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_advisor.dir/cswitch_advisor.cpp.o"
+  "CMakeFiles/cswitch_advisor.dir/cswitch_advisor.cpp.o.d"
+  "cswitch_advisor"
+  "cswitch_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

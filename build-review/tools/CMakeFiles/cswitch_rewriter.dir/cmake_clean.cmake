@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cswitch_rewriter.dir/cswitch_rewriter.cpp.o"
+  "CMakeFiles/cswitch_rewriter.dir/cswitch_rewriter.cpp.o.d"
+  "cswitch_rewriter"
+  "cswitch_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cswitch_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

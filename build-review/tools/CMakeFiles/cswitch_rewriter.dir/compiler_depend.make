@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cswitch_rewriter.
+# This may be replaced when dependencies are built.
