@@ -15,16 +15,25 @@
 // Defaults: 2 discarded + 8 measured runs at scale 0.5; `--paper` runs
 // the paper's 5 + 30 at scale 1.0.
 //
+// Recording mode (`--record <trace.optrace>`): instead of the table,
+// one FullAdap Rtime run per app executes with a TraceRecorder attached
+// and the combined operation trace is written for the src/replay/
+// pipeline (cswitch_replay replay/simulate/info). `--apps a,b` filters
+// the app set in both modes; `--sample N` traces every Nth instance.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
 #include "apps/Apps.h"
 #include "core/Switch.h"
+#include "replay/TraceRecorder.h"
 #include "support/EventLog.h"
 #include "support/MetricsExport.h"
 #include "support/Statistics.h"
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 using namespace cswitch;
@@ -71,6 +80,59 @@ std::string gain(const std::vector<double> &Original,
   return Buf;
 }
 
+/// Parses the `--apps a,b,c` filter; all apps when absent or empty.
+std::vector<AppKind> selectedApps(const char *Filter) {
+  std::vector<AppKind> Apps;
+  if (!Filter[0]) {
+    Apps.assign(AllAppKinds.begin(), AllAppKinds.end());
+    return Apps;
+  }
+  std::string Spec = Filter;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Name = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    for (AppKind App : AllAppKinds)
+      if (Name == appKindName(App))
+        Apps.push_back(App);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return Apps;
+}
+
+/// `--record` mode: one FullAdap Rtime run per app with a recorder
+/// attached; writes the combined operation trace.
+int recordApps(const std::vector<AppKind> &Apps, AppRunConfig Base,
+               const char *Path, uint64_t SampleEvery) {
+  TraceRecorder Recorder(
+      TraceRecorderOptions{}.capacity(1 << 22).sampleEvery(SampleEvery));
+  Base.Config = AppConfig::FullAdap;
+  Base.Rule = SelectionRule::timeRule();
+  Base.CtxOptions.Recorder = &Recorder;
+  for (AppKind App : Apps) {
+    AppResult R = runApp(App, Base);
+    std::printf("[recorded %s: %.3f s, %llu instances at %zu sites]\n",
+                appKindName(App), R.Seconds,
+                (unsigned long long)R.InstancesCreated, R.TargetSites);
+  }
+  OpTrace Trace = Recorder.trace();
+  if (!writeTraceToFile(Path, Trace)) {
+    std::fprintf(stderr, "error: cannot write trace %s\n", Path);
+    return 1;
+  }
+  std::printf("[wrote %s: %zu sites, %zu ops, %llu dropped, %llu/%llu "
+              "instances sampled]\n",
+              Path, Trace.Sites.size(), Trace.Ops.size(),
+              (unsigned long long)Trace.OpsDropped,
+              (unsigned long long)Trace.InstancesSampled,
+              (unsigned long long)(Trace.InstancesSampled +
+                                   Trace.InstancesSkipped));
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -88,6 +150,18 @@ int main(int Argc, char **Argv) {
   Base.CtxOptions.FinishedRatio = 0.6;
   Base.CtxOptions.LogEvents = false;
 
+  std::vector<AppKind> Apps =
+      selectedApps(stringOption(Argc, Argv, "--apps", ""));
+  if (Apps.empty()) {
+    std::fprintf(stderr, "error: --apps matched no applications\n");
+    return 2;
+  }
+  const char *RecordPath = stringOption(Argc, Argv, "--record", "");
+  if (RecordPath[0])
+    return recordApps(
+        Apps, Base, RecordPath,
+        static_cast<uint64_t>(intOption(Argc, Argv, "--sample", 1)));
+
   std::printf("\nTable 5: results on the DaCapo-substitute apps "
               "(%zu+%zu runs, scale %.2f)\n",
               Warmup, Measured, Scale);
@@ -101,7 +175,7 @@ int main(int Argc, char **Argv) {
 
   EngineStats Monitoring;
   TelemetrySnapshot Export;
-  for (AppKind App : AllAppKinds) {
+  for (AppKind App : Apps) {
     AppRunConfig Original = Base;
     Original.Config = AppConfig::Original;
     RunSeries O = runSeries(App, Original, Warmup, Measured);

@@ -23,6 +23,7 @@
 
 #include "collections/Variants.h"
 #include "profile/WorkloadProfile.h"
+#include "replay/TraceRecorder.h"
 #include "support/FunctionRef.h"
 
 #include <cassert>
@@ -95,7 +96,7 @@ public:
 
   List(List &&Other) noexcept
       : Impl(std::move(Other.Impl)), Profile(Other.Profile),
-        Sink(Other.Sink), Slot(Other.Slot) {
+        Sink(Other.Sink), Slot(Other.Slot), Rec(std::move(Other.Rec)) {
     Other.Sink = nullptr;
   }
 
@@ -103,10 +104,12 @@ public:
     if (this == &Other)
       return *this;
     reportIfMonitored();
+    finishTrace();
     Impl = std::move(Other.Impl);
     Profile = Other.Profile;
     Sink = Other.Sink;
     Slot = Other.Slot;
+    Rec = std::move(Other.Rec);
     Other.Sink = nullptr;
     return *this;
   }
@@ -114,56 +117,73 @@ public:
   List(const List &) = delete;
   List &operator=(const List &) = delete;
 
-  ~List() { reportIfMonitored(); }
+  ~List() {
+    reportIfMonitored();
+    finishTrace();
+  }
 
   /// Appends \p Value (profiled as populate).
   void add(const T &Value) {
     Profile.record(OperationKind::Populate);
     Impl->push_back(Value);
     Profile.recordSize(Impl->size());
+    recordOp(TraceOpKind::Populate, OpClass::None);
   }
 
   /// Inserts \p Value before \p Index (profiled as middle).
   void insert(size_t Index, const T &Value) {
     Profile.record(OperationKind::Middle);
+    OpClass Class = Rec ? classifyIndex(Index, Impl->size()) : OpClass::None;
     Impl->insertAt(Index, Value);
     Profile.recordSize(Impl->size());
+    recordOp(TraceOpKind::InsertAt, Class);
   }
 
   /// Removes the element at \p Index (profiled as middle).
   void removeAt(size_t Index) {
     Profile.record(OperationKind::Middle);
+    OpClass Class = Rec ? classifyIndex(Index, Impl->size()) : OpClass::None;
     Impl->removeAt(Index);
+    recordOp(TraceOpKind::RemoveAt, Class);
   }
 
   /// Removes the first occurrence of \p Value (profiled as remove).
   bool remove(const T &Value) {
     Profile.record(OperationKind::Remove);
-    return Impl->removeValue(Value);
+    bool Found = Impl->removeValue(Value);
+    recordOp(TraceOpKind::RemoveValue, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Positional read (profiled as index access).
   const T &get(size_t Index) const {
     Profile.record(OperationKind::IndexAccess);
+    recordOp(TraceOpKind::IndexGet,
+             Rec ? classifyIndex(Index, Impl->size()) : OpClass::None);
     return Impl->at(Index);
   }
 
   /// Positional write (profiled as index access).
   void set(size_t Index, const T &Value) {
     Profile.record(OperationKind::IndexAccess);
+    recordOp(TraceOpKind::IndexSet,
+             Rec ? classifyIndex(Index, Impl->size()) : OpClass::None);
     Impl->set(Index, Value);
   }
 
   /// Membership test (profiled as contains).
   bool contains(const T &Value) const {
     Profile.record(OperationKind::Contains);
-    return Impl->contains(Value);
+    bool Found = Impl->contains(Value);
+    recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Full traversal (profiled as one iterate).
   void forEach(FunctionRef<void(const T &)> Fn) const {
     Profile.record(OperationKind::Iterate);
     Impl->forEach(Fn);
+    recordOp(TraceOpKind::Iterate, OpClass::None);
   }
 
   /// Copies the elements into a std::vector (profiled as one iterate).
@@ -176,7 +196,10 @@ public:
 
   size_t size() const { return Impl->size(); }
   bool empty() const { return Impl->empty(); }
-  void clear() { Impl->clear(); }
+  void clear() {
+    Impl->clear();
+    recordOp(TraceOpKind::Clear, OpClass::None);
+  }
   void reserve(size_t N) { Impl->reserve(N); }
   size_t memoryFootprint() const { return Impl->memoryFootprint(); }
   ListVariant variant() const { return Impl->variant(); }
@@ -187,6 +210,17 @@ public:
   /// True if this instance reports to an allocation context.
   bool isMonitored() const { return Sink != nullptr; }
 
+  /// Attaches an operation recorder: every subsequent operation is
+  /// appended to the trace as instance \p Instance of site \p Site, and
+  /// an InstanceEnd marker is recorded when this facade dies.
+  void attachRecorder(TraceRecorder *Recorder, uint32_t Site,
+                      uint32_t Instance) {
+    Rec.attach(Recorder, Site, Instance);
+  }
+
+  /// True if this instance records into an operation trace.
+  bool isTraced() const { return static_cast<bool>(Rec); }
+
 private:
   void reportIfMonitored() {
     if (!Sink)
@@ -195,10 +229,17 @@ private:
     Sink = nullptr;
   }
 
+  void finishTrace() { Rec.finish(Impl ? Impl->size() : 0); }
+
+  void recordOp(TraceOpKind Kind, OpClass Class) const {
+    Rec.push(Kind, Class, Impl->size());
+  }
+
   std::unique_ptr<ListImpl<T>> Impl;
   mutable WorkloadProfile Profile;
   ProfileSink *Sink = nullptr;
   size_t Slot = 0;
+  mutable TraceCursor Rec;
 };
 
 } // namespace cswitch

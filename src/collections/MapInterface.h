@@ -17,6 +17,7 @@
 
 #include "collections/Variants.h"
 #include "profile/WorkloadProfile.h"
+#include "replay/TraceRecorder.h"
 #include "support/FunctionRef.h"
 
 #include <cstddef>
@@ -72,7 +73,7 @@ public:
 
   Map(Map &&Other) noexcept
       : Impl(std::move(Other.Impl)), Profile(Other.Profile),
-        Sink(Other.Sink), Slot(Other.Slot) {
+        Sink(Other.Sink), Slot(Other.Slot), Rec(std::move(Other.Rec)) {
     Other.Sink = nullptr;
   }
 
@@ -80,10 +81,12 @@ public:
     if (this == &Other)
       return *this;
     reportIfMonitored();
+    finishTrace();
     Impl = std::move(Other.Impl);
     Profile = Other.Profile;
     Sink = Other.Sink;
     Slot = Other.Slot;
+    Rec = std::move(Other.Rec);
     Other.Sink = nullptr;
     return *this;
   }
@@ -91,44 +94,58 @@ public:
   Map(const Map &) = delete;
   Map &operator=(const Map &) = delete;
 
-  ~Map() { reportIfMonitored(); }
+  ~Map() {
+    reportIfMonitored();
+    finishTrace();
+  }
 
   /// Inserts or overwrites a mapping (profiled as populate).
   bool put(const K &Key, const V &Value) {
     Profile.record(OperationKind::Populate);
     bool Inserted = Impl->put(Key, Value);
     Profile.recordSize(Impl->size());
+    recordOp(TraceOpKind::Populate,
+             Inserted ? OpClass::None : OpClass::Hit);
     return Inserted;
   }
 
   /// Lookup (profiled as contains; nullptr if absent).
   const V *get(const K &Key) const {
     Profile.record(OperationKind::Contains);
-    return Impl->get(Key);
+    const V *Found = Impl->get(Key);
+    recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Mutable lookup (profiled as contains; nullptr if absent).
   V *getMutable(const K &Key) {
     Profile.record(OperationKind::Contains);
-    return Impl->getMutable(Key);
+    V *Found = Impl->getMutable(Key);
+    recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Key membership test (profiled as contains).
   bool containsKey(const K &Key) const {
     Profile.record(OperationKind::Contains);
-    return Impl->containsKey(Key);
+    bool Found = Impl->containsKey(Key);
+    recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Removes a mapping (profiled as remove).
   bool remove(const K &Key) {
     Profile.record(OperationKind::Remove);
-    return Impl->remove(Key);
+    bool Found = Impl->remove(Key);
+    recordOp(TraceOpKind::RemoveValue, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Full traversal (profiled as one iterate).
   void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
     Profile.record(OperationKind::Iterate);
     Impl->forEach(Fn);
+    recordOp(TraceOpKind::Iterate, OpClass::None);
   }
 
   /// Copies the mappings into a vector of pairs (profiled as one iterate).
@@ -143,13 +160,25 @@ public:
 
   size_t size() const { return Impl->size(); }
   bool empty() const { return Impl->empty(); }
-  void clear() { Impl->clear(); }
+  void clear() {
+    Impl->clear();
+    recordOp(TraceOpKind::Clear, OpClass::None);
+  }
   void reserve(size_t N) { Impl->reserve(N); }
   size_t memoryFootprint() const { return Impl->memoryFootprint(); }
   MapVariant variant() const { return Impl->variant(); }
 
   const WorkloadProfile &profile() const { return Profile; }
   bool isMonitored() const { return Sink != nullptr; }
+
+  /// Attaches an operation recorder (see List<T>::attachRecorder).
+  void attachRecorder(TraceRecorder *Recorder, uint32_t Site,
+                      uint32_t Instance) {
+    Rec.attach(Recorder, Site, Instance);
+  }
+
+  /// True if this instance records into an operation trace.
+  bool isTraced() const { return static_cast<bool>(Rec); }
 
 private:
   void reportIfMonitored() {
@@ -159,10 +188,17 @@ private:
     Sink = nullptr;
   }
 
+  void finishTrace() { Rec.finish(Impl ? Impl->size() : 0); }
+
+  void recordOp(TraceOpKind Kind, OpClass Class) const {
+    Rec.push(Kind, Class, Impl->size());
+  }
+
   std::unique_ptr<MapImpl<K, V>> Impl;
   mutable WorkloadProfile Profile;
   ProfileSink *Sink = nullptr;
   size_t Slot = 0;
+  mutable TraceCursor Rec;
 };
 
 } // namespace cswitch

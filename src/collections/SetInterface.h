@@ -18,6 +18,7 @@
 
 #include "collections/Variants.h"
 #include "profile/WorkloadProfile.h"
+#include "replay/TraceRecorder.h"
 #include "support/FunctionRef.h"
 
 #include <cstddef>
@@ -65,7 +66,7 @@ public:
 
   Set(Set &&Other) noexcept
       : Impl(std::move(Other.Impl)), Profile(Other.Profile),
-        Sink(Other.Sink), Slot(Other.Slot) {
+        Sink(Other.Sink), Slot(Other.Slot), Rec(std::move(Other.Rec)) {
     Other.Sink = nullptr;
   }
 
@@ -73,10 +74,12 @@ public:
     if (this == &Other)
       return *this;
     reportIfMonitored();
+    finishTrace();
     Impl = std::move(Other.Impl);
     Profile = Other.Profile;
     Sink = Other.Sink;
     Slot = Other.Slot;
+    Rec = std::move(Other.Rec);
     Other.Sink = nullptr;
     return *this;
   }
@@ -84,32 +87,42 @@ public:
   Set(const Set &) = delete;
   Set &operator=(const Set &) = delete;
 
-  ~Set() { reportIfMonitored(); }
+  ~Set() {
+    reportIfMonitored();
+    finishTrace();
+  }
 
   /// Adds \p Value (profiled as populate).
   bool add(const T &Value) {
     Profile.record(OperationKind::Populate);
     bool Inserted = Impl->add(Value);
     Profile.recordSize(Impl->size());
+    recordOp(TraceOpKind::Populate,
+             Inserted ? OpClass::None : OpClass::Hit);
     return Inserted;
   }
 
   /// Membership test (profiled as contains).
   bool contains(const T &Value) const {
     Profile.record(OperationKind::Contains);
-    return Impl->contains(Value);
+    bool Found = Impl->contains(Value);
+    recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Removes \p Value (profiled as remove).
   bool remove(const T &Value) {
     Profile.record(OperationKind::Remove);
-    return Impl->remove(Value);
+    bool Found = Impl->remove(Value);
+    recordOp(TraceOpKind::RemoveValue, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
   }
 
   /// Full traversal (profiled as one iterate).
   void forEach(FunctionRef<void(const T &)> Fn) const {
     Profile.record(OperationKind::Iterate);
     Impl->forEach(Fn);
+    recordOp(TraceOpKind::Iterate, OpClass::None);
   }
 
   /// Copies the elements into a std::vector (profiled as one iterate).
@@ -122,13 +135,25 @@ public:
 
   size_t size() const { return Impl->size(); }
   bool empty() const { return Impl->empty(); }
-  void clear() { Impl->clear(); }
+  void clear() {
+    Impl->clear();
+    recordOp(TraceOpKind::Clear, OpClass::None);
+  }
   void reserve(size_t N) { Impl->reserve(N); }
   size_t memoryFootprint() const { return Impl->memoryFootprint(); }
   SetVariant variant() const { return Impl->variant(); }
 
   const WorkloadProfile &profile() const { return Profile; }
   bool isMonitored() const { return Sink != nullptr; }
+
+  /// Attaches an operation recorder (see List<T>::attachRecorder).
+  void attachRecorder(TraceRecorder *Recorder, uint32_t Site,
+                      uint32_t Instance) {
+    Rec.attach(Recorder, Site, Instance);
+  }
+
+  /// True if this instance records into an operation trace.
+  bool isTraced() const { return static_cast<bool>(Rec); }
 
 private:
   void reportIfMonitored() {
@@ -138,10 +163,17 @@ private:
     Sink = nullptr;
   }
 
+  void finishTrace() { Rec.finish(Impl ? Impl->size() : 0); }
+
+  void recordOp(TraceOpKind Kind, OpClass Class) const {
+    Rec.push(Kind, Class, Impl->size());
+  }
+
   std::unique_ptr<SetImpl<T>> Impl;
   mutable WorkloadProfile Profile;
   ProfileSink *Sink = nullptr;
   size_t Slot = 0;
+  mutable TraceCursor Rec;
 };
 
 } // namespace cswitch

@@ -73,6 +73,9 @@ AllocationContextBase::AllocationContextBase(
     Log.record(EventKind::ContextCreated, LogNameId,
                VariantNameIds[InitialVariantIndex]);
   }
+  if (this->Options.Recorder)
+    RecorderSite = this->Options.Recorder->registerSite(this->Name, Kind,
+                                                        InitialVariantIndex);
 }
 
 AllocationContextBase::~AllocationContextBase() = default;

@@ -47,6 +47,7 @@
 #include "core/VariantSelection.h"
 #include "model/CostModel.h"
 #include "profile/WorkloadProfile.h"
+#include "replay/TraceRecorder.h"
 #include "support/Telemetry.h"
 
 #include <atomic>
@@ -80,6 +81,11 @@ struct ContextOptions {
   /// considered "widely ranging" (§3.2); they also qualify whenever the
   /// observed sizes straddle the adaptive threshold.
   double WideRangeFactor = 4.0;
+  /// Operation-trace recorder (src/replay/); when set, the context
+  /// registers its site and instances sampled by the recorder trace
+  /// every operation. Not owned; must outlive the context and every
+  /// collection it creates.
+  TraceRecorder *Recorder = nullptr;
 
   ContextOptions &windowSize(size_t Value) {
     WindowSize = Value;
@@ -95,6 +101,10 @@ struct ContextOptions {
   }
   ContextOptions &wideRangeFactor(double Value) {
     WideRangeFactor = Value;
+    return *this;
+  }
+  ContextOptions &recorder(TraceRecorder *Value) {
+    Recorder = Value;
     return *this;
   }
 };
@@ -215,6 +225,11 @@ protected:
   /// release-store claiming the slot.
   size_t acquireMonitorSlot();
 
+  /// The operation-trace recorder this context records into (nullptr
+  /// when tracing is off) and this site's index in its site table.
+  TraceRecorder *recorder() const { return Options.Recorder; }
+  uint32_t recorderSite() const { return RecorderSite; }
+
 private:
   /// Life-cycle of one window slot within a round R. Transitions:
   ///   Idle/stale --store--> Claimed(R)      [creator, after winning CAS
@@ -296,6 +311,9 @@ private:
   /// strings.
   uint32_t LogNameId = 0;
   std::vector<uint32_t> VariantNameIds;
+  /// Index of this site in the recorder's site table (meaningful only
+  /// when Options.Recorder is set; registered in the constructor).
+  uint32_t RecorderSite = 0;
 
   std::atomic<unsigned> Current;
   std::atomic<uint64_t> Created{0};
@@ -340,13 +358,20 @@ public:
                               Options) {}
 
   /// Creates a list of the context's current variant; a sample of
-  /// created instances is monitored.
+  /// created instances is monitored (and traced, when the context has a
+  /// recorder).
   List<T> createList() {
     auto Variant = static_cast<ListVariant>(currentVariantIndex());
     size_t Slot = acquireMonitorSlot();
-    if (Slot == NoSlot)
-      return List<T>(makeListImpl<T>(Variant));
-    return List<T>(makeListImpl<T>(Variant), this, Slot);
+    List<T> Out = Slot == NoSlot
+                      ? List<T>(makeListImpl<T>(Variant))
+                      : List<T>(makeListImpl<T>(Variant), this, Slot);
+    if (TraceRecorder *Rec = recorder()) {
+      uint32_t Instance;
+      if (Rec->beginInstance(recorderSite(), Instance))
+        Out.attachRecorder(Rec, recorderSite(), Instance);
+    }
+    return Out;
   }
 };
 
@@ -365,9 +390,15 @@ public:
   Set<T> createSet() {
     auto Variant = static_cast<SetVariant>(currentVariantIndex());
     size_t Slot = acquireMonitorSlot();
-    if (Slot == NoSlot)
-      return Set<T>(makeSetImpl<T>(Variant));
-    return Set<T>(makeSetImpl<T>(Variant), this, Slot);
+    Set<T> Out = Slot == NoSlot
+                     ? Set<T>(makeSetImpl<T>(Variant))
+                     : Set<T>(makeSetImpl<T>(Variant), this, Slot);
+    if (TraceRecorder *Rec = recorder()) {
+      uint32_t Instance;
+      if (Rec->beginInstance(recorderSite(), Instance))
+        Out.attachRecorder(Rec, recorderSite(), Instance);
+    }
+    return Out;
   }
 };
 
@@ -387,9 +418,15 @@ public:
   Map<K, V> createMap() {
     auto Variant = static_cast<MapVariant>(currentVariantIndex());
     size_t Slot = acquireMonitorSlot();
-    if (Slot == NoSlot)
-      return Map<K, V>(makeMapImpl<K, V>(Variant));
-    return Map<K, V>(makeMapImpl<K, V>(Variant), this, Slot);
+    Map<K, V> Out = Slot == NoSlot
+                        ? Map<K, V>(makeMapImpl<K, V>(Variant))
+                        : Map<K, V>(makeMapImpl<K, V>(Variant), this, Slot);
+    if (TraceRecorder *Rec = recorder()) {
+      uint32_t Instance;
+      if (Rec->beginInstance(recorderSite(), Instance))
+        Out.attachRecorder(Rec, recorderSite(), Instance);
+    }
+    return Out;
   }
 };
 

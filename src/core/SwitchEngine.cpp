@@ -275,5 +275,6 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
   EventLog &Log = EventLog::global();
   Snapshot.Events.Recorded = Log.totalRecorded();
   Snapshot.Events.Dropped = Log.droppedCount();
+  Snapshot.Recorder = RecorderRegistry::global().stats();
   return Snapshot;
 }

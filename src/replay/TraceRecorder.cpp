@@ -1,0 +1,165 @@
+//===- TraceRecorder.cpp - Lock-free operation-trace recorder -------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "replay/TraceRecorder.h"
+
+#include <algorithm>
+
+using namespace cswitch;
+
+TraceRecorder::TraceRecorder(TraceRecorderOptions Options)
+    : Cap(std::max<size_t>(Options.Capacity, 1)),
+      SampleEvery(std::max<uint64_t>(Options.SampleEvery, 1)),
+      Slots(std::make_unique<OpSlot[]>(Cap)),
+      TimeSamples(std::make_unique<std::atomic<uint64_t>[]>(
+          (Cap >> TimeBucketShift) + 1)) {
+  RegistryId = RecorderRegistry::global().attach([this] { return stats(); });
+}
+
+TraceRecorder::~TraceRecorder() {
+  RecorderRegistry::global().detach(RegistryId, stats());
+}
+
+uint32_t TraceRecorder::registerSite(std::string_view Name,
+                                     AbstractionKind Kind,
+                                     unsigned DeclaredVariantIndex) {
+  std::lock_guard<std::mutex> Lock(SiteMutex);
+  for (size_t I = 0, E = Sites.size(); I != E; ++I)
+    if (Sites[I].Name == Name)
+      return static_cast<uint32_t>(I);
+  TraceSite Site;
+  Site.Name = std::string(Name);
+  Site.Kind = Kind;
+  Site.DeclaredVariantIndex = DeclaredVariantIndex;
+  Sites.push_back(std::move(Site));
+  return static_cast<uint32_t>(Sites.size() - 1);
+}
+
+bool TraceRecorder::beginInstance([[maybe_unused]] uint32_t Site,
+                                  uint32_t &InstanceOut) {
+  uint64_t Seen = SeenInstances.fetch_add(1, std::memory_order_relaxed);
+  if (Seen % SampleEvery != 0)
+    return false;
+  // When everything is sampled the decision counter already numbers the
+  // instances densely; skip the second fetch_add.
+  uint64_t Instance =
+      SampleEvery == 1 ? Seen
+                       : NextInstance.fetch_add(1, std::memory_order_relaxed);
+  if (Instance > UINT32_MAX)
+    return false; // Instance ids are 32-bit in the trace format.
+  InstanceOut = static_cast<uint32_t>(Instance);
+  return true;
+}
+
+void TraceRecorder::recordBatch(uint32_t Site, uint32_t Instance,
+                                const BufferedTraceOp *Ops, size_t N) {
+  if (N == 0)
+    return;
+  uint64_t Base = Next.fetch_add(N, std::memory_order_relaxed);
+  // One clock read serves every time bucket the batch spans (batches are
+  // short; sub-bucket resolution is not needed).
+  uint64_t Now = 0;
+  bool HaveNow = false;
+  for (size_t I = 0; I != N; ++I) {
+    uint64_t Ticket = Base + I;
+    if (Ticket >= Cap)
+      return; // This op and the rest of the batch are counted drops.
+    if ((Ticket & TimeBucketMask) == 0) {
+      if (!HaveNow) {
+        Now = Clock.elapsedNanos();
+        HaveNow = true;
+      }
+      TimeSamples[Ticket >> TimeBucketShift].store(
+          Now, std::memory_order_relaxed);
+    }
+    OpSlot &Slot = Slots[Ticket];
+    Slot.Site = Site;
+    Slot.Instance = Instance;
+    Slot.Kind = Ops[I].Kind;
+    Slot.Class = Ops[I].Class;
+    Slot.Size = Ops[I].Size;
+    Slot.Ready.store(1, std::memory_order_release);
+  }
+}
+
+OpTrace TraceRecorder::trace() const {
+  OpTrace Out;
+  {
+    std::lock_guard<std::mutex> Lock(SiteMutex);
+    Out.Sites = Sites;
+  }
+  uint64_t Claimed = Next.load(std::memory_order_relaxed);
+  uint64_t Kept = std::min<uint64_t>(Claimed, Cap);
+  Out.Ops.reserve(Kept);
+  for (uint64_t I = 0; I != Kept; ++I) {
+    const OpSlot &Slot = Slots[I];
+    if (!Slot.Ready.load(std::memory_order_acquire))
+      continue; // Writer still mid-publication.
+    TraceOp Op;
+    Op.Site = Slot.Site;
+    Op.Instance = Slot.Instance;
+    Op.Kind = static_cast<TraceOpKind>(Slot.Kind);
+    Op.Class = static_cast<OpClass>(Slot.Class);
+    Op.Size = Slot.Size;
+    Op.TimeNanos =
+        TimeSamples[I >> TimeBucketShift].load(std::memory_order_relaxed);
+    Out.Ops.push_back(Op);
+  }
+  Out.OpsDropped = Claimed > Cap ? Claimed - Cap : 0;
+  Out.InstancesSampled = instancesSampled();
+  Out.InstancesSkipped = instancesSkipped();
+  return Out;
+}
+
+void TraceRecorder::clear() {
+  uint64_t Claimed = Next.load(std::memory_order_relaxed);
+  uint64_t Kept = std::min<uint64_t>(Claimed, Cap);
+  for (uint64_t I = 0; I != Kept; ++I)
+    Slots[I].Ready.store(0, std::memory_order_relaxed);
+  for (uint64_t I = 0, E = (Kept >> TimeBucketShift) + 1; I != E; ++I)
+    TimeSamples[I].store(0, std::memory_order_relaxed);
+  Next.store(0, std::memory_order_relaxed);
+  SeenInstances.store(0, std::memory_order_relaxed);
+  NextInstance.store(0, std::memory_order_relaxed);
+  Clock.reset();
+}
+
+uint64_t TraceRecorder::opsRecorded() const {
+  uint64_t Claimed = Next.load(std::memory_order_relaxed);
+  return std::min<uint64_t>(Claimed, Cap);
+}
+
+uint64_t TraceRecorder::opsDropped() const {
+  uint64_t Claimed = Next.load(std::memory_order_relaxed);
+  return Claimed > Cap ? Claimed - Cap : 0;
+}
+
+uint64_t TraceRecorder::instancesSampled() const {
+  // Sampled ids are handed out by NextInstance (by SeenInstances itself
+  // when everything is sampled); attempts past the 32-bit id space were
+  // rejected, so clamp to it. Deriving the count instead of keeping a
+  // dedicated counter keeps beginInstance lean.
+  uint64_t Handed = SampleEvery == 1
+                        ? SeenInstances.load(std::memory_order_relaxed)
+                        : NextInstance.load(std::memory_order_relaxed);
+  return std::min<uint64_t>(Handed, uint64_t(UINT32_MAX) + 1);
+}
+
+uint64_t TraceRecorder::instancesSkipped() const {
+  uint64_t Seen = SeenInstances.load(std::memory_order_relaxed);
+  uint64_t Sampled = instancesSampled();
+  return Seen > Sampled ? Seen - Sampled : 0;
+}
+
+RecorderStats TraceRecorder::stats() const {
+  RecorderStats S;
+  S.Recorders = 1;
+  S.OpsRecorded = opsRecorded();
+  S.OpsDropped = opsDropped();
+  S.InstancesSampled = instancesSampled();
+  S.InstancesSkipped = instancesSkipped();
+  return S;
+}

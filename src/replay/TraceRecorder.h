@@ -1,0 +1,315 @@
+//===- TraceRecorder.h - Lock-free operation-trace recorder -----*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The low-overhead recorder that captures an operation trace behind the
+/// existing monitoring hooks: allocation contexts register their site
+/// and ask the recorder whether each created instance should be sampled;
+/// the collection facades then append one TraceOp per executed
+/// operation. The recorded stream is extracted as an OpTrace and
+/// persisted in the cswitch-optrace-v1 format (TraceFormat.h) for the
+/// Replayer and the PolicySimulator.
+///
+/// Record-path discipline (same as the EventLog ring, DESIGN.md §6/§7):
+/// record() is wait-free apart from one relaxed `fetch_add` that claims
+/// a slot ticket; the payload is written into the claimed slot and
+/// published with one release-store of the slot's Ready flag. Recorders
+/// never block on each other or on the consumer. Unlike the EventLog the
+/// buffer does not wrap: a trace must preserve its prefix to stay
+/// replayable, so once the bounded buffer is full further operations are
+/// *dropped and counted* (opsDropped()), never overwritten.
+///
+/// Sampling: with sampleEvery == N, every Nth created instance per
+/// recorder is traced (the rest are counted as skipped). Sampled
+/// instances are traced completely — per-instance sampling keeps every
+/// recorded life-cycle replayable, where per-op sampling would not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_REPLAY_TRACERECORDER_H
+#define CSWITCH_REPLAY_TRACERECORDER_H
+
+#include "replay/TraceFormat.h"
+#include "support/Telemetry.h"
+#include "support/Timer.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace cswitch {
+
+/// Tuning knobs of a TraceRecorder.
+struct TraceRecorderOptions {
+  /// Maximum operations retained (bounded buffer; excess ops are dropped
+  /// and counted). Default fits ~24 MB of slots.
+  size_t Capacity = 1 << 20;
+  /// Sample one of every N created instances (1 = trace everything).
+  uint64_t SampleEvery = 1;
+
+  TraceRecorderOptions &capacity(size_t Value) {
+    Capacity = Value;
+    return *this;
+  }
+  TraceRecorderOptions &sampleEvery(uint64_t Value) {
+    SampleEvery = Value;
+    return *this;
+  }
+};
+
+/// One buffered, not-yet-claimed trace operation. Site and instance are
+/// implicit in the owning TraceCursor, so the entry stays at 8 bytes.
+struct BufferedTraceOp {
+  uint32_t Size = 0;
+  uint8_t Kind = 0;
+  uint8_t Class = 0;
+};
+
+/// Lock-free bounded operation recorder.
+///
+/// Thread-safe: any number of facades may record() concurrently while
+/// contexts register sites and sample instances. Site registration is a
+/// mutex-guarded cold path (once per allocation site); everything on the
+/// per-operation path is a fetch_add plus plain stores.
+class TraceRecorder {
+public:
+  explicit TraceRecorder(TraceRecorderOptions Options = {});
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Site registration + instance sampling (cold paths)
+  //===--------------------------------------------------------------===//
+
+  /// Registers an allocation site and returns its trace-site index.
+  /// Idempotent by name: re-registering a known name returns the
+  /// existing index (harnesses reconstruct their contexts per run).
+  uint32_t registerSite(std::string_view Name, AbstractionKind Kind,
+                        unsigned DeclaredVariantIndex);
+
+  /// Decides whether the next instance created at \p Site is sampled.
+  /// On true, \p InstanceOut receives the recorder-assigned instance id;
+  /// the caller attaches the recorder to the new facade, whose
+  /// TraceCursor records the InstanceBegin marker (direct users of the
+  /// record() API must record it themselves). On false the instance is
+  /// counted as skipped and must not be traced.
+  bool beginInstance(uint32_t Site, uint32_t &InstanceOut);
+
+  //===--------------------------------------------------------------===//
+  // Record path (lock-free, allocation-free)
+  //===--------------------------------------------------------------===//
+
+  /// Appends one operation. One relaxed fetch_add claims the ticket;
+  /// tickets past the buffer capacity are counted as dropped and the
+  /// call returns without writing. Timestamps are sampled, not read per
+  /// op: one ticket in 64 reads the clock into a side array and the ops
+  /// of the bucket share that sample (replay never consumes timestamps;
+  /// they only inform duration/rate reporting, where 64-op resolution is
+  /// ample — and reading the clock on every op would dominate the
+  /// record path).
+  void record(uint32_t Site, uint32_t Instance, TraceOpKind Kind,
+              OpClass Class, size_t Size) {
+    uint64_t Ticket = Next.fetch_add(1, std::memory_order_relaxed);
+    if (Ticket >= Cap)
+      return; // Buffer full: Next - Cap is the drop count.
+    if ((Ticket & TimeBucketMask) == 0)
+      TimeSamples[Ticket >> TimeBucketShift].store(
+          Clock.elapsedNanos(), std::memory_order_relaxed);
+    OpSlot &Slot = Slots[Ticket];
+    Slot.Site = Site;
+    Slot.Instance = Instance;
+    Slot.Kind = static_cast<uint8_t>(Kind);
+    Slot.Class = static_cast<uint8_t>(Class);
+    Slot.Size = Size > UINT32_MAX ? UINT32_MAX
+                                  : static_cast<uint32_t>(Size);
+    Slot.Ready.store(1, std::memory_order_release);
+  }
+
+  /// Appends \p N operations of one instance with a single ticket claim.
+  /// This is the TraceCursor flush path: facades buffer their ops
+  /// locally and amortize the contended fetch_add over the batch, so a
+  /// traced instance costs one RMW per ~buffer-length operations instead
+  /// of one per operation. The batch occupies consecutive tickets (ops
+  /// of an instance stay in program order); drop accounting is exact
+  /// because every claimed ticket is either written or past capacity.
+  void recordBatch(uint32_t Site, uint32_t Instance,
+                   const BufferedTraceOp *Ops, size_t N);
+
+  //===--------------------------------------------------------------===//
+  // Consumption + accounting
+  //===--------------------------------------------------------------===//
+
+  /// Extracts the recorded stream as an OpTrace (site table, ops in
+  /// ticket order, drop/sampling counters). Slots still mid-publication
+  /// are skipped; call after the traced workload has quiesced for a
+  /// complete trace. Does not consume: recording may continue.
+  OpTrace trace() const;
+
+  /// Forgets all recorded ops and counters; the site table is retained
+  /// (site indices stay valid). Not safe concurrently with record().
+  void clear();
+
+  /// Operations recorded into the buffer (excluding dropped).
+  uint64_t opsRecorded() const;
+  /// Operations lost to the bounded buffer.
+  uint64_t opsDropped() const;
+  /// Instances sampled (traced) so far.
+  uint64_t instancesSampled() const;
+  /// Instances passed over by sampling.
+  uint64_t instancesSkipped() const;
+
+  /// This recorder's counters in telemetry form (Recorders = 1).
+  RecorderStats stats() const;
+
+  /// Slot capacity of the buffer.
+  size_t capacity() const { return Cap; }
+
+private:
+  /// One claimed slot, 16 bytes so four slots share a cache line. Ready
+  /// is 0 until the writer's release-store publishes the payload; the
+  /// consumer acquires it before reading. Timestamps live in the
+  /// bucketed TimeSamples side array, not in the slot.
+  struct OpSlot {
+    uint32_t Site = 0;
+    uint32_t Instance = 0;
+    uint32_t Size = 0;
+    uint8_t Kind = 0;
+    uint8_t Class = 0;
+    std::atomic<uint8_t> Ready{0};
+  };
+  static_assert(sizeof(OpSlot) <= 16, "record path relies on slot density");
+
+  /// One clock sample is taken per 64-ticket bucket; the ops of a bucket
+  /// all report the bucket's timestamp.
+  static constexpr uint64_t TimeBucketShift = 6;
+  static constexpr uint64_t TimeBucketMask = (1u << TimeBucketShift) - 1;
+
+  size_t Cap;
+  uint64_t SampleEvery;
+  std::unique_ptr<OpSlot[]> Slots;
+  std::unique_ptr<std::atomic<uint64_t>[]> TimeSamples;
+  Timer Clock;
+
+  /// Monotonic ticket counter: the single point of contention on the
+  /// record path. Tickets >= Cap are drops. Own cache line — every
+  /// record() hits it, so it must not false-share with the
+  /// instance-sampling counters below.
+  alignas(64) std::atomic<uint64_t> Next{0};
+  /// Sampling decision counter; with SampleEvery == 1 it doubles as the
+  /// instance-id source (beginInstance then needs a single RMW).
+  alignas(64) std::atomic<uint64_t> SeenInstances{0};
+  std::atomic<uint64_t> NextInstance{0}; ///< Sampled-instance id source.
+
+  /// Site table (cold path).
+  mutable std::mutex SiteMutex;
+  std::vector<TraceSite> Sites;
+
+  /// RecorderRegistry attachment (telemetry integration).
+  uint64_t RegistryId = 0;
+};
+
+/// Per-facade write cursor into a TraceRecorder.
+///
+/// A traced facade owns one cursor for its whole life: operations are
+/// buffered locally (plain stores, no atomics) and handed to the
+/// recorder in batches via recordBatch(), so the contended ticket
+/// counter is touched once per batch rather than once per operation.
+/// finish() appends the InstanceEnd marker, flushes, and detaches; a
+/// facade's ops therefore become visible to trace() in bursts, the last
+/// one when the facade dies. Within an instance program order is
+/// preserved (batches claim consecutive tickets in flush order).
+///
+/// Not thread-safe — a cursor belongs to one facade, and facades are
+/// single-owner objects. Moving a cursor transfers the buffered ops and
+/// detaches the source.
+class TraceCursor {
+public:
+  TraceCursor() = default;
+
+  TraceCursor(TraceCursor &&Other) noexcept
+      : Rec(Other.Rec), Site(Other.Site), Instance(Other.Instance),
+        Count(Other.Count), Ops(Other.Ops) {
+    Other.Rec = nullptr;
+    Other.Count = 0;
+  }
+
+  /// Move-assignment expects the destination to be detached (facades
+  /// finish their trace before being overwritten).
+  TraceCursor &operator=(TraceCursor &&Other) noexcept {
+    Rec = Other.Rec;
+    Site = Other.Site;
+    Instance = Other.Instance;
+    Count = Other.Count;
+    Ops = Other.Ops;
+    Other.Rec = nullptr;
+    Other.Count = 0;
+    return *this;
+  }
+
+  TraceCursor(const TraceCursor &) = delete;
+  TraceCursor &operator=(const TraceCursor &) = delete;
+
+  ~TraceCursor() { finish(0); } // No-op when already finished/detached.
+
+  /// Binds the cursor to \p Recorder as instance \p Instance of site
+  /// \p Site and buffers the InstanceBegin marker. The recorder must
+  /// outlive the cursor.
+  void attach(TraceRecorder *Recorder, uint32_t SiteIndex,
+              uint32_t InstanceId) {
+    Rec = Recorder;
+    Site = SiteIndex;
+    Instance = InstanceId;
+    Count = 0;
+    push(TraceOpKind::InstanceBegin, OpClass::None, 0);
+  }
+
+  /// True while bound to a recorder.
+  explicit operator bool() const { return Rec != nullptr; }
+
+  /// Buffers one operation; flushes when the buffer fills.
+  void push(TraceOpKind Kind, OpClass Class, size_t Size) {
+    if (!Rec)
+      return;
+    BufferedTraceOp &Op = Ops[Count];
+    Op.Size = Size > UINT32_MAX ? UINT32_MAX : static_cast<uint32_t>(Size);
+    Op.Kind = static_cast<uint8_t>(Kind);
+    Op.Class = static_cast<uint8_t>(Class);
+    if (++Count == Ops.size())
+      flush();
+  }
+
+  /// Appends the InstanceEnd marker (final size \p FinalSize), flushes
+  /// everything, and detaches.
+  void finish(size_t FinalSize) {
+    if (!Rec)
+      return;
+    push(TraceOpKind::InstanceEnd, OpClass::None, FinalSize);
+    flush();
+    Rec = nullptr;
+  }
+
+private:
+  void flush() {
+    if (Count != 0) {
+      Rec->recordBatch(Site, Instance, Ops.data(), Count);
+      Count = 0;
+    }
+  }
+
+  TraceRecorder *Rec = nullptr;
+  uint32_t Site = 0;
+  uint32_t Instance = 0;
+  size_t Count = 0;
+  std::array<BufferedTraceOp, 8> Ops{};
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_REPLAY_TRACERECORDER_H

@@ -76,6 +76,16 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
          std::to_string(Snapshot.Events.Recorded) +
          ", \"dropped\": " + std::to_string(Snapshot.Events.Dropped) +
          "},\n";
+  Out += "  \"recorder\": {\"recorders\": " +
+         std::to_string(Snapshot.Recorder.Recorders) +
+         ", \"ops_recorded\": " +
+         std::to_string(Snapshot.Recorder.OpsRecorded) +
+         ", \"ops_dropped\": " +
+         std::to_string(Snapshot.Recorder.OpsDropped) +
+         ", \"instances_sampled\": " +
+         std::to_string(Snapshot.Recorder.InstancesSampled) +
+         ", \"instances_skipped\": " +
+         std::to_string(Snapshot.Recorder.InstancesSkipped) + "},\n";
   Out += "  \"contexts\": [";
   for (size_t I = 0; I != Snapshot.Contexts.size(); ++I) {
     const ContextSnapshot &C = Snapshot.Contexts[I];
@@ -110,10 +120,25 @@ std::string csvField(const std::string &Field) {
 } // namespace
 
 std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
-  std::string Out = "name,abstraction,variant,instances_created,"
-                    "instances_monitored,profiles_published,"
-                    "profiles_discarded,evaluations,switches,"
-                    "footprint_bytes\n";
+  // Loss counters ride along as `#` comments: the column schema (and
+  // the tests pinning it) stays untouched, but trace/event loss is
+  // never silently invisible in exported data.
+  std::string Out = "# events_recorded=" +
+                    std::to_string(Snapshot.Events.Recorded) +
+                    " events_dropped=" +
+                    std::to_string(Snapshot.Events.Dropped) + "\n";
+  Out += "# recorder_ops_recorded=" +
+         std::to_string(Snapshot.Recorder.OpsRecorded) +
+         " recorder_ops_dropped=" +
+         std::to_string(Snapshot.Recorder.OpsDropped) +
+         " recorder_instances_sampled=" +
+         std::to_string(Snapshot.Recorder.InstancesSampled) +
+         " recorder_instances_skipped=" +
+         std::to_string(Snapshot.Recorder.InstancesSkipped) + "\n";
+  Out += "name,abstraction,variant,instances_created,"
+         "instances_monitored,profiles_published,"
+         "profiles_discarded,evaluations,switches,"
+         "footprint_bytes\n";
   for (const ContextSnapshot &C : Snapshot.Contexts) {
     Out += csvField(C.Name) + ',' + csvField(C.Abstraction) + ',' +
            csvField(C.Variant) + ',';

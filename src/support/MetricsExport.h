@@ -33,6 +33,9 @@ std::string jsonEscape(std::string_view Text);
 ///   "schema": "cswitch-telemetry-v1",
 ///   "engine": {"contexts": N, "instances_created": ..., ...},
 ///   "events": {"recorded": ..., "dropped": ...},
+///   "recorder": {"recorders": ..., "ops_recorded": ...,
+///                "ops_dropped": ..., "instances_sampled": ...,
+///                "instances_skipped": ...},
 ///   "contexts": [{"name": ..., "abstraction": ..., "variant": ...,
 ///                 "instances_created": ..., ..., "footprint_bytes": ...}]
 /// }
@@ -45,6 +48,8 @@ std::string toJson(const TelemetrySnapshot &Snapshot);
 /// name,abstraction,variant,instances_created,instances_monitored,
 /// profiles_published,profiles_discarded,evaluations,switches,
 /// footprint_bytes
+/// Preceded by `#` comment lines carrying the event-log and trace
+/// recorder loss counters.
 std::string toCsv(const TelemetrySnapshot &Snapshot);
 
 /// Writes \p Content to \p Path; returns false on I/O failure.

@@ -98,11 +98,70 @@ EventLogStats cswitch::operator-(const EventLogStats &A,
   return Out;
 }
 
+RecorderStats &RecorderStats::operator+=(const RecorderStats &Other) {
+  Recorders += Other.Recorders;
+  OpsRecorded += Other.OpsRecorded;
+  OpsDropped += Other.OpsDropped;
+  InstancesSampled += Other.InstancesSampled;
+  InstancesSkipped += Other.InstancesSkipped;
+  return *this;
+}
+
+RecorderStats cswitch::operator-(const RecorderStats &A,
+                                 const RecorderStats &B) {
+  RecorderStats Out;
+  Out.Recorders = monus(A.Recorders, B.Recorders);
+  Out.OpsRecorded = monus(A.OpsRecorded, B.OpsRecorded);
+  Out.OpsDropped = monus(A.OpsDropped, B.OpsDropped);
+  Out.InstancesSampled = monus(A.InstancesSampled, B.InstancesSampled);
+  Out.InstancesSkipped = monus(A.InstancesSkipped, B.InstancesSkipped);
+  return Out;
+}
+
+bool cswitch::operator==(const RecorderStats &A, const RecorderStats &B) {
+  return A.Recorders == B.Recorders && A.OpsRecorded == B.OpsRecorded &&
+         A.OpsDropped == B.OpsDropped &&
+         A.InstancesSampled == B.InstancesSampled &&
+         A.InstancesSkipped == B.InstancesSkipped;
+}
+
+RecorderRegistry &RecorderRegistry::global() {
+  static RecorderRegistry Instance;
+  return Instance;
+}
+
+uint64_t RecorderRegistry::attach(Source StatsSource) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Id = NextId++;
+  Sources.emplace_back(Id, std::move(StatsSource));
+  return Id;
+}
+
+void RecorderRegistry::detach(uint64_t Id, const RecorderStats &Final) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto It = Sources.begin(); It != Sources.end(); ++It) {
+    if (It->first == Id) {
+      Sources.erase(It);
+      Retired += Final;
+      return;
+    }
+  }
+}
+
+RecorderStats RecorderRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RecorderStats Out = Retired;
+  for (const auto &[Id, Source] : Sources)
+    Out += Source();
+  return Out;
+}
+
 TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
                                      const TelemetrySnapshot &Before) {
   TelemetrySnapshot Out;
   Out.Engine = Now.Engine - Before.Engine;
   Out.Events = Now.Events - Before.Events;
+  Out.Recorder = Now.Recorder - Before.Recorder;
   std::unordered_map<std::string, const ContextSnapshot *> Baseline;
   Baseline.reserve(Before.Contexts.size());
   for (const ContextSnapshot &C : Before.Contexts)

@@ -92,12 +92,61 @@ struct EventLogStats {
 
 EventLogStats operator-(const EventLogStats &A, const EventLogStats &B);
 
+/// Counters of the operation-trace recorders (src/replay/) at snapshot
+/// time. Aggregated over every recorder ever attached in this process so
+/// trace loss (ops dropped by a full buffer, instances passed over by
+/// sampling) is observable, not silent.
+struct RecorderStats {
+  uint64_t Recorders = 0;        ///< Recorders attached (cumulative).
+  uint64_t OpsRecorded = 0;      ///< Ops captured into trace buffers.
+  uint64_t OpsDropped = 0;       ///< Ops lost to full trace buffers.
+  uint64_t InstancesSampled = 0; ///< Instances traced.
+  uint64_t InstancesSkipped = 0; ///< Instances passed over by sampling.
+
+  RecorderStats &operator+=(const RecorderStats &Other);
+};
+
+RecorderStats operator-(const RecorderStats &A, const RecorderStats &B);
+bool operator==(const RecorderStats &A, const RecorderStats &B);
+
+/// Process-wide registry the trace recorders report through, so the
+/// engine's telemetry snapshot can include recorder counters without the
+/// support layer (or the core) depending on the replay library. A live
+/// recorder attaches a stats callback; on detach its final counters move
+/// into a retired accumulator, keeping every counter monotonic across
+/// recorder lifetimes.
+class RecorderRegistry {
+public:
+  using Source = std::function<RecorderStats()>;
+
+  /// The process-wide registry instance.
+  static RecorderRegistry &global();
+
+  /// Registers a live stats source; returns the attachment id.
+  uint64_t attach(Source StatsSource);
+
+  /// Removes attachment \p Id, folding \p Final into the retired
+  /// accumulator.
+  void detach(uint64_t Id, const RecorderStats &Final);
+
+  /// Aggregate over retired recorders plus every live source.
+  RecorderStats stats() const;
+
+private:
+  mutable std::mutex Mutex;
+  uint64_t NextId = 1;                                 ///< Guarded by Mutex.
+  std::vector<std::pair<uint64_t, Source>> Sources;    ///< Guarded by Mutex.
+  RecorderStats Retired;                               ///< Guarded by Mutex.
+};
+
 /// One engine-wide observability snapshot: aggregate counters, the
-/// per-context breakdown, and the state of the event log.
+/// per-context breakdown, the state of the event log, and the trace
+/// recorders' loss accounting.
 struct TelemetrySnapshot {
   EngineStats Engine;
   std::vector<ContextSnapshot> Contexts;
   EventLogStats Events;
+  RecorderStats Recorder;
 };
 
 /// Interval difference between two snapshots: aggregate and event

@@ -81,6 +81,58 @@ TEST(ProfileTrace, RejectsMalformedDocuments) {
   }
 }
 
+TEST(ProfileTrace, RejectsTruncatedProfileLines) {
+  // Every way a profile line can end early: too few counts, a count cut
+  // mid-token into garbage, and a missing max-size.
+  const std::string Prefix =
+      "cswitch-profile-trace v1\nsite set ChainedHashSet S.cpp:1\n";
+  for (const char *Bad :
+       {"profile\n",                    // no max size
+        "profile 10\n",                 // no counts at all
+        "profile 10 1 2 3 4 5\n",       // five of six counts
+        "profile 10 1 2 3 4 5 x\n",     // last count is not a number
+        "profile ten 1 2 3 4 5 6\n"}) { // max size is not a number
+    std::vector<SiteTrace> Out;
+    std::istringstream IS(Prefix + Bad);
+    EXPECT_FALSE(loadTrace(IS, Out)) << Bad;
+  }
+}
+
+TEST(ProfileTrace, RejectsDocumentTruncatedMidHeader) {
+  // A partially-written file that lost the end of its header line.
+  for (const char *Bad : {"cswitch-profile", "cswitch-profile-trace v"}) {
+    std::vector<SiteTrace> Out;
+    std::istringstream IS(Bad);
+    EXPECT_FALSE(loadTrace(IS, Out)) << Bad;
+  }
+}
+
+TEST(ProfileTrace, SkipsCommentsAndBlankLines) {
+  std::vector<SiteTrace> Out;
+  std::istringstream IS("cswitch-profile-trace v1\n"
+                        "# produced by a test\n"
+                        "\n"
+                        "site list ArrayList L.cpp:1\n"
+                        "# mid-document comment\n"
+                        "profile 4 1 0 2 0 0 0\n");
+  ASSERT_TRUE(loadTrace(IS, Out));
+  ASSERT_EQ(Out.size(), 1u);
+  ASSERT_EQ(Out[0].Profiles.size(), 1u);
+  EXPECT_EQ(Out[0].Profiles[0].MaxSize, 4u);
+}
+
+TEST(ProfileTrace, FailureLeavesNoPartialSiteBehindTheError) {
+  // A good site followed by a corrupt line: the parse fails as a whole;
+  // callers must not use Out (documented contract), but the good prefix
+  // having been appended must not crash or loop.
+  std::vector<SiteTrace> Out;
+  std::istringstream IS("cswitch-profile-trace v1\n"
+                        "site list ArrayList good.cpp:1\n"
+                        "profile 2 1 1 1 1 1 1\n"
+                        "site bogus Bogus bad.cpp:2\n");
+  EXPECT_FALSE(loadTrace(IS, Out));
+}
+
 TEST(ProfileTrace, HeaderOnlyIsEmptyTrace) {
   std::vector<SiteTrace> Out;
   std::istringstream IS("cswitch-profile-trace v1\n");

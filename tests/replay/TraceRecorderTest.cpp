@@ -1,0 +1,231 @@
+//===- TraceRecorderTest.cpp - Operation-trace recorder tests -------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests of the lock-free trace recorder: site registration idempotency,
+// bounded-buffer drop accounting (the buffer never wraps — the recorded
+// prefix stays replayable), per-instance sampling, concurrent recording,
+// the facade integration (contexts + collections record through the
+// monitoring hooks), and the RecorderRegistry telemetry integration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocationContext.h"
+#include "core/SwitchEngine.h"
+#include "model/DefaultModel.h"
+#include "replay/TraceRecorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace cswitch;
+
+namespace {
+
+std::shared_ptr<const PerformanceModel> testModel() {
+  static std::shared_ptr<const PerformanceModel> Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  return Model;
+}
+
+TEST(TraceRecorder, RegisterSiteIsIdempotentByName) {
+  TraceRecorder Rec;
+  uint32_t A = Rec.registerSite("site-a", AbstractionKind::List, 0);
+  uint32_t B = Rec.registerSite("site-b", AbstractionKind::Set, 1);
+  EXPECT_NE(A, B);
+  // Re-registration (harnesses reconstruct contexts per run) returns the
+  // existing index even when kind/variant differ.
+  EXPECT_EQ(Rec.registerSite("site-a", AbstractionKind::Map, 2), A);
+  OpTrace Trace = Rec.trace();
+  ASSERT_EQ(Trace.Sites.size(), 2u);
+  EXPECT_EQ(Trace.Sites[A].Name, "site-a");
+  EXPECT_EQ(Trace.Sites[A].Kind, AbstractionKind::List);
+  EXPECT_EQ(Trace.Sites[B].Name, "site-b");
+}
+
+TEST(TraceRecorder, RecordsOpsInTicketOrder) {
+  TraceRecorder Rec;
+  uint32_t Site = Rec.registerSite("s", AbstractionKind::List, 0);
+  uint32_t Instance = 0;
+  ASSERT_TRUE(Rec.beginInstance(Site, Instance));
+  // Direct record() users write the begin marker themselves (facades
+  // get it from their TraceCursor).
+  Rec.record(Site, Instance, TraceOpKind::InstanceBegin, OpClass::None, 0);
+  Rec.record(Site, Instance, TraceOpKind::Populate, OpClass::None, 1);
+  Rec.record(Site, Instance, TraceOpKind::Contains, OpClass::Hit, 1);
+  Rec.record(Site, Instance, TraceOpKind::InstanceEnd, OpClass::None, 1);
+
+  OpTrace Trace = Rec.trace();
+  ASSERT_EQ(Trace.Ops.size(), 4u);
+  EXPECT_EQ(Trace.Ops[0].Kind, TraceOpKind::InstanceBegin);
+  EXPECT_EQ(Trace.Ops[1].Kind, TraceOpKind::Populate);
+  EXPECT_EQ(Trace.Ops[2].Kind, TraceOpKind::Contains);
+  EXPECT_EQ(Trace.Ops[2].Class, OpClass::Hit);
+  EXPECT_EQ(Trace.Ops[3].Kind, TraceOpKind::InstanceEnd);
+  for (const TraceOp &Op : Trace.Ops) {
+    EXPECT_EQ(Op.Site, Site);
+    EXPECT_EQ(Op.Instance, Instance);
+  }
+  // Timestamps are monotone in ticket order on a single thread.
+  for (size_t I = 1; I != Trace.Ops.size(); ++I)
+    EXPECT_GE(Trace.Ops[I].TimeNanos, Trace.Ops[I - 1].TimeNanos);
+}
+
+TEST(TraceRecorder, BoundedBufferDropsInsteadOfWrapping) {
+  TraceRecorder Rec(TraceRecorderOptions{}.capacity(8));
+  EXPECT_EQ(Rec.capacity(), 8u);
+  uint32_t Site = Rec.registerSite("s", AbstractionKind::List, 0);
+  for (uint64_t I = 0; I != 20; ++I)
+    Rec.record(Site, 0, TraceOpKind::Populate, OpClass::None, I);
+  EXPECT_EQ(Rec.opsRecorded(), 8u);
+  EXPECT_EQ(Rec.opsDropped(), 12u);
+  OpTrace Trace = Rec.trace();
+  ASSERT_EQ(Trace.Ops.size(), 8u);
+  EXPECT_EQ(Trace.OpsDropped, 12u);
+  // The prefix survives, not an arbitrary window: sizes 0..7.
+  for (uint32_t I = 0; I != 8; ++I)
+    EXPECT_EQ(Trace.Ops[I].Size, I);
+}
+
+TEST(TraceRecorder, SamplesEveryNthInstance) {
+  TraceRecorder Rec(TraceRecorderOptions{}.sampleEvery(3));
+  uint32_t Site = Rec.registerSite("s", AbstractionKind::Set, 0);
+  size_t Sampled = 0;
+  for (int I = 0; I != 9; ++I) {
+    uint32_t Instance = 0;
+    if (Rec.beginInstance(Site, Instance))
+      ++Sampled;
+  }
+  EXPECT_EQ(Sampled, 3u);
+  EXPECT_EQ(Rec.instancesSampled(), 3u);
+  EXPECT_EQ(Rec.instancesSkipped(), 6u);
+  OpTrace Trace = Rec.trace();
+  EXPECT_EQ(Trace.InstancesSampled, 3u);
+  EXPECT_EQ(Trace.InstancesSkipped, 6u);
+  // The sampling decision itself records nothing; markers come from the
+  // attached cursor.
+  EXPECT_EQ(Trace.Ops.size(), 0u);
+}
+
+TEST(TraceRecorder, SampledInstancesGetDistinctIds) {
+  TraceRecorder Rec;
+  uint32_t Site = Rec.registerSite("s", AbstractionKind::List, 0);
+  uint32_t First = 0, Second = 0;
+  ASSERT_TRUE(Rec.beginInstance(Site, First));
+  ASSERT_TRUE(Rec.beginInstance(Site, Second));
+  EXPECT_NE(First, Second);
+}
+
+TEST(TraceRecorder, ClearForgetsOpsButKeepsSites) {
+  TraceRecorder Rec;
+  uint32_t Site = Rec.registerSite("s", AbstractionKind::List, 0);
+  uint32_t Instance = 0;
+  ASSERT_TRUE(Rec.beginInstance(Site, Instance));
+  Rec.record(Site, Instance, TraceOpKind::Populate, OpClass::None, 1);
+  Rec.clear();
+  EXPECT_EQ(Rec.opsRecorded(), 0u);
+  EXPECT_EQ(Rec.instancesSampled(), 0u);
+  OpTrace Trace = Rec.trace();
+  EXPECT_TRUE(Trace.Ops.empty());
+  ASSERT_EQ(Trace.Sites.size(), 1u); // Site indices stay valid.
+  EXPECT_EQ(Rec.registerSite("s", AbstractionKind::List, 0), Site);
+}
+
+TEST(TraceRecorder, ConcurrentRecordingLosesNothingWithRoom) {
+  constexpr size_t Threads = 4, PerThread = 5000;
+  TraceRecorder Rec(TraceRecorderOptions{}.capacity(Threads * PerThread));
+  uint32_t Site = Rec.registerSite("s", AbstractionKind::List, 0);
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Pool;
+  for (size_t T = 0; T != Threads; ++T) {
+    Pool.emplace_back([&Rec, &Go, Site, T] {
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      for (size_t I = 0; I != PerThread; ++I)
+        Rec.record(Site, static_cast<uint32_t>(T), TraceOpKind::Populate,
+                   OpClass::None, I);
+    });
+  }
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Rec.opsRecorded(), Threads * PerThread);
+  EXPECT_EQ(Rec.opsDropped(), 0u);
+  OpTrace Trace = Rec.trace();
+  ASSERT_EQ(Trace.Ops.size(), Threads * PerThread);
+  // Each thread's ops keep their program order in the global stream.
+  size_t NextSize[Threads] = {};
+  for (const TraceOp &Op : Trace.Ops)
+    EXPECT_EQ(Op.Size, NextSize[Op.Instance]++);
+}
+
+TEST(TraceRecorder, ContextIntegrationTracesFacadeOps) {
+  TraceRecorder Rec;
+  ContextOptions Options;
+  Options.LogEvents = false;
+  Options.Recorder = &Rec;
+  ListContext<int64_t> Ctx("trace:integration", ListVariant::ArrayList,
+                           testModel(), SelectionRule::timeRule(), Options);
+  {
+    List<int64_t> L = Ctx.createList();
+    L.add(1);
+    L.add(2);
+    (void)L.contains(1);  // Hit.
+    (void)L.contains(-5); // Miss.
+    (void)L.get(0);       // Front.
+  }
+
+  OpTrace Trace = Rec.trace();
+  ASSERT_EQ(Trace.Sites.size(), 1u);
+  EXPECT_EQ(Trace.Sites[0].Name, "trace:integration");
+  EXPECT_EQ(Trace.Sites[0].Kind, AbstractionKind::List);
+  EXPECT_EQ(Trace.Sites[0].DeclaredVariantIndex,
+            static_cast<unsigned>(ListVariant::ArrayList));
+  ASSERT_EQ(Trace.Ops.size(), 7u);
+  EXPECT_EQ(Trace.Ops.front().Kind, TraceOpKind::InstanceBegin);
+  EXPECT_EQ(Trace.Ops[1].Kind, TraceOpKind::Populate);
+  EXPECT_EQ(Trace.Ops[1].Size, 1u);
+  EXPECT_EQ(Trace.Ops[2].Size, 2u);
+  EXPECT_EQ(Trace.Ops[3].Kind, TraceOpKind::Contains);
+  EXPECT_EQ(Trace.Ops[3].Class, OpClass::Hit);
+  EXPECT_EQ(Trace.Ops[4].Class, OpClass::Miss);
+  EXPECT_EQ(Trace.Ops[5].Kind, TraceOpKind::IndexGet);
+  EXPECT_EQ(Trace.Ops[5].Class, OpClass::Front);
+  EXPECT_EQ(Trace.Ops.back().Kind, TraceOpKind::InstanceEnd);
+  EXPECT_EQ(Trace.Ops.back().Size, 2u);
+}
+
+TEST(TraceRecorder, RegistryExposesLiveAndRetiredCounters) {
+  RecorderStats Before = RecorderRegistry::global().stats();
+  {
+    TraceRecorder Rec;
+    uint32_t Site = Rec.registerSite("s", AbstractionKind::List, 0);
+    Rec.record(Site, 0, TraceOpKind::Populate, OpClass::None, 1);
+    Rec.record(Site, 0, TraceOpKind::Populate, OpClass::None, 2);
+    RecorderStats Live = RecorderRegistry::global().stats() - Before;
+    EXPECT_EQ(Live.Recorders, 1u);
+    EXPECT_EQ(Live.OpsRecorded, 2u);
+  }
+  // Counters are monotonic across recorder lifetimes: the destroyed
+  // recorder's totals fold into the retired accumulator.
+  RecorderStats Retired = RecorderRegistry::global().stats() - Before;
+  EXPECT_EQ(Retired.Recorders, 1u);
+  EXPECT_EQ(Retired.OpsRecorded, 2u);
+}
+
+TEST(TraceRecorder, EngineTelemetryCarriesRecorderCounters) {
+  TelemetrySnapshot Before = SwitchEngine::global().telemetry();
+  TraceRecorder Rec;
+  uint32_t Site = Rec.registerSite("s", AbstractionKind::List, 0);
+  Rec.record(Site, 0, TraceOpKind::Populate, OpClass::None, 1);
+  TelemetrySnapshot Now = SwitchEngine::global().telemetry();
+  RecorderStats Delta = Now.Recorder - Before.Recorder;
+  EXPECT_EQ(Delta.OpsRecorded, 1u);
+  EXPECT_EQ(Delta.Recorders, 1u);
+}
+
+} // namespace

@@ -64,6 +64,23 @@ TEST(Telemetry, SubtractionSaturatesAtZero) {
   EXPECT_EQ(EDelta.Switches, 0u);
 }
 
+TEST(Telemetry, RecorderStatsAccumulateAndSubtractSaturating) {
+  RecorderStats A;
+  A.Recorders = 1;
+  A.OpsRecorded = 100;
+  A.OpsDropped = 5;
+  A.InstancesSampled = 10;
+  A.InstancesSkipped = 30;
+  RecorderStats B = A;
+  B += A;
+  EXPECT_EQ(B.Recorders, 2u);
+  EXPECT_EQ(B.OpsRecorded, 200u);
+  EXPECT_EQ(B.InstancesSkipped, 60u);
+  EXPECT_TRUE(B - A == A);
+  // Monotonic counters: a backwards interval clamps to zero.
+  EXPECT_TRUE(A - B == RecorderStats{});
+}
+
 TEST(Telemetry, EngineStatsCountContextsWhenAggregating) {
   EngineStats E;
   E += makeStats(0);
@@ -163,6 +180,11 @@ TelemetrySnapshot sampleSnapshot() {
   S.Engine += B.Stats;
   S.Events.Recorded = 42;
   S.Events.Dropped = 2;
+  S.Recorder.Recorders = 3;
+  S.Recorder.OpsRecorded = 1000;
+  S.Recorder.OpsDropped = 7;
+  S.Recorder.InstancesSampled = 20;
+  S.Recorder.InstancesSkipped = 60;
   return S;
 }
 
@@ -175,12 +197,26 @@ TEST(Telemetry, JsonCarriesSchemaAndTotals) {
   EXPECT_NE(Json.find("\"instances_created\": 52"), std::string::npos);
   EXPECT_NE(Json.find("\"recorded\": 42"), std::string::npos);
   EXPECT_NE(Json.find("bench \\\"quoted\\\""), std::string::npos);
+  // Trace-recorder loss accounting rides along in its own object.
+  EXPECT_NE(Json.find("\"recorder\": {\"recorders\": 3, "
+                      "\"ops_recorded\": 1000, \"ops_dropped\": 7, "
+                      "\"instances_sampled\": 20, "
+                      "\"instances_skipped\": 60}"),
+            std::string::npos);
 }
 
 TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   std::string Csv = toCsv(sampleSnapshot());
   std::istringstream Lines(Csv);
-  std::string Header;
+  // Loss counters lead as `#` comments so the column schema is
+  // unchanged but drops are never invisible in exported data.
+  std::string Events, Recorder, Header;
+  ASSERT_TRUE(std::getline(Lines, Events));
+  EXPECT_EQ(Events, "# events_recorded=42 events_dropped=2");
+  ASSERT_TRUE(std::getline(Lines, Recorder));
+  EXPECT_EQ(Recorder,
+            "# recorder_ops_recorded=1000 recorder_ops_dropped=7 "
+            "recorder_instances_sampled=20 recorder_instances_skipped=60");
   ASSERT_TRUE(std::getline(Lines, Header));
   EXPECT_EQ(Header,
             "name,abstraction,variant,instances_created,"

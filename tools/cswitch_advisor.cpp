@@ -13,6 +13,7 @@
 //   cswitch_advisor --rule ralloc trace.txt
 //   cswitch_advisor --model cswitch_model.txt trace.txt
 //   cswitch_advisor --json report.json trace.txt    # machine-readable copy
+//   ... | cswitch_advisor -                         # trace from stdin
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +23,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 using namespace cswitch;
@@ -79,7 +81,7 @@ int main(int Argc, char **Argv) {
   if (!TracePath) {
     std::fprintf(stderr, "usage: cswitch_advisor [--rule "
                          "rtime|ralloc|renergy] [--model <file>] "
-                         "[--json <file>] <trace-file>\n");
+                         "[--json <file>] <trace-file | ->\n");
     return 2;
   }
 
@@ -104,9 +106,20 @@ int main(int Argc, char **Argv) {
     Model = defaultPerformanceModel();
   }
 
+  // `-` reads the trace from stdin so recorders/exporters can pipe
+  // straight in. A parse failure must exit non-zero even when the
+  // document is well-formed but empty (a broken upstream stage usually
+  // produces just the header): CI pipelines gate on the exit status.
   std::vector<SiteTrace> Sites;
-  if (!loadTraceFromFile(TracePath, Sites)) {
+  bool Parsed = std::strcmp(TracePath, "-") == 0
+                    ? loadTrace(std::cin, Sites)
+                    : loadTraceFromFile(TracePath, Sites);
+  if (!Parsed) {
     std::fprintf(stderr, "error: cannot parse trace %s\n", TracePath);
+    return 1;
+  }
+  if (Sites.empty()) {
+    std::fprintf(stderr, "error: trace %s contains no sites\n", TracePath);
     return 1;
   }
 
