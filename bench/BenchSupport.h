@@ -19,8 +19,10 @@
 #include "model/ModelBuilder.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 
 namespace cswitch {
 namespace bench {
@@ -40,24 +42,35 @@ inline bool modelCoversAllVariants(const PerformanceModel &Model) {
   return true;
 }
 
-/// Loads `cswitch_model.txt` from the working directory when present and
-/// complete (the output of the model_builder tool). Otherwise builds a
-/// quick measured model for this machine — the paper's position (§4.1)
-/// is that hardware-specific calibration is a prerequisite of correct
-/// selection — and caches it for the sibling harnesses.
+/// Loads the measured model produced by the model_builder tool,
+/// searching (in order): the `CSWITCH_MODEL` environment variable,
+/// `cswitch_model.txt` in the working directory, and the checked-in
+/// `data/cswitch_model.txt`. When none is present and complete, builds
+/// a quick measured model for this machine — the paper's position
+/// (§4.1) is that hardware-specific calibration is a prerequisite of
+/// correct selection — and caches it for the sibling harnesses (at the
+/// env-var path when set, else `cswitch_model.txt`).
 inline std::shared_ptr<const PerformanceModel> loadModel() {
-  auto Model = std::make_shared<PerformanceModel>();
-  if (Model->loadFromFile("cswitch_model.txt") &&
-      modelCoversAllVariants(*Model)) {
-    std::printf("[using measured model cswitch_model.txt]\n");
-    return Model;
+  const char *EnvPath = std::getenv("CSWITCH_MODEL");
+  const char *Candidates[] = {EnvPath ? EnvPath : "", "cswitch_model.txt",
+                              "data/cswitch_model.txt"};
+  for (const char *Path : Candidates) {
+    if (!Path[0])
+      continue;
+    auto Model = std::make_shared<PerformanceModel>();
+    if (Model->loadFromFile(Path) && modelCoversAllVariants(*Model)) {
+      std::printf("[using measured model %s]\n", Path);
+      return Model;
+    }
   }
   std::printf("[calibrating a quick measured model for this machine; run "
               "model_builder for the full plan]\n");
   ModelBuilder Builder(ModelBuildOptions::quick());
   auto Measured = std::make_shared<PerformanceModel>(Builder.build());
-  if (Measured->saveToFile("cswitch_model.txt"))
-    std::printf("[cached as cswitch_model.txt]\n");
+  const char *CachePath =
+      EnvPath && EnvPath[0] ? EnvPath : "cswitch_model.txt";
+  if (Measured->saveToFile(CachePath))
+    std::printf("[cached as %s]\n", CachePath);
   return Measured;
 }
 

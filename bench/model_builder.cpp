@@ -6,8 +6,11 @@
 //
 // The performance-model builder tool (paper §4.1): runs the factorial
 // plan of Table 3 on this machine, fits the cubic cost polynomials, and
-// persists the model to `cswitch_model.txt` (loaded by the other
-// harnesses when present, so every figure uses machine-true costs).
+// persists the model (loaded by the other harnesses, so every figure
+// uses machine-true costs). The output path is `--out` when given, else
+// the `CSWITCH_MODEL` environment variable, else `cswitch_model.txt` in
+// the working directory; the harnesses search the same chain plus the
+// checked-in `data/cswitch_model.txt` fallback.
 //
 // Usage: model_builder [--quick] [--out <path>]
 //
@@ -17,6 +20,7 @@
 #include "model/ThresholdAnalyzer.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -24,7 +28,9 @@ using namespace cswitch;
 
 int main(int Argc, char **Argv) {
   bool Quick = false;
-  std::string OutPath = "cswitch_model.txt";
+  const char *EnvPath = std::getenv("CSWITCH_MODEL");
+  std::string OutPath =
+      EnvPath && EnvPath[0] ? EnvPath : "cswitch_model.txt";
   for (int I = 1; I != Argc; ++I) {
     if (std::strcmp(Argv[I], "--quick") == 0)
       Quick = true;

@@ -15,6 +15,12 @@
 // Defaults: 2 discarded + 8 measured runs at scale 0.5; `--paper` runs
 // the paper's 5 + 30 at scale 1.0.
 //
+// Warm-start mode (`--store <file.cswitchstore>`): the selection store
+// at that path is loaded before the table runs (a missing file starts
+// cold), every adaptive context warm-starts from the persisted
+// decisions, and the merged store is written back at the end — a
+// second invocation with the same path converges with fewer switches.
+//
 // Recording mode (`--record <trace.optrace>`): instead of the table,
 // one FullAdap Rtime run per app executes with a TraceRecorder attached
 // and the combined operation trace is written for the src/replay/
@@ -33,6 +39,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -138,6 +145,7 @@ int recordApps(const std::vector<AppKind> &Apps, AppRunConfig Base,
 int main(int Argc, char **Argv) {
   bool Paper = hasFlag(Argc, Argv, "--paper");
   const char *TelemetryPath = stringOption(Argc, Argv, "--telemetry", "");
+  const char *StorePath = stringOption(Argc, Argv, "--store", "");
   size_t Warmup = Paper ? 5 : 2;
   size_t Measured = Paper ? 30 : 10;
   double Scale = Paper ? 1.0 : 0.5;
@@ -149,6 +157,17 @@ int main(int Argc, char **Argv) {
   Base.CtxOptions.WindowSize = 100;
   Base.CtxOptions.FinishedRatio = 0.6;
   Base.CtxOptions.LogEvents = false;
+
+  if (StorePath[0]) {
+    if (Switch::loadStore(StorePath))
+      std::printf("[selection store %s loaded; contexts warm-start]\n",
+                  StorePath);
+    else
+      std::fprintf(stderr,
+                   "[selection store %s unreadable; starting cold]\n",
+                   StorePath);
+    Base.CtxOptions.WarmStart = true;
+  }
 
   std::vector<AppKind> Apps =
       selectedApps(stringOption(Argc, Argv, "--apps", ""));
@@ -242,6 +261,16 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Monitoring.ProfilesDiscarded,
               (unsigned long long)Monitoring.Evaluations,
               (unsigned long long)Monitoring.Switches);
+
+  if (StorePath[0]) {
+    if (Switch::persistStore())
+      std::printf("[selection store persisted to %s]\n", StorePath);
+    else
+      std::fprintf(stderr, "[failed to persist selection store to %s]\n",
+                   StorePath);
+    if (std::shared_ptr<SelectionStore> St = Switch::store())
+      Export.Store = St->stats();
+  }
 
   if (TelemetryPath[0]) {
     Export.Events.Recorded = EventLog::global().totalRecorded();

@@ -1,0 +1,276 @@
+//===- warmstart_convergence.cpp - Cold vs warm convergence ---------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies what the persistent selection store (src/store/) buys on
+// the table5 apps: a cold FullAdap Rtime run pays the full observation
+// ramp at every site before converging; a second, warm-started run
+// seeds each site from the persisted decision and should reach its
+// converged variant with far fewer pre-convergence window evaluations
+// (the acceptance bar: >= 50% fewer on at least two apps).
+//
+// Per app: the store file is wiped, a cold run executes and persists,
+// then a warm run executes against the persisted store. Convergence
+// work is measured from the EventLog: for every context, the number of
+// Evaluation events preceding its last Transition (a context that never
+// transitions is already converged and contributes zero). A corrupted
+// store is also exercised: loading must fail cleanly, the run must
+// produce the exact cold-run checksum, and the failure must be counted
+// in the exported telemetry.
+//
+// Emits BENCH_warmstart.json (schema cswitch-warmstart-v1); `--check`
+// exits non-zero when the acceptance bar is missed.
+//
+// Usage: warmstart_convergence [--apps a,b] [--scale S] [--json <path>]
+//                              [--check]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "apps/Apps.h"
+#include "core/Switch.h"
+#include "store/SelectionStore.h"
+#include "support/EventLog.h"
+#include "support/MetricsExport.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace cswitch;
+using namespace cswitch::bench;
+
+namespace {
+
+/// Pre-convergence work of one run, reconstructed from the event log.
+struct ConvergenceAccount {
+  uint64_t PreconvEvaluations = 0; ///< Evaluations before the last
+                                   ///< transition, summed over contexts.
+  uint64_t Transitions = 0;
+  uint64_t WarmStarts = 0;
+};
+
+/// Folds the events drained from one app run: per context, every
+/// Evaluation that happened before that context's last Transition was
+/// still "searching" work; everything after it is steady-state
+/// monitoring.
+ConvergenceAccount accountFor(const std::vector<Event> &Events) {
+  struct PerContext {
+    uint64_t Evaluations = 0;
+    uint64_t EvalsAtLastTransition = 0;
+  };
+  std::map<std::string, PerContext> Contexts;
+  ConvergenceAccount Account;
+  for (const Event &E : Events) {
+    if (E.Kind == EventKind::Evaluation) {
+      ++Contexts[E.Context].Evaluations;
+    } else if (E.Kind == EventKind::Transition) {
+      PerContext &C = Contexts[E.Context];
+      C.EvalsAtLastTransition = C.Evaluations;
+      ++Account.Transitions;
+    } else if (E.Kind == EventKind::WarmStart) {
+      ++Account.WarmStarts;
+    }
+  }
+  for (const auto &[Name, C] : Contexts)
+    Account.PreconvEvaluations += C.EvalsAtLastTransition;
+  return Account;
+}
+
+struct AppOutcome {
+  const char *Name = nullptr;
+  ConvergenceAccount Cold;
+  ConvergenceAccount Warm;
+  double ReductionPct = 0.0;
+};
+
+/// One measured run with the event log freshly drained; the returned
+/// account covers exactly this run.
+ConvergenceAccount measuredRun(AppKind App, const AppRunConfig &Config,
+                               uint64_t *Checksum = nullptr) {
+  EventLog::global().drain();
+  AppResult R = runApp(App, Config);
+  if (Checksum)
+    *Checksum = R.Checksum;
+  return accountFor(EventLog::global().drain());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  double Scale = 0.35;
+  if (const char *S = stringOption(Argc, Argv, "--scale", ""))
+    if (S[0])
+      Scale = std::atof(S);
+  const char *JsonPath =
+      stringOption(Argc, Argv, "--json", "BENCH_warmstart.json");
+  bool Check = hasFlag(Argc, Argv, "--check");
+
+  std::vector<AppKind> Apps;
+  {
+    const char *Filter = stringOption(Argc, Argv, "--apps", "");
+    for (AppKind App : AllAppKinds) {
+      if (!Filter[0] || std::strstr(Filter, appKindName(App)))
+        Apps.push_back(App);
+    }
+  }
+
+  AppRunConfig Base;
+  Base.Model = loadModel();
+  Base.Seed = 17;
+  Base.Scale = Scale;
+  Base.Config = AppConfig::FullAdap;
+  Base.Rule = SelectionRule::timeRule();
+  Base.CtxOptions.WindowSize = 100;
+  Base.CtxOptions.FinishedRatio = 0.6;
+  Base.CtxOptions.LogEvents = true;
+  Base.CtxOptions.WarmStart = true; // Cold runs simply miss every site.
+
+  std::printf("\nWarm-start convergence on the DaCapo-substitute apps "
+              "(scale %.2f)\n",
+              Scale);
+  std::printf("%-9s | %10s %6s | %10s %6s %6s | %9s\n", "bench",
+              "cold-evals", "cold-T", "warm-evals", "warm-T", "warmed",
+              "reduction");
+
+  std::vector<AppOutcome> Outcomes;
+  size_t AppsWithHalfReduction = 0;
+  for (AppKind App : Apps) {
+    std::string StorePath =
+        std::string("warmstart_") + appKindName(App) + ".cswitchstore";
+    std::remove(StorePath.c_str());
+    std::remove((StorePath + ".lock").c_str());
+
+    AppOutcome Outcome;
+    Outcome.Name = appKindName(App);
+
+    // Cold generation: empty store, full observation ramp; the learned
+    // selections are persisted on the way out.
+    Switch::loadStore(StorePath);
+    Outcome.Cold = measuredRun(App, Base);
+    Switch::persistStore();
+    Switch::closeStore();
+
+    // Warm generation: every site seeds from the persisted decision.
+    Switch::loadStore(StorePath);
+    Outcome.Warm = measuredRun(App, Base);
+    Switch::persistStore();
+    Switch::closeStore();
+
+    Outcome.ReductionPct =
+        Outcome.Cold.PreconvEvaluations == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(
+                                 Outcome.Warm.PreconvEvaluations) /
+                                 static_cast<double>(
+                                     Outcome.Cold.PreconvEvaluations));
+    if (Outcome.Cold.PreconvEvaluations > 0 && Outcome.ReductionPct >= 50.0)
+      ++AppsWithHalfReduction;
+
+    std::printf("%-9s | %10llu %6llu | %10llu %6llu %6llu | %8.1f%%\n",
+                Outcome.Name,
+                (unsigned long long)Outcome.Cold.PreconvEvaluations,
+                (unsigned long long)Outcome.Cold.Transitions,
+                (unsigned long long)Outcome.Warm.PreconvEvaluations,
+                (unsigned long long)Outcome.Warm.Transitions,
+                (unsigned long long)Outcome.Warm.WarmStarts,
+                Outcome.ReductionPct);
+    Outcomes.push_back(Outcome);
+
+    std::remove(StorePath.c_str());
+    std::remove((StorePath + ".lock").c_str());
+  }
+
+  // Corrupt-store fallback: a deliberately damaged store must fail to
+  // load (counted, evented), start cold, and leave the app's results
+  // untouched.
+  bool CorruptFallbackOk = true;
+  {
+    AppKind App = Apps.empty() ? AppKind::H2 : Apps.front();
+    std::string StorePath = "warmstart_corrupt.cswitchstore";
+    {
+      std::FILE *F = std::fopen(StorePath.c_str(), "wb");
+      if (F) {
+        // Valid magic, torn body: exercises the CRC/truncation path,
+        // not just the magic check.
+        std::fwrite("cswitch-store-v1\x01\x07garbage-not-a-record", 1, 38,
+                    F);
+        std::fclose(F);
+      }
+    }
+    uint64_t ReferenceChecksum = 0;
+    {
+      // Reference: no store at all.
+      AppRunConfig Cold = Base;
+      Cold.CtxOptions.WarmStart = false;
+      runApp(App, Cold); // Warm up any lazy state.
+      AppRunConfig Ref = Base;
+      Ref.CtxOptions.WarmStart = false;
+      (void)measuredRun(App, Ref, &ReferenceChecksum);
+    }
+    bool LoadFailed = !Switch::loadStore(StorePath);
+    uint64_t CorruptChecksum = 0;
+    (void)measuredRun(App, Base, &CorruptChecksum);
+    StoreStats Stats;
+    if (std::shared_ptr<SelectionStore> St = Switch::store())
+      Stats = St->stats();
+    Switch::closeStore();
+    CorruptFallbackOk = LoadFailed && Stats.LoadFailures >= 1 &&
+                        CorruptChecksum == ReferenceChecksum;
+    std::printf("\ncorrupt-store fallback: load %s, load_failures %llu, "
+                "checksum %s -> %s\n",
+                LoadFailed ? "rejected" : "ACCEPTED (bug)",
+                (unsigned long long)Stats.LoadFailures,
+                CorruptChecksum == ReferenceChecksum ? "unchanged"
+                                                     : "CHANGED (bug)",
+                CorruptFallbackOk ? "ok" : "FAILED");
+    std::remove(StorePath.c_str());
+    std::remove((StorePath + ".lock").c_str());
+  }
+
+  // Machine-readable summary.
+  std::string Json = "{\n  \"schema\": \"cswitch-warmstart-v1\",\n";
+  Json += "  \"scale\": " + std::to_string(Scale) + ",\n  \"apps\": [\n";
+  for (size_t I = 0; I != Outcomes.size(); ++I) {
+    const AppOutcome &O = Outcomes[I];
+    char Buf[256];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"app\": \"%s\", \"cold_preconv_evals\": %llu, "
+        "\"warm_preconv_evals\": %llu, \"cold_transitions\": %llu, "
+        "\"warm_transitions\": %llu, \"warm_started_contexts\": %llu, "
+        "\"reduction_pct\": %.1f}%s\n",
+        O.Name, (unsigned long long)O.Cold.PreconvEvaluations,
+        (unsigned long long)O.Warm.PreconvEvaluations,
+        (unsigned long long)O.Cold.Transitions,
+        (unsigned long long)O.Warm.Transitions,
+        (unsigned long long)O.Warm.WarmStarts, O.ReductionPct,
+        I + 1 == Outcomes.size() ? "" : ",");
+    Json += Buf;
+  }
+  Json += "  ],\n";
+  Json += "  \"apps_with_half_reduction\": " +
+          std::to_string(AppsWithHalfReduction) + ",\n";
+  Json += std::string("  \"corrupt_fallback_ok\": ") +
+          (CorruptFallbackOk ? "true" : "false") + "\n}\n";
+  if (writeTextFile(JsonPath, Json))
+    std::printf("[wrote %s]\n", JsonPath);
+  else
+    std::fprintf(stderr, "[failed to write %s]\n", JsonPath);
+
+  if (Check) {
+    bool Pass = AppsWithHalfReduction >= 2 && CorruptFallbackOk;
+    std::printf("[check %s: %zu/%zu apps at >=50%% reduction, corrupt "
+                "fallback %s]\n",
+                Pass ? "passed" : "FAILED", AppsWithHalfReduction,
+                Outcomes.size(), CorruptFallbackOk ? "ok" : "broken");
+    return Pass ? 0 : 1;
+  }
+  return 0;
+}

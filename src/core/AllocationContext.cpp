@@ -6,6 +6,8 @@
 
 #include "core/AllocationContext.h"
 
+#include "core/SwitchEngine.h"
+#include "store/SelectionStore.h"
 #include "support/EventLog.h"
 
 #include <algorithm>
@@ -46,6 +48,9 @@ AllocationContextBase::AllocationContextBase(
   assert(this->Options.WindowSize > 0 && "window size must be positive");
   assert(this->Options.WindowSize < UINT32_MAX &&
          "window size must fit the packed assigned counter");
+  // Warm start runs before the window buffers are sized: a hit both
+  // seeds Current and shrinks Options.WindowSize.
+  applyWarmStart();
   Slots = std::make_unique<WindowSlot[]>(2 * this->Options.WindowSize);
   FinishedState[0].store(0, std::memory_order_relaxed);
   FinishedState[1].store(uint64_t(1) << 32, std::memory_order_relaxed);
@@ -70,15 +75,52 @@ AllocationContextBase::AllocationContextBase(
     VariantNameIds.reserve(NumVariants);
     for (unsigned V = 0; V != NumVariants; ++V)
       VariantNameIds.push_back(Log.intern(VariantId{Kind, V}.name()));
+    // currentVariantIndex(), not InitialVariantIndex: a warm start may
+    // already have seeded a different variant.
     Log.record(EventKind::ContextCreated, LogNameId,
-               VariantNameIds[InitialVariantIndex]);
+               VariantNameIds[currentVariantIndex()]);
   }
   if (this->Options.Recorder)
-    RecorderSite = this->Options.Recorder->registerSite(this->Name, Kind,
-                                                        InitialVariantIndex);
+    RecorderSite = this->Options.Recorder->registerSite(
+        this->Name, Kind, currentVariantIndex());
 }
 
 AllocationContextBase::~AllocationContextBase() = default;
+
+void AllocationContextBase::applyWarmStart() {
+  if (!Options.WarmStart)
+    return;
+  SelectionStore *Store = Options.Store;
+  std::shared_ptr<SelectionStore> EngineStore;
+  if (!Store) {
+    EngineStore = SwitchEngine::global().store();
+    Store = EngineStore.get();
+  }
+  if (!Store)
+    return;
+  std::optional<StoreSite> Hit = Store->lookup(Name, Rule.Name, Kind);
+  if (!Hit || Hit->Instances == 0)
+    return;
+  // The store decoder validated Decision against the variant count, so
+  // the seed is always instantiable.
+  Current.store(Hit->Decision, std::memory_order_relaxed);
+  double Factor = std::clamp(Options.WarmWindowFactor, 0.0, 1.0);
+  Options.WindowSize = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(Factor * static_cast<double>(Options.WindowSize))));
+  WarmStarted = true;
+  Store->noteWarmStart();
+  if (Options.LogEvents)
+    EventLog::global().record(EventKind::WarmStart, Name,
+                              VariantId{Kind, Hit->Decision}.name());
+}
+
+WorkloadProfile
+AllocationContextBase::aggregateProfile(uint64_t &Instances) const {
+  std::lock_guard<std::mutex> Lock(EvalMutex);
+  Instances = LifetimeInstances;
+  return Lifetime;
+}
 
 size_t AllocationContextBase::acquireMonitorSlot() {
   Created.fetch_add(1, std::memory_order_relaxed);
@@ -186,6 +228,7 @@ std::optional<unsigned> AllocationContextBase::analyzeRound(uint32_t Round,
   Groups.clear();
   GroupIndex.clear();
   WindowSlot *Buffer = bufferOf(Round);
+  size_t Consumed = 0;
   for (size_t I = 0; I != Assigned; ++I) {
     WindowSlot &Entry = Buffer[I];
     unsigned Spins = 0;
@@ -219,6 +262,7 @@ std::optional<unsigned> AllocationContextBase::analyzeRound(uint32_t Round,
     }
     if (!Consume)
       continue;
+    ++Consumed;
     auto [It, Inserted] = GroupIndex.try_emplace(Entry.MaxSize, Groups.size());
     if (Inserted) {
       Groups.emplace_back();
@@ -229,6 +273,14 @@ std::optional<unsigned> AllocationContextBase::analyzeRound(uint32_t Round,
       Group.Counts[Op] += Entry.Counts[Op];
   }
   GroupIndex.clear();
+  // Fold this round into the lifetime aggregate the selection store
+  // persists (EvalMutex is held by evaluate()).
+  for (const MergedGroup &G : Groups) {
+    for (size_t Op = 0; Op != NumOperationKinds; ++Op)
+      Lifetime.Counts[Op] += G.Counts[Op];
+    Lifetime.recordSize(G.MaxSize);
+  }
+  LifetimeInstances += Consumed;
   if (Groups.empty())
     return std::nullopt;
 

@@ -59,6 +59,8 @@
 
 namespace cswitch {
 
+class SelectionStore;
+
 /// Tuning knobs of an allocation context (defaults follow the paper §5).
 ///
 /// Plain aggregate with a fluent builder spelling on top; both styles
@@ -86,6 +88,21 @@ struct ContextOptions {
   /// every operation. Not owned; must outlive the context and every
   /// collection it creates.
   TraceRecorder *Recorder = nullptr;
+  /// Seed the initial variant from the persistent selection store when
+  /// the site has a stored decision (src/store/): the context starts on
+  /// the converged variant of previous runs and shrinks its first
+  /// observation window by WarmWindowFactor. A miss (or a corrupt /
+  /// absent store) leaves the context exactly cold.
+  bool WarmStart = false;
+  /// Window-size multiplier applied on a warm start (clamped to [0, 1];
+  /// the result never shrinks below one slot). Warm contexts keep
+  /// monitoring — the paper's continuous adaptation — just with a
+  /// cheaper ramp.
+  double WarmWindowFactor = 0.25;
+  /// Selection store consulted for warm starts. When null, the engine's
+  /// installed store (SwitchEngine::loadStore) is used. Not owned; must
+  /// outlive the context.
+  SelectionStore *Store = nullptr;
 
   ContextOptions &windowSize(size_t Value) {
     WindowSize = Value;
@@ -105,6 +122,18 @@ struct ContextOptions {
   }
   ContextOptions &recorder(TraceRecorder *Value) {
     Recorder = Value;
+    return *this;
+  }
+  ContextOptions &warmStart(bool Value) {
+    WarmStart = Value;
+    return *this;
+  }
+  ContextOptions &warmWindowFactor(double Value) {
+    WarmWindowFactor = Value;
+    return *this;
+  }
+  ContextOptions &store(SelectionStore *Value) {
+    Store = Value;
     return *this;
   }
 };
@@ -210,8 +239,19 @@ public:
   /// The rule this context selects by.
   const SelectionRule &rule() const { return Rule; }
 
-  /// The options this context runs with.
+  /// The options this context runs with (reflecting any warm-start
+  /// window shrink applied at construction).
   const ContextOptions &options() const { return Options; }
+
+  /// True when this context seeded its initial variant from the
+  /// selection store.
+  bool warmStarted() const { return WarmStarted; }
+
+  /// Lifetime workload aggregate over every analyzed instance (the
+  /// merge of all consumed window slots since construction); \p
+  /// Instances receives how many instances it covers. This is what the
+  /// selection store persists for this site.
+  WorkloadProfile aggregateProfile(uint64_t &Instances) const;
 
 protected:
   /// Sentinel: instance is not monitored.
@@ -290,11 +330,18 @@ private:
   /// evaluates the memoized total costs.
   std::optional<unsigned> analyzeRound(uint32_t Round, size_t Assigned);
 
+  /// Seeds Current (and shrinks Options.WindowSize) from the selection
+  /// store when Options.WarmStart hits a stored decision; called from
+  /// the constructor before the window buffers are sized.
+  void applyWarmStart();
+
   const std::string Name;
   const AbstractionKind Kind;
   const std::shared_ptr<const PerformanceModel> Model;
   const SelectionRule Rule;
-  const ContextOptions Options;
+  /// Non-const only for the constructor-time warm-start window shrink;
+  /// immutable afterwards.
+  ContextOptions Options;
   /// Dimensions referenced by the rule's criteria; analysis only
   /// accumulates these (evaluating unused cost polynomials would only
   /// inflate the §5.3 overhead).
@@ -344,6 +391,14 @@ private:
   std::vector<MergedGroup> Groups;
   /// MaxSize -> index into Groups, cleared after every analysis.
   std::unordered_map<uint32_t, size_t> GroupIndex;
+  /// Lifetime merge of every consumed window slot plus how many
+  /// instances it covers; what the selection store persists. Guarded by
+  /// EvalMutex.
+  WorkloadProfile Lifetime;
+  uint64_t LifetimeInstances = 0; ///< Guarded by EvalMutex.
+  /// Set once in the constructor when the initial variant came from the
+  /// selection store; never written afterwards.
+  bool WarmStarted = false;
 };
 
 /// Allocation context for list sites.

@@ -148,6 +148,27 @@ public:
   /// Removes the periodic telemetry reporter.
   static void clearReporter() { SwitchEngine::global().clearReporter(); }
 
+  /// Installs the persistent selection store backed by \p Path on the
+  /// global engine and loads it (see SwitchEngine::loadStore). Returns
+  /// false when the document was corrupt — the process degrades to cold
+  /// start, it never fails.
+  static bool loadStore(const std::string &Path, StoreOptions Options = {}) {
+    return SwitchEngine::global().loadStore(Path, Options);
+  }
+
+  /// The installed selection store (null when none).
+  static std::shared_ptr<SelectionStore> store() {
+    return SwitchEngine::global().store();
+  }
+
+  /// Merges this process's contributions into the store file now.
+  static bool persistStore() {
+    return SwitchEngine::global().persistStore();
+  }
+
+  /// Persists (best effort) and uninstalls the selection store.
+  static void closeStore() { SwitchEngine::global().closeStore(); }
+
   /// Creates and registers an allocation context for \p Collection
   /// (List<T>, Set<T> or Map<K, V>) — the single generic factory all
   /// abstraction-specific spellings forward to.

@@ -36,6 +36,16 @@ void SwitchEngine::registerContext(AllocationContextBase *Context) {
 }
 
 void SwitchEngine::unregisterContext(AllocationContextBase *Context) {
+  // Fold the dying context's lifetime aggregate into the store ledger
+  // while the context is still alive; the next persist writes it out.
+  if (std::shared_ptr<SelectionStore> St = store()) {
+    uint64_t Instances = 0;
+    WorkloadProfile Profile = Context->aggregateProfile(Instances);
+    if (Instances > 0)
+      St->recordFinished(Context->name(), Context->rule().Name,
+                         Context->abstraction(),
+                         Context->currentVariantIndex(), Profile, Instances);
+  }
   Shard &S = Shards[shardOf(Context)];
   std::lock_guard<std::mutex> Lock(S.Mutex);
   S.Contexts.erase(
@@ -177,8 +187,13 @@ void SwitchEngine::stop() {
   }
   StopCondition.notify_all();
   Worker.join();
-  std::lock_guard<std::mutex> Lock(ThreadMutex);
-  Running = false;
+  {
+    std::lock_guard<std::mutex> Lock(ThreadMutex);
+    Running = false;
+  }
+  // Final merge so learned selections survive the shutdown even when
+  // the periodic interval never fired.
+  persistStore();
 }
 
 bool SwitchEngine::isRunning() const {
@@ -195,6 +210,7 @@ void SwitchEngine::threadMain(std::chrono::milliseconds Rate) {
     Lock.unlock();
     evaluateAll();
     maybeReport();
+    maybePersistStore();
     Lock.lock();
   }
 }
@@ -226,6 +242,65 @@ void SwitchEngine::maybeReport() {
   // sink delays at most the background thread's own next sweep.
   Sink(telemetry());
   ReportsEmitted.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SwitchEngine::loadStore(const std::string &Path, StoreOptions Options) {
+  auto NewStore = std::make_shared<SelectionStore>(Options);
+  bool Ok = NewStore->load(Path);
+  std::lock_guard<std::mutex> Lock(StoreMutex);
+  Store = std::move(NewStore);
+  StorePath = Path;
+  NextPersist = std::chrono::steady_clock::now() +
+                Store->options().PersistInterval;
+  return Ok;
+}
+
+std::shared_ptr<SelectionStore> SwitchEngine::store() const {
+  std::lock_guard<std::mutex> Lock(StoreMutex);
+  return Store;
+}
+
+bool SwitchEngine::persistStore() {
+  std::shared_ptr<SelectionStore> St;
+  std::string Path;
+  {
+    std::lock_guard<std::mutex> Lock(StoreMutex);
+    St = Store;
+    Path = StorePath;
+  }
+  if (!St)
+    return false;
+  std::vector<SelectionStore::LiveSite> Live;
+  for (AllocationContextBase *Context : snapshotContexts()) {
+    uint64_t Instances = 0;
+    WorkloadProfile Profile = Context->aggregateProfile(Instances);
+    if (Instances == 0)
+      continue;
+    Live.push_back({Context->name(), Context->rule().Name,
+                    Context->abstraction(), Context->currentVariantIndex(),
+                    std::move(Profile), Instances});
+  }
+  return St->persist(Path, Live);
+}
+
+void SwitchEngine::closeStore() {
+  persistStore();
+  std::lock_guard<std::mutex> Lock(StoreMutex);
+  Store.reset();
+  StorePath.clear();
+}
+
+void SwitchEngine::maybePersistStore() {
+  {
+    std::lock_guard<std::mutex> Lock(StoreMutex);
+    if (!Store || Store->options().PersistInterval.count() <= 0)
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    if (Now < NextPersist)
+      return;
+    NextPersist = Now + Store->options().PersistInterval;
+  }
+  persistStore();
 }
 
 size_t SwitchEngine::contextCount() const {
@@ -276,5 +351,7 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
   Snapshot.Events.Recorded = Log.totalRecorded();
   Snapshot.Events.Dropped = Log.droppedCount();
   Snapshot.Recorder = RecorderRegistry::global().stats();
+  if (std::shared_ptr<SelectionStore> St = store())
+    Snapshot.Store = St->stats();
   return Snapshot;
 }

@@ -25,13 +25,16 @@
 #define CSWITCH_CORE_SWITCHENGINE_H
 
 #include "core/AllocationContext.h"
+#include "store/SelectionStore.h"
 #include "support/Telemetry.h"
 
 #include <array>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -127,6 +130,34 @@ public:
   /// Removes the reporter. An in-flight report may still complete.
   void clearReporter();
 
+  //===--------------------------------------------------------------===//
+  // Persistent selection store (src/store/)
+  //===--------------------------------------------------------------===//
+
+  /// Installs a selection store backed by the file at \p Path and loads
+  /// it. \returns the load outcome: true for a successful load
+  /// (including the normal missing-file cold start), false when the
+  /// document was corrupt or version-mismatched — the store is
+  /// installed either way and degrades to cold start, so contexts
+  /// created with ContextOptions::warmStart simply find nothing.
+  /// Replaces any previously installed store without persisting it.
+  bool loadStore(const std::string &Path, StoreOptions Options = {});
+
+  /// The installed selection store (null when none). Contexts resolve
+  /// this when ContextOptions::Store is unset.
+  std::shared_ptr<SelectionStore> store() const;
+
+  /// Merges this process's contributions (finished contexts folded at
+  /// unregisterContext plus the live contexts' lifetime aggregates)
+  /// into the store file now. \returns false when no store is installed
+  /// or the persist failed. Also runs periodically on the background
+  /// thread when StoreOptions::PersistInterval is set, and once from
+  /// stop().
+  bool persistStore();
+
+  /// Persists (best effort) and uninstalls the store.
+  void closeStore();
+
   /// Snapshots emitted by the periodic reporter so far.
   uint64_t reportsEmitted() const {
     return ReportsEmitted.load(std::memory_order_relaxed);
@@ -137,6 +168,9 @@ private:
   /// background thread after each evaluation sweep, without holding
   /// ThreadMutex.
   void maybeReport();
+  /// Persists the store if its periodic interval elapsed; called by the
+  /// background thread after each sweep, without holding ThreadMutex.
+  void maybePersistStore();
   void threadMain(std::chrono::milliseconds Rate);
   std::vector<AllocationContextBase *> snapshotContexts() const;
   static size_t shardOf(const AllocationContextBase *Context);
@@ -183,6 +217,14 @@ private:
   ReporterOptions Reporter;                         ///< Guarded by ReporterMutex.
   std::chrono::steady_clock::time_point NextReport; ///< Guarded by ReporterMutex.
   std::atomic<uint64_t> ReportsEmitted{0};
+
+  /// Selection-store state. The shared_ptr is copied out under
+  /// StoreMutex and used without it, so a slow persist (file I/O under
+  /// flock) never blocks context registration or warm-start lookups.
+  mutable std::mutex StoreMutex;
+  std::shared_ptr<SelectionStore> Store;             ///< Guarded by StoreMutex.
+  std::string StorePath;                             ///< Guarded by StoreMutex.
+  std::chrono::steady_clock::time_point NextPersist; ///< Guarded by StoreMutex.
 };
 
 } // namespace cswitch

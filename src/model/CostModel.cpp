@@ -7,7 +7,9 @@
 #include "model/CostModel.h"
 
 #include <cassert>
+#include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 using namespace cswitch;
@@ -133,54 +135,96 @@ void PerformanceModel::save(std::ostream &OS) const {
   }
 }
 
-bool PerformanceModel::load(std::istream &IS) {
+namespace {
+
+/// Formats "line N: <what>" into *Error (when provided) and returns
+/// false, so load() can `return fail(...)` at every reject site.
+bool fail(std::string *Error, size_t LineNo, const std::string &What) {
+  if (Error)
+    *Error = "line " + std::to_string(LineNo) + ": " + What;
+  return false;
+}
+
+} // namespace
+
+bool PerformanceModel::load(std::istream &IS, std::string *Error) {
   std::string Header;
   if (!std::getline(IS, Header) ||
       Header != "cswitch-performance-model v1")
-    return false;
+    return fail(Error, 1, "not a cswitch-performance-model v1 document");
+
+  // A well-formed document carries at most one polynomial per
+  // (variant, operation, dimension) cell; a duplicate means the file
+  // was corrupted or concatenated, and silently keeping the last row
+  // would mask that.
+  std::set<size_t> SeenCells;
 
   std::string Line;
+  size_t LineNo = 1;
   while (std::getline(IS, Line)) {
+    ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
     std::istringstream LS(Line);
     std::string Abstraction, VariantName, OpName, DimName;
     if (!(LS >> Abstraction >> VariantName >> OpName >> DimName))
-      return false;
+      return fail(Error, LineNo, "truncated row");
 
     VariantId Id{AbstractionKind::List, 0};
     if (Abstraction == "list") {
       ListVariant V;
       if (!parseListVariant(VariantName, V))
-        return false;
+        return fail(Error, LineNo, "unknown list variant '" + VariantName +
+                                       "'");
       Id = VariantId::of(V);
     } else if (Abstraction == "set") {
       SetVariant V;
       if (!parseSetVariant(VariantName, V))
-        return false;
+        return fail(Error, LineNo,
+                    "unknown set variant '" + VariantName + "'");
       Id = VariantId::of(V);
     } else if (Abstraction == "map") {
       MapVariant V;
       if (!parseMapVariant(VariantName, V))
-        return false;
+        return fail(Error, LineNo,
+                    "unknown map variant '" + VariantName + "'");
       Id = VariantId::of(V);
     } else {
-      return false;
+      return fail(Error, LineNo,
+                  "unknown abstraction '" + Abstraction + "'");
     }
 
     OperationKind Op;
     if (!parseOperationKind(OpName.c_str(), Op))
-      return false;
+      return fail(Error, LineNo, "unknown operation '" + OpName + "'");
     CostDimension Dim;
     if (!parseCostDimension(DimName, Dim))
-      return false;
+      return fail(Error, LineNo, "unknown cost dimension '" + DimName + "'");
+
+    if (!SeenCells.insert(indexOf(Id, Op, Dim)).second)
+      return fail(Error, LineNo,
+                  "duplicate row for " + Abstraction + " " + Id.name() +
+                      " " + OpName + " " + DimName);
 
     std::vector<double> Coeffs;
     double C;
-    while (LS >> C)
+    while (LS >> C) {
+      // operator>> accepts "nan"/"inf" spellings on common libstdc++
+      // configurations; a non-finite coefficient would poison every
+      // cost comparison downstream, so reject it here.
+      if (!std::isfinite(C))
+        return fail(Error, LineNo, "non-finite coefficient");
       Coeffs.push_back(C);
+    }
     if (Coeffs.empty())
-      return false;
+      return fail(Error, LineNo, "row has no coefficients");
+    if (!LS.eof()) {
+      std::string Rest;
+      LS.clear();
+      LS >> Rest;
+      return fail(Error, LineNo,
+                  "trailing garbage '" + Rest + "' after coefficients");
+    }
     setCost(Id, Op, Dim, Polynomial(std::move(Coeffs)));
   }
   return true;
@@ -194,9 +238,13 @@ bool PerformanceModel::saveToFile(const std::string &Path) const {
   return static_cast<bool>(OS);
 }
 
-bool PerformanceModel::loadFromFile(const std::string &Path) {
+bool PerformanceModel::loadFromFile(const std::string &Path,
+                                    std::string *Error) {
   std::ifstream IS(Path);
-  if (!IS)
+  if (!IS) {
+    if (Error)
+      *Error = "cannot open " + Path;
     return false;
-  return load(IS);
+  }
+  return load(IS, Error);
 }

@@ -101,13 +101,17 @@ public:
   void save(std::ostream &OS) const;
 
   /// Parses a model produced by save(). \returns false (and leaves the
-  /// model partially updated) on malformed input.
-  bool load(std::istream &IS);
+  /// model partially updated) on malformed input: unknown names,
+  /// non-finite (NaN/Inf) coefficients, duplicate
+  /// (abstraction, variant, operation, dimension) rows, or trailing
+  /// garbage after the coefficients. When \p Error is non-null it
+  /// receives a line-numbered diagnostic on failure.
+  bool load(std::istream &IS, std::string *Error = nullptr);
 
   /// Convenience wrappers over save()/load() for files. Return false on
   /// I/O or parse failure.
   bool saveToFile(const std::string &Path) const;
-  bool loadFromFile(const std::string &Path);
+  bool loadFromFile(const std::string &Path, std::string *Error = nullptr);
 
 private:
   size_t indexOf(VariantId Variant, OperationKind Op,

@@ -1,0 +1,292 @@
+//===- SelectionStore.cpp - Cross-run persistent selections ---------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/SelectionStore.h"
+
+#include "support/EventLog.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define CSWITCH_STORE_FLOCK 1
+#endif
+
+using namespace cswitch;
+
+namespace {
+
+uint64_t monus(uint64_t A, uint64_t B) { return A > B ? A - B : 0; }
+
+/// Exponential-decay scaling of one integer counter. Counts stay
+/// integral so documents round-trip exactly through the canonical
+/// encoder and the text export.
+uint64_t decay(uint64_t Value, double Factor) {
+  if (Value == 0)
+    return 0;
+  double Scaled = static_cast<double>(Value) * Factor;
+  if (Scaled <= 0.0)
+    return 0;
+  return static_cast<uint64_t>(std::llround(Scaled));
+}
+
+/// RAII advisory lock on `<store>.lock`: the cross-process critical
+/// section around persist()'s read-modify-write. Blocking; concurrent
+/// persists from other processes queue up instead of clobbering.
+class FileLock {
+public:
+  bool acquire(const std::string &Path) {
+#ifdef CSWITCH_STORE_FLOCK
+    Fd = ::open(Path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+    if (Fd < 0)
+      return false;
+    while (::flock(Fd, LOCK_EX) != 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      Fd = -1;
+      return false;
+    }
+#else
+    (void)Path; // No advisory locking on this platform; best effort.
+#endif
+    return true;
+  }
+
+  ~FileLock() {
+#ifdef CSWITCH_STORE_FLOCK
+    if (Fd >= 0) {
+      ::flock(Fd, LOCK_UN);
+      ::close(Fd);
+    }
+#endif
+  }
+
+private:
+#ifdef CSWITCH_STORE_FLOCK
+  int Fd = -1;
+#endif
+};
+
+} // namespace
+
+SelectionStore::SelectionStore(StoreOptions Options) : Options([&] {
+  Options.DecayFactor = std::clamp(Options.DecayFactor, 0.0, 1.0);
+  return Options;
+}()) {}
+
+bool SelectionStore::load(const std::string &Path, std::string *Error) {
+  std::vector<StoreSite> Sites;
+  std::string LoadError;
+  bool Present = false;
+  bool Ok = false;
+  {
+    std::ifstream IS(Path, std::ios::binary);
+    if (IS) {
+      Present = true;
+      Ok = readStore(IS, Sites, &LoadError);
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Base.clear();
+  Ledger.clear();
+  if (!Present) {
+    // No store yet: a normal cold start, not a failure.
+    ++Counters.Loads;
+    return true;
+  }
+  if (!Ok) {
+    // Corrupt or version-mismatched store: degrade to cold start. The
+    // event + counter make the degradation observable; the process
+    // itself proceeds unaffected.
+    ++Counters.LoadFailures;
+    EventLog::global().record(EventKind::Store, Path,
+                              "load failed: " + LoadError +
+                                  "; starting cold");
+    if (Error)
+      *Error = LoadError;
+    return false;
+  }
+  for (StoreSite &Site : Sites) {
+    Key K = keyOf(Site.Name, Site.Rule, Site.Kind);
+    Base.emplace(std::move(K), std::move(Site));
+  }
+  ++Counters.Loads;
+  Counters.SitesLoaded += Base.size();
+  return true;
+}
+
+std::optional<StoreSite> SelectionStore::lookup(std::string_view Name,
+                                                std::string_view Rule,
+                                                AbstractionKind Kind) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Base.find(keyOf(Name, Rule, Kind));
+  if (It == Base.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void SelectionStore::noteWarmStart() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.WarmStarts;
+}
+
+void SelectionStore::recordFinished(const std::string &Name,
+                                    const std::string &Rule,
+                                    AbstractionKind Kind, unsigned Decision,
+                                    const WorkloadProfile &Profile,
+                                    uint64_t Instances) {
+  if (Instances == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Contribution &C = Ledger[keyOf(Name, Rule, Kind)];
+  C.Decision = Decision;
+  C.Folded.merge(Profile);
+  C.FoldedInstances += Instances;
+}
+
+bool SelectionStore::persist(const std::string &Path,
+                             const std::vector<LiveSite> &Live,
+                             std::string *Error) {
+  auto failPersist = [&](const std::string &Message) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.PersistFailures;
+    EventLog::global().record(EventKind::Store, Path,
+                              "persist failed: " + Message);
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+
+  FileLock Guard;
+  if (!Guard.acquire(Path + ".lock"))
+    return failPersist("cannot acquire store lock");
+
+  // Fresh read under the flock: another process may have merged its run
+  // since our load(). A corrupt document is replaced, never crashed on.
+  std::vector<StoreSite> DiskSites;
+  {
+    std::ifstream IS(Path, std::ios::binary);
+    if (IS) {
+      std::string ReadError;
+      if (!readStore(IS, DiskSites, &ReadError)) {
+        DiskSites.clear();
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.LoadFailures;
+        EventLog::global().record(EventKind::Store, Path,
+                                  "corrupt store replaced on persist: " +
+                                      ReadError);
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<Key, StoreSite> Disk;
+  for (StoreSite &Site : DiskSites) {
+    Key K = keyOf(Site.Name, Site.Rule, Site.Kind);
+    Disk.emplace(std::move(K), std::move(Site));
+  }
+
+  // This process's current totals per site: the folded ledger plus the
+  // live contexts' lifetime aggregates.
+  struct Totals {
+    unsigned Decision = 0;
+    std::array<uint64_t, NumOperationKinds> Counts = {};
+    uint64_t Instances = 0;
+    uint64_t MaxSize = 0;
+  };
+  std::map<Key, Totals> Pending;
+  for (const auto &[K, C] : Ledger) {
+    Totals &T = Pending[K];
+    T.Decision = C.Decision;
+    T.Counts = C.Folded.Counts;
+    T.Instances = C.FoldedInstances;
+    T.MaxSize = C.Folded.MaxSize;
+  }
+  for (const LiveSite &L : Live) {
+    if (L.Instances == 0)
+      continue;
+    Totals &T = Pending[keyOf(L.Name, L.Rule, L.Kind)];
+    T.Decision = L.Decision; // Live state is the most recent decision.
+    for (size_t Op = 0; Op != NumOperationKinds; ++Op)
+      T.Counts[Op] += L.Profile.Counts[Op];
+    T.Instances += L.Instances;
+    T.MaxSize = std::max(T.MaxSize, L.Profile.MaxSize);
+  }
+
+  // Merge: decay + run bump once per (site, process), then add only the
+  // delta beyond what this process already wrote. Ledger bookkeeping is
+  // staged and committed after the write succeeds, so a failed write
+  // retries the full delta (and the decay) next time.
+  struct StagedUpdate {
+    Contribution *C;
+    std::array<uint64_t, NumOperationKinds> Counts;
+    uint64_t Instances;
+  };
+  std::vector<StagedUpdate> Staged;
+  Staged.reserve(Pending.size());
+  for (auto &[K, T] : Pending) {
+    Contribution &C = Ledger[K];
+    auto [It, Fresh] = Disk.try_emplace(K);
+    StoreSite &E = It->second;
+    if (Fresh) {
+      E.Name = std::get<0>(K);
+      E.Rule = std::get<1>(K);
+      E.Kind = static_cast<AbstractionKind>(std::get<2>(K));
+    }
+    if (!C.Seeded) {
+      for (uint64_t &Count : E.Counts)
+        Count = decay(Count, Options.DecayFactor);
+      E.Instances = decay(E.Instances, Options.DecayFactor);
+      E.Runs += 1;
+    }
+    for (size_t Op = 0; Op != NumOperationKinds; ++Op)
+      E.Counts[Op] += monus(T.Counts[Op], C.WrittenCounts[Op]);
+    E.Instances += monus(T.Instances, C.WrittenInstances);
+    E.MaxSize = std::max(E.MaxSize, T.MaxSize);
+    E.Decision = T.Decision;
+    Staged.push_back({&C, T.Counts, T.Instances});
+  }
+
+  std::vector<StoreSite> Merged;
+  Merged.reserve(Disk.size());
+  for (auto &[K, Site] : Disk)
+    if (Site.Instances > 0) // Sites decayed to nothing are pruned.
+      Merged.push_back(std::move(Site));
+
+  std::string WriteError;
+  if (!writeStoreToFile(Path, Merged, &WriteError)) {
+    ++Counters.PersistFailures;
+    EventLog::global().record(EventKind::Store, Path,
+                              "persist failed: " + WriteError);
+    if (Error)
+      *Error = WriteError;
+    return false;
+  }
+  for (StagedUpdate &U : Staged) {
+    U.C->Seeded = true;
+    U.C->WrittenCounts = U.Counts;
+    U.C->WrittenInstances = U.Instances;
+  }
+  ++Counters.Persists;
+  return true;
+}
+
+size_t SelectionStore::siteCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Base.size();
+}
+
+StoreStats SelectionStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}

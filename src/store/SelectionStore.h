@@ -1,0 +1,177 @@
+//===- SelectionStore.h - Cross-run persistent selections -------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent selection store: per-allocation-site aggregated
+/// workload summaries plus the converged variant decision, carried
+/// across process runs so restarted services skip the cold observation
+/// ramp (the cost offline approaches — Chameleon, Brainy, §6 — avoid by
+/// construction, recovered here without giving up online adaptivity).
+///
+/// One SelectionStore instance fronts one `cswitch-store-v1` file:
+///
+///  - load() reads the previous runs' state. A missing file is a normal
+///    cold start; a corrupt or version-mismatched file degrades to cold
+///    start gracefully (logged to the EventLog, counted in stats()) —
+///    it never fails the process.
+///  - lookup() feeds warm starts: contexts created with
+///    ContextOptions::warmStart seed their initial variant from the
+///    stored decision and shrink their first observation window.
+///  - recordFinished() accumulates the lifetime aggregate of a dying
+///    context into the in-process contribution ledger.
+///  - persist() folds the ledger plus the currently-live contexts into
+///    the on-disk document under an advisory `flock`, so concurrent
+///    processes merge instead of clobbering each other. Each process
+///    counts as one run per site: the first time it touches a site it
+///    scales the older aggregate by DecayFactor (exponential decay of
+///    stale knowledge) and bumps the run count; repeated periodic
+///    persists only add the delta since the last one.
+///
+/// Thread-safe; persist() additionally serializes cross-process via the
+/// lock file `<path>.lock`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_STORE_SELECTIONSTORE_H
+#define CSWITCH_STORE_SELECTIONSTORE_H
+
+#include "profile/WorkloadProfile.h"
+#include "store/StoreFormat.h"
+#include "support/Telemetry.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cswitch {
+
+/// Tuning knobs of a selection store (aggregate with a fluent spelling,
+/// like ContextOptions).
+struct StoreOptions {
+  /// Scale applied to a site's older aggregate the first time a new
+  /// process run contributes to it (exponential decay; 1.0 = never
+  /// forget, 0.0 = every run starts the aggregate over).
+  double DecayFactor = 0.5;
+  /// Minimum time between two automatic persists on the engine's
+  /// background thread; zero disables periodic persistence (explicit
+  /// persistStore() calls only).
+  std::chrono::milliseconds PersistInterval{0};
+
+  StoreOptions &decayFactor(double Value) {
+    DecayFactor = Value;
+    return *this;
+  }
+  StoreOptions &persistInterval(std::chrono::milliseconds Value) {
+    PersistInterval = Value;
+    return *this;
+  }
+};
+
+/// Persistent cross-run store of per-site selections and workload
+/// aggregates.
+class SelectionStore {
+public:
+  /// Live-context snapshot the engine hands to persist(): the current
+  /// decision plus the lifetime aggregate of analyzed instances.
+  struct LiveSite {
+    std::string Name;
+    std::string Rule;
+    AbstractionKind Kind = AbstractionKind::List;
+    unsigned Decision = 0;
+    WorkloadProfile Profile;
+    uint64_t Instances = 0;
+  };
+
+  explicit SelectionStore(StoreOptions Options = {});
+
+  SelectionStore(const SelectionStore &) = delete;
+  SelectionStore &operator=(const SelectionStore &) = delete;
+
+  const StoreOptions &options() const { return Options; }
+
+  /// Loads the store at \p Path, replacing any previously loaded state
+  /// (and clearing the contribution ledger). A missing file yields an
+  /// empty store and returns true (normal cold start). A corrupt or
+  /// version-mismatched file also yields an empty store but returns
+  /// false, records an EventKind::Store event, and counts a load
+  /// failure — warm starts simply find nothing.
+  bool load(const std::string &Path, std::string *Error = nullptr);
+
+  /// Looks up the persisted state of a site (by name, selection-rule
+  /// name, and abstraction) in the loaded base document.
+  std::optional<StoreSite> lookup(std::string_view Name,
+                                  std::string_view Rule,
+                                  AbstractionKind Kind) const;
+
+  /// Counts one warm-started context (called by contexts that seeded
+  /// their variant from lookup()).
+  void noteWarmStart();
+
+  /// Folds the lifetime aggregate of a finished context into the
+  /// in-process contribution ledger (the engine calls this when a
+  /// context unregisters). \p Instances is the number of analyzed
+  /// instances behind \p Profile; zero-instance contributions are
+  /// ignored.
+  void recordFinished(const std::string &Name, const std::string &Rule,
+                      AbstractionKind Kind, unsigned Decision,
+                      const WorkloadProfile &Profile, uint64_t Instances);
+
+  /// Merges this process's contributions (ledger + \p Live) into the
+  /// document at \p Path under an advisory flock, with crash-safe
+  /// replacement. A corrupt on-disk document is replaced rather than
+  /// crashed on (counted as a load failure). Idempotent across repeated
+  /// calls: only the delta since the previous persist is added, and the
+  /// per-site decay + run-count bump happen once per process.
+  bool persist(const std::string &Path, const std::vector<LiveSite> &Live,
+               std::string *Error = nullptr);
+
+  /// Number of sites in the loaded base document.
+  size_t siteCount() const;
+
+  /// Cumulative counters (exported via TelemetrySnapshot.Store).
+  StoreStats stats() const;
+
+private:
+  /// Site key: (name, rule, abstraction).
+  using Key = std::tuple<std::string, std::string, unsigned>;
+
+  /// This process's contribution to one site, tracked so repeated
+  /// persists stay idempotent: Folded accumulates finished contexts,
+  /// Written remembers what already reached disk, and Seeded marks that
+  /// this process already decayed the older aggregate and counted its
+  /// run.
+  struct Contribution {
+    unsigned Decision = 0;
+    WorkloadProfile Folded;
+    uint64_t FoldedInstances = 0;
+    std::array<uint64_t, NumOperationKinds> WrittenCounts = {};
+    uint64_t WrittenInstances = 0;
+    bool Seeded = false;
+  };
+
+  static Key keyOf(std::string_view Name, std::string_view Rule,
+                   AbstractionKind Kind) {
+    return {std::string(Name), std::string(Rule),
+            static_cast<unsigned>(Kind)};
+  }
+
+  const StoreOptions Options;
+
+  mutable std::mutex Mutex;
+  /// Disk state as of load(); the warm-start source. Guarded by Mutex.
+  std::map<Key, StoreSite> Base;
+  /// This process's contributions. Guarded by Mutex.
+  std::map<Key, Contribution> Ledger;
+  StoreStats Counters; ///< Guarded by Mutex.
+};
+
+} // namespace cswitch
+
+#endif // CSWITCH_STORE_SELECTIONSTORE_H

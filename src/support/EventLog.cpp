@@ -47,6 +47,10 @@ const char *cswitch::eventKindName(EventKind Kind) {
     return "transition";
   case EventKind::AdaptiveMigration:
     return "adaptive-migration";
+  case EventKind::WarmStart:
+    return "warm-start";
+  case EventKind::Store:
+    return "store";
   }
   return "unknown";
 }

@@ -38,11 +38,13 @@ namespace cswitch {
 
 /// Kind of framework event.
 enum class EventKind {
-  ContextCreated,   ///< An allocation context was registered.
-  MonitoringRound,  ///< A context started monitoring a fresh window.
-  Evaluation,       ///< A context evaluated its window.
-  Transition,       ///< A context switched its variant.
-  AdaptiveMigration ///< An adaptive instance migrated its representation.
+  ContextCreated,    ///< An allocation context was registered.
+  MonitoringRound,   ///< A context started monitoring a fresh window.
+  Evaluation,        ///< A context evaluated its window.
+  Transition,        ///< A context switched its variant.
+  AdaptiveMigration, ///< An adaptive instance migrated its representation.
+  WarmStart,         ///< A context seeded its variant from the store.
+  Store              ///< Selection-store activity (load/persist problems).
 };
 
 /// Returns a stable name for \p Kind (e.g. "transition").

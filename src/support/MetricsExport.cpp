@@ -86,6 +86,16 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
          std::to_string(Snapshot.Recorder.InstancesSampled) +
          ", \"instances_skipped\": " +
          std::to_string(Snapshot.Recorder.InstancesSkipped) + "},\n";
+  Out += "  \"store\": {\"loads\": " + std::to_string(Snapshot.Store.Loads) +
+         ", \"load_failures\": " +
+         std::to_string(Snapshot.Store.LoadFailures) +
+         ", \"sites_loaded\": " +
+         std::to_string(Snapshot.Store.SitesLoaded) +
+         ", \"warm_starts\": " +
+         std::to_string(Snapshot.Store.WarmStarts) +
+         ", \"persists\": " + std::to_string(Snapshot.Store.Persists) +
+         ", \"persist_failures\": " +
+         std::to_string(Snapshot.Store.PersistFailures) + "},\n";
   Out += "  \"contexts\": [";
   for (size_t I = 0; I != Snapshot.Contexts.size(); ++I) {
     const ContextSnapshot &C = Snapshot.Contexts[I];
@@ -135,6 +145,14 @@ std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
          std::to_string(Snapshot.Recorder.InstancesSampled) +
          " recorder_instances_skipped=" +
          std::to_string(Snapshot.Recorder.InstancesSkipped) + "\n";
+  Out += "# store_loads=" + std::to_string(Snapshot.Store.Loads) +
+         " store_load_failures=" +
+         std::to_string(Snapshot.Store.LoadFailures) +
+         " store_sites_loaded=" + std::to_string(Snapshot.Store.SitesLoaded) +
+         " store_warm_starts=" + std::to_string(Snapshot.Store.WarmStarts) +
+         " store_persists=" + std::to_string(Snapshot.Store.Persists) +
+         " store_persist_failures=" +
+         std::to_string(Snapshot.Store.PersistFailures) + "\n";
   Out += "name,abstraction,variant,instances_created,"
          "instances_monitored,profiles_published,"
          "profiles_discarded,evaluations,switches,"

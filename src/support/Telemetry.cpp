@@ -125,6 +125,33 @@ bool cswitch::operator==(const RecorderStats &A, const RecorderStats &B) {
          A.InstancesSkipped == B.InstancesSkipped;
 }
 
+StoreStats &StoreStats::operator+=(const StoreStats &Other) {
+  Loads += Other.Loads;
+  LoadFailures += Other.LoadFailures;
+  SitesLoaded += Other.SitesLoaded;
+  WarmStarts += Other.WarmStarts;
+  Persists += Other.Persists;
+  PersistFailures += Other.PersistFailures;
+  return *this;
+}
+
+StoreStats cswitch::operator-(const StoreStats &A, const StoreStats &B) {
+  StoreStats Out;
+  Out.Loads = monus(A.Loads, B.Loads);
+  Out.LoadFailures = monus(A.LoadFailures, B.LoadFailures);
+  Out.SitesLoaded = monus(A.SitesLoaded, B.SitesLoaded);
+  Out.WarmStarts = monus(A.WarmStarts, B.WarmStarts);
+  Out.Persists = monus(A.Persists, B.Persists);
+  Out.PersistFailures = monus(A.PersistFailures, B.PersistFailures);
+  return Out;
+}
+
+bool cswitch::operator==(const StoreStats &A, const StoreStats &B) {
+  return A.Loads == B.Loads && A.LoadFailures == B.LoadFailures &&
+         A.SitesLoaded == B.SitesLoaded && A.WarmStarts == B.WarmStarts &&
+         A.Persists == B.Persists && A.PersistFailures == B.PersistFailures;
+}
+
 RecorderRegistry &RecorderRegistry::global() {
   static RecorderRegistry Instance;
   return Instance;
@@ -162,6 +189,7 @@ TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
   Out.Engine = Now.Engine - Before.Engine;
   Out.Events = Now.Events - Before.Events;
   Out.Recorder = Now.Recorder - Before.Recorder;
+  Out.Store = Now.Store - Before.Store;
   std::unordered_map<std::string, const ContextSnapshot *> Baseline;
   Baseline.reserve(Before.Contexts.size());
   for (const ContextSnapshot &C : Before.Contexts)

@@ -109,6 +109,23 @@ struct RecorderStats {
 RecorderStats operator-(const RecorderStats &A, const RecorderStats &B);
 bool operator==(const RecorderStats &A, const RecorderStats &B);
 
+/// Counters of the persistent selection store (src/store/) at snapshot
+/// time, so cross-run warm-start behaviour — including graceful
+/// degradation on a corrupt store — is observable, not silent.
+struct StoreStats {
+  uint64_t Loads = 0;           ///< Store documents loaded (incl. missing).
+  uint64_t LoadFailures = 0;    ///< Corrupt/mismatched documents (cold start).
+  uint64_t SitesLoaded = 0;     ///< Sites read from loaded documents.
+  uint64_t WarmStarts = 0;      ///< Contexts seeded from a stored decision.
+  uint64_t Persists = 0;        ///< Successful store merges written out.
+  uint64_t PersistFailures = 0; ///< Failed lock/write attempts.
+
+  StoreStats &operator+=(const StoreStats &Other);
+};
+
+StoreStats operator-(const StoreStats &A, const StoreStats &B);
+bool operator==(const StoreStats &A, const StoreStats &B);
+
 /// Process-wide registry the trace recorders report through, so the
 /// engine's telemetry snapshot can include recorder counters without the
 /// support layer (or the core) depending on the replay library. A live
@@ -140,13 +157,14 @@ private:
 };
 
 /// One engine-wide observability snapshot: aggregate counters, the
-/// per-context breakdown, the state of the event log, and the trace
-/// recorders' loss accounting.
+/// per-context breakdown, the state of the event log, the trace
+/// recorders' loss accounting, and the selection store's counters.
 struct TelemetrySnapshot {
   EngineStats Engine;
   std::vector<ContextSnapshot> Contexts;
   EventLogStats Events;
   RecorderStats Recorder;
+  StoreStats Store;
 };
 
 /// Interval difference between two snapshots: aggregate and event

@@ -149,6 +149,64 @@ TEST(PerformanceModel, LoadRejectsMissingCoefficients) {
   EXPECT_FALSE(Model.load(IS));
 }
 
+TEST(PerformanceModel, LoadRejectsNonFiniteCoefficients) {
+  // (Out-of-range literals like 1e999 are clamped to a finite value by
+  // the stream extraction itself, so only the symbolic spellings reach
+  // the finiteness check.)
+  for (const char *Bad : {"nan", "-nan", "inf", "-inf", "infinity"}) {
+    PerformanceModel Model;
+    std::istringstream IS(std::string("cswitch-performance-model v1\n"
+                                      "list ArrayList populate time 4 ") +
+                          Bad + "\n");
+    std::string Error;
+    EXPECT_FALSE(Model.load(IS, &Error)) << Bad;
+    // Implementations that refuse to parse the nan/inf spelling at all
+    // report trailing garbage instead; either way the row is rejected
+    // with a line-numbered diagnostic.
+    EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+  }
+}
+
+TEST(PerformanceModel, LoadRejectsDuplicateRows) {
+  PerformanceModel Model;
+  std::istringstream IS("cswitch-performance-model v1\n"
+                        "list ArrayList populate time 4 0.5\n"
+                        "list ArrayList populate time 9\n");
+  std::string Error;
+  EXPECT_FALSE(Model.load(IS, &Error));
+  EXPECT_NE(Error.find("line 3"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("duplicate"), std::string::npos) << Error;
+  // The same cell on different dimensions (or variants) is not a
+  // duplicate.
+  PerformanceModel Ok;
+  std::istringstream IS2("cswitch-performance-model v1\n"
+                         "list ArrayList populate time 4\n"
+                         "list ArrayList populate alloc 4\n"
+                         "list LinkedList populate time 4\n");
+  EXPECT_TRUE(Ok.load(IS2));
+}
+
+TEST(PerformanceModel, LoadRejectsTrailingGarbage) {
+  PerformanceModel Model;
+  std::istringstream IS("cswitch-performance-model v1\n"
+                        "list ArrayList populate time 4 0.5 bogus\n");
+  std::string Error;
+  EXPECT_FALSE(Model.load(IS, &Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+}
+
+TEST(PerformanceModel, LoadErrorNamesTheFailingLine) {
+  PerformanceModel Model;
+  std::istringstream IS("cswitch-performance-model v1\n"
+                        "# comment\n"
+                        "list ArrayList populate time 4\n"
+                        "set Bogus populate time 4\n");
+  std::string Error;
+  EXPECT_FALSE(Model.load(IS, &Error));
+  EXPECT_NE(Error.find("line 4"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("Bogus"), std::string::npos) << Error;
+}
+
 TEST(PerformanceModel, LoadSkipsCommentsAndBlankLines) {
   PerformanceModel Model;
   std::istringstream IS("cswitch-performance-model v1\n"

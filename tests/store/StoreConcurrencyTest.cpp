@@ -1,0 +1,124 @@
+//===- StoreConcurrencyTest.cpp - Cross-process store merge tests ---------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Two real processes (fork) persist into the same store file at the
+// same time. The advisory flock serializes their read-modify-write
+// cycles, so the merged document must contain every site from both
+// processes, exact counter sums (decay 1.0), and a run count equal to
+// the number of contributing processes — no lost updates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "store/SelectionStore.h"
+
+#include <gtest/gtest.h>
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <cstdio>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cswitch;
+
+namespace {
+
+constexpr int NumProcesses = 2;
+constexpr int PersistsPerProcess = 8;
+
+WorkloadProfile childProfile() {
+  WorkloadProfile P;
+  for (int I = 0; I != 25; ++I)
+    P.record(OperationKind::Populate, 1);
+  for (int I = 0; I != 75; ++I)
+    P.record(OperationKind::Contains, 1);
+  P.recordSize(500);
+  return P;
+}
+
+/// The body of one contributing process: repeated recordFinished +
+/// persist cycles against the shared path, racing the sibling. Returns
+/// the child's exit code.
+int runChild(const std::string &Path, int Id) {
+  SelectionStore Store(StoreOptions{}.decayFactor(1.0));
+  if (!Store.load(Path))
+    return 10; // A corrupt read here would mean a torn write escaped.
+  for (int Round = 0; Round != PersistsPerProcess; ++Round) {
+    // One shared site both processes write, plus one per-process site.
+    Store.recordFinished("shared:hot-loop", "Rtime", AbstractionKind::List,
+                         static_cast<unsigned>(Id), childProfile(), 2);
+    Store.recordFinished("private:child-" + std::to_string(Id), "Rtime",
+                         AbstractionKind::Set, 1, childProfile(), 1);
+    if (!Store.persist(Path, {}))
+      return 11;
+  }
+  return 0;
+}
+
+TEST(StoreConcurrency, ForkedProcessesMergeWithoutLosingSites) {
+  std::string Path =
+      ::testing::TempDir() + "/cswitch_store_concurrency.cswitchstore";
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+
+  pid_t Children[NumProcesses];
+  for (int Id = 0; Id != NumProcesses; ++Id) {
+    pid_t Pid = fork();
+    ASSERT_GE(Pid, 0) << "fork failed";
+    if (Pid == 0) {
+      // _exit keeps the child clear of gtest teardown and shared
+      // stdio flushing.
+      _exit(runChild(Path, Id));
+    }
+    Children[Id] = Pid;
+  }
+  for (pid_t Pid : Children) {
+    int Status = 0;
+    ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+    ASSERT_TRUE(WIFEXITED(Status));
+    EXPECT_EQ(WEXITSTATUS(Status), 0);
+  }
+
+  std::vector<StoreSite> Sites;
+  std::string Error;
+  ASSERT_TRUE(readStoreFromFile(Path, Sites, &Error)) << Error;
+  ASSERT_EQ(Sites.size(), static_cast<size_t>(NumProcesses + 1));
+
+  const size_t PopulateIx = static_cast<size_t>(OperationKind::Populate);
+  const size_t ContainsIx = static_cast<size_t>(OperationKind::Contains);
+  bool SawShared = false;
+  int PrivateSeen = 0;
+  for (const StoreSite &S : Sites) {
+    if (S.Name == "shared:hot-loop") {
+      SawShared = true;
+      // Each process contributes once per round; decay 1.0 keeps the
+      // full history, so the sums must be exact — any lost
+      // read-modify-write cycle would show up here.
+      uint64_t Rounds = NumProcesses * PersistsPerProcess;
+      EXPECT_EQ(S.Runs, static_cast<uint64_t>(NumProcesses));
+      EXPECT_EQ(S.Instances, Rounds * 2);
+      EXPECT_EQ(S.Counts[PopulateIx], Rounds * 25);
+      EXPECT_EQ(S.Counts[ContainsIx], Rounds * 75);
+    } else {
+      ++PrivateSeen;
+      EXPECT_EQ(S.Runs, 1u);
+      EXPECT_EQ(S.Instances,
+                static_cast<uint64_t>(PersistsPerProcess));
+      EXPECT_EQ(S.Counts[ContainsIx],
+                static_cast<uint64_t>(PersistsPerProcess) * 75);
+    }
+  }
+  EXPECT_TRUE(SawShared);
+  EXPECT_EQ(PrivateSeen, NumProcesses);
+
+  std::remove(Path.c_str());
+  std::remove((Path + ".lock").c_str());
+}
+
+} // namespace
+
+#endif // unix

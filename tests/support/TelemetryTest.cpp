@@ -185,6 +185,12 @@ TelemetrySnapshot sampleSnapshot() {
   S.Recorder.OpsDropped = 7;
   S.Recorder.InstancesSampled = 20;
   S.Recorder.InstancesSkipped = 60;
+  S.Store.Loads = 2;
+  S.Store.LoadFailures = 1;
+  S.Store.SitesLoaded = 9;
+  S.Store.WarmStarts = 4;
+  S.Store.Persists = 5;
+  S.Store.PersistFailures = 0;
   return S;
 }
 
@@ -203,6 +209,42 @@ TEST(Telemetry, JsonCarriesSchemaAndTotals) {
                       "\"instances_sampled\": 20, "
                       "\"instances_skipped\": 60}"),
             std::string::npos);
+  // So does the selection store's warm-start accounting.
+  EXPECT_NE(Json.find("\"store\": {\"loads\": 2, \"load_failures\": 1, "
+                      "\"sites_loaded\": 9, \"warm_starts\": 4, "
+                      "\"persists\": 5, \"persist_failures\": 0}"),
+            std::string::npos);
+}
+
+TEST(Telemetry, StoreStatsAccumulateAndSubtractSaturating) {
+  StoreStats A;
+  A.Loads = 2;
+  A.LoadFailures = 1;
+  A.SitesLoaded = 12;
+  A.WarmStarts = 4;
+  A.Persists = 3;
+  A.PersistFailures = 1;
+  StoreStats B = A;
+  B += A;
+  EXPECT_EQ(B.Loads, 4u);
+  EXPECT_EQ(B.SitesLoaded, 24u);
+  EXPECT_EQ(B.PersistFailures, 2u);
+  EXPECT_TRUE(B - A == A);
+  // Monotonic counters: a backwards interval clamps to zero.
+  EXPECT_TRUE(A - B == StoreStats{});
+}
+
+TEST(Telemetry, SnapshotDiffCarriesStoreDelta) {
+  TelemetrySnapshot Before, Now;
+  Before.Store.Loads = 1;
+  Before.Store.WarmStarts = 2;
+  Now.Store.Loads = 3;
+  Now.Store.WarmStarts = 7;
+  Now.Store.Persists = 4;
+  TelemetrySnapshot Delta = Now - Before;
+  EXPECT_EQ(Delta.Store.Loads, 2u);
+  EXPECT_EQ(Delta.Store.WarmStarts, 5u);
+  EXPECT_EQ(Delta.Store.Persists, 4u);
 }
 
 TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
@@ -210,13 +252,17 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   std::istringstream Lines(Csv);
   // Loss counters lead as `#` comments so the column schema is
   // unchanged but drops are never invisible in exported data.
-  std::string Events, Recorder, Header;
+  std::string Events, Recorder, Store, Header;
   ASSERT_TRUE(std::getline(Lines, Events));
   EXPECT_EQ(Events, "# events_recorded=42 events_dropped=2");
   ASSERT_TRUE(std::getline(Lines, Recorder));
   EXPECT_EQ(Recorder,
             "# recorder_ops_recorded=1000 recorder_ops_dropped=7 "
             "recorder_instances_sampled=20 recorder_instances_skipped=60");
+  ASSERT_TRUE(std::getline(Lines, Store));
+  EXPECT_EQ(Store, "# store_loads=2 store_load_failures=1 "
+                   "store_sites_loaded=9 store_warm_starts=4 "
+                   "store_persists=5 store_persist_failures=0");
   ASSERT_TRUE(std::getline(Lines, Header));
   EXPECT_EQ(Header,
             "name,abstraction,variant,instances_created,"

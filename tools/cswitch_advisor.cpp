@@ -11,9 +11,13 @@
 //
 //   cswitch_advisor trace.txt                       # Rtime, built-in model
 //   cswitch_advisor --rule ralloc trace.txt
-//   cswitch_advisor --model cswitch_model.txt trace.txt
+//   cswitch_advisor --model data/cswitch_model.txt trace.txt
 //   cswitch_advisor --json report.json trace.txt    # machine-readable copy
 //   ... | cswitch_advisor -                         # trace from stdin
+//
+// When `--model` is absent the `CSWITCH_MODEL` environment variable is
+// consulted; only when neither names a file does the built-in default
+// model apply.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +26,7 @@
 #include "support/MetricsExport.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -95,11 +100,17 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (ModelPath.empty()) {
+    const char *EnvPath = std::getenv("CSWITCH_MODEL");
+    if (EnvPath && EnvPath[0])
+      ModelPath = EnvPath;
+  }
   PerformanceModel Model;
   if (!ModelPath.empty()) {
-    if (!Model.loadFromFile(ModelPath)) {
-      std::fprintf(stderr, "error: cannot load model %s\n",
-                   ModelPath.c_str());
+    std::string ModelError;
+    if (!Model.loadFromFile(ModelPath, &ModelError)) {
+      std::fprintf(stderr, "error: cannot load model %s (%s)\n",
+                   ModelPath.c_str(), ModelError.c_str());
       return 1;
     }
   } else {

@@ -1,0 +1,409 @@
+//===- cswitch_store.cpp - Selection-store inspection tool ----------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Offline management of `cswitch-store-v1` selection-store files:
+//
+//   cswitch_store info  store.cswitchstore [--json]
+//   cswitch_store export store.cswitchstore           # text to stdout
+//   cswitch_store merge -o out.cswitchstore a b ...   # inputs binary or text
+//   cswitch_store prune -o out.cswitchstore [--min-runs N]
+//                       [--min-instances N] store.cswitchstore
+//
+// `export` emits the line-oriented `cswitch-store-text-v1` form; `merge`
+// accepts both forms (sniffed) and `-` for stdin, so a store round-trips
+// byte-identically through `cswitch_store export X | cswitch_store merge
+// -o Y -` — the canonical encoder makes equality structural.
+//
+//===----------------------------------------------------------------------===//
+
+#include "collections/Variants.h"
+#include "store/StoreFormat.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cswitch;
+
+namespace {
+
+constexpr char TextMagic[] = "cswitch-store-text-v1";
+
+const char *variantName(AbstractionKind Kind, unsigned Index) {
+  switch (Kind) {
+  case AbstractionKind::List:
+    return listVariantName(static_cast<ListVariant>(Index));
+  case AbstractionKind::Set:
+    return setVariantName(static_cast<SetVariant>(Index));
+  case AbstractionKind::Map:
+    return mapVariantName(static_cast<MapVariant>(Index));
+  }
+  return "?";
+}
+
+bool parseVariant(AbstractionKind Kind, const std::string &Name,
+                  unsigned &Out) {
+  switch (Kind) {
+  case AbstractionKind::List: {
+    ListVariant V;
+    if (!parseListVariant(Name, V))
+      return false;
+    Out = static_cast<unsigned>(V);
+    return true;
+  }
+  case AbstractionKind::Set: {
+    SetVariant V;
+    if (!parseSetVariant(Name, V))
+      return false;
+    Out = static_cast<unsigned>(V);
+    return true;
+  }
+  case AbstractionKind::Map: {
+    MapVariant V;
+    if (!parseMapVariant(Name, V))
+      return false;
+    Out = static_cast<unsigned>(V);
+    return true;
+  }
+  }
+  return false;
+}
+
+bool parseKind(const std::string &Name, AbstractionKind &Out) {
+  for (unsigned K = 0; K != NumAbstractionKinds; ++K) {
+    auto Kind = static_cast<AbstractionKind>(K);
+    if (Name == abstractionKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Quotes \p Text for the text format (backslash escapes; names may
+/// contain anything, including spaces and quotes).
+std::string quoted(const std::string &Text) {
+  std::string Out = "\"";
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Parses one quoted string starting at \p Pos in \p Line (which must
+/// point at the opening quote); advances \p Pos past the closing quote.
+bool parseQuoted(const std::string &Line, size_t &Pos, std::string &Out) {
+  if (Pos >= Line.size() || Line[Pos] != '"')
+    return false;
+  Out.clear();
+  for (++Pos; Pos < Line.size(); ++Pos) {
+    char C = Line[Pos];
+    if (C == '"') {
+      ++Pos;
+      return true;
+    }
+    if (C == '\\') {
+      if (++Pos >= Line.size())
+        return false;
+      char E = Line[Pos];
+      Out += E == 'n' ? '\n' : E;
+      continue;
+    }
+    Out += C;
+  }
+  return false; // unterminated
+}
+
+std::string exportText(const std::vector<StoreSite> &Sites) {
+  // Canonical order so export is deterministic for any input order.
+  std::vector<const StoreSite *> Order;
+  Order.reserve(Sites.size());
+  for (const StoreSite &S : Sites)
+    Order.push_back(&S);
+  std::sort(Order.begin(), Order.end(),
+            [](const StoreSite *A, const StoreSite *B) {
+              return StoreSite::orderedBefore(*A, *B);
+            });
+  std::string Out = TextMagic;
+  Out += '\n';
+  for (const StoreSite *S : Order) {
+    Out += "site " + quoted(S->Name) + ' ' + quoted(S->Rule) + ' ';
+    Out += abstractionKindName(S->Kind);
+    Out += ' ';
+    Out += variantName(S->Kind, S->Decision);
+    Out += ' ' + std::to_string(S->Runs) + ' ' +
+           std::to_string(S->Instances) + ' ' + std::to_string(S->MaxSize);
+    for (uint64_t Count : S->Counts)
+      Out += ' ' + std::to_string(Count);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool parseText(std::istream &IS, std::vector<StoreSite> &Out,
+               std::string &Error) {
+  Out.clear();
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != TextMagic) {
+    Error = "not a cswitch-store-text document (bad header)";
+    return false;
+  }
+  size_t LineNo = 1;
+  while (std::getline(IS, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    auto failLine = [&](const char *Message) {
+      Error = "line " + std::to_string(LineNo) + ": " + Message;
+      Out.clear();
+      return false;
+    };
+    if (Line.rfind("site ", 0) != 0)
+      return failLine("expected a `site` record");
+    size_t Pos = 5;
+    StoreSite Site;
+    if (!parseQuoted(Line, Pos, Site.Name))
+      return failLine("bad site name");
+    if (Pos >= Line.size() || Line[Pos++] != ' ' ||
+        !parseQuoted(Line, Pos, Site.Rule))
+      return failLine("bad rule name");
+    std::istringstream Rest(Line.substr(Pos));
+    std::string KindName, VariantName;
+    if (!(Rest >> KindName) || !parseKind(KindName, Site.Kind))
+      return failLine("bad abstraction kind");
+    unsigned Decision = 0;
+    if (!(Rest >> VariantName) ||
+        !parseVariant(Site.Kind, VariantName, Decision))
+      return failLine("bad variant name");
+    Site.Decision = Decision;
+    if (!(Rest >> Site.Runs >> Site.Instances >> Site.MaxSize))
+      return failLine("bad site counters");
+    for (uint64_t &Count : Site.Counts)
+      if (!(Rest >> Count))
+        return failLine("bad operation counts");
+    std::string Trailing;
+    if (Rest >> Trailing)
+      return failLine("trailing fields");
+    Out.push_back(std::move(Site));
+  }
+  return true;
+}
+
+/// Reads \p Path (or stdin for "-") in either the binary or the text
+/// form, sniffing by prefix.
+bool readAnyStore(const std::string &Path, std::vector<StoreSite> &Out,
+                  std::string &Error) {
+  std::string Bytes;
+  if (Path == "-") {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Bytes = Buffer.str();
+  } else {
+    std::ifstream IS(Path, std::ios::binary);
+    if (!IS) {
+      Error = "cannot open " + Path;
+      return false;
+    }
+    std::ostringstream Buffer;
+    Buffer << IS.rdbuf();
+    Bytes = Buffer.str();
+  }
+  if (Bytes.rfind(TextMagic, 0) == 0) {
+    std::istringstream IS(Bytes);
+    return parseText(IS, Out, Error);
+  }
+  return decodeStore(Bytes, Out, &Error);
+}
+
+int fail(const std::string &Message) {
+  std::fprintf(stderr, "error: %s\n", Message.c_str());
+  return 1;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: cswitch_store <command> ...\n"
+      "  info  <store> [--json]           summarize a store file\n"
+      "  export <store>                   print the text form to stdout\n"
+      "  merge -o <out> <input...>        merge stores (binary or text, -"
+      " = stdin)\n"
+      "  prune -o <out> [--min-runs N] [--min-instances N] <store>\n");
+  return 2;
+}
+
+int cmdInfo(const std::vector<std::string> &Args) {
+  std::string Path;
+  bool Json = false;
+  for (const std::string &A : Args) {
+    if (A == "--json")
+      Json = true;
+    else
+      Path = A;
+  }
+  if (Path.empty())
+    return usage();
+  std::vector<StoreSite> Sites;
+  std::string Error;
+  if (!readAnyStore(Path, Sites, Error))
+    return fail(Error);
+  uint64_t Instances = 0, MaxRuns = 0;
+  for (const StoreSite &S : Sites) {
+    Instances += S.Instances;
+    MaxRuns = std::max(MaxRuns, S.Runs);
+  }
+  if (Json) {
+    std::string Out = "{\n  \"schema\": \"cswitch-store-info-v1\",\n";
+    Out += "  \"sites\": " + std::to_string(Sites.size()) + ",\n";
+    Out += "  \"instances\": " + std::to_string(Instances) + ",\n";
+    Out += "  \"max_runs\": " + std::to_string(MaxRuns) + "\n}\n";
+    std::fputs(Out.c_str(), stdout);
+    return 0;
+  }
+  std::printf("%s: %zu sites, %llu instances, up to %llu runs\n",
+              Path.c_str(), Sites.size(),
+              static_cast<unsigned long long>(Instances),
+              static_cast<unsigned long long>(MaxRuns));
+  for (const StoreSite &S : Sites)
+    std::printf("  %-32s %-8s %-6s -> %-18s runs=%llu instances=%llu "
+                "maxsize=%llu\n",
+                S.Name.c_str(), S.Rule.c_str(),
+                abstractionKindName(S.Kind), variantName(S.Kind, S.Decision),
+                static_cast<unsigned long long>(S.Runs),
+                static_cast<unsigned long long>(S.Instances),
+                static_cast<unsigned long long>(S.MaxSize));
+  return 0;
+}
+
+int cmdExport(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    return usage();
+  std::vector<StoreSite> Sites;
+  std::string Error;
+  if (!readAnyStore(Args[0], Sites, Error))
+    return fail(Error);
+  std::string Text = exportText(Sites);
+  std::fwrite(Text.data(), 1, Text.size(), stdout);
+  return 0;
+}
+
+int cmdMerge(const std::vector<std::string> &Args) {
+  std::string OutPath;
+  std::vector<std::string> Inputs;
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (Args[I] == "-o" && I + 1 != Args.size())
+      OutPath = Args[++I];
+    else
+      Inputs.push_back(Args[I]);
+  }
+  if (OutPath.empty() || Inputs.empty())
+    return usage();
+  // Sum counters across inputs; the decision follows the input whose
+  // site has seen the most runs (later inputs win ties, so merging one
+  // input reproduces it exactly).
+  std::map<std::tuple<std::string, std::string, unsigned>, StoreSite> Merged;
+  for (const std::string &Input : Inputs) {
+    std::vector<StoreSite> Sites;
+    std::string Error;
+    if (!readAnyStore(Input, Sites, Error))
+      return fail(Input + ": " + Error);
+    for (StoreSite &S : Sites) {
+      auto Key = std::make_tuple(S.Name, S.Rule,
+                                 static_cast<unsigned>(S.Kind));
+      auto [It, Fresh] = Merged.try_emplace(Key, S);
+      if (Fresh)
+        continue;
+      StoreSite &E = It->second;
+      if (S.Runs >= E.Runs)
+        E.Decision = S.Decision;
+      E.Runs += S.Runs;
+      E.Instances += S.Instances;
+      E.MaxSize = std::max(E.MaxSize, S.MaxSize);
+      for (size_t Op = 0; Op != NumOperationKinds; ++Op)
+        E.Counts[Op] += S.Counts[Op];
+    }
+  }
+  std::vector<StoreSite> Out;
+  Out.reserve(Merged.size());
+  for (auto &[Key, Site] : Merged)
+    Out.push_back(std::move(Site));
+  std::string Error;
+  if (!writeStoreToFile(OutPath, Out, &Error))
+    return fail(OutPath + ": " + Error);
+  std::fprintf(stderr, "[wrote %s: %zu sites]\n", OutPath.c_str(),
+               Out.size());
+  return 0;
+}
+
+int cmdPrune(const std::vector<std::string> &Args) {
+  std::string OutPath, InPath;
+  uint64_t MinRuns = 0, MinInstances = 0;
+  for (size_t I = 0; I != Args.size(); ++I) {
+    if (Args[I] == "-o" && I + 1 != Args.size())
+      OutPath = Args[++I];
+    else if (Args[I] == "--min-runs" && I + 1 != Args.size())
+      MinRuns = std::strtoull(Args[++I].c_str(), nullptr, 10);
+    else if (Args[I] == "--min-instances" && I + 1 != Args.size())
+      MinInstances = std::strtoull(Args[++I].c_str(), nullptr, 10);
+    else
+      InPath = Args[I];
+  }
+  if (OutPath.empty() || InPath.empty())
+    return usage();
+  std::vector<StoreSite> Sites;
+  std::string Error;
+  if (!readAnyStore(InPath, Sites, Error))
+    return fail(Error);
+  size_t Before = Sites.size();
+  Sites.erase(std::remove_if(Sites.begin(), Sites.end(),
+                             [&](const StoreSite &S) {
+                               return S.Runs < MinRuns ||
+                                      S.Instances < MinInstances;
+                             }),
+              Sites.end());
+  if (!writeStoreToFile(OutPath, Sites, &Error))
+    return fail(OutPath + ": " + Error);
+  std::fprintf(stderr, "[wrote %s: kept %zu of %zu sites]\n",
+               OutPath.c_str(), Sites.size(), Before);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Command = Argv[1];
+  std::vector<std::string> Args(Argv + 2, Argv + Argc);
+  if (Command == "info")
+    return cmdInfo(Args);
+  if (Command == "export")
+    return cmdExport(Args);
+  if (Command == "merge")
+    return cmdMerge(Args);
+  if (Command == "prune")
+    return cmdPrune(Args);
+  return usage();
+}
