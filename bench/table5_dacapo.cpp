@@ -27,6 +27,12 @@
 // pipeline (cswitch_replay replay/simulate/info). `--apps a,b` filters
 // the app set in both modes; `--sample N` traces every Nth instance.
 //
+// Observability mode (`--serve-metrics <port>`, 0 = ephemeral): the
+// pull endpoint (Switch::serveMetrics) comes up before the table and
+// stays up for `--serve-hold <seconds>` (default 30) afterwards, so
+// `curl /metrics` and `cswitch_top` can observe a live run; event
+// logging is forced on so /trace.json carries the decision timeline.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
@@ -37,10 +43,13 @@
 #include "support/MetricsExport.h"
 #include "support/Statistics.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cswitch;
@@ -157,6 +166,22 @@ int main(int Argc, char **Argv) {
   Base.CtxOptions.WindowSize = 100;
   Base.CtxOptions.FinishedRatio = 0.6;
   Base.CtxOptions.LogEvents = false;
+
+  long ServePort = intOption(Argc, Argv, "--serve-metrics", -1);
+  if (ServePort >= 0) {
+    uint16_t Bound = Switch::serveMetrics(static_cast<uint16_t>(ServePort));
+    if (!Bound) {
+      std::fprintf(stderr, "error: cannot bind metrics port %ld\n",
+                   ServePort);
+      return 1;
+    }
+    std::printf("[serving metrics on http://127.0.0.1:%u]\n", Bound);
+    std::fflush(stdout);
+    // The decision-timeline export (/trace.json) draws on the event
+    // ring, so a served run logs events even though the plain table
+    // run keeps them off.
+    Base.CtxOptions.LogEvents = true;
+  }
 
   if (StorePath[0]) {
     if (Switch::loadStore(StorePath))
@@ -279,6 +304,14 @@ int main(int Argc, char **Argv) {
       std::printf("[wrote telemetry snapshot to %s]\n", TelemetryPath);
     else
       std::fprintf(stderr, "[failed to write %s]\n", TelemetryPath);
+  }
+
+  if (ServePort >= 0) {
+    long Hold = std::max(intOption(Argc, Argv, "--serve-hold", 30), 0L);
+    std::printf("[metrics endpoint stays up for %ld s]\n", Hold);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::seconds(Hold));
+    Switch::stopMetricsServer();
   }
   return 0;
 }

@@ -48,6 +48,10 @@ AllocationContextBase::AllocationContextBase(
   assert(this->Options.WindowSize > 0 && "window size must be positive");
   assert(this->Options.WindowSize < UINT32_MAX &&
          "window size must fit the packed assigned counter");
+  // Interned in the global registry: same-named sites share one profile
+  // across context lifetimes, and the histograms stay out of this
+  // context's memory footprint.
+  Prof = obs::ProfilingRegistry::global().profile(this->Name);
   // Warm start runs before the window buffers are sized: a hit both
   // seeds Current and shrinks Options.WindowSize.
   applyWarmStart();
@@ -123,35 +127,52 @@ AllocationContextBase::aggregateProfile(uint64_t &Instances) const {
 }
 
 size_t AllocationContextBase::acquireMonitorSlot() {
+  // Continuous profiling is sampled 1-in-64 per thread: the unsampled
+  // common case adds a single thread_local decrement to this path.
+  const bool Sampled = obs::shouldSampleRecord();
+  const uint64_t Start = Sampled ? obs::nowNanos() : 0;
+
   Created.fetch_add(1, std::memory_order_relaxed);
+  size_t Out = NoSlot;
   uint64_t State = RoundState.load(std::memory_order_acquire);
   for (;;) {
     uint32_t Assigned = static_cast<uint32_t>(State);
     // Lock-free fast path: the window of this round is already full —
     // the common steady-state case is a single atomic load.
     if (Assigned >= Options.WindowSize)
-      return NoSlot;
+      break;
     // Claim slot `Assigned` of the current round. The CAS covers the
     // round bits too: if evaluate() rotates concurrently, the claim
     // retries against the new round instead of landing in a retired
     // window.
     if (RoundState.compare_exchange_weak(State, State + 1,
                                          std::memory_order_acq_rel,
-                                         std::memory_order_acquire))
+                                         std::memory_order_acquire)) {
+      uint32_t Round = static_cast<uint32_t>(State >> 32);
+      uint32_t Index = static_cast<uint32_t>(State);
+      // The claim store publishes slot ownership to the finisher and the
+      // analyzer (which spins briefly if it wins the race to this line).
+      bufferOf(Round)[Index].State.store(
+          slotState(Round, SlotStatus::Claimed), std::memory_order_release);
+      Monitored.fetch_add(1, std::memory_order_relaxed);
+      Out = (static_cast<size_t>(Round) << 32) | Index;
       break;
+    }
   }
-  uint32_t Round = static_cast<uint32_t>(State >> 32);
-  uint32_t Index = static_cast<uint32_t>(State);
-  // The claim store publishes slot ownership to the finisher and the
-  // analyzer (which spins briefly if it wins the race to this line).
-  bufferOf(Round)[Index].State.store(slotState(Round, SlotStatus::Claimed),
-                                     std::memory_order_release);
-  Monitored.fetch_add(1, std::memory_order_relaxed);
-  return (static_cast<size_t>(Round) << 32) | Index;
+
+  if (Sampled)
+    Prof->Record.record(obs::nowNanos() - Start, obs::RecordSampleEvery);
+  return Out;
 }
 
 void AllocationContextBase::onInstanceFinished(
     size_t Slot, const WorkloadProfile &Profile) {
+  // Publication is the other half of the monitoring fast path; it
+  // shares the Record histogram (and the 1-in-64 sampling) with slot
+  // acquisition.
+  const bool Sampled = obs::shouldSampleRecord();
+  const uint64_t Start = Sampled ? obs::nowNanos() : 0;
+
   auto Round = static_cast<uint32_t>(Slot >> 32);
   auto Index = static_cast<uint32_t>(Slot & 0xffffffffu);
   assert(Index < Options.WindowSize && "slot out of range");
@@ -166,28 +187,30 @@ void AllocationContextBase::onInstanceFinished(
           Expected, slotState(Round, SlotStatus::Writing),
           std::memory_order_acq_rel, std::memory_order_relaxed)) {
     Discarded.fetch_add(1, std::memory_order_relaxed);
-    return;
+  } else {
+    for (size_t I = 0; I != NumOperationKinds; ++I)
+      Entry.Counts[I] = saturate32(Profile.Counts[I]);
+    Entry.MaxSize = saturate32(Profile.MaxSize);
+    // Release-publish: the analyzer's acquire load of Finished orders the
+    // profile write before its reads.
+    Entry.State.store(slotState(Round, SlotStatus::Finished),
+                      std::memory_order_release);
+    Finished.fetch_add(1, std::memory_order_relaxed);
+
+    // Count the publication toward this round's finished-ratio gate. The
+    // round tag in the counter word makes a stale increment (the round
+    // rotated after the publication above) fail and drop out harmlessly.
+    std::atomic<uint64_t> &Counter = FinishedState[Round & 1];
+    uint64_t Count = Counter.load(std::memory_order_relaxed);
+    while (static_cast<uint32_t>(Count >> 32) == Round &&
+           !Counter.compare_exchange_weak(Count, Count + 1,
+                                          std::memory_order_release,
+                                          std::memory_order_relaxed)) {
+    }
   }
 
-  for (size_t I = 0; I != NumOperationKinds; ++I)
-    Entry.Counts[I] = saturate32(Profile.Counts[I]);
-  Entry.MaxSize = saturate32(Profile.MaxSize);
-  // Release-publish: the analyzer's acquire load of Finished orders the
-  // profile write before its reads.
-  Entry.State.store(slotState(Round, SlotStatus::Finished),
-                    std::memory_order_release);
-  Finished.fetch_add(1, std::memory_order_relaxed);
-
-  // Count the publication toward this round's finished-ratio gate. The
-  // round tag in the counter word makes a stale increment (the round
-  // rotated after the publication above) fail and drop out harmlessly.
-  std::atomic<uint64_t> &Counter = FinishedState[Round & 1];
-  uint64_t Count = Counter.load(std::memory_order_relaxed);
-  while (static_cast<uint32_t>(Count >> 32) == Round &&
-         !Counter.compare_exchange_weak(Count, Count + 1,
-                                        std::memory_order_release,
-                                        std::memory_order_relaxed)) {
-  }
+  if (Sampled)
+    Prof->Record.record(obs::nowNanos() - Start, obs::RecordSampleEvery);
 }
 
 bool AllocationContextBase::isAdaptiveVariant(AbstractionKind Kind,
@@ -358,6 +381,11 @@ bool AllocationContextBase::evaluate() {
   if (FinishedInRound < std::max<size_t>(Needed, 1))
     return false;
 
+  // Analysis rounds are rare (paced by the monitoring rate), so every
+  // one is timed — no sampling on this path.
+  const bool Profiled = obs::ProfilingRegistry::enabled();
+  const uint64_t AnalysisStart = Profiled ? obs::nowNanos() : 0;
+
   // Rotate: prime the inactive buffer's publication counter for the
   // next round, then swap rounds with one CAS. Creation immediately
   // continues into the fresh buffer while the retired one is analyzed
@@ -385,11 +413,14 @@ bool AllocationContextBase::evaluate() {
     // monitored to allow a continuous adaptation process".
     Log.record(EventKind::MonitoringRound, LogNameId);
   }
+  if (Profiled)
+    Prof->Evaluate.record(obs::nowNanos() - AnalysisStart);
 
   unsigned Cur = Current.load(std::memory_order_relaxed);
   if (!Choice || *Choice == Cur)
     return false;
 
+  const uint64_t SwitchStart = Profiled ? obs::nowNanos() : 0;
   Current.store(*Choice, std::memory_order_relaxed);
   Switches.fetch_add(1, std::memory_order_relaxed);
   if (Options.LogEvents) {
@@ -401,6 +432,8 @@ bool AllocationContextBase::evaluate() {
     EventLog &Log = EventLog::global();
     Log.record(EventKind::Transition, LogNameId, Log.intern(Detail));
   }
+  if (Profiled)
+    Prof->Switch.record(obs::nowNanos() - SwitchStart);
   return true;
 }
 

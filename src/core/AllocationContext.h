@@ -46,11 +46,13 @@
 #include "core/SelectionRule.h"
 #include "core/VariantSelection.h"
 #include "model/CostModel.h"
+#include "obs/Profiling.h"
 #include "profile/WorkloadProfile.h"
 #include "replay/TraceRecorder.h"
 #include "support/Telemetry.h"
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -103,6 +105,12 @@ struct ContextOptions {
   /// installed store (SwitchEngine::loadStore) is used. Not owned; must
   /// outlive the context.
   SelectionStore *Store = nullptr;
+  /// Period of the engine's background evaluation/reporter thread
+  /// (paper §4.3 "monitoring rate", default 50 ms). Consumed by
+  /// Switch::startEngine(Options) — a per-process knob carried here so
+  /// one options object can configure a whole deployment; contexts
+  /// themselves ignore it.
+  std::chrono::milliseconds MonitoringRate{50};
 
   ContextOptions &windowSize(size_t Value) {
     WindowSize = Value;
@@ -134,6 +142,10 @@ struct ContextOptions {
   }
   ContextOptions &store(SelectionStore *Value) {
     Store = Value;
+    return *this;
+  }
+  ContextOptions &monitoringRate(std::chrono::milliseconds Value) {
+    MonitoringRate = Value;
     return *this;
   }
 };
@@ -253,6 +265,11 @@ public:
   /// selection store persists for this site.
   WorkloadProfile aggregateProfile(uint64_t &Instances) const;
 
+  /// This site's continuous-profiling entry (interned in the global
+  /// ProfilingRegistry, so it aggregates across context lifetimes).
+  /// Never null.
+  const obs::SiteProfile *siteProfile() const { return Prof; }
+
 protected:
   /// Sentinel: instance is not monitored.
   static constexpr size_t NoSlot = SIZE_MAX;
@@ -262,7 +279,8 @@ protected:
   /// their upper 32 bits so that stale instances finishing after a round
   /// rotation are discarded rather than polluting a later round.
   /// Lock-free: one CAS on the packed (round, assigned) word plus one
-  /// release-store claiming the slot.
+  /// release-store claiming the slot. 1-in-64 calls per thread are timed
+  /// into the site's Record histogram (obs::shouldSampleRecord).
   size_t acquireMonitorSlot();
 
   /// The operation-trace recorder this context records into (nullptr
@@ -361,6 +379,10 @@ private:
   /// Index of this site in the recorder's site table (meaningful only
   /// when Options.Recorder is set; registered in the constructor).
   uint32_t RecorderSite = 0;
+  /// This site's latency histograms, resolved once from the global
+  /// ProfilingRegistry (a pointer, not a member: the histograms outlive
+  /// the context and stay out of its §5.3 memory footprint).
+  obs::SiteProfile *Prof = nullptr;
 
   std::atomic<unsigned> Current;
   std::atomic<uint64_t> Created{0};

@@ -7,6 +7,10 @@
 #include "core/Switch.h"
 
 #include "model/DefaultModel.h"
+#include "obs/MetricsHttp.h"
+#include "obs/OpenMetrics.h"
+#include "obs/PerfettoExport.h"
+#include "support/MetricsExport.h"
 
 using namespace cswitch;
 
@@ -19,6 +23,16 @@ std::mutex &modelMutex() {
 
 std::shared_ptr<const PerformanceModel> &modelSlot() {
   static std::shared_ptr<const PerformanceModel> Slot;
+  return Slot;
+}
+
+std::mutex &serverMutex() {
+  static std::mutex Mutex;
+  return Mutex;
+}
+
+std::unique_ptr<obs::MetricsServer> &serverSlot() {
+  static std::unique_ptr<obs::MetricsServer> Slot;
   return Slot;
 }
 
@@ -36,4 +50,39 @@ std::shared_ptr<const PerformanceModel> Switch::model() {
 void Switch::setModel(std::shared_ptr<const PerformanceModel> Model) {
   std::lock_guard<std::mutex> Lock(modelMutex());
   modelSlot() = std::move(Model);
+}
+
+uint16_t Switch::serveMetrics(uint16_t Port) {
+  std::lock_guard<std::mutex> Lock(serverMutex());
+  std::unique_ptr<obs::MetricsServer> &Slot = serverSlot();
+  if (Slot && Slot->running())
+    return 0;
+  auto Server = std::make_unique<obs::MetricsServer>();
+  // Each route renders a fresh snapshot per request; the snapshot
+  // machinery is safe against the running application, so the server
+  // thread needs no coordination with it.
+  Server->handle(
+      "/metrics",
+      "application/openmetrics-text; version=1.0.0; charset=utf-8",
+      [] { return obs::renderOpenMetrics(SwitchEngine::global().telemetry()); });
+  Server->handle("/snapshot.json", "application/json", [] {
+    return toJson(SwitchEngine::global().telemetry());
+  });
+  Server->handle("/trace.json", "application/json",
+                 [] { return obs::renderPerfettoTrace(); });
+  if (!Server->start(Port))
+    return 0;
+  Slot = std::move(Server);
+  return Slot->port();
+}
+
+void Switch::stopMetricsServer() {
+  std::lock_guard<std::mutex> Lock(serverMutex());
+  serverSlot().reset();
+}
+
+uint16_t Switch::metricsPort() {
+  std::lock_guard<std::mutex> Lock(serverMutex());
+  std::unique_ptr<obs::MetricsServer> &Slot = serverSlot();
+  return Slot ? Slot->port() : 0;
 }

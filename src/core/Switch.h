@@ -117,6 +117,45 @@ public:
     return SwitchEngine::global().evaluationThreads();
   }
 
+  /// Starts the global engine's background evaluation/reporter thread
+  /// at \p MonitoringRate (paper §4.3, default 50 ms). No-op when
+  /// already running.
+  static void startEngine(std::chrono::milliseconds MonitoringRate =
+                              std::chrono::milliseconds(50)) {
+    SwitchEngine::global().start(MonitoringRate);
+  }
+
+  /// Overload taking the rate from ContextOptions::MonitoringRate, so
+  /// one options object configures contexts and engine pacing alike.
+  static void startEngine(const ContextOptions &Options) {
+    SwitchEngine::global().start(Options.MonitoringRate);
+  }
+
+  /// Stops the background thread (persisting the store and flushing a
+  /// final telemetry report; see SwitchEngine::stop).
+  static void stopEngine() { SwitchEngine::global().stop(); }
+
+  //===--------------------------------------------------------------===//
+  // Pull-based introspection endpoint (src/obs/)
+  //===--------------------------------------------------------------===//
+
+  /// Starts the opt-in metrics endpoint on 127.0.0.1:\p Port (0 picks
+  /// an ephemeral port). Serves
+  ///   /metrics        OpenMetrics text (per-site latency summaries,
+  ///                   monitoring counters) — curl/Prometheus/
+  ///                   `cswitch_top watch` scrape this,
+  ///   /snapshot.json  the MetricsExport JSON telemetry document,
+  ///   /trace.json     the Perfetto decision-timeline trace.
+  /// \returns the bound port, or 0 when the endpoint could not start
+  /// (port in use, or already serving). One endpoint per process.
+  static uint16_t serveMetrics(uint16_t Port = 9100);
+
+  /// Stops the metrics endpoint (no-op when not serving).
+  static void stopMetricsServer();
+
+  /// Port the endpoint is bound to, or 0 when not serving.
+  static uint16_t metricsPort();
+
   /// Aggregate monitoring counters over every registered context: the
   /// runtime's own report of how much work the always-on monitoring
   /// pipeline performed (paper §5.3's overhead discussion). Bracket a

@@ -6,6 +6,7 @@
 
 #include "core/SwitchEngine.h"
 
+#include "obs/Profiling.h"
 #include "support/EventLog.h"
 
 #include <algorithm>
@@ -192,8 +193,11 @@ void SwitchEngine::stop() {
     Running = false;
   }
   // Final merge so learned selections survive the shutdown even when
-  // the periodic interval never fired.
+  // the periodic interval never fired, then a final report so the
+  // lifetime latency distributions reach the sink before the process
+  // goes quiet.
   persistStore();
+  flushReport();
 }
 
 bool SwitchEngine::isRunning() const {
@@ -244,6 +248,21 @@ void SwitchEngine::maybeReport() {
   ReportsEmitted.fetch_add(1, std::memory_order_relaxed);
 }
 
+void SwitchEngine::flushReport() {
+  std::function<void(const TelemetrySnapshot &)> Sink;
+  {
+    std::lock_guard<std::mutex> Lock(ReporterMutex);
+    if (!Reporter.Sink)
+      return;
+    // Restart the periodic clock so a flush does not double up with an
+    // imminent scheduled report.
+    NextReport = std::chrono::steady_clock::now() + Reporter.Interval;
+    Sink = Reporter.Sink;
+  }
+  Sink(telemetry());
+  ReportsEmitted.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool SwitchEngine::loadStore(const std::string &Path, StoreOptions Options) {
   auto NewStore = std::make_shared<SelectionStore>(Options);
   bool Ok = NewStore->load(Path);
@@ -270,6 +289,11 @@ bool SwitchEngine::persistStore() {
   }
   if (!St)
     return false;
+  // Persists are rare (interval-paced or shutdown), so every one is
+  // timed — merge gathering included, since that is the cost the
+  // background sweep actually pays.
+  const bool Profiled = obs::ProfilingRegistry::enabled();
+  const uint64_t Start = Profiled ? obs::nowNanos() : 0;
   std::vector<SelectionStore::LiveSite> Live;
   for (AllocationContextBase *Context : snapshotContexts()) {
     uint64_t Instances = 0;
@@ -280,11 +304,19 @@ bool SwitchEngine::persistStore() {
                     Context->abstraction(), Context->currentVariantIndex(),
                     std::move(Profile), Instances});
   }
-  return St->persist(Path, Live);
+  bool Ok = St->persist(Path, Live);
+  if (Profiled)
+    obs::ProfilingRegistry::global().persistHistogram().record(
+        obs::nowNanos() - Start);
+  return Ok;
 }
 
 void SwitchEngine::closeStore() {
   persistStore();
+  // The store counters and the persist histogram just took their final
+  // values; push them to the reporter sink before the store (and its
+  // counters) are uninstalled.
+  flushReport();
   std::lock_guard<std::mutex> Lock(StoreMutex);
   Store.reset();
   StorePath.clear();
@@ -343,10 +375,12 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
       C.Variant = Context->currentVariant().name();
       C.Stats = Context->stats();
       C.FootprintBytes = Context->memoryFootprint();
+      C.Latency = Context->siteProfile()->latencies();
       Snapshot.Engine += C.Stats;
       Snapshot.Contexts.push_back(std::move(C));
     }
   }
+  Snapshot.Latency = obs::ProfilingRegistry::global().engineLatencies();
   EventLog &Log = EventLog::global();
   Snapshot.Events.Recorded = Log.totalRecorded();
   Snapshot.Events.Dropped = Log.droppedCount();

@@ -130,6 +130,12 @@ public:
   /// Removes the reporter. An in-flight report may still complete.
   void clearReporter();
 
+  /// Emits one report to the installed sink immediately, regardless of
+  /// the periodic interval (which is restarted). No-op without a sink.
+  /// stop() and closeStore() call this so the final histogram snapshot
+  /// and store counters reach the sink before the process goes quiet.
+  void flushReport();
+
   //===--------------------------------------------------------------===//
   // Persistent selection store (src/store/)
   //===--------------------------------------------------------------===//

@@ -1,0 +1,159 @@
+//===- MetricsHttp.cpp - Pull-based introspection endpoint ---------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/MetricsHttp.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace cswitch;
+using namespace cswitch::obs;
+
+namespace {
+
+/// Writes all of \p Data to \p Fd, tolerating short writes. Returns
+/// false on error (peer gone — nothing useful to do about it).
+bool writeAll(int Fd, const char *Data, size_t Len) {
+  while (Len != 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Data += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+void respond(int Fd, const char *Status, const std::string &ContentType,
+             const std::string &Body) {
+  std::string Head = "HTTP/1.0 ";
+  Head += Status;
+  Head += "\r\nContent-Type: ";
+  Head += ContentType;
+  Head += "\r\nContent-Length: ";
+  Head += std::to_string(Body.size());
+  Head += "\r\nConnection: close\r\n\r\n";
+  if (writeAll(Fd, Head.data(), Head.size()))
+    writeAll(Fd, Body.data(), Body.size());
+}
+
+} // namespace
+
+MetricsServer::~MetricsServer() { stop(); }
+
+void MetricsServer::handle(std::string Path, std::string ContentType,
+                           TextSource Render) {
+  Routes.push_back({std::move(Path), std::move(ContentType),
+                    std::move(Render)});
+}
+
+bool MetricsServer::start(uint16_t Port) {
+  if (ListenFd >= 0)
+    return false;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 8) != 0) {
+    ::close(Fd);
+    return false;
+  }
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len) != 0) {
+    ::close(Fd);
+    return false;
+  }
+  BoundPort = ntohs(Addr.sin_port);
+  ListenFd = Fd;
+  Acceptor = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void MetricsServer::stop() {
+  if (ListenFd < 0)
+    return;
+  // shutdown() wakes the blocking accept with an error; the loop then
+  // notices the fd is being torn down and exits.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  BoundPort = 0;
+}
+
+void MetricsServer::serveLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Listen socket shut down: server stopping.
+    }
+    // Bound the time a stalled client can pin the (single) server
+    // thread: a scraper that connects but never sends times out.
+    timeval Timeout = {/*tv_sec=*/2, /*tv_usec=*/0};
+    ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+    serveConnection(Fd);
+    ::close(Fd);
+  }
+}
+
+void MetricsServer::serveConnection(int Fd) {
+  // Read until the end of the request line; headers are irrelevant to
+  // routing, so a newline is all we need.
+  std::string Request;
+  char Buf[1024];
+  while (Request.find('\n') == std::string::npos && Request.size() < 8192) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      return;
+    Request.append(Buf, static_cast<size_t>(N));
+  }
+  size_t LineEnd = Request.find('\n');
+  if (LineEnd == std::string::npos)
+    return;
+
+  // "GET /path HTTP/1.x"
+  std::string Line = Request.substr(0, LineEnd);
+  size_t MethodEnd = Line.find(' ');
+  if (MethodEnd == std::string::npos) {
+    respond(Fd, "400 Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  if (Line.substr(0, MethodEnd) != "GET") {
+    respond(Fd, "405 Method Not Allowed", "text/plain", "GET only\n");
+    return;
+  }
+  size_t PathEnd = Line.find(' ', MethodEnd + 1);
+  std::string Path = Line.substr(MethodEnd + 1,
+                                 PathEnd == std::string::npos
+                                     ? std::string::npos
+                                     : PathEnd - MethodEnd - 1);
+  // Strip a query string; the routes are plain paths.
+  if (size_t Query = Path.find('?'); Query != std::string::npos)
+    Path.resize(Query);
+
+  for (const auto &Route : Routes) {
+    if (Route.Path != Path)
+      continue;
+    respond(Fd, "200 OK", Route.ContentType, Route.Render());
+    return;
+  }
+  respond(Fd, "404 Not Found", "text/plain", "unknown path\n");
+}

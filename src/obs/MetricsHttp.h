@@ -1,0 +1,89 @@
+//===- MetricsHttp.h - Pull-based introspection endpoint --------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately tiny pull-based metrics endpoint: one background
+/// thread, blocking accept, HTTP/1.0, connection-per-request. It exists
+/// so a running application can be scraped (`curl :9100/metrics`,
+/// Prometheus, `cswitch_top watch`) without the framework growing a
+/// dependency on a real HTTP stack; anything beyond GET-a-text-document
+/// is out of scope and answered with 404/405.
+///
+/// Routes are registered as (path, render-callback) pairs before
+/// start(); each request invokes the callback fresh, so responses are
+/// always current. The callbacks run on the server thread — they must
+/// be safe to call concurrently with the application (the snapshot
+/// machinery they wrap already is).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_OBS_METRICSHTTP_H
+#define CSWITCH_OBS_METRICSHTTP_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cswitch {
+namespace obs {
+
+/// Minimal blocking-accept HTTP/1.0 server for text documents.
+class MetricsServer {
+public:
+  /// Renders the response body for one request; invoked per request on
+  /// the server thread.
+  using TextSource = std::function<std::string()>;
+
+  MetricsServer() = default;
+  ~MetricsServer();
+
+  MetricsServer(const MetricsServer &) = delete;
+  MetricsServer &operator=(const MetricsServer &) = delete;
+
+  /// Registers \p Render to answer GET \p Path with \p ContentType.
+  /// Must be called before start().
+  void handle(std::string Path, std::string ContentType, TextSource Render);
+
+  /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port), starts the
+  /// accept thread. Returns false if the socket could not be set up
+  /// (port in use, sockets unavailable); the server is then inert and
+  /// start() may be retried with another port.
+  bool start(uint16_t Port);
+
+  /// Stops the accept loop and joins the thread. Safe to call when not
+  /// running, and called by the destructor.
+  void stop();
+
+  /// True between a successful start() and stop().
+  bool running() const { return ListenFd >= 0; }
+
+  /// The bound port (resolved after start() with Port 0), or 0 when not
+  /// running.
+  uint16_t port() const { return BoundPort; }
+
+private:
+  void serveLoop();
+  void serveConnection(int Fd);
+
+  struct Route {
+    std::string Path;
+    std::string ContentType;
+    TextSource Render;
+  };
+
+  std::vector<Route> Routes;
+  std::thread Acceptor;
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+};
+
+} // namespace obs
+} // namespace cswitch
+
+#endif // CSWITCH_OBS_METRICSHTTP_H

@@ -1,0 +1,48 @@
+//===- OpenMetrics.h - OpenMetrics text rendering ---------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a TelemetrySnapshot plus the profiling registry's per-site
+/// histogram sweep as an OpenMetrics 1.0 text exposition — what the
+/// introspection endpoint serves under /metrics and what Prometheus or
+/// `cswitch_top watch` scrape. Counters end in `_total`, latency
+/// distributions are summaries with quantile labels (0.5/0.9/0.99/
+/// 0.999) in nanoseconds, per-site series carry a `site` label with
+/// escaped values, and the document is terminated by `# EOF`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_OBS_OPENMETRICS_H
+#define CSWITCH_OBS_OPENMETRICS_H
+
+#include "obs/Profiling.h"
+#include "support/Telemetry.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cswitch {
+namespace obs {
+
+/// Escapes \p Text for use inside an OpenMetrics label value (backslash,
+/// double quote, newline).
+std::string openMetricsEscape(std::string_view Text);
+
+/// Renders the full exposition: engine-wide counters, per-context
+/// monitoring counters and footprints (from \p Snapshot), and per-site
+/// plus engine-wide latency summaries (from \p Sites and
+/// \p Snapshot.Latency).
+std::string renderOpenMetrics(const TelemetrySnapshot &Snapshot,
+                              const std::vector<SiteHistogramSnapshot> &Sites);
+
+/// Convenience overload sweeping the global ProfilingRegistry.
+std::string renderOpenMetrics(const TelemetrySnapshot &Snapshot);
+
+} // namespace obs
+} // namespace cswitch
+
+#endif // CSWITCH_OBS_OPENMETRICS_H

@@ -1,0 +1,139 @@
+//===- PerfettoExport.cpp - Decision-timeline trace export ---------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfettoExport.h"
+
+#include "support/MetricsExport.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+
+using namespace cswitch;
+using namespace cswitch::obs;
+
+namespace {
+
+/// Appends microsecond timestamp \p Nanos as `"ts":N.NNN`.
+void appendTs(std::string &Out, uint64_t Nanos) {
+  char Buf[48];
+  // trace_event timestamps are microseconds; keep nanosecond precision
+  // via three decimals.
+  std::snprintf(Buf, sizeof(Buf), "\"ts\":%" PRIu64 ".%03u",
+                Nanos / 1000, static_cast<unsigned>(Nanos % 1000));
+  Out += Buf;
+}
+
+void appendMetadata(std::string &Out, const char *Name, uint32_t Tid,
+                    const std::string &Value, bool &First) {
+  if (!First)
+    Out += ",\n";
+  First = false;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf),
+                "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"", Tid);
+  Out += Buf;
+  Out += Name;
+  Out += "\",\"args\":{\"name\":\"";
+  Out += jsonEscape(Value);
+  Out += "\"}}";
+}
+
+} // namespace
+
+std::string
+cswitch::obs::renderPerfettoTrace(const std::vector<Event> &Events,
+                                  const std::vector<SiteHistogramSnapshot> &Sites) {
+  // Assign one track (tid) per site name, deterministically: sites from
+  // the histogram sweep first (already sorted), then any event-only
+  // names in first-seen order. Tid 0 is the engine-level track for
+  // events with no site (e.g. store activity).
+  std::map<std::string, uint32_t> Tids;
+  uint32_t NextTid = 1;
+  for (const auto &Site : Sites)
+    Tids.emplace(Site.Name, NextTid++);
+  for (const auto &E : Events)
+    if (!E.Context.empty() && Tids.emplace(E.Context, NextTid).second)
+      ++NextTid;
+
+  // Timeline origin: the earliest real timestamp. Events recorded
+  // without one (Ts == 0) are pinned there instead of at the epoch,
+  // which would stretch the viewport by minutes of uptime.
+  uint64_t MinTs = UINT64_MAX, MaxTs = 0;
+  for (const auto &E : Events) {
+    if (E.TimestampNanos == 0)
+      continue;
+    MinTs = std::min(MinTs, E.TimestampNanos);
+    MaxTs = std::max(MaxTs, E.TimestampNanos);
+  }
+  if (MinTs == UINT64_MAX)
+    MinTs = 0;
+  MaxTs = std::max(MaxTs, MinTs);
+
+  std::string Out;
+  Out.reserve(4096 + Events.size() * 160);
+  Out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+         "\"schema\":\"cswitch-perfetto-v1\"},\"traceEvents\":[\n";
+  bool First = true;
+
+  appendMetadata(Out, "process_name", 0, "cswitch", First);
+  appendMetadata(Out, "thread_name", 0, "engine", First);
+  for (const auto &[Name, Tid] : Tids)
+    appendMetadata(Out, "thread_name", Tid, Name, First);
+
+  for (const auto &E : Events) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    uint64_t Ts = E.TimestampNanos == 0 ? MinTs : E.TimestampNanos;
+    uint32_t Tid = 0;
+    if (!E.Context.empty()) {
+      auto It = Tids.find(E.Context);
+      if (It != Tids.end())
+        Tid = It->second;
+    }
+    Out += "{\"ph\":\"i\",\"s\":\"t\",\"cat\":\"decision\",\"pid\":1,";
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "\"tid\":%u,", Tid);
+    Out += Buf;
+    appendTs(Out, Ts);
+    Out += ",\"name\":\"";
+    Out += jsonEscape(eventKindName(E.Kind));
+    Out += "\",\"args\":{\"detail\":\"";
+    Out += jsonEscape(E.Detail);
+    Out += "\",\"seq\":";
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64 "}}", E.SequenceNumber);
+    Out += Buf;
+  }
+
+  // One counter track per site plotting the lifetime p99s of its three
+  // instrumented paths at the end of the timeline.
+  for (const auto &Site : Sites) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "{\"ph\":\"C\",\"pid\":1,\"tid\":0,";
+    appendTs(Out, MaxTs);
+    Out += ",\"name\":\"p99 ns ";
+    Out += jsonEscape(Site.Name);
+    Out += "\",\"args\":{";
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\"record\":%.0f,\"evaluate\":%.0f,\"switch\":%.0f}}",
+                  Site.Record.quantile(0.99), Site.Evaluate.quantile(0.99),
+                  Site.Switch.quantile(0.99));
+    Out += Buf;
+  }
+
+  Out += "\n]}\n";
+  return Out;
+}
+
+std::string cswitch::obs::renderPerfettoTrace() {
+  return renderPerfettoTrace(EventLog::global().snapshot(),
+                             ProfilingRegistry::global().snapshotSites());
+}

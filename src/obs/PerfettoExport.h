@@ -1,0 +1,46 @@
+//===- PerfettoExport.h - Decision-timeline trace export --------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns drained EventLog events plus profiling-histogram snapshots into
+/// Chrome/Perfetto `trace_event` JSON (the "JSON Array Format" with a
+/// `traceEvents` wrapper object, loadable by ui.perfetto.dev and
+/// chrome://tracing). Each allocation site becomes one named track
+/// (thread) carrying instant events for its decisions — monitoring
+/// rounds, evaluations, transitions, warm starts — and counter tracks
+/// plot the per-site p99 latencies from the histogram sweep, all on the
+/// shared monotonicNanos() clock so decisions and latency shifts line
+/// up visually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_OBS_PERFETTOEXPORT_H
+#define CSWITCH_OBS_PERFETTOEXPORT_H
+
+#include "obs/Profiling.h"
+#include "support/EventLog.h"
+
+#include <string>
+#include <vector>
+
+namespace cswitch {
+namespace obs {
+
+/// Renders \p Events (as drained or snapshotted from an EventLog) plus
+/// the per-site histogram sweep \p Sites into a self-contained
+/// trace_event JSON document. Events with no timestamp (recorded before
+/// this feature, or synthetic) are placed at the timeline origin.
+std::string renderPerfettoTrace(const std::vector<Event> &Events,
+                                const std::vector<SiteHistogramSnapshot> &Sites);
+
+/// Convenience overload: snapshots the global EventLog (non-consuming)
+/// and sweeps the global ProfilingRegistry.
+std::string renderPerfettoTrace();
+
+} // namespace obs
+} // namespace cswitch
+
+#endif // CSWITCH_OBS_PERFETTOEXPORT_H

@@ -1,0 +1,68 @@
+//===- Profiling.cpp - Continuous profiling registry ---------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profiling.h"
+
+#include <algorithm>
+
+using namespace cswitch;
+using namespace cswitch::obs;
+
+std::atomic<bool> ProfilingRegistry::EnabledFlag{true};
+
+ProfilingRegistry &ProfilingRegistry::global() {
+  static ProfilingRegistry Instance;
+  return Instance;
+}
+
+SiteProfile *ProfilingRegistry::profile(const std::string &SiteName) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Sites.find(SiteName);
+  if (It != Sites.end())
+    return It->second.get();
+  auto Profile = std::make_unique<SiteProfile>(SiteName);
+  SiteProfile *Ptr = Profile.get();
+  Sites.emplace(SiteName, std::move(Profile));
+  return Ptr;
+}
+
+std::vector<SiteHistogramSnapshot> ProfilingRegistry::snapshotSites() const {
+  std::vector<SiteHistogramSnapshot> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Out.reserve(Sites.size());
+    for (const auto &[Name, Profile] : Sites) {
+      SiteHistogramSnapshot S;
+      S.Name = Name;
+      S.Record = Profile->Record.snapshot();
+      S.Evaluate = Profile->Evaluate.snapshot();
+      S.Switch = Profile->Switch.snapshot();
+      Out.push_back(std::move(S));
+    }
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const SiteHistogramSnapshot &A,
+               const SiteHistogramSnapshot &B) { return A.Name < B.Name; });
+  return Out;
+}
+
+EngineLatencies ProfilingRegistry::engineLatencies() const {
+  HistogramSnapshot Record, Evaluate, Switch;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const auto &[Name, Profile] : Sites) {
+      Record += Profile->Record.snapshot();
+      Evaluate += Profile->Evaluate.snapshot();
+      Switch += Profile->Switch.snapshot();
+    }
+  }
+  EngineLatencies L;
+  L.Record = Record.stats();
+  L.Evaluate = Evaluate.stats();
+  L.Switch = Switch.stats();
+  L.Persist = Persist.snapshot().stats();
+  return L;
+}

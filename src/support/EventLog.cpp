@@ -6,6 +6,8 @@
 
 #include "support/EventLog.h"
 
+#include "support/Timer.h"
+
 #include <algorithm>
 
 using namespace cswitch;
@@ -113,6 +115,7 @@ void EventLog::record(EventKind Kind, uint32_t ContextId,
   // unless both version loads agree on the ticket they expect.
   S.Ver.store(2 * Ticket + 1, std::memory_order_relaxed);
   orderingFence(std::memory_order_release);
+  S.Ts.store(monotonicNanos(), std::memory_order_relaxed);
   S.Context.store(ContextId, std::memory_order_relaxed);
   S.Detail.store(DetailId, std::memory_order_relaxed);
   S.Kind.store(static_cast<uint32_t>(Kind), std::memory_order_relaxed);
@@ -140,6 +143,7 @@ std::vector<EventLog::RawEvent> EventLog::collect(uint64_t Lo,
       continue; // mid-write, overwritten, or never published
     RawEvent Raw;
     Raw.Ticket = Ticket;
+    Raw.Ts = S.Ts.load(std::memory_order_relaxed);
     Raw.Context = S.Context.load(std::memory_order_relaxed);
     Raw.Detail = S.Detail.load(std::memory_order_relaxed);
     Raw.Kind = S.Kind.load(std::memory_order_relaxed);
@@ -160,6 +164,7 @@ std::vector<Event> EventLog::resolve(
     Event E;
     E.Kind = static_cast<EventKind>(R.Kind);
     E.SequenceNumber = R.Ticket;
+    E.TimestampNanos = R.Ts;
     E.ContextId = R.Context;
     E.DetailId = R.Detail;
     if (R.Context < InternedText.size())
@@ -202,6 +207,7 @@ std::vector<Event> EventLog::drain() {
       continue; // overwritten by a later ticket
     RawEvent R;
     R.Ticket = Ticket;
+    R.Ts = S.Ts.load(std::memory_order_relaxed);
     R.Context = S.Context.load(std::memory_order_relaxed);
     R.Detail = S.Detail.load(std::memory_order_relaxed);
     R.Kind = S.Kind.load(std::memory_order_relaxed);

@@ -58,6 +58,11 @@ struct Event {
   std::string Context; ///< Context/site name, or variant name for migrations.
   std::string Detail;  ///< Free-form detail, e.g. "ArrayList -> AdaptiveList".
   uint64_t SequenceNumber = 0;
+  /// Record time in monotonicNanos() units (the steady clock), so
+  /// drained events can be laid out on a timeline (the Perfetto
+  /// decision-timeline export) and correlated with latency histograms
+  /// captured on the same clock.
+  uint64_t TimestampNanos = 0;
   uint32_t ContextId = 0; ///< Interned id of Context.
   uint32_t DetailId = 0;  ///< Interned id of Detail.
 };
@@ -67,7 +72,8 @@ struct Event {
 /// Bounded so that long benchmark runs cannot grow it without limit;
 /// when full, the oldest events are overwritten (droppedCount() reports
 /// how many). The record path takes no mutex and performs no allocation:
-/// it is one relaxed fetch_add plus four slot stores. Consumers
+/// it is one relaxed fetch_add, one steady-clock read (the timestamp
+/// that anchors the decision timeline), and five slot stores. Consumers
 /// (snapshot / drain / clear) serialize against each other on a mutex
 /// but never against recorders; slots overwritten mid-read are detected
 /// by their sequence version and skipped.
@@ -158,6 +164,7 @@ private:
   /// writes are detected instead of locked out.
   struct alignas(32) Slot {
     std::atomic<uint64_t> Ver{0};
+    std::atomic<uint64_t> Ts{0};
     std::atomic<uint32_t> Context{0};
     std::atomic<uint32_t> Detail{0};
     std::atomic<uint32_t> Kind{0};
@@ -166,6 +173,7 @@ private:
   /// Raw (still id-based) event collected from the ring.
   struct RawEvent {
     uint64_t Ticket;
+    uint64_t Ts;
     uint32_t Context;
     uint32_t Detail;
     uint32_t Kind;

@@ -10,10 +10,54 @@
 
 using namespace cswitch;
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at \p I of \p Text, or 0
+/// when the bytes there are not well-formed UTF-8 (lone continuation
+/// byte, truncated sequence, overlong encoding, surrogate, > U+10FFFF).
+size_t utf8SequenceLength(std::string_view Text, size_t I) {
+  auto Byte = [&](size_t Off) {
+    return static_cast<unsigned char>(Text[I + Off]);
+  };
+  unsigned char Lead = Byte(0);
+  size_t Len;
+  if (Lead < 0x80)
+    return 1;
+  else if ((Lead & 0xe0) == 0xc0)
+    Len = 2;
+  else if ((Lead & 0xf0) == 0xe0)
+    Len = 3;
+  else if ((Lead & 0xf8) == 0xf0)
+    Len = 4;
+  else
+    return 0; // Continuation byte or 0xf8..0xff lead: invalid.
+  if (I + Len > Text.size())
+    return 0; // Truncated sequence.
+  for (size_t Off = 1; Off != Len; ++Off)
+    if ((Byte(Off) & 0xc0) != 0x80)
+      return 0;
+  // Reject overlong encodings, UTF-16 surrogates and values beyond
+  // U+10FFFF — all of which real JSON parsers refuse.
+  if (Len == 2 && Lead < 0xc2)
+    return 0;
+  if (Len == 3 && Lead == 0xe0 && Byte(1) < 0xa0)
+    return 0;
+  if (Len == 3 && Lead == 0xed && Byte(1) >= 0xa0)
+    return 0;
+  if (Len == 4 && (Lead == 0xf0 ? Byte(1) < 0x90
+                                : Lead == 0xf4 ? Byte(1) >= 0x90
+                                               : Lead > 0xf4))
+    return 0;
+  return Len;
+}
+
+} // namespace
+
 std::string cswitch::jsonEscape(std::string_view Text) {
   std::string Out;
   Out.reserve(Text.size());
-  for (char C : Text) {
+  for (size_t I = 0; I < Text.size();) {
+    char C = Text[I];
     switch (C) {
     case '"':
       Out += "\\\"";
@@ -30,16 +74,37 @@ std::string cswitch::jsonEscape(std::string_view Text) {
     case '\t':
       Out += "\\t";
       break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
     default:
       if (static_cast<unsigned char>(C) < 0x20) {
         char Buf[8];
         std::snprintf(Buf, sizeof(Buf), "\\u%04x",
                       static_cast<unsigned>(static_cast<unsigned char>(C)));
         Out += Buf;
+      } else if (static_cast<unsigned char>(C) >= 0x80) {
+        // Site names come from arbitrary application strings; passing
+        // non-UTF-8 bytes through raw would make the whole document
+        // unparseable. Valid multi-byte sequences are copied verbatim,
+        // anything else becomes U+FFFD.
+        size_t Len = utf8SequenceLength(Text, I);
+        if (Len == 0) {
+          Out += "\\ufffd";
+          ++I;
+        } else {
+          Out.append(Text.substr(I, Len));
+          I += Len;
+        }
+        continue;
       } else {
         Out += C;
       }
     }
+    ++I;
   }
   return Out;
 }
@@ -54,6 +119,36 @@ void appendStatFields(std::string &Out, const ContextStats &S) {
   Out += ", \"profiles_discarded\": " + std::to_string(S.ProfilesDiscarded);
   Out += ", \"evaluations\": " + std::to_string(S.Evaluations);
   Out += ", \"switches\": " + std::to_string(S.Switches);
+}
+
+/// Appends one LatencyStats object: counts, extrema, quantiles (all
+/// nanoseconds; quantiles with one decimal, which is already below the
+/// histogram bucket resolution).
+void appendLatencyStats(std::string &Out, const char *Key,
+                        const LatencyStats &S) {
+  char Buf[256];
+  std::snprintf(Buf, sizeof(Buf),
+                "\"%s\": {\"count\": %llu, \"saturated\": %llu, "
+                "\"sum_nanos\": %llu, \"min_nanos\": %llu, "
+                "\"max_nanos\": %llu, \"p50\": %.1f, \"p90\": %.1f, "
+                "\"p99\": %.1f, \"p999\": %.1f}",
+                Key, static_cast<unsigned long long>(S.Count),
+                static_cast<unsigned long long>(S.Saturated),
+                static_cast<unsigned long long>(S.SumNanos),
+                static_cast<unsigned long long>(S.MinNanos),
+                static_cast<unsigned long long>(S.MaxNanos), S.P50, S.P90,
+                S.P99, S.P999);
+  Out += Buf;
+}
+
+void appendSiteLatencies(std::string &Out, const SiteLatencies &L) {
+  Out += "\"latency\": {";
+  appendLatencyStats(Out, "record", L.Record);
+  Out += ", ";
+  appendLatencyStats(Out, "evaluate", L.Evaluate);
+  Out += ", ";
+  appendLatencyStats(Out, "switch", L.Switch);
+  Out += "}";
 }
 
 } // namespace
@@ -71,6 +166,15 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
   EngineTotals.Evaluations = Snapshot.Engine.Evaluations;
   EngineTotals.Switches = Snapshot.Engine.Switches;
   appendStatFields(Out, EngineTotals);
+  Out += "},\n";
+  Out += "  \"latency\": {";
+  appendLatencyStats(Out, "record", Snapshot.Latency.Record);
+  Out += ", ";
+  appendLatencyStats(Out, "evaluate", Snapshot.Latency.Evaluate);
+  Out += ", ";
+  appendLatencyStats(Out, "switch", Snapshot.Latency.Switch);
+  Out += ", ";
+  appendLatencyStats(Out, "persist", Snapshot.Latency.Persist);
   Out += "},\n";
   Out += "  \"events\": {\"recorded\": " +
          std::to_string(Snapshot.Events.Recorded) +
@@ -105,6 +209,8 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
     Out += "\"variant\": \"" + jsonEscape(C.Variant) + "\", ";
     appendStatFields(Out, C.Stats);
     Out += ", \"footprint_bytes\": " + std::to_string(C.FootprintBytes);
+    Out += ", ";
+    appendSiteLatencies(Out, C.Latency);
     Out += "}";
   }
   Out += Snapshot.Contexts.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -153,6 +259,21 @@ std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
          " store_persists=" + std::to_string(Snapshot.Store.Persists) +
          " store_persist_failures=" +
          std::to_string(Snapshot.Store.PersistFailures) + "\n";
+  {
+    // Engine-wide latency p99s ride along the same way: the column
+    // schema stays untouched, but tail behaviour is visible in every
+    // exported table.
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "# latency_record_count=%llu latency_record_p99=%.1f"
+                  " latency_evaluate_p99=%.1f latency_switch_p99=%.1f"
+                  " latency_persist_p99=%.1f\n",
+                  static_cast<unsigned long long>(
+                      Snapshot.Latency.Record.Count),
+                  Snapshot.Latency.Record.P99, Snapshot.Latency.Evaluate.P99,
+                  Snapshot.Latency.Switch.P99, Snapshot.Latency.Persist.P99);
+    Out += Buf;
+  }
   Out += "name,abstraction,variant,instances_created,"
          "instances_monitored,profiles_published,"
          "profiles_discarded,evaluations,switches,"

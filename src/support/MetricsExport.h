@@ -23,8 +23,10 @@
 
 namespace cswitch {
 
-/// Escapes \p Text for inclusion inside a JSON string literal (quotes,
-/// backslashes, control characters).
+/// Escapes \p Text for inclusion inside a JSON string literal: quotes,
+/// backslashes and control characters are escaped, valid UTF-8 passes
+/// through verbatim, and bytes that are not well-formed UTF-8 become
+/// U+FFFD so the emitted document always parses.
 std::string jsonEscape(std::string_view Text);
 
 /// Serializes \p Snapshot as a JSON document:
@@ -32,12 +34,16 @@ std::string jsonEscape(std::string_view Text);
 /// {
 ///   "schema": "cswitch-telemetry-v1",
 ///   "engine": {"contexts": N, "instances_created": ..., ...},
+///   "latency": {"record": {"count": ..., "p50": ..., "p99": ...},
+///               "evaluate": {...}, "switch": {...}, "persist": {...}},
 ///   "events": {"recorded": ..., "dropped": ...},
 ///   "recorder": {"recorders": ..., "ops_recorded": ...,
 ///                "ops_dropped": ..., "instances_sampled": ...,
 ///                "instances_skipped": ...},
 ///   "contexts": [{"name": ..., "abstraction": ..., "variant": ...,
-///                 "instances_created": ..., ..., "footprint_bytes": ...}]
+///                 "instances_created": ..., ..., "footprint_bytes": ...,
+///                 "latency": {"record": {...}, "evaluate": {...},
+///                             "switch": {...}}}]
 /// }
 /// \endcode
 /// Engine totals always equal the per-context column sums of the same

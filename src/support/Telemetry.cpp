@@ -90,6 +90,13 @@ bool cswitch::operator==(const EngineStats &A, const EngineStats &B) {
          A.Evaluations == B.Evaluations && A.Switches == B.Switches;
 }
 
+bool cswitch::operator==(const LatencyStats &A, const LatencyStats &B) {
+  return A.Count == B.Count && A.Saturated == B.Saturated &&
+         A.SumNanos == B.SumNanos && A.MinNanos == B.MinNanos &&
+         A.MaxNanos == B.MaxNanos && A.P50 == B.P50 && A.P90 == B.P90 &&
+         A.P99 == B.P99 && A.P999 == B.P999;
+}
+
 EventLogStats cswitch::operator-(const EventLogStats &A,
                                  const EventLogStats &B) {
   EventLogStats Out;
@@ -190,6 +197,9 @@ TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
   Out.Events = Now.Events - Before.Events;
   Out.Recorder = Now.Recorder - Before.Recorder;
   Out.Store = Now.Store - Before.Store;
+  // Lifetime-distribution quantiles do not subtract; carry the newer
+  // snapshot's distillation verbatim (same convention as Variant).
+  Out.Latency = Now.Latency;
   std::unordered_map<std::string, const ContextSnapshot *> Baseline;
   Baseline.reserve(Before.Contexts.size());
   for (const ContextSnapshot &C : Before.Contexts)

@@ -73,6 +73,45 @@ struct EngineStats {
 EngineStats operator-(const EngineStats &A, const EngineStats &B);
 bool operator==(const EngineStats &A, const EngineStats &B);
 
+/// Distilled view of one latency histogram (src/obs/LatencyHistogram):
+/// counts, extrema and the headline quantiles, all in nanoseconds.
+/// Cumulative since process start, like every other telemetry counter;
+/// quantiles describe the lifetime distribution, so interval snapshots
+/// carry them verbatim from the newer snapshot rather than subtracting.
+struct LatencyStats {
+  uint64_t Count = 0;     ///< Samples recorded.
+  uint64_t Saturated = 0; ///< Samples clamped at the max trackable value.
+  uint64_t SumNanos = 0;  ///< Sum of recorded latencies.
+  uint64_t MinNanos = 0;  ///< Smallest recorded latency (0 when empty).
+  uint64_t MaxNanos = 0;  ///< Largest recorded latency.
+  double P50 = 0.0;       ///< Median, in nanoseconds.
+  double P90 = 0.0;
+  double P99 = 0.0;
+  double P999 = 0.0;
+};
+// No operator+= on purpose: quantiles cannot be merged from two
+// LatencyStats — aggregation happens on the histograms themselves
+// (obs::HistogramSnapshot::operator+=) before distilling.
+
+bool operator==(const LatencyStats &A, const LatencyStats &B);
+
+/// Latency distributions of one allocation site's instrumented paths
+/// (the continuous-profiling layer's per-site view).
+struct SiteLatencies {
+  LatencyStats Record;   ///< Monitoring fast path (slot claim + publish).
+  LatencyStats Evaluate; ///< Window evaluation (analysis rounds).
+  LatencyStats Switch;   ///< Variant-transition execution.
+};
+
+/// Engine-wide latency distributions: the per-site histograms merged,
+/// plus the store-persistence path (which has no per-site identity).
+struct EngineLatencies {
+  LatencyStats Record;
+  LatencyStats Evaluate;
+  LatencyStats Switch;
+  LatencyStats Persist; ///< SelectionStore persist (merge + write).
+};
+
 /// Per-context slice of a telemetry snapshot. Strings, not enums, so
 /// the schema (and its exports) need no knowledge of the collection
 /// layer.
@@ -82,6 +121,7 @@ struct ContextSnapshot {
   std::string Variant;     ///< Current variant name.
   ContextStats Stats;
   size_t FootprintBytes = 0; ///< Approximate context memory footprint.
+  SiteLatencies Latency;     ///< Per-site latency distributions.
 };
 
 /// Counters of the event-log ring at snapshot time.
@@ -165,13 +205,15 @@ struct TelemetrySnapshot {
   EventLogStats Events;
   RecorderStats Recorder;
   StoreStats Store;
+  EngineLatencies Latency;
 };
 
 /// Interval difference between two snapshots: aggregate and event
 /// counters subtract saturating; contexts are matched by name (a
 /// context present only in \p Now appears verbatim — it is new activity
-/// by definition; contexts that vanished are omitted). Variant and
-/// footprint are taken from \p Now.
+/// by definition; contexts that vanished are omitted). Variant,
+/// footprint and the latency distributions are taken from \p Now
+/// (quantiles of a lifetime histogram do not subtract).
 TelemetrySnapshot operator-(const TelemetrySnapshot &Now,
                             const TelemetrySnapshot &Before);
 

@@ -18,6 +18,17 @@
 
 namespace cswitch {
 
+/// Monotonic nanoseconds since an arbitrary process-stable epoch (the
+/// steady clock's own epoch). One clock read; the shared timestamp
+/// source of the event log and the continuous-profiling layer, so their
+/// timelines line up in exports.
+inline uint64_t monotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 /// Monotonic stopwatch; starts at construction.
 class Timer {
 public:

@@ -188,13 +188,13 @@ TEST(SwitchApi, TelemetryJsonRoundTripsEngineStats) {
   EXPECT_EQ(firstJsonField(Json, "recorded"), T.Events.Recorded);
 
   // CSV carries one row per context of the same snapshot, preceded by
-  // the three `#` loss/store-counter comment lines and the column
-  // header.
+  // the four `#` loss/store/latency-counter comment lines and the
+  // column header.
   std::string Csv = toCsv(T);
   size_t Rows = 0;
   for (char C : Csv)
     Rows += C == '\n';
-  EXPECT_EQ(Rows, T.Contexts.size() + 4);
+  EXPECT_EQ(Rows, T.Contexts.size() + 5);
 }
 
 TEST(SwitchApi, DrainEventsHarvestsTransitions) {

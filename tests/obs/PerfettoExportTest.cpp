@@ -1,0 +1,117 @@
+//===- PerfettoExportTest.cpp - Decision-timeline export unit tests -------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Shape of the Chrome/Perfetto trace_event document: the traceEvents
+// wrapper, per-site thread_name metadata, instant events on the right
+// tracks with microsecond timestamps, zero-timestamp pinning at the
+// timeline origin, p99 counter tracks, and escaping of hostile site
+// names.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/PerfettoExport.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace cswitch;
+using namespace cswitch::obs;
+
+namespace {
+
+Event makeEvent(EventKind Kind, std::string Context, std::string Detail,
+                uint64_t Seq, uint64_t Ts) {
+  Event E;
+  E.Kind = Kind;
+  E.Context = std::move(Context);
+  E.Detail = std::move(Detail);
+  E.SequenceNumber = Seq;
+  E.TimestampNanos = Ts;
+  return E;
+}
+
+TEST(PerfettoExport, WrapsEventsInTraceEventDocument) {
+  std::vector<Event> Events = {
+      makeEvent(EventKind::Transition, "site-a",
+                "ArrayList -> LinkedList", 1, 5000500),
+      makeEvent(EventKind::Evaluation, "site-a", "", 2, 6000000),
+  };
+  std::string Json = renderPerfettoTrace(Events, {});
+  EXPECT_EQ(Json.rfind("{\"displayTimeUnit\":\"ms\",\"otherData\":{"
+                       "\"schema\":\"cswitch-perfetto-v1\"},"
+                       "\"traceEvents\":[",
+                       0),
+            0u);
+  EXPECT_EQ(Json.substr(Json.size() - 3), "]}\n");
+  // Engine process + track metadata, then the site's track.
+  EXPECT_NE(Json.find("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":"
+                      "\"process_name\",\"args\":{\"name\":\"cswitch\"}}"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"thread_name\",\"args\":{\"name\":"
+                      "\"site-a\"}}"),
+            std::string::npos);
+  // Instant events: nanosecond timestamps become microseconds with
+  // three decimals, on the site's track, with cat "decision".
+  EXPECT_NE(Json.find("\"ph\":\"i\",\"s\":\"t\",\"cat\":\"decision\","
+                      "\"pid\":1,\"tid\":1,\"ts\":5000.500,\"name\":"
+                      "\"transition\",\"args\":{\"detail\":"
+                      "\"ArrayList -> LinkedList\",\"seq\":1}"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"ts\":6000.000,\"name\":\"evaluation\""),
+            std::string::npos);
+}
+
+TEST(PerfettoExport, ZeroTimestampsArePinnedAtTheOrigin) {
+  std::vector<Event> Events = {
+      makeEvent(EventKind::ContextCreated, "site-a", "", 1, 0),
+      makeEvent(EventKind::Evaluation, "site-a", "", 2, 9000000),
+  };
+  std::string Json = renderPerfettoTrace(Events, {});
+  // The Ts==0 event sits at the earliest real timestamp, not at 0.
+  EXPECT_NE(Json.find("\"ts\":9000.000,\"name\":\"context-created\""),
+            std::string::npos)
+      << Json;
+  EXPECT_EQ(Json.find("\"ts\":0.000"), std::string::npos);
+}
+
+TEST(PerfettoExport, EventsWithoutSiteLandOnTheEngineTrack) {
+  std::vector<Event> Events = {
+      makeEvent(EventKind::Store, "", "load failed", 1, 1000),
+  };
+  std::string Json = renderPerfettoTrace(Events, {});
+  EXPECT_NE(Json.find("\"tid\":0,\"ts\":1.000,\"name\":\"store\""),
+            std::string::npos);
+}
+
+TEST(PerfettoExport, SiteSweepAddsCounterTracksWithP99s) {
+  SiteHistogramSnapshot Site;
+  Site.Name = "site \"x\"";
+  for (int I = 0; I != 100; ++I)
+    Site.Record.Buckets[HistogramLayout::bucketIndex(64)] += 1;
+  Site.Record.Count = 100;
+  Site.Record.MaxNanos = 64;
+  std::string Json = renderPerfettoTrace({}, {Site});
+  // Hostile name escaped in both the metadata and the counter name.
+  EXPECT_NE(Json.find("\"args\":{\"name\":\"site \\\"x\\\"\"}"),
+            std::string::npos);
+  EXPECT_NE(Json.find("{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":0.000,"
+                      "\"name\":\"p99 ns site \\\"x\\\"\",\"args\":{"
+                      "\"record\":64,\"evaluate\":0,\"switch\":0}}"),
+            std::string::npos)
+      << Json;
+}
+
+TEST(PerfettoExport, EmptyInputStillYieldsAValidDocument) {
+  std::string Json = renderPerfettoTrace({}, {});
+  EXPECT_NE(Json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_EQ(Json.substr(Json.size() - 3), "]}\n");
+  // Metadata for the engine track is always present.
+  EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,103 @@
+//===- ProfilingTest.cpp - Continuous-profiling registry unit tests -------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// The site-profile registry: interning semantics, the sorted sweep the
+// exporters consume, the engine-wide merge, the sampling gate, and the
+// global enable switch. The registry is process-wide and never forgets
+// a site, so every test uses its own site names.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Profiling.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace cswitch;
+using namespace cswitch::obs;
+
+namespace {
+
+TEST(Profiling, ProfilesAreInternedByName) {
+  ProfilingRegistry &R = ProfilingRegistry::global();
+  SiteProfile *A = R.profile("proftest:intern");
+  SiteProfile *B = R.profile("proftest:intern");
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A, B) << "same name must resolve to the same profile";
+  EXPECT_EQ(A->Name, "proftest:intern");
+  EXPECT_NE(R.profile("proftest:intern-other"), A);
+}
+
+TEST(Profiling, SweepIsSortedAndCarriesRecordedData) {
+  ProfilingRegistry &R = ProfilingRegistry::global();
+  R.profile("proftest:sweep-b")->Record.record(200);
+  R.profile("proftest:sweep-a")->Record.record(100);
+  R.profile("proftest:sweep-a")->Evaluate.record(50);
+
+  std::vector<SiteHistogramSnapshot> Sites = R.snapshotSites();
+  ASSERT_GE(Sites.size(), 2u);
+  for (size_t I = 1; I != Sites.size(); ++I)
+    EXPECT_LT(Sites[I - 1].Name, Sites[I].Name) << "sweep must be sorted";
+
+  const SiteHistogramSnapshot *A = nullptr, *B = nullptr;
+  for (const auto &S : Sites) {
+    if (S.Name == "proftest:sweep-a")
+      A = &S;
+    if (S.Name == "proftest:sweep-b")
+      B = &S;
+  }
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(A->Record.Count, 1u);
+  EXPECT_EQ(A->Record.MaxNanos, 100u);
+  EXPECT_EQ(A->Evaluate.Count, 1u);
+  EXPECT_EQ(B->Record.Count, 1u);
+  EXPECT_EQ(B->Record.MaxNanos, 200u);
+}
+
+TEST(Profiling, EngineLatenciesMergeAcrossSites) {
+  ProfilingRegistry &R = ProfilingRegistry::global();
+  uint64_t PersistBefore = R.persistHistogram().snapshot().Count;
+  EngineLatencies Before = R.engineLatencies();
+  R.profile("proftest:merge-1")->Record.record(10);
+  R.profile("proftest:merge-2")->Record.record(1000000);
+  R.profile("proftest:merge-2")->Switch.record(77);
+  R.persistHistogram().record(12345);
+
+  EngineLatencies L = R.engineLatencies();
+  EXPECT_EQ(L.Record.Count, Before.Record.Count + 2);
+  EXPECT_EQ(L.Switch.Count, Before.Switch.Count + 1);
+  // Extrema widen across sites in the merged view.
+  EXPECT_LE(L.Record.MinNanos, 10u);
+  EXPECT_GE(L.Record.MaxNanos, 1000000u);
+  EXPECT_EQ(R.persistHistogram().snapshot().Count, PersistBefore + 1);
+  EXPECT_EQ(L.Persist.Count, PersistBefore + 1);
+}
+
+TEST(Profiling, DisableStopsTheSamplingGate) {
+  ASSERT_TRUE(ProfilingRegistry::enabled()) << "expected default-enabled";
+  // The gate opens once per RecordSampleEvery calls per thread...
+  int Sampled = 0;
+  for (uint64_t I = 0; I != 4 * RecordSampleEvery; ++I)
+    Sampled += shouldSampleRecord() ? 1 : 0;
+  EXPECT_EQ(Sampled, 4);
+  // ...and never while profiling is disabled, regardless of phase.
+  ProfilingRegistry::setEnabled(false);
+  Sampled = 0;
+  for (uint64_t I = 0; I != 4 * RecordSampleEvery; ++I)
+    Sampled += shouldSampleRecord() ? 1 : 0;
+  EXPECT_EQ(Sampled, 0);
+  ProfilingRegistry::setEnabled(true);
+  // Re-enabled: the per-thread countdown keeps rolling.
+  Sampled = 0;
+  for (uint64_t I = 0; I != 4 * RecordSampleEvery; ++I)
+    Sampled += shouldSampleRecord() ? 1 : 0;
+  EXPECT_EQ(Sampled, 4);
+}
+
+} // namespace

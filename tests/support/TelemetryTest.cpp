@@ -158,7 +158,55 @@ TEST(Telemetry, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
   EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
   EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape("a\rb\tc"), "a\\rb\\tc");
+  EXPECT_EQ(jsonEscape("a\bb\fc"), "a\\bb\\fc");
   EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Telemetry, JsonEscapePassesValidUtf8AndReplacesInvalidBytes) {
+  // Well-formed multi-byte sequences pass through verbatim: 2-byte
+  // (U+00E9), 3-byte (U+20AC), 4-byte (U+1F600).
+  EXPECT_EQ(jsonEscape("caf\xC3\xA9"), "caf\xC3\xA9");
+  EXPECT_EQ(jsonEscape("\xE2\x82\xAC"), "\xE2\x82\xAC");
+  EXPECT_EQ(jsonEscape("\xF0\x9F\x98\x80"), "\xF0\x9F\x98\x80");
+  // Malformed bytes become the � escape instead of corrupting the
+  // document: a lone continuation byte, a truncated lead byte, an
+  // overlong NUL encoding, and a CESU-8 surrogate half.
+  EXPECT_EQ(jsonEscape("a\x80z"), "a\\ufffdz");
+  EXPECT_EQ(jsonEscape("a\xC3"), "a\\ufffd");
+  EXPECT_EQ(jsonEscape("\xC0\x80"), "\\ufffd\\ufffd");
+  EXPECT_EQ(jsonEscape("\xED\xA0\x80"), "\\ufffd\\ufffd\\ufffd");
+}
+
+TEST(Telemetry, JsonWithHostileSiteNamesStaysWellFormed) {
+  // Satellite regression: a site name full of quotes, backslashes,
+  // control characters and broken UTF-8 must still yield a JSON
+  // document with balanced quotes and no raw control bytes.
+  TelemetrySnapshot S;
+  ContextSnapshot C;
+  C.Name = std::string("evil\"\\\n\x01\x80name");
+  C.Abstraction = "list";
+  C.Variant = "Array\"List";
+  S.Contexts.push_back(C);
+  S.Engine += C.Stats;
+  std::string Json = toJson(S);
+  // Structural whitespace (pretty-printing) is fine; raw control bytes
+  // inside string literals are not.
+  size_t Unescaped = 0;
+  bool InString = false;
+  for (size_t I = 0; I != Json.size(); ++I) {
+    if (InString) {
+      EXPECT_GE(static_cast<unsigned char>(Json[I]), 0x20u)
+          << "raw control byte inside string at offset " << I;
+    }
+    if (Json[I] == '"' && (I == 0 || Json[I - 1] != '\\')) {
+      ++Unescaped;
+      InString = !InString;
+    }
+  }
+  EXPECT_EQ(Unescaped % 2, 0u) << "unbalanced quotes";
+  EXPECT_NE(Json.find("evil\\\"\\\\\\n\\u0001\\ufffdname"),
+            std::string::npos);
 }
 
 TelemetrySnapshot sampleSnapshot() {
@@ -216,6 +264,23 @@ TEST(Telemetry, JsonCarriesSchemaAndTotals) {
             std::string::npos);
 }
 
+TEST(Telemetry, JsonCarriesLatencyDistributions) {
+  TelemetrySnapshot S = sampleSnapshot();
+  S.Latency.Record.Count = 640;
+  S.Latency.Record.P99 = 250.5;
+  S.Contexts[0].Latency.Evaluate.Count = 3;
+  S.Contexts[0].Latency.Evaluate.P50 = 1200.0;
+  std::string Json = toJson(S);
+  // Engine-wide block: all four instrumented paths.
+  EXPECT_NE(Json.find("\"latency\": {\"record\": {\"count\": 640"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"p99\": 250.5"), std::string::npos);
+  EXPECT_NE(Json.find("\"persist\": {\"count\": 0"), std::string::npos);
+  // Per-context block rides on each context row.
+  EXPECT_NE(Json.find("\"evaluate\": {\"count\": 3"), std::string::npos);
+  EXPECT_NE(Json.find("\"p50\": 1200.0"), std::string::npos);
+}
+
 TEST(Telemetry, StoreStatsAccumulateAndSubtractSaturating) {
   StoreStats A;
   A.Loads = 2;
@@ -252,7 +317,7 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   std::istringstream Lines(Csv);
   // Loss counters lead as `#` comments so the column schema is
   // unchanged but drops are never invisible in exported data.
-  std::string Events, Recorder, Store, Header;
+  std::string Events, Recorder, Store, Latency, Header;
   ASSERT_TRUE(std::getline(Lines, Events));
   EXPECT_EQ(Events, "# events_recorded=42 events_dropped=2");
   ASSERT_TRUE(std::getline(Lines, Recorder));
@@ -263,6 +328,8 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   EXPECT_EQ(Store, "# store_loads=2 store_load_failures=1 "
                    "store_sites_loaded=9 store_warm_starts=4 "
                    "store_persists=5 store_persist_failures=0");
+  ASSERT_TRUE(std::getline(Lines, Latency));
+  EXPECT_EQ(Latency.rfind("# latency_record_count=", 0), 0u);
   ASSERT_TRUE(std::getline(Lines, Header));
   EXPECT_EQ(Header,
             "name,abstraction,variant,instances_created,"

@@ -1,0 +1,370 @@
+//===- cswitch_top.cpp - Live metrics watcher & timeline exporter ---------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Companion CLI of the Switch::serveMetrics endpoint:
+//
+//   cswitch_top watch  [--url http://127.0.0.1:9100] [--interval SEC]
+//                      [--once]
+//       Polls /metrics and renders a top-style table: one row per
+//       allocation site with its monitoring counters and record/evaluate
+//       p99 latencies, plus the engine totals. --once prints a single
+//       sample and exits (what the CI smoke test drives).
+//
+//   cswitch_top export --perfetto [--url ...] [--out trace.json]
+//       Fetches /trace.json (the Perfetto decision timeline: EventLog
+//       events + per-site latency counters on one clock) and writes it
+//       to --out (default cswitch_trace.json; `-` for stdout). Load the
+//       file in ui.perfetto.dev or chrome://tracing.
+//
+// The HTTP client is deliberately tiny (blocking GET over a POSIX
+// socket, HTTP/1.0, loopback-scale) — the endpoint it talks to is just
+// as minimal by design.
+//
+//===----------------------------------------------------------------------===//
+
+#include <arpa/inet.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+namespace {
+
+struct ParsedUrl {
+  std::string Host = "127.0.0.1";
+  std::string Port = "9100";
+  std::string BasePath; // without trailing slash
+};
+
+/// Parses http://host:port[/base]; returns false on anything else.
+bool parseUrl(const std::string &Url, ParsedUrl &Out) {
+  const std::string Scheme = "http://";
+  if (Url.rfind(Scheme, 0) != 0)
+    return false;
+  std::string Rest = Url.substr(Scheme.size());
+  size_t Slash = Rest.find('/');
+  std::string HostPort = Rest.substr(0, Slash);
+  if (Slash != std::string::npos) {
+    Out.BasePath = Rest.substr(Slash);
+    while (!Out.BasePath.empty() && Out.BasePath.back() == '/')
+      Out.BasePath.pop_back();
+  }
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos) {
+    Out.Host = HostPort;
+    Out.Port = "80";
+  } else {
+    Out.Host = HostPort.substr(0, Colon);
+    Out.Port = HostPort.substr(Colon + 1);
+  }
+  return !Out.Host.empty() && !Out.Port.empty();
+}
+
+/// Blocking HTTP GET; fills \p Body with the response body. Returns
+/// false on connection/protocol failure (message on stderr).
+bool httpGet(const ParsedUrl &Url, const std::string &Path,
+             std::string &Body) {
+  addrinfo Hints = {};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Res = nullptr;
+  if (int Err = ::getaddrinfo(Url.Host.c_str(), Url.Port.c_str(), &Hints,
+                              &Res)) {
+    std::fprintf(stderr, "cswitch_top: cannot resolve %s:%s: %s\n",
+                 Url.Host.c_str(), Url.Port.c_str(), ::gai_strerror(Err));
+    return false;
+  }
+  int Fd = -1;
+  for (addrinfo *A = Res; A; A = A->ai_next) {
+    Fd = ::socket(A->ai_family, A->ai_socktype, A->ai_protocol);
+    if (Fd < 0)
+      continue;
+    if (::connect(Fd, A->ai_addr, A->ai_addrlen) == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0) {
+    std::fprintf(stderr, "cswitch_top: cannot connect to %s:%s\n",
+                 Url.Host.c_str(), Url.Port.c_str());
+    return false;
+  }
+
+  std::string Request = "GET " + Url.BasePath + Path +
+                        " HTTP/1.0\r\nHost: " + Url.Host +
+                        "\r\nConnection: close\r\n\r\n";
+  size_t Sent = 0;
+  while (Sent < Request.size()) {
+    ssize_t N = ::send(Fd, Request.data() + Sent, Request.size() - Sent, 0);
+    if (N <= 0) {
+      ::close(Fd);
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+
+  std::string Response;
+  char Buf[4096];
+  for (ssize_t N; (N = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0;)
+    Response.append(Buf, static_cast<size_t>(N));
+  ::close(Fd);
+
+  size_t HeaderEnd = Response.find("\r\n\r\n");
+  if (HeaderEnd == std::string::npos) {
+    std::fprintf(stderr, "cswitch_top: malformed HTTP response\n");
+    return false;
+  }
+  if (Response.rfind("HTTP/", 0) != 0 ||
+      Response.find(" 200 ") == std::string::npos ||
+      Response.find(" 200 ") > Response.find("\r\n")) {
+    std::fprintf(stderr, "cswitch_top: %s\n",
+                 Response.substr(0, Response.find("\r\n")).c_str());
+    return false;
+  }
+  Body = Response.substr(HeaderEnd + 4);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// OpenMetrics line parsing (just enough for the exposition we render)
+//===----------------------------------------------------------------------===//
+
+struct SiteRow {
+  double Created = 0;
+  double Switches = 0;
+  double RecordP99 = 0;
+  double EvaluateP99 = 0;
+  std::string Variant;
+};
+
+struct MetricsSample {
+  double Contexts = 0;
+  double InstancesCreated = 0;
+  double Evaluations = 0;
+  double Switches = 0;
+  double RecordP99 = 0;
+  double EvaluateP99 = 0;
+  std::map<std::string, SiteRow> Sites;
+};
+
+/// Extracts the value of \p Label from an OpenMetrics label block,
+/// un-escaping \" \\ and \n.
+bool labelValue(const std::string &Labels, const std::string &Label,
+                std::string &Out) {
+  size_t Pos = 0;
+  std::string Needle = Label + "=\"";
+  for (;;) {
+    Pos = Labels.find(Needle, Pos);
+    if (Pos == std::string::npos)
+      return false;
+    // Match whole label names only (avoid `site` matching `website`).
+    if (Pos != 0 && Labels[Pos - 1] != ',' && Labels[Pos - 1] != '{') {
+      Pos += Needle.size();
+      continue;
+    }
+    break;
+  }
+  Out.clear();
+  for (size_t I = Pos + Needle.size(); I < Labels.size(); ++I) {
+    char C = Labels[I];
+    if (C == '\\' && I + 1 < Labels.size()) {
+      char E = Labels[++I];
+      Out += E == 'n' ? '\n' : E;
+    } else if (C == '"') {
+      return true;
+    } else {
+      Out += C;
+    }
+  }
+  return false;
+}
+
+/// Parses one exposition line: name, label block (may be empty), value.
+bool parseSampleLine(const std::string &Line, std::string &Name,
+                     std::string &Labels, double &Value) {
+  if (Line.empty() || Line[0] == '#')
+    return false;
+  size_t NameEnd = Line.find_first_of("{ ");
+  if (NameEnd == std::string::npos)
+    return false;
+  Name = Line.substr(0, NameEnd);
+  size_t ValueStart;
+  if (Line[NameEnd] == '{') {
+    size_t Close = Line.find('}', NameEnd);
+    if (Close == std::string::npos)
+      return false;
+    Labels = Line.substr(NameEnd, Close - NameEnd + 1);
+    ValueStart = Close + 1;
+  } else {
+    Labels.clear();
+    ValueStart = NameEnd;
+  }
+  return std::sscanf(Line.c_str() + ValueStart, " %lf", &Value) == 1;
+}
+
+MetricsSample parseMetrics(const std::string &Text) {
+  MetricsSample Sample;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+
+    std::string Name, Labels, Site;
+    double Value = 0;
+    if (!parseSampleLine(Line, Name, Labels, Value))
+      continue;
+    bool P99 = Labels.find("quantile=\"0.99\"") != std::string::npos;
+    if (Name == "cswitch_contexts")
+      Sample.Contexts = Value;
+    else if (Name == "cswitch_engine_instances_created_total")
+      Sample.InstancesCreated = Value;
+    else if (Name == "cswitch_engine_evaluations_total")
+      Sample.Evaluations = Value;
+    else if (Name == "cswitch_engine_switches_total")
+      Sample.Switches = Value;
+    else if (Name == "cswitch_record_latency_nanos" && P99)
+      Sample.RecordP99 = Value;
+    else if (Name == "cswitch_evaluate_latency_nanos" && P99)
+      Sample.EvaluateP99 = Value;
+    else if (labelValue(Labels, "site", Site)) {
+      SiteRow &Row = Sample.Sites[Site];
+      if (Name == "cswitch_instances_created_total")
+        Row.Created = Value;
+      else if (Name == "cswitch_switches_total")
+        Row.Switches = Value;
+      else if (Name == "cswitch_site_record_latency_nanos" && P99)
+        Row.RecordP99 = Value;
+      else if (Name == "cswitch_site_evaluate_latency_nanos" && P99)
+        Row.EvaluateP99 = Value;
+      else if (Name == "cswitch_context_variant_info")
+        labelValue(Labels, "variant", Row.Variant);
+    }
+  }
+  return Sample;
+}
+
+void renderSample(const MetricsSample &Sample, const std::string &Url) {
+  std::printf("cswitch_top — %s\n", Url.c_str());
+  std::printf("contexts %.0f   instances %.0f   evaluations %.0f   "
+              "switches %.0f   p99 record %.0f ns   p99 evaluate %.0f ns\n\n",
+              Sample.Contexts, Sample.InstancesCreated, Sample.Evaluations,
+              Sample.Switches, Sample.RecordP99, Sample.EvaluateP99);
+  std::printf("%-32s %-20s %12s %9s %14s %14s\n", "SITE", "VARIANT",
+              "INSTANCES", "SWITCHES", "REC P99(ns)", "EVAL P99(ns)");
+  for (const auto &[Site, Row] : Sample.Sites)
+    std::printf("%-32.32s %-20.20s %12.0f %9.0f %14.0f %14.0f\n",
+                Site.c_str(), Row.Variant.c_str(), Row.Created, Row.Switches,
+                Row.RecordP99, Row.EvaluateP99);
+  std::fflush(stdout);
+}
+
+int runWatch(const std::string &Url, double IntervalSec, bool Once) {
+  ParsedUrl Parsed;
+  if (!parseUrl(Url, Parsed)) {
+    std::fprintf(stderr, "cswitch_top: bad --url %s\n", Url.c_str());
+    return 1;
+  }
+  for (;;) {
+    std::string Body;
+    if (!httpGet(Parsed, "/metrics", Body))
+      return 1;
+    if (!Once)
+      std::printf("\033[H\033[2J"); // clear screen between samples
+    renderSample(parseMetrics(Body), Url);
+    if (Once)
+      return 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(IntervalSec * 1000)));
+  }
+}
+
+int runExport(const std::string &Url, const std::string &OutPath) {
+  ParsedUrl Parsed;
+  if (!parseUrl(Url, Parsed)) {
+    std::fprintf(stderr, "cswitch_top: bad --url %s\n", Url.c_str());
+    return 1;
+  }
+  std::string Trace;
+  if (!httpGet(Parsed, "/trace.json", Trace))
+    return 1;
+  if (OutPath == "-") {
+    std::fwrite(Trace.data(), 1, Trace.size(), stdout);
+    return 0;
+  }
+  std::FILE *F = std::fopen(OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cswitch_top: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  size_t Written = std::fwrite(Trace.data(), 1, Trace.size(), F);
+  bool Ok = std::fclose(F) == 0 && Written == Trace.size();
+  if (!Ok) {
+    std::fprintf(stderr, "cswitch_top: short write to %s\n", OutPath.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu bytes to %s — open in ui.perfetto.dev\n",
+               Trace.size(), OutPath.c_str());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  cswitch_top watch  [--url http://127.0.0.1:9100]"
+      " [--interval SEC] [--once]\n"
+      "  cswitch_top export --perfetto [--url http://127.0.0.1:9100]"
+      " [--out trace.json]\n");
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage();
+  std::string Mode = Argv[1];
+  std::string Url = "http://127.0.0.1:9100";
+  std::string OutPath = "cswitch_trace.json";
+  double IntervalSec = 2.0;
+  bool Once = false;
+  bool Perfetto = false;
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--url" && I + 1 < Argc)
+      Url = Argv[++I];
+    else if (Arg == "--interval" && I + 1 < Argc)
+      IntervalSec = std::atof(Argv[++I]);
+    else if (Arg == "--out" && I + 1 < Argc)
+      OutPath = Argv[++I];
+    else if (Arg == "--once")
+      Once = true;
+    else if (Arg == "--perfetto")
+      Perfetto = true;
+    else
+      return usage();
+  }
+  if (Mode == "watch")
+    return runWatch(Url, IntervalSec < 0.1 ? 0.1 : IntervalSec, Once);
+  if (Mode == "export") {
+    if (!Perfetto)
+      return usage();
+    return runExport(Url, OutPath);
+  }
+  return usage();
+}
