@@ -18,11 +18,14 @@
 #include "model/DefaultModel.h"
 #include "model/ModelBuilder.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace cswitch {
 namespace bench {
@@ -98,6 +101,29 @@ inline const char *stringOption(int Argc, char **Argv, const char *Name,
     if (std::strcmp(Argv[I], Name) == 0)
       return Argv[I + 1];
   return Default;
+}
+
+/// The contended-sweep thread ladder: {1, 2, 4, 8, 16, 32, 64} clamped
+/// to this machine. The ceiling is hardware_concurrency — but never
+/// below 8, so small CI boxes still exercise the oversubscribed 4/8
+/// points the seed measured — and `--max-threads N` overrides it
+/// outright. When the ceiling falls between ladder rungs it is appended
+/// so the sweep always ends exactly at the ceiling.
+inline std::vector<size_t> threadSweep(int Argc, char **Argv) {
+  size_t Hardware = std::thread::hardware_concurrency();
+  if (Hardware == 0)
+    Hardware = 1;
+  size_t Ceiling = std::max<size_t>(Hardware, 8);
+  long Override = intOption(Argc, Argv, "--max-threads", 0);
+  if (Override > 0)
+    Ceiling = static_cast<size_t>(Override);
+  std::vector<size_t> Sweep;
+  for (size_t Threads : {1u, 2u, 4u, 8u, 16u, 32u, 64u})
+    if (Threads <= Ceiling)
+      Sweep.push_back(Threads);
+  if (Sweep.empty() || Sweep.back() != Ceiling)
+    Sweep.push_back(Ceiling);
+  return Sweep;
 }
 
 } // namespace bench

@@ -12,14 +12,18 @@
 //
 // Part 2 — beyond the paper: the per-instance cost of the monitoring
 // fast path itself (slot acquisition at creation + profile publication
-// at destruction) on one contended context under 1/4/8 threads, with
-// rounds rotating continuously so slot claims never stop. This is the
-// workload the lock-free window rework targets (the seed design took a
-// mutex on both per-instance paths).
+// at destruction) on one contended context across the thread ladder
+// {1,2,4,8,16,32,64} clamped to this machine (BenchSupport's
+// threadSweep; --max-threads overrides the ceiling), with rounds
+// rotating continuously so slot claims never stop. This is the
+// workload the lock-free window rework and the NUMA striping
+// (DESIGN.md §10) target. --check-scaling turns the sweep into a smoke
+// gate: exit nonzero when the max-thread monitoring overhead exceeds
+// 2x the 1-thread value.
 //
 // Part 3 — the cost of the telemetry ring itself: contended
-// EventLog::record() (interned ids, no strings) under 1/4/8 recorder
-// threads racing one drainer, in nanoseconds per record() call. This is
+// EventLog::record() (interned ids, no strings) across the same thread
+// ladder racing one drainer, in nanoseconds per record() call. This is
 // the price a context pays per event when LogEvents is on.
 //
 // Results are emitted as machine-readable JSON (default:
@@ -33,6 +37,7 @@
 #include "core/Switch.h"
 #include "support/EventLog.h"
 #include "support/Timer.h"
+#include "support/Topology.h"
 
 #include <algorithm>
 #include <atomic>
@@ -263,20 +268,26 @@ int main(int Argc, char **Argv) {
 
   size_t PerThread = static_cast<size_t>(
       std::max(intOption(Argc, Argv, "--instances", 200000), 8L));
+  std::vector<size_t> Sweep = threadSweep(Argc, Argv);
+  const Topology &Topo = Topology::system();
   std::printf("\nContended monitoring fast path: ns per monitored "
               "create+destroy cycle\n");
+  std::printf("(topology: %u node%s, %u cpu%s%s)\n", Topo.nodeCount(),
+              Topo.nodeCount() == 1 ? "" : "s", Topo.cpuCount(),
+              Topo.cpuCount() == 1 ? "" : "s",
+              Topo.synthetic() ? ", synthetic" : "");
   std::printf("%8s  %12s  %12s  %12s  %10s  %8s\n", "threads",
               "ns/instance", "baseline", "overhead", "monitored",
               "rounds");
   std::vector<ContendedResult> Contended;
-  for (size_t Threads : {1u, 4u, 8u}) {
+  for (size_t Threads : Sweep) {
     // Median-of-9; scale the per-thread count down as threads go up so
     // total work stays comparable. Oversubscribed runs are noisy, so a
     // wide median beats averaging.
+    size_t Per = std::max<size_t>(PerThread / Threads, 64);
     std::vector<ContendedResult> Reps;
     for (int R = 0; R != 9; ++R)
-      Reps.push_back(
-          contendedMonitoringCost(Threads, PerThread / Threads, Model));
+      Reps.push_back(contendedMonitoringCost(Threads, Per, Model));
     std::sort(Reps.begin(), Reps.end(),
               [](const ContendedResult &A, const ContendedResult &B) {
                 return A.NanosPerInstance < B.NanosPerInstance;
@@ -284,8 +295,7 @@ int main(int Argc, char **Argv) {
     ContendedResult Median = Reps[4];
     std::vector<double> Baselines;
     for (int R = 0; R != 9; ++R)
-      Baselines.push_back(
-          unmonitoredCycleCost(Threads, PerThread / Threads));
+      Baselines.push_back(unmonitoredCycleCost(Threads, Per));
     std::sort(Baselines.begin(), Baselines.end());
     Median.BaselineNanos = Baselines[4];
     Contended.push_back(Median);
@@ -300,10 +310,11 @@ int main(int Argc, char **Argv) {
   std::printf("%8s  %12s  %12s  %12s\n", "threads", "ns/record",
               "recorded", "dropped");
   std::vector<RecordResult> Records;
-  for (size_t Threads : {1u, 4u, 8u}) {
+  for (size_t Threads : Sweep) {
     std::vector<RecordResult> Reps;
+    size_t Per = std::max<size_t>(PerThread / Threads, 64);
     for (int R = 0; R != 9; ++R)
-      Reps.push_back(contendedRecordCost(Threads, PerThread / Threads));
+      Reps.push_back(contendedRecordCost(Threads, Per));
     std::sort(Reps.begin(), Reps.end(),
               [](const RecordResult &A, const RecordResult &B) {
                 return A.NanosPerRecord < B.NanosPerRecord;
@@ -323,6 +334,12 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::fprintf(F, "{\n  \"bench\": \"fig7_overhead\",\n");
+    std::fprintf(F,
+                 "  \"topology\": {\"nodes\": %u, \"cpus\": %u, "
+                 "\"synthetic\": %s, \"hardware_concurrency\": %u},\n",
+                 Topo.nodeCount(), Topo.cpuCount(),
+                 Topo.synthetic() ? "true" : "false",
+                 std::thread::hardware_concurrency());
     std::fprintf(F, "  \"analysis_ns_per_collection\": [\n");
     for (size_t I = 0; I != AnalysisRows.size(); ++I)
       std::fprintf(F, "    {\"window\": %zu, \"ns\": %.1f}%s\n",
@@ -373,6 +390,30 @@ int main(int Argc, char **Argv) {
     std::fprintf(F, "  ]\n}\n");
     std::fclose(F);
     std::printf("[wrote %s]\n", Path);
+  }
+
+  if (hasFlag(Argc, Argv, "--check-scaling")) {
+    // CI smoke gate: monitoring overhead must stay roughly flat across
+    // the sweep — the max-thread overhead may not exceed 2x the
+    // 1-thread overhead. A few-ns floor keeps the ratio meaningful when
+    // the absolute overhead is down in timer-noise territory.
+    const ContendedResult &First = Contended.front();
+    const ContendedResult &Last = Contended.back();
+    double OverheadAt1 =
+        std::max(First.NanosPerInstance - First.BaselineNanos, 5.0);
+    double OverheadAtMax = Last.NanosPerInstance - Last.BaselineNanos;
+    std::printf("\n[check-scaling] overhead %zu threads: %.1f ns vs "
+                "1 thread: %.1f ns (limit %.1f ns)\n",
+                Last.Threads, OverheadAtMax, OverheadAt1,
+                2.0 * OverheadAt1);
+    if (OverheadAtMax > 2.0 * OverheadAt1) {
+      std::fprintf(stderr,
+                   "FAIL: contended monitoring overhead at %zu threads "
+                   "(%.1f ns) exceeds 2x the 1-thread overhead "
+                   "(%.1f ns)\n",
+                   Last.Threads, OverheadAtMax, OverheadAt1);
+      return 1;
+    }
   }
   return 0;
 }

@@ -18,7 +18,11 @@
 // are emitted into BENCH_histogram.json so the perf-trajectory file set
 // covers latency distributions.
 //
-//   histogram_overhead [--instances N] [--json PATH | --no-json]
+// The thread ladder is BenchSupport's threadSweep — {1,2,4,8,16,32,64}
+// clamped to this machine, --max-threads overriding the ceiling.
+//
+//   histogram_overhead [--instances N] [--max-threads N]
+//                      [--json PATH | --no-json]
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +30,7 @@
 #include "core/Switch.h"
 #include "obs/Profiling.h"
 #include "support/Timer.h"
+#include "support/Topology.h"
 
 #include <algorithm>
 #include <atomic>
@@ -101,10 +106,10 @@ double medianCycle(size_t Threads, size_t PerThread,
                    const std::shared_ptr<const PerformanceModel> &M,
                    const char *SiteName) {
   std::vector<double> Reps;
+  size_t Per = std::max<size_t>(PerThread / Threads, 64);
   for (int R = 0; R != 9; ++R)
     Reps.push_back(
-        contendedCycle(Threads, PerThread / Threads, M, SiteName)
-            .NanosPerInstance);
+        contendedCycle(Threads, Per, M, SiteName).NanosPerInstance);
   std::sort(Reps.begin(), Reps.end());
   return Reps[4];
 }
@@ -150,11 +155,17 @@ int main(int Argc, char **Argv) {
     double UnprofiledNs;
   };
   std::vector<Row> Rows;
+  std::vector<size_t> Sweep = threadSweep(Argc, Argv);
+  const Topology &Topo = Topology::system();
   std::printf("Continuous profiling: fig7 contended cycle with histograms "
               "on vs off\n");
+  std::printf("(topology: %u node%s, %u cpu%s%s)\n", Topo.nodeCount(),
+              Topo.nodeCount() == 1 ? "" : "s", Topo.cpuCount(),
+              Topo.cpuCount() == 1 ? "" : "s",
+              Topo.synthetic() ? ", synthetic" : "");
   std::printf("%8s  %14s  %14s  %10s\n", "threads", "profiled ns",
               "unprofiled ns", "delta ns");
-  for (size_t Threads : {1u, 4u, 8u}) {
+  for (size_t Threads : Sweep) {
     obs::ProfilingRegistry::setEnabled(true);
     double On = medianCycle(Threads, PerThread, Model, "hist:profiled");
     obs::ProfilingRegistry::setEnabled(false);
@@ -183,6 +194,12 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     std::fprintf(F, "{\n  \"bench\": \"histogram_overhead\",\n");
+    std::fprintf(F,
+                 "  \"topology\": {\"nodes\": %u, \"cpus\": %u, "
+                 "\"synthetic\": %s, \"hardware_concurrency\": %u},\n",
+                 Topo.nodeCount(), Topo.cpuCount(),
+                 Topo.synthetic() ? "true" : "false",
+                 std::thread::hardware_concurrency());
     std::fprintf(F, "  \"contended_cycle\": [\n");
     for (size_t I = 0; I != Rows.size(); ++I)
       std::fprintf(F,

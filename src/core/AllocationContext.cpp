@@ -56,8 +56,9 @@ AllocationContextBase::AllocationContextBase(
   // seeds Current and shrinks Options.WindowSize.
   applyWarmStart();
   Slots = std::make_unique<WindowSlot[]>(2 * this->Options.WindowSize);
-  FinishedState[0].store(0, std::memory_order_relaxed);
-  FinishedState[1].store(uint64_t(1) << 32, std::memory_order_relaxed);
+  FinishedState[0].Value.store(0, std::memory_order_relaxed);
+  FinishedState[1].Value.store(uint64_t(1) << 32,
+                              std::memory_order_relaxed);
   for (const Criterion &C : this->Rule.Criteria)
     UsedDimensions[static_cast<size_t>(C.Dimension)] = true;
   // The model is immutable for the lifetime of the context: precompute
@@ -132,7 +133,7 @@ size_t AllocationContextBase::acquireMonitorSlot() {
   const bool Sampled = obs::shouldSampleRecord();
   const uint64_t Start = Sampled ? obs::nowNanos() : 0;
 
-  Created.fetch_add(1, std::memory_order_relaxed);
+  Hot.add(CreatedIdx);
   size_t Out = NoSlot;
   uint64_t State = RoundState.load(std::memory_order_acquire);
   for (;;) {
@@ -154,7 +155,7 @@ size_t AllocationContextBase::acquireMonitorSlot() {
       // analyzer (which spins briefly if it wins the race to this line).
       bufferOf(Round)[Index].State.store(
           slotState(Round, SlotStatus::Claimed), std::memory_order_release);
-      Monitored.fetch_add(1, std::memory_order_relaxed);
+      Hot.add(MonitoredIdx);
       Out = (static_cast<size_t>(Round) << 32) | Index;
       break;
     }
@@ -186,7 +187,7 @@ void AllocationContextBase::onInstanceFinished(
   if (!Entry.State.compare_exchange_strong(
           Expected, slotState(Round, SlotStatus::Writing),
           std::memory_order_acq_rel, std::memory_order_relaxed)) {
-    Discarded.fetch_add(1, std::memory_order_relaxed);
+    Hot.add(DiscardedIdx);
   } else {
     for (size_t I = 0; I != NumOperationKinds; ++I)
       Entry.Counts[I] = saturate32(Profile.Counts[I]);
@@ -195,12 +196,12 @@ void AllocationContextBase::onInstanceFinished(
     // profile write before its reads.
     Entry.State.store(slotState(Round, SlotStatus::Finished),
                       std::memory_order_release);
-    Finished.fetch_add(1, std::memory_order_relaxed);
+    Hot.add(FinishedIdx);
 
     // Count the publication toward this round's finished-ratio gate. The
     // round tag in the counter word makes a stale increment (the round
     // rotated after the publication above) fail and drop out harmlessly.
-    std::atomic<uint64_t> &Counter = FinishedState[Round & 1];
+    std::atomic<uint64_t> &Counter = FinishedState[Round & 1].Value;
     uint64_t Count = Counter.load(std::memory_order_relaxed);
     while (static_cast<uint32_t>(Count >> 32) == Round &&
            !Counter.compare_exchange_weak(Count, Count + 1,
@@ -373,7 +374,7 @@ bool AllocationContextBase::evaluate() {
       std::ceil(Options.FinishedRatio *
                 static_cast<double>(Options.WindowSize)));
   uint64_t FinishedWord =
-      FinishedState[Round & 1].load(std::memory_order_acquire);
+      FinishedState[Round & 1].Value.load(std::memory_order_acquire);
   size_t FinishedInRound =
       static_cast<uint32_t>(FinishedWord >> 32) == Round
           ? static_cast<uint32_t>(FinishedWord)
@@ -392,8 +393,8 @@ bool AllocationContextBase::evaluate() {
   // below, off the hot path. (Stale-round increments on the counter
   // fail their round-tag check, so the plain store cannot be corrupted.)
   uint32_t NextRound = Round + 1;
-  FinishedState[NextRound & 1].store(static_cast<uint64_t>(NextRound) << 32,
-                                     std::memory_order_relaxed);
+  FinishedState[NextRound & 1].Value.store(
+      static_cast<uint64_t>(NextRound) << 32, std::memory_order_relaxed);
   uint64_t Rotated = static_cast<uint64_t>(NextRound) << 32;
   while (!RoundState.compare_exchange_weak(State, Rotated,
                                            std::memory_order_acq_rel,
@@ -442,6 +443,7 @@ size_t AllocationContextBase::memoryFootprint() const {
   // background thread; its capacity is only stable under EvalMutex.
   std::lock_guard<std::mutex> Lock(EvalMutex);
   return sizeof(*this) + 2 * Options.WindowSize * sizeof(WindowSlot) +
-         Name.capacity() + Groups.capacity() * sizeof(MergedGroup) +
+         Hot.memoryBytes() + Name.capacity() +
+         Groups.capacity() * sizeof(MergedGroup) +
          VariantNameIds.capacity() * sizeof(uint32_t);
 }

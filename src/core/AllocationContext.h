@@ -50,6 +50,7 @@
 #include "profile/WorkloadProfile.h"
 #include "replay/TraceRecorder.h"
 #include "support/Telemetry.h"
+#include "support/Topology.h"
 
 #include <atomic>
 #include <chrono>
@@ -157,6 +158,19 @@ struct ContextOptions {
 /// instances are lock-free (one CAS each); unmonitored creation while
 /// the window is full is a single atomic load.
 class AllocationContextBase : public ProfileSink {
+  /// Indices into the NUMA-striped hot-counter block (DESIGN.md §10).
+  /// These four are bumped on every instance creation/destruction, so
+  /// they live in per-node stripes: writers of different nodes touch
+  /// different cache lines and readers sum the stripes. Evaluations and
+  /// Switches are monitoring-rate-paced and stay plain atomics.
+  enum HotCounter : size_t {
+    CreatedIdx = 0,
+    MonitoredIdx,
+    FinishedIdx,
+    DiscardedIdx,
+    NumHotCounters
+  };
+
 public:
   AllocationContextBase(std::string Name, AbstractionKind Kind,
                         unsigned InitialVariantIndex,
@@ -196,26 +210,18 @@ public:
   }
 
   /// Total collections created through this context.
-  uint64_t instancesCreated() const {
-    return Created.load(std::memory_order_relaxed);
-  }
+  uint64_t instancesCreated() const { return Hot.sum(CreatedIdx); }
 
   /// Total instances that were monitored (assigned a window slot).
-  uint64_t instancesMonitored() const {
-    return Monitored.load(std::memory_order_relaxed);
-  }
+  uint64_t instancesMonitored() const { return Hot.sum(MonitoredIdx); }
 
   /// Total monitored instances whose profile was published into a window
   /// (finished while their round was still live).
-  uint64_t instancesFinished() const {
-    return Finished.load(std::memory_order_relaxed);
-  }
+  uint64_t instancesFinished() const { return Hot.sum(FinishedIdx); }
 
   /// Total monitored instances whose profile was discarded because they
   /// outlived their monitoring round (stale stragglers).
-  uint64_t profilesDiscarded() const {
-    return Discarded.load(std::memory_order_relaxed);
-  }
+  uint64_t profilesDiscarded() const { return Hot.sum(DiscardedIdx); }
 
   /// Completed analysis rounds.
   uint64_t evaluationCount() const {
@@ -232,10 +238,10 @@ public:
   /// same atomics).
   ContextStats stats() const {
     ContextStats S;
-    S.InstancesCreated = Created.load(std::memory_order_relaxed);
-    S.InstancesMonitored = Monitored.load(std::memory_order_relaxed);
-    S.ProfilesPublished = Finished.load(std::memory_order_relaxed);
-    S.ProfilesDiscarded = Discarded.load(std::memory_order_relaxed);
+    S.InstancesCreated = Hot.sum(CreatedIdx);
+    S.InstancesMonitored = Hot.sum(MonitoredIdx);
+    S.ProfilesPublished = Hot.sum(FinishedIdx);
+    S.ProfilesDiscarded = Hot.sum(DiscardedIdx);
     S.Evaluations = Evaluations.load(std::memory_order_relaxed);
     S.Switches = Switches.load(std::memory_order_relaxed);
     return S;
@@ -269,6 +275,17 @@ public:
   /// ProfilingRegistry, so it aggregates across context lifetimes).
   /// Never null.
   const obs::SiteProfile *siteProfile() const { return Prof; }
+
+  /// Registry-shard bookkeeping owned by SwitchEngine: registerContext
+  /// remembers which (node-affine) shard it filed this context under so
+  /// unregisterContext finds it again even from a thread on a different
+  /// node. UINT32_MAX = never registered.
+  void setEngineShardHint(uint32_t Shard) {
+    EngineShardHint.store(Shard, std::memory_order_relaxed);
+  }
+  uint32_t engineShardHint() const {
+    return EngineShardHint.load(std::memory_order_relaxed);
+  }
 
 protected:
   /// Sentinel: instance is not monitored.
@@ -385,21 +402,32 @@ private:
   obs::SiteProfile *Prof = nullptr;
 
   std::atomic<unsigned> Current;
-  std::atomic<uint64_t> Created{0};
-  std::atomic<uint64_t> Monitored{0};
-  std::atomic<uint64_t> Finished{0};
-  std::atomic<uint64_t> Discarded{0};
+  /// Shard index SwitchEngine filed this context under (see
+  /// setEngineShardHint). Written at register time only.
+  std::atomic<uint32_t> EngineShardHint{UINT32_MAX};
+  /// Per-instance counters (created/monitored/finished/discarded),
+  /// NUMA-striped; see HotCounter. The stripes live on the heap, so the
+  /// context object itself carries no per-instance fetch_add targets.
+  StripedCounters<NumHotCounters> Hot;
   std::atomic<uint64_t> Evaluations{0};
   std::atomic<uint64_t> Switches{0};
 
   /// Packed (round << 32 | assigned) word: the single point of
   /// contention on the creation path. Claimed by CAS; rotated by
-  /// evaluate() with a CAS that resets the assigned count.
-  std::atomic<uint64_t> RoundState{0};
+  /// evaluate() with a CAS that resets the assigned count. On its own
+  /// cache line: every instance creation CASes here, and false sharing
+  /// with the read-mostly fields above showed up in the contended
+  /// sweep (EXPERIMENTS.md, false-sharing audit).
+  alignas(CacheLineBytes) std::atomic<uint64_t> RoundState{0};
   /// Packed (round << 32 | finished) publication counters, one per
   /// window buffer. The round tag makes stale increments from stragglers
-  /// fail their CAS instead of corrupting a later round's count.
-  std::array<std::atomic<uint64_t>, 2> FinishedState;
+  /// fail their CAS instead of corrupting a later round's count. Each
+  /// on its own line: buffer (round & 1) is CAS-hammered by finishers
+  /// while the other is read by the analyzer.
+  struct alignas(CacheLineBytes) PaddedWord {
+    std::atomic<uint64_t> Value{0};
+  };
+  std::array<PaddedWord, 2> FinishedState;
   /// Double-buffered window: buffer (round & 1) is live, the other one
   /// is being analyzed or idle. 2 * WindowSize slots.
   std::unique_ptr<WindowSlot[]> Slots;

@@ -117,6 +117,12 @@ public:
     return SwitchEngine::global().evaluationThreads();
   }
 
+  /// Applies an EngineOptions bundle to the global engine (worker-pool
+  /// size, NUMA pinning of evaluation workers; see DESIGN.md §10).
+  static void configureEngine(const EngineOptions &Options) {
+    SwitchEngine::global().configure(Options);
+  }
+
   /// Starts the global engine's background evaluation/reporter thread
   /// at \p MonitoringRate (paper §4.3, default 50 ms). No-op when
   /// already running.

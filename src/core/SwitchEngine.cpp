@@ -8,8 +8,14 @@
 
 #include "obs/Profiling.h"
 #include "support/EventLog.h"
+#include "support/Topology.h"
 
 #include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 using namespace cswitch;
 
@@ -18,22 +24,38 @@ SwitchEngine &SwitchEngine::global() {
   return Instance;
 }
 
+SwitchEngine::SwitchEngine() : Nodes(Topology::system().nodeCount()) {
+  NodeShards.reserve(Nodes);
+  for (unsigned N = 0; N != Nodes; ++N)
+    NodeShards.push_back(std::make_unique<Shard[]>(ShardsPerNode));
+}
+
 SwitchEngine::~SwitchEngine() {
   stop();
   stopPool();
 }
 
-size_t SwitchEngine::shardOf(const AllocationContextBase *Context) {
+size_t SwitchEngine::shardOf(const AllocationContextBase *Context,
+                             unsigned Node) const {
   // Fibonacci hash of the pointer; the low bits of a heap pointer are
-  // alignment zeros, so shift them out first.
+  // alignment zeros, so shift them out first. The node picks the arena,
+  // the hash picks the shard within it.
   auto Ptr = reinterpret_cast<uintptr_t>(Context);
-  return ((Ptr >> 4) * 11400714819323198485ull) >> 60 & (NumShards - 1);
+  size_t Hash =
+      ((Ptr >> 4) * 11400714819323198485ull) >> 60 & (ShardsPerNode - 1);
+  return static_cast<size_t>(Node) * ShardsPerNode + Hash;
 }
 
 void SwitchEngine::registerContext(AllocationContextBase *Context) {
-  Shard &S = Shards[shardOf(Context)];
+  // File the context under the registering thread's node so creation
+  // bursts on different sockets lock different arenas. The shard index
+  // is remembered on the context: unregistration (possibly from a
+  // thread on another node) must find the same shard.
+  size_t Index = shardOf(Context, currentStripe(Nodes));
+  Shard &S = shardAt(Index);
   std::lock_guard<std::mutex> Lock(S.Mutex);
   S.Contexts.push_back(Context);
+  Context->setEngineShardHint(static_cast<uint32_t>(Index));
 }
 
 void SwitchEngine::unregisterContext(AllocationContextBase *Context) {
@@ -47,11 +69,31 @@ void SwitchEngine::unregisterContext(AllocationContextBase *Context) {
                          Context->abstraction(),
                          Context->currentVariantIndex(), Profile, Instances);
   }
-  Shard &S = Shards[shardOf(Context)];
-  std::lock_guard<std::mutex> Lock(S.Mutex);
-  S.Contexts.erase(
-      std::remove(S.Contexts.begin(), S.Contexts.end(), Context),
-      S.Contexts.end());
+  // The hint is authoritative for the engine that registered the
+  // context last. A context registered with several engines (isolated
+  // replay engines, test-local engines) carries the other engine's
+  // hint, so fall back to scanning every shard when the hinted one
+  // misses — unregistration stays a no-op only when the context is
+  // genuinely absent.
+  uint32_t Hint = Context->engineShardHint();
+  if (Hint < shardCount()) {
+    Shard &S = shardAt(Hint);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = std::remove(S.Contexts.begin(), S.Contexts.end(), Context);
+    if (It != S.Contexts.end()) {
+      S.Contexts.erase(It, S.Contexts.end());
+      return;
+    }
+  }
+  for (size_t Index = 0; Index != shardCount(); ++Index) {
+    Shard &S = shardAt(Index);
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = std::remove(S.Contexts.begin(), S.Contexts.end(), Context);
+    if (It != S.Contexts.end()) {
+      S.Contexts.erase(It, S.Contexts.end());
+      return;
+    }
+  }
 }
 
 std::vector<AllocationContextBase *> SwitchEngine::snapshotContexts() const {
@@ -59,34 +101,77 @@ std::vector<AllocationContextBase *> SwitchEngine::snapshotContexts() const {
   // (context evaluation can be slow and must not block registration
   // from other threads).
   std::vector<AllocationContextBase *> Snapshot;
-  for (const Shard &S : Shards) {
+  for (size_t Index = 0; Index != shardCount(); ++Index) {
+    const Shard &S = shardAt(Index);
     std::lock_guard<std::mutex> Lock(S.Mutex);
     Snapshot.insert(Snapshot.end(), S.Contexts.begin(), S.Contexts.end());
   }
   return Snapshot;
 }
 
+std::vector<std::vector<AllocationContextBase *>>
+SwitchEngine::snapshotContextsByNode() const {
+  std::vector<std::vector<AllocationContextBase *>> PerNode(Nodes);
+  for (unsigned N = 0; N != Nodes; ++N) {
+    for (size_t I = 0; I != ShardsPerNode; ++I) {
+      const Shard &S = NodeShards[N][I];
+      std::lock_guard<std::mutex> Lock(S.Mutex);
+      PerNode[N].insert(PerNode[N].end(), S.Contexts.begin(),
+                        S.Contexts.end());
+    }
+  }
+  return PerNode;
+}
+
 size_t SwitchEngine::evaluateAll() {
-  std::vector<AllocationContextBase *> Snapshot = snapshotContexts();
   size_t Threads = EvalThreads.load(std::memory_order_relaxed);
-  if (Threads <= 1 || Snapshot.size() < 2) {
+  if (Threads <= 1) {
     // Deterministic sequential mode.
     size_t Transitions = 0;
-    for (AllocationContextBase *Context : Snapshot)
+    for (AllocationContextBase *Context : snapshotContexts())
       if (Context->evaluate())
         ++Transitions;
     return Transitions;
   }
 
-  std::atomic<size_t> Next{0};
+  // Node-affine parallel sweep: every worker drains its own node's
+  // contexts first (each node has its own work-stealing cursor, so the
+  // only cross-node cache traffic while lists are non-empty is the
+  // final steal pass), then steals from the other nodes so stragglers
+  // never idle a worker.
+  std::vector<std::vector<AllocationContextBase *>> PerNode =
+      snapshotContextsByNode();
+  size_t Total = 0;
+  for (const auto &List : PerNode)
+    Total += List.size();
+  if (Total < 2) {
+    size_t Transitions = 0;
+    for (const auto &List : PerNode)
+      for (AllocationContextBase *Context : List)
+        if (Context->evaluate())
+          ++Transitions;
+    return Transitions;
+  }
+
+  struct alignas(CacheLineBytes) NodeCursor {
+    std::atomic<size_t> Next{0};
+  };
+  auto Cursors = std::make_unique<NodeCursor[]>(Nodes);
   std::atomic<size_t> Transitions{0};
-  std::function<void()> Task = [&Snapshot, &Next, &Transitions] {
+  unsigned NumNodes = Nodes;
+  std::function<void()> Task = [&PerNode, &Cursors, &Transitions,
+                                NumNodes] {
+    unsigned Home = currentStripe(NumNodes);
     size_t LocalTransitions = 0;
-    for (size_t I;
-         (I = Next.fetch_add(1, std::memory_order_relaxed)) <
-         Snapshot.size();)
-      if (Snapshot[I]->evaluate())
-        ++LocalTransitions;
+    for (unsigned Offset = 0; Offset != NumNodes; ++Offset) {
+      unsigned Node = (Home + Offset) % NumNodes;
+      const auto &List = PerNode[Node];
+      for (size_t I;
+           (I = Cursors[Node].Next.fetch_add(
+                1, std::memory_order_relaxed)) < List.size();)
+        if (List[I]->evaluate())
+          ++LocalTransitions;
+    }
     if (LocalTransitions)
       Transitions.fetch_add(LocalTransitions, std::memory_order_relaxed);
   };
@@ -116,7 +201,33 @@ void SwitchEngine::dispatchToPool(const std::function<void()> &Task) {
   ActiveTask = nullptr;
 }
 
-void SwitchEngine::poolMain(uint64_t SeenGeneration) {
+namespace {
+
+/// Pins the calling thread to \p Node's cpu set (best effort; no-op on
+/// non-Linux, on synthetic topologies, and on pinning failure — the
+/// node-affine sweep still works unpinned, it just loses the locality
+/// guarantee).
+void pinSelfToNode(unsigned Node) {
+#if defined(__linux__)
+  std::vector<unsigned> Cpus = Topology::system().cpusOfNode(Node);
+  if (Cpus.empty())
+    return;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  for (unsigned Cpu : Cpus)
+    if (Cpu < CPU_SETSIZE)
+      CPU_SET(Cpu, &Set);
+  pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set);
+#else
+  (void)Node;
+#endif
+}
+
+} // namespace
+
+void SwitchEngine::poolMain(uint64_t SeenGeneration, unsigned PinnedNode) {
+  if (PinWorkers.load(std::memory_order_relaxed))
+    pinSelfToNode(PinnedNode);
   std::unique_lock<std::mutex> Lock(PoolMutex);
   for (;;) {
     PoolWake.wait(Lock, [this, SeenGeneration] {
@@ -143,8 +254,13 @@ void SwitchEngine::startPool(size_t Workers) {
     // every new worker starts with the current generation as "seen".
     Generation = TaskGeneration;
   }
-  for (size_t I = 0; I != Workers; ++I)
-    PoolThreads.emplace_back([this, Generation] { poolMain(Generation); });
+  for (size_t I = 0; I != Workers; ++I) {
+    // Workers spread round-robin over the nodes; poolMain pins itself
+    // when configure() asked for it.
+    unsigned Node = static_cast<unsigned>(I) % Nodes;
+    PoolThreads.emplace_back(
+        [this, Generation, Node] { poolMain(Generation, Node); });
+  }
 }
 
 void SwitchEngine::stopPool() {
@@ -168,6 +284,14 @@ void SwitchEngine::setEvaluationThreads(size_t Threads) {
                     std::memory_order_relaxed);
   if (Threads > 1)
     startPool(Threads - 1);
+}
+
+void SwitchEngine::configure(const EngineOptions &Options) {
+  // Order matters: the pinning flag must be set before the new pool's
+  // workers start, since each worker reads it once at startup.
+  PinWorkers.store(Options.PinEvaluationWorkers,
+                   std::memory_order_relaxed);
+  setEvaluationThreads(Options.EvaluationThreads);
 }
 
 void SwitchEngine::start(std::chrono::milliseconds MonitoringRate) {
@@ -337,7 +461,8 @@ void SwitchEngine::maybePersistStore() {
 
 size_t SwitchEngine::contextCount() const {
   size_t Total = 0;
-  for (const Shard &S : Shards) {
+  for (size_t Index = 0; Index != shardCount(); ++Index) {
+    const Shard &S = shardAt(Index);
     std::lock_guard<std::mutex> Lock(S.Mutex);
     Total += S.Contexts.size();
   }
@@ -346,7 +471,8 @@ size_t SwitchEngine::contextCount() const {
 
 uint64_t SwitchEngine::totalSwitches() const {
   uint64_t Total = 0;
-  for (const Shard &S : Shards) {
+  for (size_t Index = 0; Index != shardCount(); ++Index) {
+    const Shard &S = shardAt(Index);
     std::lock_guard<std::mutex> Lock(S.Mutex);
     for (const AllocationContextBase *Context : S.Contexts)
       Total += Context->switchCount();
@@ -356,7 +482,8 @@ uint64_t SwitchEngine::totalSwitches() const {
 
 EngineStats SwitchEngine::stats() const {
   EngineStats Stats;
-  for (const Shard &S : Shards) {
+  for (size_t Index = 0; Index != shardCount(); ++Index) {
+    const Shard &S = shardAt(Index);
     std::lock_guard<std::mutex> Lock(S.Mutex);
     for (const AllocationContextBase *Context : S.Contexts)
       Stats += Context->stats();
@@ -366,7 +493,8 @@ EngineStats SwitchEngine::stats() const {
 
 TelemetrySnapshot SwitchEngine::telemetry() const {
   TelemetrySnapshot Snapshot;
-  for (const Shard &S : Shards) {
+  for (size_t Index = 0; Index != shardCount(); ++Index) {
+    const Shard &S = shardAt(Index);
     std::lock_guard<std::mutex> Lock(S.Mutex);
     for (const AllocationContextBase *Context : S.Contexts) {
       ContextSnapshot C;
@@ -381,9 +509,13 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
     }
   }
   Snapshot.Latency = obs::ProfilingRegistry::global().engineLatencies();
+  const Topology &Topo = Topology::system();
+  Snapshot.Topology.Nodes = Topo.nodeCount();
+  Snapshot.Topology.Cpus = Topo.cpuCount();
   EventLog &Log = EventLog::global();
   Snapshot.Events.Recorded = Log.totalRecorded();
   Snapshot.Events.Dropped = Log.droppedCount();
+  Snapshot.Events.NodeDropped = Log.nodeDroppedCounts();
   Snapshot.Recorder = RecorderRegistry::global().stats();
   if (std::shared_ptr<SelectionStore> St = store())
     Snapshot.Store = St->stats();

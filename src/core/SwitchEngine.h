@@ -19,6 +19,14 @@
 /// thousands of hot sites. The default is single-threaded evaluation,
 /// which is fully deterministic and what tests rely on.
 ///
+/// Topology-aware sharding (DESIGN.md §10): each NUMA node gets its own
+/// arena of registry shards, registration files a context under a shard
+/// of the registering thread's node (the shard index is remembered on
+/// the context so unregistration from any node finds it), and parallel
+/// evaluation drains its own node's contexts before stealing from other
+/// nodes. EngineOptions::PinEvaluationWorkers additionally pins pool
+/// workers round-robin over the nodes' cpu sets.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CSWITCH_CORE_SWITCHENGINE_H
@@ -57,13 +65,37 @@ struct ReporterOptions {
   std::function<void(const TelemetrySnapshot &)> Sink;
 };
 
+/// Engine-level tuning knobs (per-process; contexts carry their own
+/// options). Applied with SwitchEngine::configure.
+struct EngineOptions {
+  /// evaluateAll() parallelism: 0 or 1 selects the deterministic
+  /// sequential mode, N > 1 keeps a pool of N - 1 workers (the caller
+  /// participates as the Nth). Same semantics as setEvaluationThreads.
+  size_t EvaluationThreads = 1;
+  /// Pin evaluation pool workers round-robin over the NUMA nodes' cpu
+  /// sets (pthread_setaffinity_np), so a worker's node-affine sweep
+  /// actually runs on the node whose contexts it drains. Linux-only;
+  /// silently ignored elsewhere and on synthetic (CSWITCH_NUMA_NODES)
+  /// topologies, which have no real cpu map.
+  bool PinEvaluationWorkers = false;
+
+  EngineOptions &evaluationThreads(size_t Value) {
+    EvaluationThreads = Value;
+    return *this;
+  }
+  EngineOptions &pinEvaluationWorkers(bool Value) {
+    PinEvaluationWorkers = Value;
+    return *this;
+  }
+};
+
 /// Registry of live allocation contexts plus the periodic evaluator.
 class SwitchEngine {
 public:
   /// Returns the process-wide engine.
   static SwitchEngine &global();
 
-  SwitchEngine() = default;
+  SwitchEngine();
   ~SwitchEngine();
 
   SwitchEngine(const SwitchEngine &) = delete;
@@ -92,6 +124,16 @@ public:
   /// Current evaluateAll() parallelism (1 = sequential).
   size_t evaluationThreads() const {
     return EvalThreads.load(std::memory_order_relaxed);
+  }
+
+  /// Applies \p Options: evaluation parallelism and worker pinning in
+  /// one call. Safe at any time; like setEvaluationThreads it blocks
+  /// until an in-flight parallel evaluation finishes.
+  void configure(const EngineOptions &Options);
+
+  /// True when pool workers are pinned to NUMA nodes (configure()).
+  bool pinsEvaluationWorkers() const {
+    return PinWorkers.load(std::memory_order_relaxed);
   }
 
   /// Starts the background evaluation thread at the given monitoring
@@ -170,6 +212,13 @@ public:
   }
 
 private:
+  /// One registry shard (see ShardsPerNode below). Padded so the locks
+  /// of one arena sit on separate cache lines.
+  struct alignas(64) Shard {
+    mutable std::mutex Mutex;
+    std::vector<AllocationContextBase *> Contexts;
+  };
+
   /// Emits a telemetry report if the reporter is due; called by the
   /// background thread after each evaluation sweep, without holding
   /// ThreadMutex.
@@ -179,27 +228,42 @@ private:
   void maybePersistStore();
   void threadMain(std::chrono::milliseconds Rate);
   std::vector<AllocationContextBase *> snapshotContexts() const;
-  static size_t shardOf(const AllocationContextBase *Context);
+  /// Per-node context snapshot, indexed by node (for the node-affine
+  /// parallel sweep).
+  std::vector<std::vector<AllocationContextBase *>>
+  snapshotContextsByNode() const;
+  /// Flat shard index for registering \p Context from node \p Node:
+  /// the pointer hash picks a shard within the node's arena.
+  size_t shardOf(const AllocationContextBase *Context,
+                 unsigned Node) const;
+  Shard &shardAt(size_t Index) {
+    return NodeShards[Index / ShardsPerNode][Index % ShardsPerNode];
+  }
+  const Shard &shardAt(size_t Index) const {
+    return NodeShards[Index / ShardsPerNode][Index % ShardsPerNode];
+  }
+  size_t shardCount() const { return Nodes * ShardsPerNode; }
 
   /// Runs \p Task on every pool worker plus the calling thread and
   /// waits for all of them; PoolMutex protocol in SwitchEngine.cpp.
   void dispatchToPool(const std::function<void()> &Task);
   void startPool(size_t Workers);
   void stopPool();
-  void poolMain(uint64_t SeenGeneration);
+  void poolMain(uint64_t SeenGeneration, unsigned PinnedNode);
 
-  /// Registry shards: registration/unregistration from many threads
-  /// only contend within one shard. Padded to keep shard locks on
-  /// separate cache lines.
-  static constexpr size_t NumShards = 16;
-  struct alignas(64) Shard {
-    mutable std::mutex Mutex;
-    std::vector<AllocationContextBase *> Contexts;
-  };
-  std::array<Shard, NumShards> Shards;
+  /// Shards per NUMA node arena: registration/unregistration from many
+  /// threads only contend within one shard, and each node's arena is a
+  /// separate heap block, so one node's shard locks never share pages —
+  /// let alone cache lines — with another's.
+  static constexpr size_t ShardsPerNode = 16;
+
+  unsigned Nodes; ///< NUMA node count (>= 1), fixed at construction.
+  /// NodeShards[Node] is that node's arena of ShardsPerNode shards.
+  std::vector<std::unique_ptr<Shard[]>> NodeShards;
 
   /// Worker pool for parallel evaluateAll().
   std::atomic<size_t> EvalThreads{1};
+  std::atomic<bool> PinWorkers{false};
   mutable std::mutex DispatchMutex; ///< Serializes parallel dispatches.
   mutable std::mutex PoolMutex;
   std::condition_variable PoolWake;

@@ -210,6 +210,26 @@ cswitch::obs::renderOpenMetrics(const TelemetrySnapshot &Snapshot,
     Out += Buf;
   }
 
+  // Topology of the striped monitoring structures (DESIGN.md §10), so
+  // dashboards can relate per-node series to the machine layout.
+  familyHeader(Out, "cswitch_topology_nodes", "gauge",
+               "NUMA nodes the monitoring structures are striped over.");
+  sampleU64(Out, "cswitch_topology_nodes", {}, Snapshot.Topology.Nodes);
+  familyHeader(Out, "cswitch_topology_cpus", "gauge",
+               "CPUs seen by topology detection.");
+  sampleU64(Out, "cswitch_topology_cpus", {}, Snapshot.Topology.Cpus);
+
+  familyHeader(Out, "cswitch_node_events_dropped", "counter",
+               "Decision events lost to ring wrap-around, per node ring.");
+  for (size_t Node = 0; Node != Snapshot.Events.NodeDropped.size(); ++Node) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf),
+                  "cswitch_node_events_dropped_total{node=\"%zu\"} %" PRIu64
+                  "\n",
+                  Node, Snapshot.Events.NodeDropped[Node]);
+    Out += Buf;
+  }
+
   // Per-context monitoring counters, labelled by site.
   struct SiteCounter {
     const char *Name;

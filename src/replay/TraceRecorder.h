@@ -205,7 +205,11 @@ private:
   /// Sampling decision counter; with SampleEvery == 1 it doubles as the
   /// instance-id source (beginInstance then needs a single RMW).
   alignas(64) std::atomic<uint64_t> SeenInstances{0};
-  std::atomic<uint64_t> NextInstance{0}; ///< Sampled-instance id source.
+  /// Sampled-instance id source. Own line: with SampleEvery > 1 every
+  /// creation RMWs SeenInstances while only sampled creations RMW this
+  /// one — sharing the line would put the rare path's misses on the
+  /// common path (false-sharing audit, EXPERIMENTS.md).
+  alignas(64) std::atomic<uint64_t> NextInstance{0};
 
   /// Site table (cold path).
   mutable std::mutex SiteMutex;

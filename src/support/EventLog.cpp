@@ -7,6 +7,7 @@
 #include "support/EventLog.h"
 
 #include "support/Timer.h"
+#include "support/Topology.h"
 
 #include <algorithm>
 
@@ -73,9 +74,18 @@ size_t roundUpPow2(size_t Value) {
 
 } // namespace
 
-EventLog::EventLog(size_t Capacity)
-    : Cap(roundUpPow2(std::max<size_t>(Capacity, 2))), Mask(Cap - 1),
-      Slots(std::make_unique<Slot[]>(Cap)) {
+EventLog::EventLog(size_t Capacity, unsigned Nodes)
+    : Nodes(Nodes ? Nodes : Topology::system().nodeCount()) {
+  // Split the slot budget over the rings: each ring gets the per-node
+  // share rounded up to a power of two, so a single-node log has the
+  // exact pre-sharding capacity.
+  size_t PerRing = (std::max<size_t>(Capacity, 2) + this->Nodes - 1) /
+                   this->Nodes;
+  RingCap = roundUpPow2(std::max<size_t>(PerRing, 2));
+  Mask = RingCap - 1;
+  Rings = std::make_unique<Ring[]>(this->Nodes);
+  for (unsigned N = 0; N != this->Nodes; ++N)
+    Rings[N].Slots = std::make_unique<Slot[]>(RingCap);
   // Id 0 is reserved for the empty string so that "no detail" needs no
   // interning.
   InternedText.emplace_back();
@@ -102,12 +112,11 @@ std::string EventLog::textOf(uint32_t Id) const {
   return InternedText[Id];
 }
 
-void EventLog::record(EventKind Kind, uint32_t ContextId,
-                      uint32_t DetailId) {
-  if (!Enabled.load(std::memory_order_relaxed))
-    return;
-  uint64_t Ticket = Next.fetch_add(1, std::memory_order_relaxed);
-  Slot &S = Slots[Ticket & Mask];
+void EventLog::recordOnRing(unsigned Node, EventKind Kind,
+                            uint32_t ContextId, uint32_t DetailId) {
+  Ring &R = Rings[Node];
+  uint64_t Ticket = R.Next.fetch_add(1, std::memory_order_relaxed);
+  Slot &S = R.Slots[Ticket & Mask];
   // Seqlock write protocol: odd version opens the write, the release
   // fence orders it before the payload stores, the release store of the
   // even version publishes the payload. Two writers racing on a wrapped
@@ -122,6 +131,20 @@ void EventLog::record(EventKind Kind, uint32_t ContextId,
   S.Ver.store(2 * Ticket + 2, std::memory_order_release);
 }
 
+void EventLog::record(EventKind Kind, uint32_t ContextId,
+                      uint32_t DetailId) {
+  if (!Enabled.load(std::memory_order_relaxed))
+    return;
+  recordOnRing(currentStripe(Nodes), Kind, ContextId, DetailId);
+}
+
+void EventLog::recordOnNode(unsigned Node, EventKind Kind,
+                            uint32_t ContextId, uint32_t DetailId) {
+  if (!Enabled.load(std::memory_order_relaxed))
+    return;
+  recordOnRing(Node % Nodes, Kind, ContextId, DetailId);
+}
+
 void EventLog::record(EventKind Kind, std::string_view Context,
                       std::string_view Detail) {
   if (!Enabled.load(std::memory_order_relaxed))
@@ -129,14 +152,15 @@ void EventLog::record(EventKind Kind, std::string_view Context,
   record(Kind, intern(Context), intern(Detail));
 }
 
-std::vector<EventLog::RawEvent> EventLog::collect(uint64_t Lo,
-                                                  uint64_t Hi) const {
+std::vector<EventLog::RawEvent>
+EventLog::collect(unsigned Node, uint64_t Lo, uint64_t Hi) const {
   std::vector<RawEvent> Out;
   if (Lo >= Hi)
     return Out;
+  const Ring &R = Rings[Node];
   Out.reserve(static_cast<size_t>(Hi - Lo));
   for (uint64_t Ticket = Lo; Ticket != Hi; ++Ticket) {
-    const Slot &S = Slots[Ticket & Mask];
+    const Slot &S = R.Slots[Ticket & Mask];
     uint64_t Expected = 2 * Ticket + 2;
     uint64_t V1 = S.Ver.load(std::memory_order_acquire);
     if (V1 != Expected)
@@ -147,10 +171,39 @@ std::vector<EventLog::RawEvent> EventLog::collect(uint64_t Lo,
     Raw.Context = S.Context.load(std::memory_order_relaxed);
     Raw.Detail = S.Detail.load(std::memory_order_relaxed);
     Raw.Kind = S.Kind.load(std::memory_order_relaxed);
+    Raw.Node = Node;
     orderingFence(std::memory_order_acquire);
     if (S.Ver.load(std::memory_order_relaxed) != Expected)
       continue; // overwritten while reading
     Out.push_back(Raw);
+  }
+  return Out;
+}
+
+std::vector<EventLog::RawEvent>
+EventLog::merge(std::vector<std::vector<RawEvent>> PerRing) {
+  if (PerRing.size() == 1)
+    return std::move(PerRing.front());
+  size_t Total = 0;
+  for (const auto &Ring : PerRing)
+    Total += Ring.size();
+  std::vector<RawEvent> Out;
+  Out.reserve(Total);
+  // K-way merge popping ring heads by (timestamp, node). Comparing by
+  // head timestamp — not by ticket — keeps each ring's ticket order
+  // intact by construction (a ring's heads are consumed front to back)
+  // while interleaving rings on the shared steady clock.
+  std::vector<size_t> Heads(PerRing.size(), 0);
+  while (Out.size() != Total) {
+    size_t Best = PerRing.size();
+    for (size_t R = 0; R != PerRing.size(); ++R) {
+      if (Heads[R] == PerRing[R].size())
+        continue;
+      if (Best == PerRing.size() ||
+          PerRing[R][Heads[R]].Ts < PerRing[Best][Heads[Best]].Ts)
+        Best = R;
+    }
+    Out.push_back(PerRing[Best][Heads[Best]++]);
   }
   return Out;
 }
@@ -163,10 +216,13 @@ std::vector<Event> EventLog::resolve(
   for (const RawEvent &R : Raw) {
     Event E;
     E.Kind = static_cast<EventKind>(R.Kind);
-    E.SequenceNumber = R.Ticket;
+    // Ring index in the high bits keeps sequence numbers unique across
+    // rings; a single-node log yields the plain ticket.
+    E.SequenceNumber = (static_cast<uint64_t>(R.Node) << 48) | R.Ticket;
     E.TimestampNanos = R.Ts;
     E.ContextId = R.Context;
     E.DetailId = R.Detail;
+    E.Node = R.Node;
     if (R.Context < InternedText.size())
       E.Context = InternedText[R.Context];
     if (R.Detail < InternedText.size())
@@ -178,8 +234,13 @@ std::vector<Event> EventLog::resolve(
 
 std::vector<Event> EventLog::snapshot() const {
   std::lock_guard<std::mutex> Lock(ConsumerMutex);
-  uint64_t Hi = Next.load(std::memory_order_acquire);
-  return resolve(collect(windowStart(Hi), Hi));
+  std::vector<std::vector<RawEvent>> PerRing(Nodes);
+  for (unsigned N = 0; N != Nodes; ++N) {
+    const Ring &R = Rings[N];
+    uint64_t Hi = R.Next.load(std::memory_order_acquire);
+    PerRing[N] = collect(N, windowStart(R, Hi), Hi);
+  }
+  return resolve(merge(std::move(PerRing)));
 }
 
 std::vector<Event> EventLog::snapshotOfKind(EventKind Kind) const {
@@ -193,47 +254,76 @@ std::vector<Event> EventLog::snapshotOfKind(EventKind Kind) const {
 
 std::vector<Event> EventLog::drain() {
   std::lock_guard<std::mutex> Lock(ConsumerMutex);
-  uint64_t Hi = Next.load(std::memory_order_acquire);
-  uint64_t Lo = std::max(DrainCursor, windowStart(Hi));
-  std::vector<RawEvent> Raw;
-  uint64_t Ticket = Lo;
-  for (; Ticket != Hi; ++Ticket) {
-    const Slot &S = Slots[Ticket & Mask];
-    uint64_t Expected = 2 * Ticket + 2;
-    uint64_t V1 = S.Ver.load(std::memory_order_acquire);
-    if (V1 < Expected)
-      break; // writer still mid-publication: stop, next drain resumes here
-    if (V1 != Expected)
-      continue; // overwritten by a later ticket
-    RawEvent R;
-    R.Ticket = Ticket;
-    R.Ts = S.Ts.load(std::memory_order_relaxed);
-    R.Context = S.Context.load(std::memory_order_relaxed);
-    R.Detail = S.Detail.load(std::memory_order_relaxed);
-    R.Kind = S.Kind.load(std::memory_order_relaxed);
-    orderingFence(std::memory_order_acquire);
-    if (S.Ver.load(std::memory_order_relaxed) != Expected)
-      continue; // overwritten while reading
-    Raw.push_back(R);
+  std::vector<std::vector<RawEvent>> PerRing(Nodes);
+  for (unsigned N = 0; N != Nodes; ++N) {
+    Ring &R = Rings[N];
+    uint64_t Hi = R.Next.load(std::memory_order_acquire);
+    uint64_t Lo = std::max(R.DrainCursor, windowStart(R, Hi));
+    std::vector<RawEvent> &Raw = PerRing[N];
+    uint64_t Ticket = Lo;
+    for (; Ticket != Hi; ++Ticket) {
+      const Slot &S = R.Slots[Ticket & Mask];
+      uint64_t Expected = 2 * Ticket + 2;
+      uint64_t V1 = S.Ver.load(std::memory_order_acquire);
+      if (V1 < Expected)
+        break; // writer still mid-publication: stop, next drain resumes
+      if (V1 != Expected)
+        continue; // overwritten by a later ticket
+      RawEvent Re;
+      Re.Ticket = Ticket;
+      Re.Ts = S.Ts.load(std::memory_order_relaxed);
+      Re.Context = S.Context.load(std::memory_order_relaxed);
+      Re.Detail = S.Detail.load(std::memory_order_relaxed);
+      Re.Kind = S.Kind.load(std::memory_order_relaxed);
+      Re.Node = N;
+      orderingFence(std::memory_order_acquire);
+      if (S.Ver.load(std::memory_order_relaxed) != Expected)
+        continue; // overwritten while reading
+      Raw.push_back(Re);
+    }
+    R.DrainCursor = Ticket;
   }
-  DrainCursor = Ticket;
-  return resolve(Raw);
+  return resolve(merge(std::move(PerRing)));
 }
 
 void EventLog::clear() {
   std::lock_guard<std::mutex> Lock(ConsumerMutex);
-  uint64_t Hi = Next.load(std::memory_order_acquire);
-  Base.store(Hi, std::memory_order_relaxed);
-  DrainCursor = Hi;
+  for (unsigned N = 0; N != Nodes; ++N) {
+    Ring &R = Rings[N];
+    uint64_t Hi = R.Next.load(std::memory_order_acquire);
+    R.Base.store(Hi, std::memory_order_relaxed);
+    R.DrainCursor = Hi;
+  }
 }
 
 uint64_t EventLog::droppedCount() const {
-  uint64_t Hi = Next.load(std::memory_order_acquire);
-  uint64_t Total = Hi - Base.load(std::memory_order_relaxed);
-  return Total > Cap ? Total - Cap : 0;
+  uint64_t Dropped = 0;
+  for (unsigned N = 0; N != Nodes; ++N) {
+    const Ring &R = Rings[N];
+    uint64_t Hi = R.Next.load(std::memory_order_acquire);
+    uint64_t Total = Hi - R.Base.load(std::memory_order_relaxed);
+    Dropped += Total > RingCap ? Total - RingCap : 0;
+  }
+  return Dropped;
+}
+
+std::vector<uint64_t> EventLog::nodeDroppedCounts() const {
+  std::vector<uint64_t> Out(Nodes, 0);
+  for (unsigned N = 0; N != Nodes; ++N) {
+    const Ring &R = Rings[N];
+    uint64_t Hi = R.Next.load(std::memory_order_acquire);
+    uint64_t Total = Hi - R.Base.load(std::memory_order_relaxed);
+    Out[N] = Total > RingCap ? Total - RingCap : 0;
+  }
+  return Out;
 }
 
 uint64_t EventLog::totalRecorded() const {
-  return Next.load(std::memory_order_acquire) -
-         Base.load(std::memory_order_relaxed);
+  uint64_t Total = 0;
+  for (unsigned N = 0; N != Nodes; ++N) {
+    const Ring &R = Rings[N];
+    Total += R.Next.load(std::memory_order_acquire) -
+             R.Base.load(std::memory_order_relaxed);
+  }
+  return Total;
 }

@@ -7,7 +7,7 @@
 /// \file
 /// The "detailed log system for tracing framework events" the paper names
 /// as its mitigation for the increased-complexity risk (§4.4). Events are
-/// recorded in a fixed-capacity lock-free ring and can be drained or
+/// recorded in fixed-capacity lock-free rings and can be drained or
 /// snapshotted for inspection; Table 6 (most common transitions) is
 /// produced from the Transition events recorded here.
 ///
@@ -17,8 +17,17 @@
 /// writers never block on readers or on each other. Site names and
 /// detail strings are interned once (mutex-guarded cold path) and events
 /// carry 32-bit ids, so recording allocates nothing and copies no
-/// strings. When the ring wraps, the oldest events are overwritten and
+/// strings. When a ring wraps, the oldest events are overwritten and
 /// droppedCount() reports how many were lost.
+///
+/// Topology-aware sharding (DESIGN.md §10): the log is one ring per
+/// NUMA node, so the ticket counter a recorder hammers lives on its own
+/// socket and never bounces across the interconnect. record() routes to
+/// the caller's node ring; consumers merge the rings by timestamp while
+/// preserving each ring's ticket order, and drop accounting stays exact
+/// per ring (nodeDroppedCounts() exposes the split). On single-node
+/// machines there is exactly one ring and behaviour is identical to the
+/// pre-sharded log.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,6 +66,10 @@ struct Event {
   EventKind Kind;
   std::string Context; ///< Context/site name, or variant name for migrations.
   std::string Detail;  ///< Free-form detail, e.g. "ArrayList -> AdaptiveList".
+  /// Unique per event: the ring-local ticket in the low bits with the
+  /// ring (node) index folded into bits 48+. On a single-node log this
+  /// is the plain ticket. Orders events within one node; cross-node
+  /// order comes from TimestampNanos.
   uint64_t SequenceNumber = 0;
   /// Record time in monotonicNanos() units (the steady clock), so
   /// drained events can be laid out on a timeline (the Perfetto
@@ -65,25 +78,31 @@ struct Event {
   uint64_t TimestampNanos = 0;
   uint32_t ContextId = 0; ///< Interned id of Context.
   uint32_t DetailId = 0;  ///< Interned id of Detail.
+  uint32_t Node = 0;      ///< NUMA node (ring) the event was recorded on.
 };
 
-/// Lock-free, bounded, process-wide event log.
+/// Lock-free, bounded, process-wide event log: one ring per NUMA node.
 ///
 /// Bounded so that long benchmark runs cannot grow it without limit;
-/// when full, the oldest events are overwritten (droppedCount() reports
-/// how many). The record path takes no mutex and performs no allocation:
-/// it is one relaxed fetch_add, one steady-clock read (the timestamp
-/// that anchors the decision timeline), and five slot stores. Consumers
-/// (snapshot / drain / clear) serialize against each other on a mutex
-/// but never against recorders; slots overwritten mid-read are detected
-/// by their sequence version and skipped.
+/// when a ring is full, its oldest events are overwritten
+/// (droppedCount() reports how many, nodeDroppedCounts() per ring). The
+/// record path takes no mutex and performs no allocation: it is one
+/// relaxed fetch_add on the caller's node's ticket counter, one
+/// steady-clock read (the timestamp that anchors the decision
+/// timeline), and five slot stores. Consumers (snapshot / drain /
+/// clear) serialize against each other on a mutex but never against
+/// recorders; slots overwritten mid-read are detected by their sequence
+/// version and skipped.
 class EventLog {
 public:
   /// Returns the process-wide log instance.
   static EventLog &global();
 
-  /// \p Capacity is rounded up to a power of two.
-  explicit EventLog(size_t Capacity = 65536);
+  /// \p Capacity is the total slot budget, split evenly over the rings
+  /// and rounded up per ring to a power of two. \p Nodes = 0 means one
+  /// ring per NUMA node of Topology::system(); pass an explicit count
+  /// to pin the ring layout (tests of per-ring semantics pass 1).
+  explicit EventLog(size_t Capacity = 65536, unsigned Nodes = 0);
 
   EventLog(const EventLog &) = delete;
   EventLog &operator=(const EventLog &) = delete;
@@ -103,11 +122,17 @@ public:
   // Record path (lock-free, allocation-free)
   //===--------------------------------------------------------------===//
 
-  /// Appends an event carrying pre-interned ids. Lock-free: one atomic
-  /// fetch_add claims the slot; a per-slot sequence version publishes
-  /// the payload. Returns immediately without any work when recording
-  /// is disabled.
+  /// Appends an event carrying pre-interned ids to the calling thread's
+  /// node ring. Lock-free: one atomic fetch_add claims the slot; a
+  /// per-slot sequence version publishes the payload. Returns
+  /// immediately without any work when recording is disabled.
   void record(EventKind Kind, uint32_t ContextId, uint32_t DetailId = 0);
+
+  /// record() onto an explicit node's ring (folded modulo the ring
+  /// count). Tests of the merge/drop protocol use this to target rings
+  /// deterministically regardless of the machine's real topology.
+  void recordOnNode(unsigned Node, EventKind Kind, uint32_t ContextId,
+                    uint32_t DetailId = 0);
 
   /// Convenience overload that interns both strings first (cold paths
   /// and tests; the framework's hot paths pre-intern and use the id
@@ -128,32 +153,41 @@ public:
   // Consumption (serialized on a consumer mutex; never blocks recorders)
   //===--------------------------------------------------------------===//
 
-  /// Returns a snapshot of the retained events in record order. Events
+  /// Returns a snapshot of the retained events, merged across rings in
+  /// timestamp order with each ring's ticket order preserved. Events
   /// overwritten while the snapshot runs are skipped.
   std::vector<Event> snapshot() const;
 
-  /// Returns the retained events of kind \p Kind in record order.
+  /// Returns the retained events of kind \p Kind in merged order.
   std::vector<Event> snapshotOfKind(EventKind Kind) const;
 
   /// Consuming read: returns the events recorded since the previous
-  /// drain() (or clear()), in record order, and advances the drain
-  /// cursor past them. The cursor stops before any event whose writer
-  /// is still mid-publication, so a drain never loses an event that is
-  /// about to arrive — the next drain picks it up.
+  /// drain() (or clear()), merged across rings, and advances each
+  /// ring's drain cursor past them. A ring's cursor stops before any
+  /// event whose writer is still mid-publication, so a drain never
+  /// loses an event that is about to arrive — the next drain picks it
+  /// up.
   std::vector<Event> drain();
 
-  /// Forgets all recorded events (dropped count and drain cursor are
+  /// Forgets all recorded events (dropped counts and drain cursors are
   /// reset too). The intern table is retained: ids stay valid.
   void clear();
 
-  /// Number of events lost because the ring wrapped (since clear()).
+  /// Events lost because a ring wrapped (since clear()), summed over
+  /// rings.
   uint64_t droppedCount() const;
+
+  /// Per-ring wrap losses, indexed by node (size nodeCount()).
+  std::vector<uint64_t> nodeDroppedCounts() const;
 
   /// Total events recorded since clear() (including dropped ones).
   uint64_t totalRecorded() const;
 
-  /// Slot capacity of the ring.
-  size_t capacity() const { return Cap; }
+  /// Total slot capacity over all rings.
+  size_t capacity() const { return RingCap * Nodes; }
+
+  /// Number of per-node rings.
+  unsigned nodeCount() const { return Nodes; }
 
 private:
   /// One ring slot. Ver carries the full ticket: 2*T+1 while the
@@ -170,45 +204,66 @@ private:
     std::atomic<uint32_t> Kind{0};
   };
 
-  /// Raw (still id-based) event collected from the ring.
+  /// One per-node ring: slots plus the ticket counters that only
+  /// threads of this node touch on the record path. Cache-line aligned
+  /// so one node's Next never shares a line with another's.
+  struct alignas(64) Ring {
+    std::unique_ptr<Slot[]> Slots;
+    /// Monotonic ticket counter: the single point of contention on the
+    /// record path, now per node. Never reset (clear() moves Base
+    /// instead so in-flight recorders keep working).
+    std::atomic<uint64_t> Next{0};
+    /// Logical beginning of the ring (advanced by clear()).
+    std::atomic<uint64_t> Base{0};
+    uint64_t DrainCursor = 0; ///< Guarded by ConsumerMutex.
+  };
+
+  /// Raw (still id-based) event collected from a ring.
   struct RawEvent {
     uint64_t Ticket;
     uint64_t Ts;
     uint32_t Context;
     uint32_t Detail;
     uint32_t Kind;
+    uint32_t Node;
   };
 
-  /// Collects the validated events with tickets in [Lo, Hi), in ticket
-  /// order.
-  std::vector<RawEvent> collect(uint64_t Lo, uint64_t Hi) const;
+  /// The record path, targeted at ring \p Node.
+  void recordOnRing(unsigned Node, EventKind Kind, uint32_t ContextId,
+                    uint32_t DetailId);
+
+  /// Collects ring \p Node's validated events with tickets in
+  /// [Lo, Hi), in ticket order.
+  std::vector<RawEvent> collect(unsigned Node, uint64_t Lo,
+                                uint64_t Hi) const;
+
+  /// Merges per-ring collections (each ticket-ordered) into one
+  /// timestamp-ordered stream; ties break by node index, so the merge
+  /// is deterministic and each ring's internal order survives.
+  static std::vector<RawEvent>
+  merge(std::vector<std::vector<RawEvent>> PerRing);
 
   /// Resolves raw events into Events (one intern-table lock for all).
   std::vector<Event> resolve(const std::vector<RawEvent> &Raw) const;
 
-  /// Oldest ticket that can still be retained given \p Hi = Next.
-  uint64_t windowStart(uint64_t Hi) const {
-    uint64_t Lo = Base.load(std::memory_order_relaxed);
-    if (Hi - Lo > Cap)
-      Lo = Hi - Cap;
+  /// Oldest ticket of ring \p R that can still be retained given
+  /// \p Hi = R.Next.
+  uint64_t windowStart(const Ring &R, uint64_t Hi) const {
+    uint64_t Lo = R.Base.load(std::memory_order_relaxed);
+    if (Hi - Lo > RingCap)
+      Lo = Hi - RingCap;
     return Lo;
   }
 
-  size_t Cap;  ///< Power-of-two slot count.
-  size_t Mask; ///< Cap - 1.
-  std::unique_ptr<Slot[]> Slots;
+  size_t RingCap; ///< Power-of-two slot count per ring.
+  size_t Mask;    ///< RingCap - 1.
+  unsigned Nodes; ///< Ring count (>= 1).
+  std::unique_ptr<Ring[]> Rings;
 
-  /// Monotonic ticket counter: the single point of contention on the
-  /// record path. Never reset (clear() moves Base instead so in-flight
-  /// recorders keep working).
-  std::atomic<uint64_t> Next{0};
-  /// Logical beginning of the log (advanced by clear()).
-  std::atomic<uint64_t> Base{0};
   std::atomic<bool> Enabled{true};
 
   /// Serializes consumers (snapshot/drain/clear) with each other only.
   mutable std::mutex ConsumerMutex;
-  uint64_t DrainCursor = 0; ///< Guarded by ConsumerMutex.
 
   /// Intern table (cold path).
   mutable std::mutex InternMutex;

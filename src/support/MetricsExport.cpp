@@ -167,6 +167,11 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
   EngineTotals.Switches = Snapshot.Engine.Switches;
   appendStatFields(Out, EngineTotals);
   Out += "},\n";
+  // Additive in cswitch-telemetry-v1: the node layout the striped
+  // monitoring structures were sized for (DESIGN.md §10).
+  Out += "  \"topology\": {\"nodes\": " +
+         std::to_string(Snapshot.Topology.Nodes) +
+         ", \"cpus\": " + std::to_string(Snapshot.Topology.Cpus) + "},\n";
   Out += "  \"latency\": {";
   appendLatencyStats(Out, "record", Snapshot.Latency.Record);
   Out += ", ";
@@ -179,7 +184,13 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
   Out += "  \"events\": {\"recorded\": " +
          std::to_string(Snapshot.Events.Recorded) +
          ", \"dropped\": " + std::to_string(Snapshot.Events.Dropped) +
-         "},\n";
+         ", \"node_dropped\": [";
+  for (size_t I = 0; I != Snapshot.Events.NodeDropped.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += std::to_string(Snapshot.Events.NodeDropped[I]);
+  }
+  Out += "]},\n";
   Out += "  \"recorder\": {\"recorders\": " +
          std::to_string(Snapshot.Recorder.Recorders) +
          ", \"ops_recorded\": " +
@@ -263,15 +274,17 @@ std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
     // Engine-wide latency p99s ride along the same way: the column
     // schema stays untouched, but tail behaviour is visible in every
     // exported table.
-    char Buf[256];
+    char Buf[320];
     std::snprintf(Buf, sizeof(Buf),
                   "# latency_record_count=%llu latency_record_p99=%.1f"
                   " latency_evaluate_p99=%.1f latency_switch_p99=%.1f"
-                  " latency_persist_p99=%.1f\n",
+                  " latency_persist_p99=%.1f topology_nodes=%u"
+                  " topology_cpus=%u\n",
                   static_cast<unsigned long long>(
                       Snapshot.Latency.Record.Count),
                   Snapshot.Latency.Record.P99, Snapshot.Latency.Evaluate.P99,
-                  Snapshot.Latency.Switch.P99, Snapshot.Latency.Persist.P99);
+                  Snapshot.Latency.Switch.P99, Snapshot.Latency.Persist.P99,
+                  Snapshot.Topology.Nodes, Snapshot.Topology.Cpus);
     Out += Buf;
   }
   Out += "name,abstraction,variant,instances_created,"

@@ -102,7 +102,18 @@ EventLogStats cswitch::operator-(const EventLogStats &A,
   EventLogStats Out;
   Out.Recorded = monus(A.Recorded, B.Recorded);
   Out.Dropped = monus(A.Dropped, B.Dropped);
+  // Element-wise saturating difference, sized by the newer snapshot (a
+  // baseline from before the per-node split simply subtracts nothing).
+  Out.NodeDropped.resize(A.NodeDropped.size());
+  for (size_t I = 0; I != A.NodeDropped.size(); ++I)
+    Out.NodeDropped[I] =
+        monus(A.NodeDropped[I],
+              I < B.NodeDropped.size() ? B.NodeDropped[I] : 0);
   return Out;
+}
+
+bool cswitch::operator==(const TopologyStats &A, const TopologyStats &B) {
+  return A.Nodes == B.Nodes && A.Cpus == B.Cpus;
 }
 
 RecorderStats &RecorderStats::operator+=(const RecorderStats &Other) {
@@ -200,6 +211,8 @@ TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
   // Lifetime-distribution quantiles do not subtract; carry the newer
   // snapshot's distillation verbatim (same convention as Variant).
   Out.Latency = Now.Latency;
+  // The topology is static process state, not a counter.
+  Out.Topology = Now.Topology;
   std::unordered_map<std::string, const ContextSnapshot *> Baseline;
   Baseline.reserve(Before.Contexts.size());
   for (const ContextSnapshot &C : Before.Contexts)

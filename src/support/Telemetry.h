@@ -124,13 +124,27 @@ struct ContextSnapshot {
   SiteLatencies Latency;     ///< Per-site latency distributions.
 };
 
-/// Counters of the event-log ring at snapshot time.
+/// Counters of the event-log rings at snapshot time.
 struct EventLogStats {
   uint64_t Recorded = 0; ///< Events recorded (including dropped).
   uint64_t Dropped = 0;  ///< Events lost to ring wrap-around.
+  /// Wrap losses split per NUMA node ring (DESIGN.md §10); indexed by
+  /// node, sums to Dropped. Empty when the producer predates the
+  /// per-node split.
+  std::vector<uint64_t> NodeDropped;
 };
 
 EventLogStats operator-(const EventLogStats &A, const EventLogStats &B);
+
+/// The machine topology the striped monitoring structures were sized
+/// for (detected once at process start; see support/Topology.h).
+/// Carried in the snapshot so exports can label per-node series.
+struct TopologyStats {
+  uint32_t Nodes = 1; ///< NUMA nodes.
+  uint32_t Cpus = 1;  ///< Cpus the detection saw.
+};
+
+bool operator==(const TopologyStats &A, const TopologyStats &B);
 
 /// Counters of the operation-trace recorders (src/replay/) at snapshot
 /// time. Aggregated over every recorder ever attached in this process so
@@ -206,6 +220,7 @@ struct TelemetrySnapshot {
   RecorderStats Recorder;
   StoreStats Store;
   EngineLatencies Latency;
+  TopologyStats Topology;
 };
 
 /// Interval difference between two snapshots: aggregate and event

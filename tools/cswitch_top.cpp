@@ -156,6 +156,9 @@ struct MetricsSample {
   double Switches = 0;
   double RecordP99 = 0;
   double EvaluateP99 = 0;
+  double TopologyNodes = 1;
+  double EventsDropped = 0;
+  std::map<unsigned, double> NodeDropped; // node index -> events dropped
   std::map<std::string, SiteRow> Sites;
 };
 
@@ -241,7 +244,16 @@ MetricsSample parseMetrics(const std::string &Text) {
       Sample.RecordP99 = Value;
     else if (Name == "cswitch_evaluate_latency_nanos" && P99)
       Sample.EvaluateP99 = Value;
-    else if (labelValue(Labels, "site", Site)) {
+    else if (Name == "cswitch_topology_nodes")
+      Sample.TopologyNodes = Value;
+    else if (Name == "cswitch_events_dropped_total")
+      Sample.EventsDropped = Value;
+    else if (Name == "cswitch_node_events_dropped_total") {
+      std::string Node;
+      if (labelValue(Labels, "node", Node))
+        Sample.NodeDropped[static_cast<unsigned>(std::atoi(Node.c_str()))] =
+            Value;
+    } else if (labelValue(Labels, "site", Site)) {
       SiteRow &Row = Sample.Sites[Site];
       if (Name == "cswitch_instances_created_total")
         Row.Created = Value;
@@ -261,9 +273,21 @@ MetricsSample parseMetrics(const std::string &Text) {
 void renderSample(const MetricsSample &Sample, const std::string &Url) {
   std::printf("cswitch_top — %s\n", Url.c_str());
   std::printf("contexts %.0f   instances %.0f   evaluations %.0f   "
-              "switches %.0f   p99 record %.0f ns   p99 evaluate %.0f ns\n\n",
+              "switches %.0f   p99 record %.0f ns   p99 evaluate %.0f ns\n",
               Sample.Contexts, Sample.InstancesCreated, Sample.Evaluations,
               Sample.Switches, Sample.RecordP99, Sample.EvaluateP99);
+  std::printf("nodes %.0f   events dropped %.0f", Sample.TopologyNodes,
+              Sample.EventsDropped);
+  if (!Sample.NodeDropped.empty()) {
+    std::printf("   per-node [");
+    bool First = true;
+    for (const auto &[Node, Dropped] : Sample.NodeDropped) {
+      std::printf("%s%u:%.0f", First ? "" : " ", Node, Dropped);
+      First = false;
+    }
+    std::printf("]");
+  }
+  std::printf("\n\n");
   std::printf("%-32s %-20s %12s %9s %14s %14s\n", "SITE", "VARIANT",
               "INSTANCES", "SWITCHES", "REC P99(ns)", "EVAL P99(ns)");
   for (const auto &[Site, Row] : Sample.Sites)
