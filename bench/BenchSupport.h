@@ -61,7 +61,14 @@ inline std::shared_ptr<const PerformanceModel> loadModel() {
     if (!Path[0])
       continue;
     auto Model = std::make_shared<PerformanceModel>();
-    if (Model->loadFromFile(Path) && modelCoversAllVariants(*Model)) {
+    if (!Model->loadFromFile(Path))
+      continue;
+    // Model files predating the concurrent tier (or written by a
+    // sequential-only calibration) lack the mutex/sharded rows and the
+    // contention dimension; backfill them from the analytical defaults
+    // so stale caches keep working instead of forcing a recalibration.
+    augmentConcurrentCoverage(*Model);
+    if (modelCoversAllVariants(*Model)) {
       std::printf("[using measured model %s]\n", Path);
       return Model;
     }
@@ -74,6 +81,9 @@ inline std::shared_ptr<const PerformanceModel> loadModel() {
       EnvPath && EnvPath[0] ? EnvPath : "cswitch_model.txt";
   if (Measured->saveToFile(CachePath))
     std::printf("[cached as %s]\n", CachePath);
+  // Calibration measures the sequential tier only; graft the concurrent
+  // rows (and contention polynomials) from the analytical defaults.
+  augmentConcurrentCoverage(*Measured);
   return Measured;
 }
 

@@ -29,6 +29,10 @@ const char *listDescription(ListVariant V) {
     return "ArrayList + HashBag for faster lookups";
   case ListVariant::AdaptiveList:
     return "array on small sizes, hash-array above threshold";
+  case ListVariant::MutexList:
+    return "mutex-serialized array list (concurrent tier)";
+  case ListVariant::SnapshotList:
+    return "copy-on-write list (CopyOnWriteArrayList analogue)";
   }
   return "";
 }
@@ -51,6 +55,10 @@ const char *setDescription(SetVariant V) {
     return "AVL tree, sorted iteration (JDK TreeSet analogue)";
   case SetVariant::SortedArraySet:
     return "sorted array, binary-search lookups (extension)";
+  case SetVariant::MutexHashSet:
+    return "mutex-serialized open hash set (concurrent tier)";
+  case SetVariant::StripedHashSet:
+    return "lock-striped open hash set (concurrent tier)";
   }
   return "";
 }
@@ -73,6 +81,10 @@ const char *mapDescription(MapVariant V) {
     return "AVL tree, sorted iteration (JDK TreeMap analogue)";
   case MapVariant::SortedArrayMap:
     return "parallel sorted arrays, binary search (extension)";
+  case MapVariant::MutexHashMap:
+    return "mutex-serialized open hash map (concurrent tier)";
+  case MapVariant::ShardedHashMap:
+    return "lock-striped hash map (ConcurrentHashMap analogue)";
   }
   return "";
 }

@@ -76,7 +76,7 @@ int main() {
     return List<int64_t>(makeListImpl<int64_t>(ListVariant::AdaptiveList));
   });
 
-  auto Ctx = Switch::createListContext<int64_t>(
+  auto Ctx = Switch::makeContext<List<int64_t>>(
       "db_cursor:IndexCursor", ListVariant::ArrayList,
       SelectionRule::timeRule());
   SwitchEngine::global().start();

@@ -11,7 +11,7 @@
 // with an allocation context and let the framework pick the variant from
 // the observed workload:
 //
-//     static auto Ctx = Switch::createListContext<int64_t>(...);
+//     static auto Ctx = Switch::makeContext<List<int64_t>>(...);
 //     auto List = Ctx->createList();
 //
 // Run it: ./quickstart
@@ -26,7 +26,7 @@ using namespace cswitch;
 
 int main() {
   // One context per allocation site; static in real code (paper §4.3).
-  auto Ctx = Switch::createListContext<int64_t>(
+  auto Ctx = Switch::makeContext<List<int64_t>>(
       "quickstart.cpp:main", ListVariant::ArrayList,
       SelectionRule::timeRule());
 

@@ -95,7 +95,7 @@ int main() {
   double FixedMB = static_cast<double>(FixedAlloc.allocatedInScope()) / 1e6;
 
   // Pass 2: the same code through an allocation context (Ralloc).
-  auto Ctx = Switch::createMapContext<int64_t, int64_t>(
+  auto Ctx = Switch::makeContext<Map<int64_t, int64_t>>(
       "text_search:scores", MapVariant::ChainedHashMap,
       SelectionRule::allocRule());
   SwitchEngine::global().start(); // production setup: 50 ms analyzer.

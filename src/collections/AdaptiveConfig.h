@@ -29,6 +29,27 @@ struct AdaptiveThresholds {
   size_t Map = 50;  ///< AdaptiveMap: array -> open hash.
 };
 
+/// Policy of the concurrent tier (DESIGN.md §11): how sharded variants
+/// size their stripe arrays and how the contention signal feeds the
+/// selection rules.
+struct ContentionPolicy {
+  /// Evaluate the contention cost dimension during analysis rounds of
+  /// concurrent contexts. When false, concurrent variants compete on
+  /// their single-threaded polynomials alone.
+  bool Enabled = true;
+  /// Shards of the lock-striped variants. 0 = auto: the hardware
+  /// concurrency rounded up to a power of two, clamped to [1, 64].
+  /// Explicit values are clamped and rounded the same way.
+  size_t Shards = 0;
+  /// Minimum operations a context's contention sketch must have seen in
+  /// a round before its thread estimate is trusted (below it the round
+  /// keeps the previous smoothed estimate).
+  uint64_t MinOps = 256;
+  /// EWMA weight of the newest per-round thread estimate, in (0, 1];
+  /// 1 = no smoothing.
+  double Smoothing = 0.5;
+};
+
 /// Process-wide adaptive-collection policy and statistics.
 class AdaptiveConfig {
 public:
@@ -41,6 +62,14 @@ public:
 
   /// Installs new thresholds (e.g. computed by ThresholdAnalyzer).
   void setThresholds(const AdaptiveThresholds &T) { Current = T; }
+
+  /// Current concurrent-tier policy (same update semantics as
+  /// thresholds(): changes affect instances and analysis rounds that
+  /// start afterwards).
+  ContentionPolicy contention() const { return Contention; }
+
+  /// Installs a new concurrent-tier policy.
+  void setContention(const ContentionPolicy &P) { Contention = P; }
 
   /// Records one representation migration (instance-level transition).
   void recordMigration() {
@@ -57,6 +86,7 @@ public:
 
 private:
   AdaptiveThresholds Current;
+  ContentionPolicy Contention;
   std::atomic<uint64_t> Migrations{0};
 };
 

@@ -32,6 +32,12 @@
 #include "collections/OpenHashSet.h"
 #include "collections/TreeMap.h"
 #include "collections/TreeSet.h"
+#include "collections/concurrent/MutexHashMap.h"
+#include "collections/concurrent/MutexHashSet.h"
+#include "collections/concurrent/MutexList.h"
+#include "collections/concurrent/ShardedHashMap.h"
+#include "collections/concurrent/SnapshotList.h"
+#include "collections/concurrent/StripedHashSet.h"
 
 #include <cassert>
 #include <memory>
@@ -50,6 +56,10 @@ std::unique_ptr<ListImpl<T>> makeListImpl(ListVariant V) {
     return std::make_unique<HashArrayListImpl<T>>();
   case ListVariant::AdaptiveList:
     return std::make_unique<AdaptiveListImpl<T>>();
+  case ListVariant::MutexList:
+    return std::make_unique<MutexListImpl<T>>();
+  case ListVariant::SnapshotList:
+    return std::make_unique<SnapshotListImpl<T>>();
   }
   assert(false && "unknown list variant");
   return nullptr;
@@ -75,6 +85,10 @@ std::unique_ptr<SetImpl<T>> makeSetImpl(SetVariant V) {
     return std::make_unique<TreeSetImpl<T>>();
   case SetVariant::SortedArraySet:
     return std::make_unique<SortedArraySetImpl<T>>();
+  case SetVariant::MutexHashSet:
+    return std::make_unique<MutexHashSetImpl<T>>();
+  case SetVariant::StripedHashSet:
+    return std::make_unique<StripedHashSetImpl<T>>();
   }
   assert(false && "unknown set variant");
   return nullptr;
@@ -100,6 +114,10 @@ std::unique_ptr<MapImpl<K, V>> makeMapImpl(MapVariant Variant) {
     return std::make_unique<TreeMapImpl<K, V>>();
   case MapVariant::SortedArrayMap:
     return std::make_unique<SortedArrayMapImpl<K, V>>();
+  case MapVariant::MutexHashMap:
+    return std::make_unique<MutexHashMapImpl<K, V>>();
+  case MapVariant::ShardedHashMap:
+    return std::make_unique<ShardedHashMapImpl<K, V>>();
   }
   assert(false && "unknown map variant");
   return nullptr;

@@ -22,6 +22,7 @@
 #define CSWITCH_COLLECTIONS_LISTINTERFACE_H
 
 #include "collections/Variants.h"
+#include "profile/SharedProfile.h"
 #include "profile/WorkloadProfile.h"
 #include "replay/TraceRecorder.h"
 #include "support/FunctionRef.h"
@@ -96,7 +97,8 @@ public:
 
   List(List &&Other) noexcept
       : Impl(std::move(Other.Impl)), Profile(Other.Profile),
-        Sink(Other.Sink), Slot(Other.Slot), Rec(std::move(Other.Rec)) {
+        Shared(std::move(Other.Shared)), Sink(Other.Sink),
+        Slot(Other.Slot), Rec(std::move(Other.Rec)) {
     Other.Sink = nullptr;
   }
 
@@ -107,6 +109,7 @@ public:
     finishTrace();
     Impl = std::move(Other.Impl);
     Profile = Other.Profile;
+    Shared = std::move(Other.Shared);
     Sink = Other.Sink;
     Slot = Other.Slot;
     Rec = std::move(Other.Rec);
@@ -124,24 +127,24 @@ public:
 
   /// Appends \p Value (profiled as populate).
   void add(const T &Value) {
-    Profile.record(OperationKind::Populate);
+    note(OperationKind::Populate);
     Impl->push_back(Value);
-    Profile.recordSize(Impl->size());
+    noteSize(Impl->size());
     recordOp(TraceOpKind::Populate, OpClass::None);
   }
 
   /// Inserts \p Value before \p Index (profiled as middle).
   void insert(size_t Index, const T &Value) {
-    Profile.record(OperationKind::Middle);
+    note(OperationKind::Middle);
     OpClass Class = Rec ? classifyIndex(Index, Impl->size()) : OpClass::None;
     Impl->insertAt(Index, Value);
-    Profile.recordSize(Impl->size());
+    noteSize(Impl->size());
     recordOp(TraceOpKind::InsertAt, Class);
   }
 
   /// Removes the element at \p Index (profiled as middle).
   void removeAt(size_t Index) {
-    Profile.record(OperationKind::Middle);
+    note(OperationKind::Middle);
     OpClass Class = Rec ? classifyIndex(Index, Impl->size()) : OpClass::None;
     Impl->removeAt(Index);
     recordOp(TraceOpKind::RemoveAt, Class);
@@ -149,7 +152,7 @@ public:
 
   /// Removes the first occurrence of \p Value (profiled as remove).
   bool remove(const T &Value) {
-    Profile.record(OperationKind::Remove);
+    note(OperationKind::Remove);
     bool Found = Impl->removeValue(Value);
     recordOp(TraceOpKind::RemoveValue, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
@@ -157,7 +160,7 @@ public:
 
   /// Positional read (profiled as index access).
   const T &get(size_t Index) const {
-    Profile.record(OperationKind::IndexAccess);
+    note(OperationKind::IndexAccess);
     recordOp(TraceOpKind::IndexGet,
              Rec ? classifyIndex(Index, Impl->size()) : OpClass::None);
     return Impl->at(Index);
@@ -165,7 +168,7 @@ public:
 
   /// Positional write (profiled as index access).
   void set(size_t Index, const T &Value) {
-    Profile.record(OperationKind::IndexAccess);
+    note(OperationKind::IndexAccess);
     recordOp(TraceOpKind::IndexSet,
              Rec ? classifyIndex(Index, Impl->size()) : OpClass::None);
     Impl->set(Index, Value);
@@ -173,7 +176,7 @@ public:
 
   /// Membership test (profiled as contains).
   bool contains(const T &Value) const {
-    Profile.record(OperationKind::Contains);
+    note(OperationKind::Contains);
     bool Found = Impl->contains(Value);
     recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
@@ -181,7 +184,7 @@ public:
 
   /// Full traversal (profiled as one iterate).
   void forEach(FunctionRef<void(const T &)> Fn) const {
-    Profile.record(OperationKind::Iterate);
+    note(OperationKind::Iterate);
     Impl->forEach(Fn);
     recordOp(TraceOpKind::Iterate, OpClass::None);
   }
@@ -204,11 +207,28 @@ public:
   size_t memoryFootprint() const { return Impl->memoryFootprint(); }
   ListVariant variant() const { return Impl->variant(); }
 
-  /// The workload profile accumulated so far.
-  const WorkloadProfile &profile() const { return Profile; }
+  /// The workload profile accumulated so far (collapsed from the shared
+  /// stripes when profiling is shared; see enableSharedProfiling).
+  const WorkloadProfile &profile() const {
+    if (Shared)
+      Profile = Shared->snapshot();
+    return Profile;
+  }
 
   /// True if this instance reports to an allocation context.
   bool isMonitored() const { return Sink != nullptr; }
+
+  /// Switches this instance to thread-safe, NUMA-striped profiling so
+  /// multiple owner threads may operate on it concurrently (only
+  /// meaningful over a concurrent-tier variant). \p Sketch, when
+  /// non-null, observes every operation for the contention signal; it
+  /// must outlive this instance (the allocation context owns it).
+  void enableSharedProfiling(ContentionSketch *Sketch = nullptr) {
+    Shared = std::make_unique<SharedProfile>(Sketch);
+  }
+
+  /// True if profiling is multi-owner (see enableSharedProfiling).
+  bool isShared() const { return Shared != nullptr; }
 
   /// Attaches an operation recorder: every subsequent operation is
   /// appended to the trace as instance \p Instance of site \p Site, and
@@ -225,6 +245,8 @@ private:
   void reportIfMonitored() {
     if (!Sink)
       return;
+    if (Shared)
+      Profile = Shared->snapshot();
     Sink->onInstanceFinished(Slot, Profile);
     Sink = nullptr;
   }
@@ -235,8 +257,23 @@ private:
     Rec.push(Kind, Class, Impl->size());
   }
 
+  void note(OperationKind Kind) const {
+    if (Shared)
+      Shared->record(Kind);
+    else
+      Profile.record(Kind);
+  }
+
+  void noteSize(size_t Size) const {
+    if (Shared)
+      Shared->recordSize(Size);
+    else
+      Profile.recordSize(Size);
+  }
+
   std::unique_ptr<ListImpl<T>> Impl;
   mutable WorkloadProfile Profile;
+  mutable std::unique_ptr<SharedProfile> Shared;
   ProfileSink *Sink = nullptr;
   size_t Slot = 0;
   mutable TraceCursor Rec;

@@ -16,6 +16,7 @@
 #define CSWITCH_COLLECTIONS_MAPINTERFACE_H
 
 #include "collections/Variants.h"
+#include "profile/SharedProfile.h"
 #include "profile/WorkloadProfile.h"
 #include "replay/TraceRecorder.h"
 #include "support/FunctionRef.h"
@@ -40,6 +41,16 @@ public:
   virtual const V *get(const K &Key) const = 0;
   /// Returns a mutable pointer to the value of \p Key, or nullptr.
   virtual V *getMutable(const K &Key) = 0;
+  /// Copies the value of \p Key into \p Out; returns false if absent.
+  /// Unlike get(), concurrent variants perform the copy under their
+  /// lock, so this is the race-free read of the concurrent tier.
+  virtual bool lookup(const K &Key, V &Out) const {
+    const V *Found = get(Key);
+    if (!Found)
+      return false;
+    Out = *Found;
+    return true;
+  }
   /// Returns true if \p Key has a mapping.
   virtual bool containsKey(const K &Key) const = 0;
   /// Removes the mapping of \p Key; returns false if it was absent.
@@ -73,7 +84,8 @@ public:
 
   Map(Map &&Other) noexcept
       : Impl(std::move(Other.Impl)), Profile(Other.Profile),
-        Sink(Other.Sink), Slot(Other.Slot), Rec(std::move(Other.Rec)) {
+        Shared(std::move(Other.Shared)), Sink(Other.Sink),
+        Slot(Other.Slot), Rec(std::move(Other.Rec)) {
     Other.Sink = nullptr;
   }
 
@@ -84,6 +96,7 @@ public:
     finishTrace();
     Impl = std::move(Other.Impl);
     Profile = Other.Profile;
+    Shared = std::move(Other.Shared);
     Sink = Other.Sink;
     Slot = Other.Slot;
     Rec = std::move(Other.Rec);
@@ -101,9 +114,9 @@ public:
 
   /// Inserts or overwrites a mapping (profiled as populate).
   bool put(const K &Key, const V &Value) {
-    Profile.record(OperationKind::Populate);
+    note(OperationKind::Populate);
     bool Inserted = Impl->put(Key, Value);
-    Profile.recordSize(Impl->size());
+    noteSize(Impl->size());
     recordOp(TraceOpKind::Populate,
              Inserted ? OpClass::None : OpClass::Hit);
     return Inserted;
@@ -111,15 +124,25 @@ public:
 
   /// Lookup (profiled as contains; nullptr if absent).
   const V *get(const K &Key) const {
-    Profile.record(OperationKind::Contains);
+    note(OperationKind::Contains);
     const V *Found = Impl->get(Key);
+    recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
+    return Found;
+  }
+
+  /// Copying lookup (profiled as contains). The race-free read for
+  /// concurrent variants: the value is copied out under the shard lock
+  /// instead of returning a pointer into the table.
+  bool lookup(const K &Key, V &Out) const {
+    note(OperationKind::Contains);
+    bool Found = Impl->lookup(Key, Out);
     recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
   }
 
   /// Mutable lookup (profiled as contains; nullptr if absent).
   V *getMutable(const K &Key) {
-    Profile.record(OperationKind::Contains);
+    note(OperationKind::Contains);
     V *Found = Impl->getMutable(Key);
     recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
@@ -127,7 +150,7 @@ public:
 
   /// Key membership test (profiled as contains).
   bool containsKey(const K &Key) const {
-    Profile.record(OperationKind::Contains);
+    note(OperationKind::Contains);
     bool Found = Impl->containsKey(Key);
     recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
@@ -135,7 +158,7 @@ public:
 
   /// Removes a mapping (profiled as remove).
   bool remove(const K &Key) {
-    Profile.record(OperationKind::Remove);
+    note(OperationKind::Remove);
     bool Found = Impl->remove(Key);
     recordOp(TraceOpKind::RemoveValue, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
@@ -143,7 +166,7 @@ public:
 
   /// Full traversal (profiled as one iterate).
   void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
-    Profile.record(OperationKind::Iterate);
+    note(OperationKind::Iterate);
     Impl->forEach(Fn);
     recordOp(TraceOpKind::Iterate, OpClass::None);
   }
@@ -168,8 +191,21 @@ public:
   size_t memoryFootprint() const { return Impl->memoryFootprint(); }
   MapVariant variant() const { return Impl->variant(); }
 
-  const WorkloadProfile &profile() const { return Profile; }
+  /// See List<T>::profile().
+  const WorkloadProfile &profile() const {
+    if (Shared)
+      Profile = Shared->snapshot();
+    return Profile;
+  }
   bool isMonitored() const { return Sink != nullptr; }
+
+  /// See List<T>::enableSharedProfiling().
+  void enableSharedProfiling(ContentionSketch *Sketch = nullptr) {
+    Shared = std::make_unique<SharedProfile>(Sketch);
+  }
+
+  /// True if profiling is multi-owner (see enableSharedProfiling).
+  bool isShared() const { return Shared != nullptr; }
 
   /// Attaches an operation recorder (see List<T>::attachRecorder).
   void attachRecorder(TraceRecorder *Recorder, uint32_t Site,
@@ -184,6 +220,8 @@ private:
   void reportIfMonitored() {
     if (!Sink)
       return;
+    if (Shared)
+      Profile = Shared->snapshot();
     Sink->onInstanceFinished(Slot, Profile);
     Sink = nullptr;
   }
@@ -194,8 +232,23 @@ private:
     Rec.push(Kind, Class, Impl->size());
   }
 
+  void note(OperationKind Kind) const {
+    if (Shared)
+      Shared->record(Kind);
+    else
+      Profile.record(Kind);
+  }
+
+  void noteSize(size_t Size) const {
+    if (Shared)
+      Shared->recordSize(Size);
+    else
+      Profile.recordSize(Size);
+  }
+
   std::unique_ptr<MapImpl<K, V>> Impl;
   mutable WorkloadProfile Profile;
+  mutable std::unique_ptr<SharedProfile> Shared;
   ProfileSink *Sink = nullptr;
   size_t Slot = 0;
   mutable TraceCursor Rec;

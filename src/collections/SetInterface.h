@@ -17,6 +17,7 @@
 #define CSWITCH_COLLECTIONS_SETINTERFACE_H
 
 #include "collections/Variants.h"
+#include "profile/SharedProfile.h"
 #include "profile/WorkloadProfile.h"
 #include "replay/TraceRecorder.h"
 #include "support/FunctionRef.h"
@@ -66,7 +67,8 @@ public:
 
   Set(Set &&Other) noexcept
       : Impl(std::move(Other.Impl)), Profile(Other.Profile),
-        Sink(Other.Sink), Slot(Other.Slot), Rec(std::move(Other.Rec)) {
+        Shared(std::move(Other.Shared)), Sink(Other.Sink),
+        Slot(Other.Slot), Rec(std::move(Other.Rec)) {
     Other.Sink = nullptr;
   }
 
@@ -77,6 +79,7 @@ public:
     finishTrace();
     Impl = std::move(Other.Impl);
     Profile = Other.Profile;
+    Shared = std::move(Other.Shared);
     Sink = Other.Sink;
     Slot = Other.Slot;
     Rec = std::move(Other.Rec);
@@ -94,9 +97,9 @@ public:
 
   /// Adds \p Value (profiled as populate).
   bool add(const T &Value) {
-    Profile.record(OperationKind::Populate);
+    note(OperationKind::Populate);
     bool Inserted = Impl->add(Value);
-    Profile.recordSize(Impl->size());
+    noteSize(Impl->size());
     recordOp(TraceOpKind::Populate,
              Inserted ? OpClass::None : OpClass::Hit);
     return Inserted;
@@ -104,7 +107,7 @@ public:
 
   /// Membership test (profiled as contains).
   bool contains(const T &Value) const {
-    Profile.record(OperationKind::Contains);
+    note(OperationKind::Contains);
     bool Found = Impl->contains(Value);
     recordOp(TraceOpKind::Contains, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
@@ -112,7 +115,7 @@ public:
 
   /// Removes \p Value (profiled as remove).
   bool remove(const T &Value) {
-    Profile.record(OperationKind::Remove);
+    note(OperationKind::Remove);
     bool Found = Impl->remove(Value);
     recordOp(TraceOpKind::RemoveValue, Found ? OpClass::Hit : OpClass::Miss);
     return Found;
@@ -120,7 +123,7 @@ public:
 
   /// Full traversal (profiled as one iterate).
   void forEach(FunctionRef<void(const T &)> Fn) const {
-    Profile.record(OperationKind::Iterate);
+    note(OperationKind::Iterate);
     Impl->forEach(Fn);
     recordOp(TraceOpKind::Iterate, OpClass::None);
   }
@@ -143,8 +146,21 @@ public:
   size_t memoryFootprint() const { return Impl->memoryFootprint(); }
   SetVariant variant() const { return Impl->variant(); }
 
-  const WorkloadProfile &profile() const { return Profile; }
+  /// See List<T>::profile().
+  const WorkloadProfile &profile() const {
+    if (Shared)
+      Profile = Shared->snapshot();
+    return Profile;
+  }
   bool isMonitored() const { return Sink != nullptr; }
+
+  /// See List<T>::enableSharedProfiling().
+  void enableSharedProfiling(ContentionSketch *Sketch = nullptr) {
+    Shared = std::make_unique<SharedProfile>(Sketch);
+  }
+
+  /// True if profiling is multi-owner (see enableSharedProfiling).
+  bool isShared() const { return Shared != nullptr; }
 
   /// Attaches an operation recorder (see List<T>::attachRecorder).
   void attachRecorder(TraceRecorder *Recorder, uint32_t Site,
@@ -159,6 +175,8 @@ private:
   void reportIfMonitored() {
     if (!Sink)
       return;
+    if (Shared)
+      Profile = Shared->snapshot();
     Sink->onInstanceFinished(Slot, Profile);
     Sink = nullptr;
   }
@@ -169,8 +187,23 @@ private:
     Rec.push(Kind, Class, Impl->size());
   }
 
+  void note(OperationKind Kind) const {
+    if (Shared)
+      Shared->record(Kind);
+    else
+      Profile.record(Kind);
+  }
+
+  void noteSize(size_t Size) const {
+    if (Shared)
+      Shared->recordSize(Size);
+    else
+      Profile.recordSize(Size);
+  }
+
   std::unique_ptr<SetImpl<T>> Impl;
   mutable WorkloadProfile Profile;
+  mutable std::unique_ptr<SharedProfile> Shared;
   ProfileSink *Sink = nullptr;
   size_t Slot = 0;
   mutable TraceCursor Rec;

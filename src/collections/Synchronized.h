@@ -17,7 +17,15 @@
 /// one owner — the common case the paper optimizes). A synchronized
 /// decorator is what you reach for when one collection instance must be
 /// shared across threads while keeping the freedom to pick (or let a
-/// context pick) its underlying variant.
+/// context pick) its underlying variant. For sites where the *engine*
+/// should select the synchronization strategy too, use the concurrent
+/// tier instead (ContextOptions::concurrency, DESIGN.md §11).
+///
+/// Traversal goes through forEachLocked, which owns the internal mutex
+/// for the whole sweep. Handing out iterators (or element references)
+/// is deliberately unsupported: they would escape the lock and race
+/// with concurrent mutators, the exact documented data race of
+/// java.util's synchronized wrappers.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -91,9 +99,16 @@ public:
   /// Runs \p Fn over every element while holding the lock (the
   /// java.util equivalent requires manual synchronization here; this
   /// API makes the whole traversal atomic instead).
-  void forEach(FunctionRef<void(const T &)> Fn) const {
+  void forEachLocked(FunctionRef<void(const T &)> Fn) const {
     std::lock_guard<std::mutex> Lock(Mutex);
     Impl->forEach(Fn);
+  }
+
+  /// Deprecated spelling of forEachLocked — the old name read like an
+  /// unlocked sweep and invited iterator-style misuse.
+  [[deprecated("use forEachLocked — traversal must own the lock")]]
+  void forEach(FunctionRef<void(const T &)> Fn) const {
+    forEachLocked(Fn);
   }
 
   size_t memoryFootprint() const {
@@ -144,9 +159,16 @@ public:
     Impl->clear();
   }
 
-  void forEach(FunctionRef<void(const T &)> Fn) const {
+  /// Runs \p Fn over every element while holding the lock.
+  void forEachLocked(FunctionRef<void(const T &)> Fn) const {
     std::lock_guard<std::mutex> Lock(Mutex);
     Impl->forEach(Fn);
+  }
+
+  /// Deprecated spelling of forEachLocked.
+  [[deprecated("use forEachLocked — traversal must own the lock")]]
+  void forEach(FunctionRef<void(const T &)> Fn) const {
+    forEachLocked(Fn);
   }
 
   size_t memoryFootprint() const {
@@ -224,9 +246,16 @@ public:
     Impl->clear();
   }
 
-  void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
+  /// Runs \p Fn over every entry while holding the lock.
+  void forEachLocked(FunctionRef<void(const K &, const V &)> Fn) const {
     std::lock_guard<std::mutex> Lock(Mutex);
     Impl->forEach(Fn);
+  }
+
+  /// Deprecated spelling of forEachLocked.
+  [[deprecated("use forEachLocked — traversal must own the lock")]]
+  void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
+    forEachLocked(Fn);
   }
 
   size_t memoryFootprint() const {

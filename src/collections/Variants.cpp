@@ -32,6 +32,10 @@ const char *cswitch::listVariantName(ListVariant V) {
     return "HashArrayList";
   case ListVariant::AdaptiveList:
     return "AdaptiveList";
+  case ListVariant::MutexList:
+    return "MutexList";
+  case ListVariant::SnapshotList:
+    return "SnapshotList";
   }
   return "unknown";
 }
@@ -54,6 +58,10 @@ const char *cswitch::setVariantName(SetVariant V) {
     return "TreeSet";
   case SetVariant::SortedArraySet:
     return "SortedArraySet";
+  case SetVariant::MutexHashSet:
+    return "MutexHashSet";
+  case SetVariant::StripedHashSet:
+    return "StripedHashSet";
   }
   return "unknown";
 }
@@ -76,6 +84,10 @@ const char *cswitch::mapVariantName(MapVariant V) {
     return "TreeMap";
   case MapVariant::SortedArrayMap:
     return "SortedArrayMap";
+  case MapVariant::MutexHashMap:
+    return "MutexHashMap";
+  case MapVariant::ShardedHashMap:
+    return "ShardedHashMap";
   }
   return "unknown";
 }
@@ -133,4 +145,90 @@ size_t cswitch::numVariantsOf(AbstractionKind Kind) {
   }
   assert(false && "unknown abstraction kind");
   return 0;
+}
+
+const char *cswitch::concurrencyName(Concurrency Mode) {
+  switch (Mode) {
+  case Concurrency::None:
+    return "none";
+  case Concurrency::Mutex:
+    return "mutex";
+  case Concurrency::Sharded:
+    return "sharded";
+  case Concurrency::Auto:
+    return "auto";
+  }
+  return "unknown";
+}
+
+bool cswitch::parseConcurrency(const std::string &Name, Concurrency &Out) {
+  for (Concurrency Mode : {Concurrency::None, Concurrency::Mutex,
+                           Concurrency::Sharded, Concurrency::Auto}) {
+    if (Name == concurrencyName(Mode)) {
+      Out = Mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Mutex-serialized and lock-striped/COW variant indices of one
+/// abstraction: the two strategies of the concurrent tier.
+struct ConcurrentPair {
+  unsigned Mutex;
+  unsigned Sharded;
+};
+
+ConcurrentPair concurrentPairOf(AbstractionKind Kind) {
+  switch (Kind) {
+  case AbstractionKind::List:
+    return {static_cast<unsigned>(ListVariant::MutexList),
+            static_cast<unsigned>(ListVariant::SnapshotList)};
+  case AbstractionKind::Set:
+    return {static_cast<unsigned>(SetVariant::MutexHashSet),
+            static_cast<unsigned>(SetVariant::StripedHashSet)};
+  case AbstractionKind::Map:
+    return {static_cast<unsigned>(MapVariant::MutexHashMap),
+            static_cast<unsigned>(MapVariant::ShardedHashMap)};
+  }
+  assert(false && "unknown abstraction kind");
+  return {0, 0};
+}
+
+} // namespace
+
+unsigned cswitch::firstConcurrentVariant(AbstractionKind Kind) {
+  // The concurrent tier is appended after every sequential variant, with
+  // the mutex strategy first.
+  return concurrentPairOf(Kind).Mutex;
+}
+
+bool cswitch::isConcurrentVariant(AbstractionKind Kind, unsigned Index) {
+  return Index >= firstConcurrentVariant(Kind);
+}
+
+uint32_t cswitch::concurrencyCandidateMask(AbstractionKind Kind,
+                                           Concurrency Mode) {
+  ConcurrentPair Pair = concurrentPairOf(Kind);
+  switch (Mode) {
+  case Concurrency::None:
+    return (1u << Pair.Mutex) - 1; // Every sequential variant.
+  case Concurrency::Mutex:
+    return 1u << Pair.Mutex;
+  case Concurrency::Sharded:
+    return 1u << Pair.Sharded;
+  case Concurrency::Auto:
+    return (1u << Pair.Mutex) | (1u << Pair.Sharded);
+  }
+  return 0;
+}
+
+unsigned cswitch::concurrentInitialVariant(AbstractionKind Kind,
+                                           Concurrency Mode) {
+  assert(Mode != Concurrency::None &&
+         "the sequential tier has no concurrent initial variant");
+  ConcurrentPair Pair = concurrentPairOf(Kind);
+  return Mode == Concurrency::Sharded ? Pair.Sharded : Pair.Mutex;
 }

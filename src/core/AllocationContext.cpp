@@ -55,6 +55,20 @@ AllocationContextBase::AllocationContextBase(
   // Warm start runs before the window buffers are sized: a hit both
   // seeds Current and shrinks Options.WindowSize.
   applyWarmStart();
+  // Concurrent tier: the initial variant (requested or warm-started,
+  // possibly from a store written by a sequential run) is coerced into
+  // the tier, and the contention sketch is allocated.
+  Concurrency Mode = this->Options.ConcurrencyMode;
+  if (Mode != Concurrency::None) {
+    uint32_t TierMask = concurrencyCandidateMask(Kind, Mode);
+    if (!((TierMask >> currentVariantIndex()) & 1u))
+      Current.store(concurrentInitialVariant(Kind, Mode),
+                    std::memory_order_relaxed);
+    if (AdaptiveConfig::global().contention().Enabled)
+      Sketch = std::make_unique<ContentionSketch>();
+  }
+  CandidateMask = concurrencyCandidateMask(Kind, Mode) |
+                  (1u << currentVariantIndex());
   Slots = std::make_unique<WindowSlot[]>(2 * this->Options.WindowSize);
   FinishedState[0].Value.store(0, std::memory_order_relaxed);
   FinishedState[1].Value.store(uint64_t(1) << 32,
@@ -322,9 +336,15 @@ std::optional<unsigned> AllocationContextBase::analyzeRound(uint32_t Round,
   // instance. Variants without model coverage are skipped outright:
   // their total cost would read as zero and they must not compete.
   size_t NumVariants = numVariantsOf(Kind);
+  // Contention penalty (DESIGN.md §11): the per-operation extra
+  // nanoseconds of each variant's contention polynomial evaluated at
+  // the estimated thread count, folded into the time dimension. ~0 at
+  // one thread (or before the sketch has a confident estimate).
+  double Threads = ContendedThreads.load(std::memory_order_relaxed);
+  bool Contended = Sketch != nullptr && Threads > 1.0;
   std::vector<VariantCosts> Costs(NumVariants);
   for (unsigned V = 0; V != NumVariants; ++V) {
-    if (!(CoverageMask & (1u << V))) {
+    if (!(CoverageMask & CandidateMask & (1u << V))) {
       Costs[V].Eligible = false;
       continue;
     }
@@ -339,8 +359,11 @@ std::optional<unsigned> AllocationContextBase::analyzeRound(uint32_t Round,
           uint64_t N = G.Counts[static_cast<size_t>(Op)];
           if (N == 0)
             continue;
-          Total += static_cast<double>(N) *
-                   Model->operationCost(Id, Op, Dim, Size);
+          double PerOp = Model->operationCost(Id, Op, Dim, Size);
+          if (Contended && Dim == CostDimension::Time)
+            PerOp += Model->operationCost(
+                Id, Op, CostDimension::Contention, Threads);
+          Total += static_cast<double>(N) * PerOp;
         }
       }
       Costs[V].Total[static_cast<size_t>(Dim)] = Total;
@@ -381,6 +404,23 @@ bool AllocationContextBase::evaluate() {
           : 0;
   if (FinishedInRound < std::max<size_t>(Needed, 1))
     return false;
+
+  // Refresh the contention estimate once per analysis round: EWMA over
+  // the sketch's linear-counting estimate, gated on a minimum operation
+  // volume so a nearly idle round cannot collapse the signal.
+  if (Sketch) {
+    ContentionPolicy Policy = AdaptiveConfig::global().contention();
+    if (Sketch->operations() >= Policy.MinOps) {
+      double Estimate = Sketch->estimateThreads();
+      double Previous = ContendedThreads.load(std::memory_order_relaxed);
+      double Alpha = std::clamp(Policy.Smoothing, 0.0, 1.0);
+      double Next = Previous == 0.0
+                        ? Estimate
+                        : Previous + Alpha * (Estimate - Previous);
+      ContendedThreads.store(Next, std::memory_order_relaxed);
+      Sketch->reset();
+    }
+  }
 
   // Analysis rounds are rare (paced by the monitoring rate), so every
   // one is timed — no sampling on this path.

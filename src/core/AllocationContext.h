@@ -47,6 +47,7 @@
 #include "core/VariantSelection.h"
 #include "model/CostModel.h"
 #include "obs/Profiling.h"
+#include "profile/ContentionSketch.h"
 #include "profile/WorkloadProfile.h"
 #include "replay/TraceRecorder.h"
 #include "support/Telemetry.h"
@@ -108,10 +109,19 @@ struct ContextOptions {
   SelectionStore *Store = nullptr;
   /// Period of the engine's background evaluation/reporter thread
   /// (paper §4.3 "monitoring rate", default 50 ms). Consumed by
-  /// Switch::startEngine(Options) — a per-process knob carried here so
-  /// one options object can configure a whole deployment; contexts
-  /// themselves ignore it.
+  /// Switch::startEngine() via the Switch::configure defaults — a
+  /// per-process knob carried here so one options object can configure
+  /// a whole deployment; contexts themselves ignore it.
   std::chrono::milliseconds MonitoringRate{50};
+  /// Synchronization tier of the site (DESIGN.md §11). None (default)
+  /// selects among the sequential variants only — collections must stay
+  /// single-owner. Mutex / Sharded pin the corresponding concurrent
+  /// strategy; Auto lets the contention signal choose among the
+  /// concurrent strategies. Any mode but None makes created facades
+  /// thread-safe to operate on from multiple threads (the underlying
+  /// variant synchronizes, and profiling switches to the NUMA-striped
+  /// SharedProfile).
+  Concurrency ConcurrencyMode = Concurrency::None;
 
   ContextOptions &windowSize(size_t Value) {
     WindowSize = Value;
@@ -147,6 +157,10 @@ struct ContextOptions {
   }
   ContextOptions &monitoringRate(std::chrono::milliseconds Value) {
     MonitoringRate = Value;
+    return *this;
+  }
+  ContextOptions &concurrency(Concurrency Value) {
+    ConcurrencyMode = Value;
     return *this;
   }
 };
@@ -264,6 +278,26 @@ public:
   /// True when this context seeded its initial variant from the
   /// selection store.
   bool warmStarted() const { return WarmStarted; }
+
+  /// Synchronization tier of this site (ContextOptions::ConcurrencyMode).
+  Concurrency concurrencyMode() const { return Options.ConcurrencyMode; }
+
+  /// Smoothed estimate of the distinct threads operating on this
+  /// context's collections (0 until the first analysis round with
+  /// enough operations; see ContentionPolicy). This is the argument of
+  /// the contention cost polynomials.
+  double contendedThreads() const {
+    return ContendedThreads.load(std::memory_order_relaxed);
+  }
+
+  /// The context's contention sketch; null for sequential contexts (and
+  /// when ContentionPolicy::Enabled is off).
+  ContentionSketch *contentionSketch() const { return Sketch.get(); }
+
+  /// Bitmap of variants this context may select among: model coverage
+  /// intersected with the concurrency tier, plus the (possibly pinned)
+  /// initial variant.
+  uint32_t candidateMask() const { return CandidateMask; }
 
   /// Lifetime workload aggregate over every analyzed instance (the
   /// merge of all consumed window slots since construction); \p
@@ -385,6 +419,10 @@ private:
   /// precomputed once (the model is immutable) so analysis never
   /// re-scans polynomials.
   uint32_t CoverageMask = 0;
+  /// Bit V set iff variant V is in this context's concurrency tier (or
+  /// is the explicitly requested initial variant); analysis only lets
+  /// variants in CoverageMask & CandidateMask compete.
+  uint32_t CandidateMask = 0;
   /// Index of this abstraction's adaptive variant, or -1.
   int AdaptiveIndex = -1;
   /// Interned EventLog id of Name, and of each variant's display name
@@ -402,6 +440,12 @@ private:
   obs::SiteProfile *Prof = nullptr;
 
   std::atomic<unsigned> Current;
+  /// Thread-cardinality sketch feeding the contention dimension; created
+  /// only for concurrent contexts (see contentionSketch()).
+  std::unique_ptr<ContentionSketch> Sketch;
+  /// EWMA of the sketch's estimate, refreshed once per analysis round
+  /// (ContentionPolicy::Smoothing / MinOps).
+  std::atomic<double> ContendedThreads{0.0};
   /// Shard index SwitchEngine filed this context under (see
   /// setEngineShardHint). Written at register time only.
   std::atomic<uint32_t> EngineShardHint{UINT32_MAX};
@@ -464,13 +508,20 @@ public:
 
   /// Creates a list of the context's current variant; a sample of
   /// created instances is monitored (and traced, when the context has a
-  /// recorder).
+  /// recorder). In a concurrent tier (ContextOptions::concurrency) the
+  /// instance profiles through the thread-safe SharedProfile and may be
+  /// operated on from multiple threads; tracing stays sequential-only
+  /// (the trace cursor is single-owner).
   List<T> createList() {
     auto Variant = static_cast<ListVariant>(currentVariantIndex());
     size_t Slot = acquireMonitorSlot();
     List<T> Out = Slot == NoSlot
                       ? List<T>(makeListImpl<T>(Variant))
                       : List<T>(makeListImpl<T>(Variant), this, Slot);
+    if (concurrencyMode() != Concurrency::None) {
+      Out.enableSharedProfiling(contentionSketch());
+      return Out;
+    }
     if (TraceRecorder *Rec = recorder()) {
       uint32_t Instance;
       if (Rec->beginInstance(recorderSite(), Instance))
@@ -491,13 +542,18 @@ public:
                               std::move(Model), std::move(Rule),
                               Options) {}
 
-  /// Creates a set of the context's current variant.
+  /// Creates a set of the context's current variant (see
+  /// ListContext::createList for the concurrent-tier behavior).
   Set<T> createSet() {
     auto Variant = static_cast<SetVariant>(currentVariantIndex());
     size_t Slot = acquireMonitorSlot();
     Set<T> Out = Slot == NoSlot
                      ? Set<T>(makeSetImpl<T>(Variant))
                      : Set<T>(makeSetImpl<T>(Variant), this, Slot);
+    if (concurrencyMode() != Concurrency::None) {
+      Out.enableSharedProfiling(contentionSketch());
+      return Out;
+    }
     if (TraceRecorder *Rec = recorder()) {
       uint32_t Instance;
       if (Rec->beginInstance(recorderSite(), Instance))
@@ -519,13 +575,18 @@ public:
                               std::move(Model), std::move(Rule),
                               Options) {}
 
-  /// Creates a map of the context's current variant.
+  /// Creates a map of the context's current variant (see
+  /// ListContext::createList for the concurrent-tier behavior).
   Map<K, V> createMap() {
     auto Variant = static_cast<MapVariant>(currentVariantIndex());
     size_t Slot = acquireMonitorSlot();
     Map<K, V> Out = Slot == NoSlot
                         ? Map<K, V>(makeMapImpl<K, V>(Variant))
                         : Map<K, V>(makeMapImpl<K, V>(Variant), this, Slot);
+    if (concurrencyMode() != Concurrency::None) {
+      Out.enableSharedProfiling(contentionSketch());
+      return Out;
+    }
     if (TraceRecorder *Rec = recorder()) {
       uint32_t Instance;
       if (Rec->beginInstance(recorderSite(), Instance))

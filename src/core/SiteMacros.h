@@ -44,8 +44,8 @@
 #define CSWITCH_LIST(T, InitialVariant)                                    \
   ([]() {                                                                  \
     static auto CswitchSiteCtx =                                           \
-        ::cswitch::Switch::createListContext<T>(CSWITCH_SITE_NAME,         \
-                                                InitialVariant);           \
+        ::cswitch::Switch::makeContext<::cswitch::List<T>>(                \
+            CSWITCH_SITE_NAME, InitialVariant);                            \
     return CswitchSiteCtx->createList();                                   \
   }())
 
@@ -53,8 +53,8 @@
 #define CSWITCH_SET(T, InitialVariant)                                     \
   ([]() {                                                                  \
     static auto CswitchSiteCtx =                                           \
-        ::cswitch::Switch::createSetContext<T>(CSWITCH_SITE_NAME,          \
-                                               InitialVariant);            \
+        ::cswitch::Switch::makeContext<::cswitch::Set<T>>(                 \
+            CSWITCH_SITE_NAME, InitialVariant);                            \
     return CswitchSiteCtx->createSet();                                    \
   }())
 
@@ -62,8 +62,8 @@
 #define CSWITCH_MAP(K, V, InitialVariant)                                  \
   ([]() {                                                                  \
     static auto CswitchSiteCtx =                                           \
-        ::cswitch::Switch::createMapContext<K, V>(CSWITCH_SITE_NAME,       \
-                                                  InitialVariant);         \
+        ::cswitch::Switch::makeContext<::cswitch::Map<K, V>>(              \
+            CSWITCH_SITE_NAME, InitialVariant);                            \
     return CswitchSiteCtx->createMap();                                    \
   }())
 

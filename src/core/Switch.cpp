@@ -26,6 +26,16 @@ std::shared_ptr<const PerformanceModel> &modelSlot() {
   return Slot;
 }
 
+std::mutex &configMutex() {
+  static std::mutex Mutex;
+  return Mutex;
+}
+
+ContextOptions &contextDefaultsSlot() {
+  static ContextOptions Slot;
+  return Slot;
+}
+
 std::mutex &serverMutex() {
   static std::mutex Mutex;
   return Mutex;
@@ -50,6 +60,17 @@ std::shared_ptr<const PerformanceModel> Switch::model() {
 void Switch::setModel(std::shared_ptr<const PerformanceModel> Model) {
   std::lock_guard<std::mutex> Lock(modelMutex());
   modelSlot() = std::move(Model);
+}
+
+void Switch::configure(const SwitchConfig &Config) {
+  SwitchEngine::global().configure(Config.Engine);
+  std::lock_guard<std::mutex> Lock(configMutex());
+  contextDefaultsSlot() = Config.Context;
+}
+
+ContextOptions Switch::defaultContextOptions() {
+  std::lock_guard<std::mutex> Lock(configMutex());
+  return contextDefaultsSlot();
 }
 
 uint16_t Switch::serveMetrics(uint16_t Port) {

@@ -14,18 +14,21 @@
 /// \endcode
 ///
 /// makeContext<Collection>() is the single generic entry point for every
-/// abstraction (List<T>, Set<T>, Map<K, V>); the older per-abstraction
-/// factories (createListContext / createSetContext / createMapContext)
-/// are kept as thin wrappers so existing call sites compile unchanged,
-/// but new code should prefer the generic spelling together with the
+/// abstraction (List<T>, Set<T>, Map<K, V>), used together with the
 /// fluent ContextOptions builder:
 ///
 /// \code
 ///   auto Ctx = Switch::makeContext<Map<int, int>>(
 ///       "cache", MapVariant::ChainedHashMap, SelectionRule::allocRule(),
 ///       ContextOptions{}.windowSize(50).finishedRatio(0.5)
-///                       .logEvents(false));
+///                       .concurrency(Concurrency::Auto));
 /// \endcode
+///
+/// Process-wide configuration flows through one call: configure() takes
+/// a SwitchConfig bundling the EngineOptions (worker pool, NUMA
+/// pinning) with the ContextOptions every subsequent makeContext()
+/// defaults to — including the monitoring rate startEngine() paces the
+/// background thread at. There is no second configuration path.
 ///
 /// Contexts created here share the process-wide performance model (the
 /// built-in default until setModel() installs a measured one), default to
@@ -48,11 +51,25 @@
 #include "support/EventLog.h"
 
 #include <memory>
+#include <optional>
 
 namespace cswitch {
 
+/// The one process-wide configuration bundle: engine-level options plus
+/// the context defaults every makeContext() call falls back to when no
+/// explicit ContextOptions is passed (see Switch::configure).
+struct SwitchConfig {
+  /// Worker-pool size and NUMA pinning of periodic evaluation
+  /// (DESIGN.md §10).
+  EngineOptions Engine;
+  /// Defaults for contexts created without explicit options — window
+  /// geometry, concurrency mode, and the monitoring rate startEngine()
+  /// paces the background thread at.
+  ContextOptions Context;
+};
+
 /// Deleter that unregisters a context from the global engine before
-/// destroying it, so `Switch::create*Context` handles compose safely.
+/// destroying it, so `Switch::makeContext` handles compose safely.
 struct UnregisteringDeleter {
   void operator()(AllocationContextBase *Context) const {
     if (!Context)
@@ -117,24 +134,27 @@ public:
     return SwitchEngine::global().evaluationThreads();
   }
 
-  /// Applies an EngineOptions bundle to the global engine (worker-pool
-  /// size, NUMA pinning of evaluation workers; see DESIGN.md §10).
-  static void configureEngine(const EngineOptions &Options) {
-    SwitchEngine::global().configure(Options);
-  }
+  /// Applies \p Config process-wide: the engine options take effect on
+  /// the global engine immediately, and the context options become the
+  /// defaults of every subsequent makeContext() call that passes none —
+  /// the single configuration path for engine and contexts alike.
+  static void configure(const SwitchConfig &Config);
+
+  /// The ContextOptions makeContext() currently defaults to (the
+  /// built-in defaults until configure() installs others).
+  static ContextOptions defaultContextOptions();
 
   /// Starts the global engine's background evaluation/reporter thread
-  /// at \p MonitoringRate (paper §4.3, default 50 ms). No-op when
-  /// already running.
-  static void startEngine(std::chrono::milliseconds MonitoringRate =
-                              std::chrono::milliseconds(50)) {
+  /// at \p MonitoringRate (paper §4.3). No-op when already running.
+  static void startEngine(std::chrono::milliseconds MonitoringRate) {
     SwitchEngine::global().start(MonitoringRate);
   }
 
-  /// Overload taking the rate from ContextOptions::MonitoringRate, so
-  /// one options object configures contexts and engine pacing alike.
-  static void startEngine(const ContextOptions &Options) {
-    SwitchEngine::global().start(Options.MonitoringRate);
+  /// Starts the background thread at the configured default rate
+  /// (ContextOptions::MonitoringRate of the installed SwitchConfig;
+  /// 50 ms out of the box).
+  static void startEngine() {
+    SwitchEngine::global().start(defaultContextOptions().MonitoringRate);
   }
 
   /// Stops the background thread (persisting the store and flushing a
@@ -215,53 +235,21 @@ public:
   static void closeStore() { SwitchEngine::global().closeStore(); }
 
   /// Creates and registers an allocation context for \p Collection
-  /// (List<T>, Set<T> or Map<K, V>) — the single generic factory all
-  /// abstraction-specific spellings forward to.
+  /// (List<T>, Set<T> or Map<K, V>) — the sole public construction
+  /// path. When \p Options is not passed, the context uses the defaults
+  /// installed by configure().
   template <typename Collection>
   static ContextHandle<typename ContextTraits<Collection>::Context>
   makeContext(std::string Name,
               typename ContextTraits<Collection>::Variant Initial,
               SelectionRule Rule = SelectionRule::timeRule(),
-              ContextOptions Options = {}) {
+              std::optional<ContextOptions> Options = std::nullopt) {
     using ContextT = typename ContextTraits<Collection>::Context;
     ContextHandle<ContextT> Ctx(new ContextT(
-        std::move(Name), Initial, model(), std::move(Rule), Options));
+        std::move(Name), Initial, model(), std::move(Rule),
+        Options ? *Options : defaultContextOptions()));
     SwitchEngine::global().registerContext(Ctx.get());
     return Ctx;
-  }
-
-  /// Creates and registers an adaptive list allocation context.
-  /// (Deprecated spelling of makeContext<List<T>>; kept so existing
-  /// call sites compile unchanged.)
-  template <typename T>
-  static ContextHandle<ListContext<T>>
-  createListContext(std::string Name, ListVariant Initial,
-                    SelectionRule Rule = SelectionRule::timeRule(),
-                    ContextOptions Options = {}) {
-    return makeContext<List<T>>(std::move(Name), Initial, std::move(Rule),
-                                Options);
-  }
-
-  /// Creates and registers an adaptive set allocation context.
-  /// (Deprecated spelling of makeContext<Set<T>>.)
-  template <typename T>
-  static ContextHandle<SetContext<T>>
-  createSetContext(std::string Name, SetVariant Initial,
-                   SelectionRule Rule = SelectionRule::timeRule(),
-                   ContextOptions Options = {}) {
-    return makeContext<Set<T>>(std::move(Name), Initial, std::move(Rule),
-                               Options);
-  }
-
-  /// Creates and registers an adaptive map allocation context.
-  /// (Deprecated spelling of makeContext<Map<K, V>>.)
-  template <typename K, typename V>
-  static ContextHandle<MapContext<K, V>>
-  createMapContext(std::string Name, MapVariant Initial,
-                   SelectionRule Rule = SelectionRule::timeRule(),
-                   ContextOptions Options = {}) {
-    return makeContext<Map<K, V>>(std::move(Name), Initial,
-                                  std::move(Rule), Options);
   }
 };
 

@@ -504,6 +504,7 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
       C.Stats = Context->stats();
       C.FootprintBytes = Context->memoryFootprint();
       C.Latency = Context->siteProfile()->latencies();
+      C.ContendedThreads = Context->contendedThreads();
       Snapshot.Engine += C.Stats;
       Snapshot.Contexts.push_back(std::move(C));
     }

@@ -22,6 +22,8 @@ const char *cswitch::costDimensionName(CostDimension Dim) {
     return "alloc";
   case CostDimension::Energy:
     return "energy";
+  case CostDimension::Contention:
+    return "contention";
   }
   return "unknown";
 }

@@ -39,16 +39,23 @@ enum class CostDimension : unsigned {
   Time,   ///< Nanoseconds per operation.
   Alloc,  ///< Bytes allocated per operation.
   Energy, ///< Nanojoules per operation (derived; EnergyModel.h).
+  /// Extra nanoseconds per operation as a polynomial of the *observed
+  /// thread count* (not the collection size): the synchronization
+  /// penalty of the concurrent tier. Empty for sequential variants; for
+  /// concurrent variants the polynomial is shaped so it evaluates to ~0
+  /// at one thread and grows with contention (DESIGN.md §11).
+  Contention,
 };
 
 /// Number of CostDimension values.
-constexpr size_t NumCostDimensions = 3;
+constexpr size_t NumCostDimensions = 4;
 
 /// All cost dimensions, in enum order.
 constexpr std::array<CostDimension, NumCostDimensions> AllCostDimensions = {
-    CostDimension::Time, CostDimension::Alloc, CostDimension::Energy};
+    CostDimension::Time, CostDimension::Alloc, CostDimension::Energy,
+    CostDimension::Contention};
 
-/// Returns "time", "alloc" or "energy".
+/// Returns "time", "alloc", "energy" or "contention".
 const char *costDimensionName(CostDimension Dim);
 
 /// Parses a cost dimension name; returns false if unknown.

@@ -43,6 +43,16 @@ void setRows(PerformanceModel &Model, VariantId Variant,
   }
 }
 
+/// Installs the contention polynomial {-Slope, Slope} — i.e.
+/// Slope * (threads - 1) extra nanoseconds per operation, clamped to 0
+/// at one thread by evaluateNonNegative — for each listed operation.
+void setContention(PerformanceModel &Model, VariantId Variant,
+                   std::initializer_list<OperationKind> Ops, double Slope) {
+  for (OperationKind Op : Ops)
+    Model.setCost(Variant, Op, CostDimension::Contention,
+                  Polynomial({-Slope, Slope}));
+}
+
 } // namespace
 
 PerformanceModel cswitch::defaultPerformanceModel() {
@@ -168,8 +178,106 @@ PerformanceModel cswitch::defaultPerformanceModel() {
            {OK::Iterate, 3, 0.7, 0},
            {OK::Remove, 9, 0.12, 0}});
 
+  // --- Concurrent tier (DESIGN.md §11) ------------------------------------
+  //
+  // Base time rows are the sequential analogue plus the uncontended lock
+  // overhead (~4 ns for one mutex, ~9 ns for striped: shard dispatch +
+  // lock). The contention dimension adds Slope * (threads - 1) ns per
+  // operation on top: a single mutex convoys (~55 ns/extra thread) while
+  // a striped table only collides with probability ~1/shards (~4 ns).
+  // Under the ratio rule (0.8) this makes the mutex strategy win at one
+  // thread and lose to striping from two threads on.
+
+  // MutexList = ArrayList + one lock acquisition per operation.
+  setRows(Model, VariantId::of(ListVariant::MutexList),
+          {{OK::Populate, 8, 0, 24},
+           {OK::Contains, 6, 0.5, 0},
+           {OK::Iterate, 8, 0.5, 0},
+           {OK::IndexAccess, 6, 0, 0},
+           {OK::Middle, 16, 0.15, 0},
+           {OK::Remove, 14, 0.5, 0}});
+  setContention(Model, VariantId::of(ListVariant::MutexList),
+                {OK::Populate, OK::Contains, OK::Iterate, OK::IndexAccess,
+                 OK::Middle, OK::Remove},
+                55);
+
+  // SnapshotList: lock-free reads at sequential-array speed; every
+  // write copies the whole array (linear time and bytes). Writers still
+  // serialize, but copying dominates, so their contention slope is
+  // lower than a fully convoying mutex; reads never contend.
+  setRows(Model, VariantId::of(ListVariant::SnapshotList),
+          {{OK::Populate, 30, 0.9, 0},
+           {OK::Contains, 2, 0.5, 0},
+           {OK::Iterate, 4, 0.5, 0},
+           {OK::IndexAccess, 2, 0, 0},
+           {OK::Middle, 30, 0.9, 0},
+           {OK::Remove, 30, 0.9, 0}});
+  for (OperationKind Op : {OK::Populate, OK::Middle, OK::Remove})
+    Model.setCost(VariantId::of(ListVariant::SnapshotList), Op,
+                  CostDimension::Alloc, Polynomial({40, 8}));
+  setContention(Model, VariantId::of(ListVariant::SnapshotList),
+                {OK::Populate, OK::Middle, OK::Remove}, 30);
+
+  // MutexHashSet / StripedHashSet over OpenHashSet.
+  setRows(Model, VariantId::of(SetVariant::MutexHashSet),
+          {{OK::Populate, 22, 0, 40},
+           {OK::Contains, 11, 0, 0},
+           {OK::Iterate, 8, 0.9, 0},
+           {OK::Remove, 13, 0, 0}});
+  setContention(Model, VariantId::of(SetVariant::MutexHashSet),
+                {OK::Populate, OK::Contains, OK::Iterate, OK::Remove}, 55);
+  setRows(Model, VariantId::of(SetVariant::StripedHashSet),
+          {{OK::Populate, 27, 0, 52},
+           {OK::Contains, 16, 0, 0},
+           {OK::Iterate, 13, 1.0, 0},
+           {OK::Remove, 18, 0, 0}});
+  setContention(Model, VariantId::of(SetVariant::StripedHashSet),
+                {OK::Populate, OK::Contains, OK::Iterate, OK::Remove}, 4);
+
+  // MutexHashMap / ShardedHashMap over OpenHashMap.
+  setRows(Model, VariantId::of(MapVariant::MutexHashMap),
+          {{OK::Populate, 24, 0, 60},
+           {OK::Contains, 12, 0, 0},
+           {OK::Iterate, 8, 1.1, 0},
+           {OK::Remove, 14, 0, 0}});
+  setContention(Model, VariantId::of(MapVariant::MutexHashMap),
+                {OK::Populate, OK::Contains, OK::Iterate, OK::Remove}, 55);
+  setRows(Model, VariantId::of(MapVariant::ShardedHashMap),
+          {{OK::Populate, 29, 0, 72},
+           {OK::Contains, 17, 0, 0},
+           {OK::Iterate, 13, 1.2, 0},
+           {OK::Remove, 19, 0, 0}});
+  setContention(Model, VariantId::of(MapVariant::ShardedHashMap),
+                {OK::Populate, OK::Contains, OK::Iterate, OK::Remove}, 4);
+
   // The energy dimension (paper §7 future work) is derived from time
   // and allocation; see EnergyModel.h.
   deriveEnergyModel(Model);
   return Model;
+}
+
+void cswitch::augmentConcurrentCoverage(PerformanceModel &Model) {
+  PerformanceModel Defaults = defaultPerformanceModel();
+  for (size_t A = 0; A != NumAbstractionKinds; ++A) {
+    auto Kind = static_cast<AbstractionKind>(A);
+    for (unsigned V = firstConcurrentVariant(Kind),
+                  E = static_cast<unsigned>(numVariantsOf(Kind));
+         V != E; ++V) {
+      VariantId Id{Kind, V};
+      bool CopyAll = !Model.hasVariant(Id);
+      for (OperationKind Op : AllOperationKinds) {
+        for (CostDimension Dim : AllCostDimensions) {
+          // Contention cells are analytic, never measured; backfill them
+          // even on variants the loaded model otherwise covers.
+          if (!CopyAll && Dim != CostDimension::Contention)
+            continue;
+          if (!Model.cost(Id, Op, Dim).coefficients().empty())
+            continue;
+          const Polynomial &P = Defaults.cost(Id, Op, Dim);
+          if (!P.coefficients().empty())
+            Model.setCost(Id, Op, Dim, P);
+        }
+      }
+    }
+  }
 }

@@ -26,6 +26,13 @@ namespace cswitch {
 /// Returns the built-in analytic performance model.
 PerformanceModel defaultPerformanceModel();
 
+/// Backfills \p Model with the default rows of the concurrent-tier
+/// variants it does not cover, and with the analytic contention
+/// polynomials (which no measurement produces). Lets models serialized
+/// before the concurrent tier existed — or rebuilt by the single-thread
+/// ModelBuilder — drive concurrent selection.
+void augmentConcurrentCoverage(PerformanceModel &Model);
+
 } // namespace cswitch
 
 #endif // CSWITCH_MODEL_DEFAULTMODEL_H

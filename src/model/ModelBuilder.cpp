@@ -329,6 +329,15 @@ void ModelBuilder::fitAndStore(PerformanceModel &Model, VariantId Variant,
 
 void ModelBuilder::buildListModels(PerformanceModel &Model) {
   for (ListVariant Variant : AllListVariants) {
+    // The concurrent tier is never calibrated here: single-threaded
+    // timing of lock-based variants measures only the uncontended fast
+    // path, and the resulting noisy rows would make the mutex-vs-
+    // striped decision depend on calibration luck instead of the
+    // contention model. Their rows always come from the analytic
+    // defaults (augmentConcurrentCoverage).
+    if (isConcurrentVariant(AbstractionKind::List,
+                            static_cast<unsigned>(Variant)))
+      continue;
     for (OperationKind Op : AllOperationKinds) {
       std::vector<double> Xs, Times, Allocs;
       SplitMix64 Rng(Options.Seed);
@@ -347,6 +356,10 @@ void ModelBuilder::buildListModels(PerformanceModel &Model) {
 
 void ModelBuilder::buildSetModels(PerformanceModel &Model) {
   for (SetVariant Variant : AllSetVariants) {
+    // Concurrent tier: analytic rows only (see buildListModels).
+    if (isConcurrentVariant(AbstractionKind::Set,
+                            static_cast<unsigned>(Variant)))
+      continue;
     for (OperationKind Op : AllOperationKinds) {
       std::vector<double> Xs, Times, Allocs;
       SplitMix64 Rng(Options.Seed);
@@ -365,6 +378,10 @@ void ModelBuilder::buildSetModels(PerformanceModel &Model) {
 
 void ModelBuilder::buildMapModels(PerformanceModel &Model) {
   for (MapVariant Variant : AllMapVariants) {
+    // Concurrent tier: analytic rows only (see buildListModels).
+    if (isConcurrentVariant(AbstractionKind::Map,
+                            static_cast<unsigned>(Variant)))
+      continue;
     for (OperationKind Op : AllOperationKinds) {
       std::vector<double> Xs, Times, Allocs;
       SplitMix64 Rng(Options.Seed);

@@ -270,6 +270,17 @@ cswitch::obs::renderOpenMetrics(const TelemetrySnapshot &Snapshot,
     sampleU64(Out, "cswitch_context_footprint_bytes", Ctx.Name,
               Ctx.FootprintBytes);
 
+  familyHeader(Out, "cswitch_context_contended_threads", "gauge",
+               "Smoothed estimate of distinct threads operating on this "
+               "site's collections (0 = sequential context).");
+  for (const auto &Ctx : Snapshot.Contexts) {
+    Out += "cswitch_context_contended_threads{site=\"";
+    Out += openMetricsEscape(Ctx.Name);
+    Out += "\"} ";
+    appendDouble(Out, Ctx.ContendedThreads);
+    Out += '\n';
+  }
+
   familyHeader(Out, "cswitch_context_variant_info", "gauge",
                "Current variant of this site (value is always 1).");
   for (const auto &Ctx : Snapshot.Contexts) {

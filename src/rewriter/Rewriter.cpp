@@ -103,21 +103,21 @@ struct ContainerMapping {
   const char *StdName;       ///< e.g. "vector".
   AbstractionKind Abstraction;
   const char *DefaultVariant; ///< Default variant enum spelling.
-  const char *CreateFn;       ///< Switch::create*Context member.
+  const char *FacadeName;     ///< Facade template (makeContext argument).
   const char *CreateMethod;   ///< Context create method.
 };
 
 const ContainerMapping Mappings[] = {
-    {"vector", AbstractionKind::List, "ListVariant::ArrayList",
-     "createListContext", "createList"},
+    {"vector", AbstractionKind::List, "ListVariant::ArrayList", "List",
+     "createList"},
     {"unordered_set", AbstractionKind::Set,
-     "SetVariant::ChainedHashSet", "createSetContext", "createSet"},
-    {"set", AbstractionKind::Set, "SetVariant::TreeSet",
-     "createSetContext", "createSet"},
+     "SetVariant::ChainedHashSet", "Set", "createSet"},
+    {"set", AbstractionKind::Set, "SetVariant::TreeSet", "Set",
+     "createSet"},
     {"unordered_map", AbstractionKind::Map,
-     "MapVariant::ChainedHashMap", "createMapContext", "createMap"},
-    {"map", AbstractionKind::Map, "MapVariant::TreeMap",
-     "createMapContext", "createMap"},
+     "MapVariant::ChainedHashMap", "Map", "createMap"},
+    {"map", AbstractionKind::Map, "MapVariant::TreeMap", "Map",
+     "createMap"},
 };
 
 const ContainerMapping *findMapping(const std::string &Name) {
@@ -138,11 +138,12 @@ struct Candidate {
 std::string buildReplacement(const Candidate &C) {
   std::ostringstream OS;
   OS << "static auto " << C.Action.VariableName
-     << "_Ctx = cswitch::Switch::" << C.Mapping->CreateFn << "<"
-     << C.Action.ElementText << ">(\"" << C.Action.SiteName
-     << "\", cswitch::" << C.Mapping->DefaultVariant << "); auto "
-     << C.Action.VariableName << " = " << C.Action.VariableName
-     << "_Ctx->" << C.Mapping->CreateMethod << "();";
+     << "_Ctx = cswitch::Switch::makeContext<cswitch::"
+     << C.Mapping->FacadeName << "<" << C.Action.ElementText << ">>(\""
+     << C.Action.SiteName << "\", cswitch::" << C.Mapping->DefaultVariant
+     << "); auto " << C.Action.VariableName << " = "
+     << C.Action.VariableName << "_Ctx->" << C.Mapping->CreateMethod
+     << "();";
   return OS.str();
 }
 

@@ -19,8 +19,9 @@
 /// — and rewrites them to a static allocation context plus a context-
 /// created facade:
 ///
-///   static auto Rows_Ctx = cswitch::Switch::createListContext<int64_t>(
-///       "file.cpp:42", cswitch::ListVariant::ArrayList);
+///   static auto Rows_Ctx =
+///       cswitch::Switch::makeContext<cswitch::List<int64_t>>(
+///           "file.cpp:42", cswitch::ListVariant::ArrayList);
 ///   auto Rows = Rows_Ctx->createList();
 ///
 /// Like the paper's parser it is deliberately conservative: only

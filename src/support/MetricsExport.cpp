@@ -111,6 +111,14 @@ std::string cswitch::jsonEscape(std::string_view Text) {
 
 namespace {
 
+/// Formats a double compactly ("%.6g": integers stay integral, the
+/// contention estimate keeps enough digits to see EWMA movement).
+std::string formatDouble(double Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+  return Buf;
+}
+
 void appendStatFields(std::string &Out, const ContextStats &S) {
   Out += "\"instances_created\": " + std::to_string(S.InstancesCreated);
   Out += ", \"instances_monitored\": " +
@@ -220,6 +228,7 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
     Out += "\"variant\": \"" + jsonEscape(C.Variant) + "\", ";
     appendStatFields(Out, C.Stats);
     Out += ", \"footprint_bytes\": " + std::to_string(C.FootprintBytes);
+    Out += ", \"contended_threads\": " + formatDouble(C.ContendedThreads);
     Out += ", ";
     appendSiteLatencies(Out, C.Latency);
     Out += "}";
@@ -290,7 +299,7 @@ std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
   Out += "name,abstraction,variant,instances_created,"
          "instances_monitored,profiles_published,"
          "profiles_discarded,evaluations,switches,"
-         "footprint_bytes\n";
+         "footprint_bytes,contended_threads\n";
   for (const ContextSnapshot &C : Snapshot.Contexts) {
     Out += csvField(C.Name) + ',' + csvField(C.Abstraction) + ',' +
            csvField(C.Variant) + ',';
@@ -300,7 +309,8 @@ std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
     Out += std::to_string(C.Stats.ProfilesDiscarded) + ',';
     Out += std::to_string(C.Stats.Evaluations) + ',';
     Out += std::to_string(C.Stats.Switches) + ',';
-    Out += std::to_string(C.FootprintBytes) + '\n';
+    Out += std::to_string(C.FootprintBytes) + ',';
+    Out += formatDouble(C.ContendedThreads) + '\n';
   }
   return Out;
 }

@@ -42,6 +42,7 @@ std::string jsonEscape(std::string_view Text);
 ///                "instances_skipped": ...},
 ///   "contexts": [{"name": ..., "abstraction": ..., "variant": ...,
 ///                 "instances_created": ..., ..., "footprint_bytes": ...,
+///                 "contended_threads": ...,
 ///                 "latency": {"record": {...}, "evaluate": {...},
 ///                             "switch": {...}}}]
 /// }
@@ -53,7 +54,7 @@ std::string toJson(const TelemetrySnapshot &Snapshot);
 /// Serializes the per-context breakdown as CSV with a header row:
 /// name,abstraction,variant,instances_created,instances_monitored,
 /// profiles_published,profiles_discarded,evaluations,switches,
-/// footprint_bytes
+/// footprint_bytes,contended_threads
 /// Preceded by `#` comment lines carrying the event-log and trace
 /// recorder loss counters.
 std::string toCsv(const TelemetrySnapshot &Snapshot);

@@ -6,6 +6,8 @@
 
 #include "support/Random.h"
 
+#include <algorithm>
+#include <cmath>
 #include <unordered_set>
 #include <utility>
 
@@ -43,4 +45,25 @@ std::vector<int64_t> cswitch::shuffled(SplitMix64 &Rng,
   for (size_t I = Values.size(); I > 1; --I)
     std::swap(Values[I - 1], Values[Rng.nextBelow(I)]);
   return Values;
+}
+
+ZipfDistribution::ZipfDistribution(size_t N, double Skew) : Skew(Skew) {
+  assert(N > 0 && "Zipf support must be non-empty");
+  Cdf.resize(N);
+  double Total = 0.0;
+  for (size_t K = 0; K != N; ++K) {
+    Total += 1.0 / std::pow(static_cast<double>(K + 1), Skew);
+    Cdf[K] = Total;
+  }
+  for (size_t K = 0; K != N; ++K)
+    Cdf[K] /= Total;
+  Cdf.back() = 1.0; // guard against rounding excluding the last rank
+}
+
+size_t ZipfDistribution::next(SplitMix64 &Rng) const {
+  double U = Rng.nextDouble();
+  auto It = std::lower_bound(Cdf.begin(), Cdf.end(), U);
+  if (It == Cdf.end())
+    --It;
+  return static_cast<size_t>(It - Cdf.begin());
 }

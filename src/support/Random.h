@@ -81,6 +81,32 @@ std::vector<int64_t> distinctIntegers(SplitMix64 &Rng, size_t N,
 /// Returns a uniformly shuffled copy of \p Values (Fisher-Yates).
 std::vector<int64_t> shuffled(SplitMix64 &Rng, std::vector<int64_t> Values);
 
+/// Draws ranks from a Zipf distribution over [0, N): rank K is drawn
+/// with probability proportional to 1 / (K + 1)^Skew — the skewed
+/// key-popularity model of server caches and session stores (MapReplay
+/// uses the same family for trace-driven map workloads).
+///
+/// The CDF is precomputed once (O(N) setup, O(log N) per draw via
+/// binary search), so draws are cheap enough for multi-threaded bench
+/// inner loops; each thread should own its Rng while sharing one
+/// immutable ZipfDistribution.
+class ZipfDistribution {
+public:
+  /// \p N must be positive. \p Skew 0 degenerates to uniform; the
+  /// classic web/cache skew is ~0.99.
+  ZipfDistribution(size_t N, double Skew);
+
+  /// Returns the next rank in [0, size()).
+  size_t next(SplitMix64 &Rng) const;
+
+  size_t size() const { return Cdf.size(); }
+  double skew() const { return Skew; }
+
+private:
+  double Skew;
+  std::vector<double> Cdf; ///< Cdf[K] = P(rank <= K); back() == 1.
+};
+
 } // namespace cswitch
 
 #endif // CSWITCH_SUPPORT_RANDOM_H

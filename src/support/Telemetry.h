@@ -122,6 +122,9 @@ struct ContextSnapshot {
   ContextStats Stats;
   size_t FootprintBytes = 0; ///< Approximate context memory footprint.
   SiteLatencies Latency;     ///< Per-site latency distributions.
+  /// Smoothed estimate of distinct threads operating on this site's
+  /// collections (0 for sequential contexts; DESIGN.md §11).
+  double ContendedThreads = 0.0;
 };
 
 /// Counters of the event-log rings at snapshot time.

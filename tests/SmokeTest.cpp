@@ -50,7 +50,7 @@ TEST(Smoke, ListContextSwitchesUnderLookupHeavyWorkload) {
 }
 
 TEST(Smoke, SwitchFacadeCreatesWorkingCollections) {
-  auto Ctx = Switch::createMapContext<int64_t, int64_t>(
+  auto Ctx = Switch::makeContext<Map<int64_t, int64_t>>(
       "smoke:map", MapVariant::ChainedHashMap);
   Map<int64_t, int64_t> M = Ctx->createMap();
   for (int64_t I = 0; I != 100; ++I)

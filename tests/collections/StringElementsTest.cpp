@@ -157,7 +157,7 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(StringFacades, MonitoredStringMapWorksEndToEnd) {
-  auto Ctx = Switch::createMapContext<std::string, int64_t>(
+  auto Ctx = Switch::makeContext<Map<std::string, int64_t>>(
       "strings:map", MapVariant::ChainedHashMap);
   Map<std::string, int64_t> M = Ctx->createMap();
   for (int I = 0; I != 50; ++I)

@@ -53,7 +53,8 @@ TEST(SynchronizedList, ConcurrentAppendsLoseNothing) {
     W.join();
   EXPECT_EQ(L.size(), static_cast<size_t>(Threads) * PerThread);
   uint64_t Sum = 0;
-  L.forEach([&Sum](const int64_t &V) { Sum += static_cast<uint64_t>(V); });
+  L.forEachLocked(
+      [&Sum](const int64_t &V) { Sum += static_cast<uint64_t>(V); });
   uint64_t N = static_cast<uint64_t>(Threads) * PerThread;
   EXPECT_EQ(Sum, N * (N - 1) / 2);
 }
@@ -117,6 +118,48 @@ TEST(SynchronizedMap, UpdateIsAtomicReadModifyWrite) {
   ASSERT_TRUE(M.get(7, Count));
   // Every increment must be observed: lost updates would show here.
   EXPECT_EQ(Count, static_cast<int64_t>(Threads) * PerThread);
+}
+
+TEST(SynchronizedSet, ForEachLockedTraversesAtomically) {
+  SynchronizedSet<int64_t> S(
+      makeSetImpl<int64_t>(SetVariant::OpenHashSet));
+  // A writer inserts V then V + 1000; a locked traversal owns the
+  // mutex end to end, so it can only ever observe complete pairs plus
+  // at most the single low element whose partner is still in flight
+  // between the writer's two locked adds.
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&S, &Stop] {
+    int64_t V = 0;
+    while (!Stop.load(std::memory_order_relaxed)) {
+      S.add(V);
+      S.add(V + 1000);
+      V = (V + 1) % 1000;
+    }
+  });
+  for (int Sweep = 0; Sweep != 200; ++Sweep) {
+    size_t Low = 0, High = 0;
+    S.forEachLocked(
+        [&Low, &High](const int64_t &V) { (V < 1000 ? Low : High) += 1; });
+    EXPECT_LE(High, Low);
+    EXPECT_LE(Low - High, 1u);
+  }
+  Stop.store(true);
+  Writer.join();
+}
+
+TEST(SynchronizedMap, ForEachLockedVisitsEveryEntry) {
+  SynchronizedMap<int64_t, int64_t> M(
+      makeMapImpl<int64_t, int64_t>(MapVariant::ChainedHashMap));
+  for (int64_t I = 0; I != 64; ++I)
+    M.put(I, I * 3);
+  uint64_t Entries = 0;
+  uint64_t Mismatches = 0;
+  M.forEachLocked([&](const int64_t &K, const int64_t &V) {
+    ++Entries;
+    Mismatches += V != K * 3;
+  });
+  EXPECT_EQ(Entries, 64u);
+  EXPECT_EQ(Mismatches, 0u);
 }
 
 TEST(SynchronizedMap, WorksOverEveryVariant) {

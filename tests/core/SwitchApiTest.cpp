@@ -5,10 +5,10 @@
 //===----------------------------------------------------------------------===//
 //
 // Tests of the unified public API: the generic Switch::makeContext<>
-// factory (and the deprecated create*Context spellings forwarding to
-// it), the fluent ContextOptions builder, and the observability surface
-// (telemetry snapshots matching engine stats exactly, JSON round-trip,
-// drainEvents, the periodic reporter).
+// factory (the sole construction path), the Switch::configure process
+// defaults, the fluent ContextOptions builder, and the observability
+// surface (telemetry snapshots matching engine stats exactly, JSON
+// round-trip, drainEvents, the periodic reporter).
 //
 //===----------------------------------------------------------------------===//
 
@@ -85,18 +85,26 @@ TEST(SwitchApi, ContextTypeSpellingAlsoResolves) {
   EXPECT_EQ(Ctx->currentVariant().name(), std::string("LinkedList"));
 }
 
-TEST(SwitchApi, DeprecatedFactoriesForwardToMakeContext) {
-  size_t Before = SwitchEngine::global().contextCount();
-  auto L = Switch::createListContext<int64_t>("api:old-list",
-                                              ListVariant::ArrayList);
-  auto S = Switch::createSetContext<int64_t>("api:old-set",
-                                             SetVariant::ArraySet);
-  auto M = Switch::createMapContext<int64_t, int64_t>(
-      "api:old-map", MapVariant::ArrayMap);
-  EXPECT_EQ(SwitchEngine::global().contextCount(), Before + 3);
-  EXPECT_EQ(L->name(), "api:old-list");
-  EXPECT_EQ(S->name(), "api:old-set");
-  EXPECT_EQ(M->name(), "api:old-map");
+TEST(SwitchApi, ConfigureInstallsContextDefaults) {
+  ContextOptions Before = Switch::defaultContextOptions();
+  SwitchConfig Config;
+  Config.Context =
+      ContextOptions{}.windowSize(25).logEvents(false).concurrency(
+          Concurrency::Auto);
+  Switch::configure(Config);
+  // A context created without explicit options picks the defaults up...
+  auto Defaulted = Switch::makeContext<Map<int64_t, int64_t>>(
+      "api:configured", MapVariant::ChainedHashMap);
+  EXPECT_EQ(Defaulted->options().WindowSize, 25u);
+  EXPECT_FALSE(Defaulted->options().LogEvents);
+  EXPECT_EQ(Defaulted->concurrencyMode(), Concurrency::Auto);
+  // ...while an explicit ContextOptions still wins.
+  auto Explicit = Switch::makeContext<Map<int64_t, int64_t>>(
+      "api:explicit", MapVariant::ChainedHashMap,
+      SelectionRule::timeRule(), ContextOptions{}.windowSize(75));
+  EXPECT_EQ(Explicit->options().WindowSize, 75u);
+  EXPECT_EQ(Explicit->concurrencyMode(), Concurrency::None);
+  Switch::configure(SwitchConfig{EngineOptions{}, Before});
 }
 
 TEST(SwitchApi, FluentOptionsConfigureTheAggregate) {

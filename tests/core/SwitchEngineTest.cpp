@@ -150,7 +150,7 @@ TEST(SwitchApi, GlobalModelIsSharedAndReplaceable) {
 TEST(SwitchApi, ContextHandlesAutoUnregister) {
   size_t Before = SwitchEngine::global().contextCount();
   {
-    auto Ctx = Switch::createSetContext<int64_t>(
+    auto Ctx = Switch::makeContext<Set<int64_t>>(
         "api:set", SetVariant::ChainedHashSet);
     EXPECT_EQ(SwitchEngine::global().contextCount(), Before + 1);
     Set<int64_t> S = Ctx->createSet();

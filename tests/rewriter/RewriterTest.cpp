@@ -37,7 +37,8 @@ TEST(Rewriter, RewritesVectorDeclaration) {
   EXPECT_EQ(R.Actions[0].Abstraction, AbstractionKind::List);
   EXPECT_EQ(R.Code,
             "static auto rows_Ctx = "
-            "cswitch::Switch::createListContext<int64_t>(\"test.cpp:1\", "
+            "cswitch::Switch::makeContext<cswitch::List<int64_t>>("
+            "\"test.cpp:1\", "
             "cswitch::ListVariant::ArrayList); auto rows = "
             "rows_Ctx->createList();");
 }
@@ -73,7 +74,7 @@ TEST(Rewriter, MapDeclarationKeepsBothTypeArguments) {
       "std::unordered_map<int64_t, double> scores;", namedOptions());
   ASSERT_EQ(R.rewrittenCount(), 1u);
   EXPECT_EQ(R.Actions[0].ElementText, "int64_t, double");
-  EXPECT_NE(R.Code.find("createMapContext<int64_t, double>"),
+  EXPECT_NE(R.Code.find("makeContext<cswitch::Map<int64_t, double>>"),
             std::string::npos);
 }
 
@@ -169,7 +170,7 @@ TEST(Rewriter, GeneratedCodeCompilesAgainstTheFramework) {
   // only real API names — pin them so refactors keep the tool in sync.
   RewriteResult R = rewriteSource("std::unordered_map<int, int> m;",
                                   namedOptions());
-  EXPECT_NE(R.Code.find("cswitch::Switch::createMapContext"),
+  EXPECT_NE(R.Code.find("cswitch::Switch::makeContext<cswitch::Map<"),
             std::string::npos);
   EXPECT_NE(R.Code.find("cswitch::MapVariant::ChainedHashMap"),
             std::string::npos);

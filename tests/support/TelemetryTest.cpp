@@ -223,6 +223,7 @@ TelemetrySnapshot sampleSnapshot() {
   B.Variant = "ChainedHashMap";
   B.Stats = makeStats(50);
   B.FootprintBytes = 256;
+  B.ContendedThreads = 3.5;
   S.Contexts = {A, B};
   S.Engine += A.Stats;
   S.Engine += B.Stats;
@@ -262,6 +263,9 @@ TEST(Telemetry, JsonCarriesSchemaAndTotals) {
                       "\"sites_loaded\": 9, \"warm_starts\": 4, "
                       "\"persists\": 5, \"persist_failures\": 0}"),
             std::string::npos);
+  // The contention estimate rides on each context row (0 = sequential).
+  EXPECT_NE(Json.find("\"contended_threads\": 3.5"), std::string::npos);
+  EXPECT_NE(Json.find("\"contended_threads\": 0"), std::string::npos);
 }
 
 TEST(Telemetry, JsonCarriesLatencyDistributions) {
@@ -334,7 +338,7 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   EXPECT_EQ(Header,
             "name,abstraction,variant,instances_created,"
             "instances_monitored,profiles_published,profiles_discarded,"
-            "evaluations,switches,footprint_bytes");
+            "evaluations,switches,footprint_bytes,contended_threads");
   std::string Row1, Row2, Extra;
   ASSERT_TRUE(std::getline(Lines, Row1));
   ASSERT_TRUE(std::getline(Lines, Row2));
@@ -342,7 +346,7 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   // Embedded quotes double, fields with commas/quotes get quoted.
   EXPECT_NE(Row1.find("\"bench \"\"quoted\"\"\""), std::string::npos);
   EXPECT_NE(Row2.find("\"site,with,commas\""), std::string::npos);
-  EXPECT_NE(Row2.find(",256"), std::string::npos);
+  EXPECT_NE(Row2.find(",256,3.5"), std::string::npos);
 }
 
 TEST(Telemetry, WriteTextFileRoundTrips) {
