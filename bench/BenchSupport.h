@@ -19,6 +19,7 @@
 #include "model/ModelBuilder.h"
 
 #include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +56,24 @@ inline bool modelCoversAllVariants(const PerformanceModel &Model) {
 /// env-var path when set, else `cswitch_model.txt`).
 inline std::shared_ptr<const PerformanceModel> loadModel() {
   const char *EnvPath = std::getenv("CSWITCH_MODEL");
+  // An explicit `CSWITCH_MODEL` that does not load is a configuration
+  // error, not a fallback case: silently continuing to
+  // `data/cswitch_model.txt` would benchmark a different model than the
+  // one the user pinned. Fail loudly with the resolved path.
+  if (EnvPath && EnvPath[0]) {
+    auto Pinned = std::make_shared<PerformanceModel>();
+    std::string LoadError;
+    if (!Pinned->loadFromFile(EnvPath, &LoadError)) {
+      char Resolved[PATH_MAX];
+      const char *Shown =
+          ::realpath(EnvPath, Resolved) ? Resolved : EnvPath;
+      std::fprintf(stderr,
+                   "error: CSWITCH_MODEL points at '%s' (resolved: %s) "
+                   "but it cannot be loaded: %s\n",
+                   EnvPath, Shown, LoadError.c_str());
+      std::exit(2);
+    }
+  }
   const char *Candidates[] = {EnvPath ? EnvPath : "", "cswitch_model.txt",
                               "data/cswitch_model.txt"};
   for (const char *Path : Candidates) {

@@ -169,6 +169,14 @@ int main(int Argc, char **Argv) {
 
   long ServePort = intOption(Argc, Argv, "--serve-metrics", -1);
   if (ServePort >= 0) {
+    // --serve-store additionally exposes GET/POST /store on the same
+    // endpoint so fleet peers (tools/cswitch_fleet, DESIGN.md §12) can
+    // pull and merge this run's selection knowledge.
+    if (hasFlag(Argc, Argv, "--serve-store")) {
+      SwitchConfig Config;
+      Config.Fleet.serveStore();
+      Switch::configure(Config);
+    }
     uint16_t Bound = Switch::serveMetrics(static_cast<uint16_t>(ServePort));
     if (!Bound) {
       std::fprintf(stderr, "error: cannot bind metrics port %ld\n",

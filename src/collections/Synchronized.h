@@ -104,13 +104,6 @@ public:
     Impl->forEach(Fn);
   }
 
-  /// Deprecated spelling of forEachLocked — the old name read like an
-  /// unlocked sweep and invited iterator-style misuse.
-  [[deprecated("use forEachLocked — traversal must own the lock")]]
-  void forEach(FunctionRef<void(const T &)> Fn) const {
-    forEachLocked(Fn);
-  }
-
   size_t memoryFootprint() const {
     std::lock_guard<std::mutex> Lock(Mutex);
     return sizeof(*this) + Impl->memoryFootprint();
@@ -163,12 +156,6 @@ public:
   void forEachLocked(FunctionRef<void(const T &)> Fn) const {
     std::lock_guard<std::mutex> Lock(Mutex);
     Impl->forEach(Fn);
-  }
-
-  /// Deprecated spelling of forEachLocked.
-  [[deprecated("use forEachLocked — traversal must own the lock")]]
-  void forEach(FunctionRef<void(const T &)> Fn) const {
-    forEachLocked(Fn);
   }
 
   size_t memoryFootprint() const {
@@ -250,12 +237,6 @@ public:
   void forEachLocked(FunctionRef<void(const K &, const V &)> Fn) const {
     std::lock_guard<std::mutex> Lock(Mutex);
     Impl->forEach(Fn);
-  }
-
-  /// Deprecated spelling of forEachLocked.
-  [[deprecated("use forEachLocked — traversal must own the lock")]]
-  void forEach(FunctionRef<void(const K &, const V &)> Fn) const {
-    forEachLocked(Fn);
   }
 
   size_t memoryFootprint() const {

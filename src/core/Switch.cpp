@@ -11,6 +11,7 @@
 #include "obs/OpenMetrics.h"
 #include "obs/PerfettoExport.h"
 #include "support/MetricsExport.h"
+#include "support/Telemetry.h"
 
 using namespace cswitch;
 
@@ -33,6 +34,11 @@ std::mutex &configMutex() {
 
 ContextOptions &contextDefaultsSlot() {
   static ContextOptions Slot;
+  return Slot;
+}
+
+FleetOptions &fleetOptionsSlot() {
+  static FleetOptions Slot;
   return Slot;
 }
 
@@ -66,6 +72,7 @@ void Switch::configure(const SwitchConfig &Config) {
   SwitchEngine::global().configure(Config.Engine);
   std::lock_guard<std::mutex> Lock(configMutex());
   contextDefaultsSlot() = Config.Context;
+  fleetOptionsSlot() = Config.Fleet;
 }
 
 ContextOptions Switch::defaultContextOptions() {
@@ -91,6 +98,40 @@ uint16_t Switch::serveMetrics(uint16_t Port) {
   });
   Server->handle("/trace.json", "application/json",
                  [] { return obs::renderPerfettoTrace(); });
+  FleetOptions Fleet;
+  {
+    std::lock_guard<std::mutex> ConfigLock(configMutex());
+    Fleet = fleetOptionsSlot();
+  }
+  if (Fleet.ServeStore) {
+    // Fleet store sync (DESIGN.md §12). GET serves the replica's current
+    // knowledge; POST flock-merges a peer's pushed document. Both paths
+    // feed the fleet telemetry counters so every failure class is
+    // observable.
+    Server->handle("/store", "application/octet-stream", [] {
+      FleetStats Delta;
+      Delta.StoreGets = 1;
+      FleetRegistry::global().record(Delta);
+      return SwitchEngine::global().exportStore();
+    });
+    Server->handlePost(
+        "/store", Fleet.MaxPushBytes,
+        [](std::string_view Body) -> obs::MetricsServer::PostResult {
+          std::string Error;
+          uint64_t SitesMerged = 0;
+          FleetStats Delta;
+          if (!SwitchEngine::global().mergeRemoteStore(Body, &Error,
+                                                       &SitesMerged)) {
+            Delta.RejectedMalformed = 1;
+            FleetRegistry::global().record(Delta);
+            return {400, "merge failed: " + Error + "\n"};
+          }
+          Delta.MergesApplied = 1;
+          Delta.SitesMerged = SitesMerged;
+          FleetRegistry::global().record(Delta);
+          return {200, "merged " + std::to_string(SitesMerged) + " sites\n"};
+        });
+  }
   if (!Server->start(Port))
     return 0;
   Slot = std::move(Server);

@@ -55,6 +55,30 @@
 
 namespace cswitch {
 
+/// Fleet-sync knobs of the metrics endpoint (DESIGN.md §12): whether
+/// serveMetrics() additionally exposes the selection store to peers,
+/// and how large a pushed store document may be.
+struct FleetOptions {
+  /// When true, serveMetrics() registers /store:
+  ///   GET  — the installed store's current knowledge as a serialized
+  ///          `cswitch-store-v1` document,
+  ///   POST — flock-merge of a peer's document into the local store.
+  /// Off by default: a replica only joins the fleet when asked to.
+  bool ServeStore = false;
+  /// Upper bound on a pushed document; larger bodies are refused with
+  /// 413 before being read.
+  size_t MaxPushBytes = 4u << 20;
+
+  FleetOptions &serveStore(bool Value = true) {
+    ServeStore = Value;
+    return *this;
+  }
+  FleetOptions &maxPushBytes(size_t Value) {
+    MaxPushBytes = Value;
+    return *this;
+  }
+};
+
 /// The one process-wide configuration bundle: engine-level options plus
 /// the context defaults every makeContext() call falls back to when no
 /// explicit ContextOptions is passed (see Switch::configure).
@@ -66,6 +90,8 @@ struct SwitchConfig {
   /// geometry, concurrency mode, and the monitoring rate startEngine()
   /// paces the background thread at.
   ContextOptions Context;
+  /// Fleet store-sync exposure of the metrics endpoint (DESIGN.md §12).
+  FleetOptions Fleet;
 };
 
 /// Deleter that unregisters a context from the global engine before
@@ -171,7 +197,10 @@ public:
   ///                   monitoring counters) — curl/Prometheus/
   ///                   `cswitch_top watch` scrape this,
   ///   /snapshot.json  the MetricsExport JSON telemetry document,
-  ///   /trace.json     the Perfetto decision-timeline trace.
+  ///   /trace.json     the Perfetto decision-timeline trace,
+  ///   /store          (only with SwitchConfig::Fleet.ServeStore) the
+  ///                   selection store for fleet peers — GET serves the
+  ///                   serialized document, POST merges a pushed one.
   /// \returns the bound port, or 0 when the endpoint could not start
   /// (port in use, or already serving). One endpoint per process.
   static uint16_t serveMetrics(uint16_t Port = 9100);
@@ -233,6 +262,21 @@ public:
 
   /// Persists (best effort) and uninstalls the selection store.
   static void closeStore() { SwitchEngine::global().closeStore(); }
+
+  /// Serialized `cswitch-store-v1` export of the installed store's
+  /// current knowledge (see SwitchEngine::exportStore). Empty when no
+  /// store is installed.
+  static std::string exportStore() {
+    return SwitchEngine::global().exportStore();
+  }
+
+  /// Flock-merges a peer's serialized store document into the installed
+  /// store (see SwitchEngine::mergeRemoteStore).
+  static bool mergeRemoteStore(std::string_view Bytes,
+                               std::string *Error = nullptr,
+                               uint64_t *SitesMerged = nullptr) {
+    return SwitchEngine::global().mergeRemoteStore(Bytes, Error, SitesMerged);
+  }
 
   /// Creates and registers an allocation context for \p Collection
   /// (List<T>, Set<T> or Map<K, V>) — the sole public construction

@@ -435,6 +435,47 @@ bool SwitchEngine::persistStore() {
   return Ok;
 }
 
+std::string SwitchEngine::exportStore() const {
+  std::shared_ptr<SelectionStore> St;
+  {
+    std::lock_guard<std::mutex> Lock(StoreMutex);
+    St = Store;
+  }
+  if (!St)
+    return {};
+  std::vector<SelectionStore::LiveSite> Live;
+  for (AllocationContextBase *Context : snapshotContexts()) {
+    uint64_t Instances = 0;
+    WorkloadProfile Profile = Context->aggregateProfile(Instances);
+    if (Instances == 0)
+      continue;
+    Live.push_back({Context->name(), Context->rule().Name,
+                    Context->abstraction(), Context->currentVariantIndex(),
+                    std::move(Profile), Instances});
+  }
+  return encodeStore(St->exportSites(Live));
+}
+
+bool SwitchEngine::mergeRemoteStore(std::string_view Bytes, std::string *Error,
+                                    uint64_t *SitesMerged) {
+  std::shared_ptr<SelectionStore> St;
+  std::string Path;
+  {
+    std::lock_guard<std::mutex> Lock(StoreMutex);
+    St = Store;
+    Path = StorePath;
+  }
+  if (!St) {
+    if (Error)
+      *Error = "no selection store installed";
+    return false;
+  }
+  std::vector<StoreSite> Remote;
+  if (!decodeStore(Bytes, Remote, Error))
+    return false;
+  return St->mergeRemote(Path, Remote, Error, SitesMerged);
+}
+
 void SwitchEngine::closeStore() {
   persistStore();
   // The store counters and the persist histogram just took their final
@@ -518,6 +559,7 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
   Snapshot.Events.Dropped = Log.droppedCount();
   Snapshot.Events.NodeDropped = Log.nodeDroppedCounts();
   Snapshot.Recorder = RecorderRegistry::global().stats();
+  Snapshot.Fleet = FleetRegistry::global().stats();
   if (std::shared_ptr<SelectionStore> St = store())
     Snapshot.Store = St->stats();
   return Snapshot;

@@ -206,6 +206,23 @@ public:
   /// Persists (best effort) and uninstalls the store.
   void closeStore();
 
+  /// Serialized `cswitch-store-v1` export of the installed store's
+  /// current knowledge: the loaded base document plus this process's
+  /// contributions (finished contexts and the live contexts' lifetime
+  /// aggregates). Pure read — nothing touches disk. Empty string when
+  /// no store is installed. This is what the fleet /store GET serves.
+  std::string exportStore() const;
+
+  /// Decodes \p Bytes as a `cswitch-store-v1` document and flock-merges
+  /// it into the installed store (file + in-memory base; see
+  /// SelectionStore::mergeRemote). \returns false when no store is
+  /// installed, the document is malformed, or the merge failed, with
+  /// \p Error describing the problem. \p SitesMerged (when non-null)
+  /// receives the number of remote sites folded in. This is what the
+  /// fleet /store POST applies.
+  bool mergeRemoteStore(std::string_view Bytes, std::string *Error = nullptr,
+                        uint64_t *SitesMerged = nullptr);
+
   /// Snapshots emitted by the periodic reporter so far.
   uint64_t reportsEmitted() const {
     return ReportsEmitted.load(std::memory_order_relaxed);

@@ -1,0 +1,328 @@
+//===- FleetSync.cpp - Store push/pull over HTTP --------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/FleetSync.h"
+
+#include "support/Telemetry.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+
+using namespace cswitch;
+using namespace cswitch::fleet;
+
+namespace {
+
+bool fail(std::string *Error, std::string Message) {
+  if (Error)
+    *Error = std::move(Message);
+  return false;
+}
+
+struct ParsedUrl {
+  std::string Host;
+  std::string Port;
+  std::string Path;
+};
+
+/// Parses `http://host[:port][/path]`. HTTPS is out of scope by design
+/// (the endpoint binds loopback; fleet topologies that need transport
+/// security front it with a local proxy).
+bool parseUrl(const std::string &Url, ParsedUrl &Out, std::string *Error) {
+  constexpr std::string_view Scheme = "http://";
+  if (Url.compare(0, Scheme.size(), Scheme) != 0)
+    return fail(Error, "unsupported URL (expected http://): " + Url);
+  std::string Rest = Url.substr(Scheme.size());
+  size_t Slash = Rest.find('/');
+  std::string HostPort =
+      Slash == std::string::npos ? Rest : Rest.substr(0, Slash);
+  Out.Path = Slash == std::string::npos ? "/" : Rest.substr(Slash);
+  size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos) {
+    Out.Host = HostPort;
+    Out.Port = "80";
+  } else {
+    Out.Host = HostPort.substr(0, Colon);
+    Out.Port = HostPort.substr(Colon + 1);
+  }
+  if (Out.Host.empty() || Out.Port.empty())
+    return fail(Error, "malformed URL: " + Url);
+  return true;
+}
+
+/// SplitMix64 — the deterministic jitter source of the backoff.
+uint64_t splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+void setSocketTimeouts(int Fd, std::chrono::milliseconds Timeout) {
+  timeval Tv = {};
+  Tv.tv_sec = static_cast<time_t>(Timeout.count() / 1000);
+  Tv.tv_usec = static_cast<suseconds_t>((Timeout.count() % 1000) * 1000);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+/// Connects with a bounded wait (non-blocking connect + poll) so a
+/// black-holed peer costs RequestTimeout, not the kernel's minutes-long
+/// default.
+int connectWithTimeout(const ParsedUrl &Url,
+                       std::chrono::milliseconds Timeout,
+                       std::string *Error) {
+  addrinfo Hints = {};
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Resolved = nullptr;
+  int Rc = ::getaddrinfo(Url.Host.c_str(), Url.Port.c_str(), &Hints,
+                         &Resolved);
+  if (Rc != 0) {
+    fail(Error, "cannot resolve " + Url.Host + ": " + gai_strerror(Rc));
+    return -1;
+  }
+  int Fd = -1;
+  for (addrinfo *Ai = Resolved; Ai; Ai = Ai->ai_next) {
+    Fd = ::socket(Ai->ai_family, Ai->ai_socktype | SOCK_CLOEXEC,
+                  Ai->ai_protocol);
+    if (Fd < 0)
+      continue;
+    int Flags = ::fcntl(Fd, F_GETFL, 0);
+    ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+    if (::connect(Fd, Ai->ai_addr, Ai->ai_addrlen) == 0)
+      break;
+    if (errno == EINPROGRESS) {
+      pollfd Pfd = {Fd, POLLOUT, 0};
+      int Ready = ::poll(&Pfd, 1, static_cast<int>(Timeout.count()));
+      int SoError = 0;
+      socklen_t Len = sizeof(SoError);
+      if (Ready == 1 &&
+          ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoError, &Len) == 0 &&
+          SoError == 0)
+        break;
+    }
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Resolved);
+  if (Fd < 0) {
+    fail(Error, "cannot connect to " + Url.Host + ":" + Url.Port);
+    return -1;
+  }
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags & ~O_NONBLOCK);
+  setSocketTimeouts(Fd, Timeout);
+  return Fd;
+}
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  while (Len != 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Data += static_cast<size_t>(N);
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// One request attempt: connect, send, read to EOF (HTTP/1.0 with
+/// Connection: close), parse status + body. Size-capped while reading.
+bool requestOnce(const ParsedUrl &Url, const std::string &Request,
+                 size_t MaxResponseBytes,
+                 std::chrono::milliseconds Timeout, HttpResponse &Out,
+                 bool &Oversize, std::string *Error) {
+  Oversize = false;
+  int Fd = connectWithTimeout(Url, Timeout, Error);
+  if (Fd < 0)
+    return false;
+  if (!sendAll(Fd, Request.data(), Request.size())) {
+    ::close(Fd);
+    return fail(Error, "send failed: " + std::string(std::strerror(errno)));
+  }
+  std::string Response;
+  char Buf[4096];
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N == 0)
+      break;
+    if (N < 0) {
+      ::close(Fd);
+      return fail(Error,
+                  "receive failed: " + std::string(std::strerror(errno)));
+    }
+    if (Response.size() + static_cast<size_t>(N) > MaxResponseBytes) {
+      ::close(Fd);
+      Oversize = true;
+      return fail(Error, "response exceeds size limit");
+    }
+    Response.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+
+  // "HTTP/1.x NNN reason\r\n headers \r\n\r\n body"
+  if (Response.compare(0, 5, "HTTP/") != 0)
+    return fail(Error, "malformed response (no status line)");
+  size_t Space = Response.find(' ');
+  if (Space == std::string::npos || Space + 4 > Response.size())
+    return fail(Error, "malformed response (no status code)");
+  int Status = 0;
+  for (size_t I = Space + 1; I != Space + 4; ++I) {
+    char C = Response[I];
+    if (C < '0' || C > '9')
+      return fail(Error, "malformed response (bad status code)");
+    Status = Status * 10 + (C - '0');
+  }
+  size_t BodyStart;
+  if (size_t P = Response.find("\r\n\r\n"); P != std::string::npos)
+    BodyStart = P + 4;
+  else if (size_t Q = Response.find("\n\n"); Q != std::string::npos)
+    BodyStart = Q + 2;
+  else
+    return fail(Error, "malformed response (no header terminator)");
+  Out.Status = Status;
+  Out.Body = Response.substr(BodyStart);
+  return true;
+}
+
+/// Runs one request with the retry/backoff policy. Only transport
+/// failures retry; any parsed response (any status) is final.
+bool requestWithRetries(const ParsedUrl &Url, const std::string &Request,
+                        const FleetSyncOptions &Options, HttpResponse &Out,
+                        bool &Oversize, std::string *Error) {
+  uint64_t Jitter = Options.JitterSeed;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (requestOnce(Url, Request, Options.MaxResponseBytes,
+                    Options.RequestTimeout, Out, Oversize, Error))
+      return true;
+    if (Oversize || Attempt == Options.MaxRetries)
+      return false; // Oversize is a policy rejection, not flakiness.
+    FleetStats Delta;
+    Delta.Retries = 1;
+    FleetRegistry::global().record(Delta);
+    // Jittered exponential backoff: Base * 2^Attempt * uniform[0.5, 1.5).
+    double Uniform =
+        0.5 + static_cast<double>(splitMix64(Jitter) >> 11) /
+                  static_cast<double>(1ull << 53);
+    auto Sleep = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Options.BackoffBase * (1u << std::min(Attempt, 10u)) * Uniform);
+    std::this_thread::sleep_for(Sleep);
+  }
+}
+
+std::string buildRequest(const char *Method, const ParsedUrl &Url,
+                         std::string_view Body) {
+  std::string Request = Method;
+  Request += " ";
+  Request += Url.Path;
+  Request += " HTTP/1.0\r\nHost: ";
+  Request += Url.Host;
+  Request += "\r\nConnection: close\r\n";
+  if (Body.data() != nullptr) {
+    Request += "Content-Type: application/octet-stream\r\n";
+    Request += "Content-Length: " + std::to_string(Body.size()) + "\r\n";
+  }
+  Request += "\r\n";
+  Request.append(Body.data() ? Body.data() : "", Body.size());
+  return Request;
+}
+
+} // namespace
+
+bool cswitch::fleet::httpGet(const std::string &Url, HttpResponse &Out,
+                             const FleetSyncOptions &Options,
+                             std::string *Error) {
+  ParsedUrl Parsed;
+  if (!parseUrl(Url, Parsed, Error))
+    return false;
+  bool Oversize = false;
+  return requestWithRetries(Parsed, buildRequest("GET", Parsed, {}), Options,
+                            Out, Oversize, Error);
+}
+
+bool cswitch::fleet::httpPost(const std::string &Url, std::string_view Body,
+                              HttpResponse &Out,
+                              const FleetSyncOptions &Options,
+                              std::string *Error) {
+  ParsedUrl Parsed;
+  if (!parseUrl(Url, Parsed, Error))
+    return false;
+  bool Oversize = false;
+  return requestWithRetries(Parsed, buildRequest("POST", Parsed, Body),
+                            Options, Out, Oversize, Error);
+}
+
+bool cswitch::fleet::pullStore(const std::string &Url,
+                               std::vector<StoreSite> &Out,
+                               const FleetSyncOptions &Options,
+                               std::string *Error) {
+  Out.clear();
+  ParsedUrl Parsed;
+  FleetStats Delta;
+  std::string LocalError;
+  std::string *Err = Error ? Error : &LocalError;
+  bool Ok = false;
+  bool Oversize = false;
+  HttpResponse Response;
+  if (parseUrl(Url, Parsed, Err) &&
+      requestWithRetries(Parsed, buildRequest("GET", Parsed, {}), Options,
+                         Response, Oversize, Err)) {
+    if (Response.Status != 200) {
+      *Err = "peer answered " + std::to_string(Response.Status) + ": " +
+             Response.Body;
+    } else if (decodeStore(Response.Body, Out, Err)) {
+      Ok = true;
+    } else {
+      // Version skew is incompatibility (an upgraded peer), everything
+      // else is a malformed document.
+      if (Err->find("unsupported cswitch-store version") !=
+          std::string::npos)
+        Delta.RejectedIncompatible = 1;
+      else
+        Delta.RejectedMalformed = 1;
+    }
+  } else if (Oversize) {
+    Delta.RejectedOversize = 1;
+  }
+  if (Ok)
+    Delta.Pulls = 1;
+  else
+    Delta.PullFailures = 1;
+  FleetRegistry::global().record(Delta);
+  return Ok;
+}
+
+bool cswitch::fleet::pushStore(const std::string &Url,
+                               const std::vector<StoreSite> &Sites,
+                               const FleetSyncOptions &Options,
+                               std::string *Error) {
+  std::string LocalError;
+  std::string *Err = Error ? Error : &LocalError;
+  FleetStats Delta;
+  HttpResponse Response;
+  bool Ok = httpPost(Url, encodeStore(Sites), Response, Options, Err);
+  if (Ok && Response.Status != 200) {
+    *Err = "peer answered " + std::to_string(Response.Status) + ": " +
+           Response.Body;
+    Ok = false;
+  }
+  if (Ok)
+    Delta.Pushes = 1;
+  else
+    Delta.PushFailures = 1;
+  FleetRegistry::global().record(Delta);
+  return Ok;
+}

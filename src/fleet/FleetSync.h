@@ -1,0 +1,119 @@
+//===- FleetSync.h - Store push/pull over HTTP ------------------*- C++ -*-===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet side of the selection-store sync (DESIGN.md §12): a tiny
+/// HTTP/1.0 client that pulls a peer's serialized `cswitch-store-v1`
+/// document from its /store endpoint and pushes local documents back,
+/// so replicas of one service converge on shared selection knowledge
+/// instead of each paying the cold observation ramp alone.
+///
+/// Robustness is the point, not an afterthought — every network input
+/// is untrusted:
+///  - per-request connect/send/receive timeouts,
+///  - bounded retries with jittered exponential backoff (transport
+///    failures only; an HTTP error status is answered by a live peer
+///    and never retried),
+///  - a hard cap on response size, enforced while reading,
+///  - total decoding of pulled documents (decodeStore rejects
+///    truncation, CRC mismatches and version skew),
+///  - a FleetStats telemetry counter for every failure class.
+///
+/// The server half lives in Switch::serveMetrics (enable with
+/// SwitchConfig::Fleet.ServeStore); `tools/cswitch_fleet` fronts both
+/// halves on the command line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CSWITCH_FLEET_FLEETSYNC_H
+#define CSWITCH_FLEET_FLEETSYNC_H
+
+#include "store/StoreFormat.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cswitch {
+namespace fleet {
+
+/// Transport knobs of the fleet HTTP client.
+struct FleetSyncOptions {
+  /// Per-request socket timeout (applied to connect, send and receive
+  /// independently).
+  std::chrono::milliseconds RequestTimeout{2000};
+  /// Transport-failure retries after the first attempt. HTTP error
+  /// statuses are not retried (the peer answered; asking again cannot
+  /// help).
+  unsigned MaxRetries = 2;
+  /// Base of the jittered exponential backoff between retries (attempt
+  /// N sleeps ~ Base * 2^N * uniform[0.5, 1.5)).
+  std::chrono::milliseconds BackoffBase{100};
+  /// Hard cap on a response (status line + headers + body), enforced
+  /// while reading so an unbounded peer cannot balloon memory.
+  size_t MaxResponseBytes = 4u << 20;
+  /// Seed of the deterministic backoff jitter (so tests replay exact
+  /// schedules).
+  uint64_t JitterSeed = 0x9e3779b97f4a7c15ull;
+
+  FleetSyncOptions &requestTimeout(std::chrono::milliseconds Value) {
+    RequestTimeout = Value;
+    return *this;
+  }
+  FleetSyncOptions &maxRetries(unsigned Value) {
+    MaxRetries = Value;
+    return *this;
+  }
+  FleetSyncOptions &backoffBase(std::chrono::milliseconds Value) {
+    BackoffBase = Value;
+    return *this;
+  }
+  FleetSyncOptions &maxResponseBytes(size_t Value) {
+    MaxResponseBytes = Value;
+    return *this;
+  }
+};
+
+/// One parsed HTTP response.
+struct HttpResponse {
+  int Status = 0;
+  std::string Body;
+};
+
+/// Issues one GET \p Url (an `http://host:port/path` URL) with the
+/// options' timeout/retry/size policy. \returns true when a response —
+/// any status — was received and parsed; transport failure after all
+/// retries returns false with \p Error set.
+bool httpGet(const std::string &Url, HttpResponse &Out,
+             const FleetSyncOptions &Options = {},
+             std::string *Error = nullptr);
+
+/// Issues one POST \p Url with \p Body. Same semantics as httpGet.
+bool httpPost(const std::string &Url, std::string_view Body,
+              HttpResponse &Out, const FleetSyncOptions &Options = {},
+              std::string *Error = nullptr);
+
+/// Pulls and decodes a peer's store document from \p Url (conventionally
+/// `http://127.0.0.1:<port>/store`). Counts Pulls/PullFailures plus the
+/// failure class (RejectedOversize, RejectedMalformed,
+/// RejectedIncompatible for version skew) in the fleet telemetry.
+bool pullStore(const std::string &Url, std::vector<StoreSite> &Out,
+               const FleetSyncOptions &Options = {},
+               std::string *Error = nullptr);
+
+/// Encodes \p Sites and pushes the document to \p Url. A non-200 answer
+/// fails with the peer's diagnostic in \p Error. Counts
+/// Pushes/PushFailures.
+bool pushStore(const std::string &Url, const std::vector<StoreSite> &Sites,
+               const FleetSyncOptions &Options = {},
+               std::string *Error = nullptr);
+
+} // namespace fleet
+} // namespace cswitch
+
+#endif // CSWITCH_FLEET_FLEETSYNC_H

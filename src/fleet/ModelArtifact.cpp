@@ -1,0 +1,444 @@
+//===- ModelArtifact.cpp - Versioned recalibrated-model artifact ----------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/ModelArtifact.h"
+
+#include "store/StoreFormat.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/utsname.h>
+#include <unistd.h>
+#define CSWITCH_FLEET_POSIX 1
+#endif
+
+using namespace cswitch;
+using namespace cswitch::fleet;
+
+namespace {
+
+constexpr char Magic[] = "cswitch-model-v2"; // 16 bytes, no terminator.
+constexpr size_t MagicSize = 16;
+constexpr uint64_t FormatVersion = 2;
+
+/// Pre-allocation guard while decoding untrusted counts (same policy as
+/// the store format): growth beyond this must be paid for by input
+/// bytes.
+constexpr size_t MaxReserve = 1 << 16;
+
+void putVarint(std::string &Out, uint64_t Value) {
+  while (Value >= 0x80) {
+    Out += static_cast<char>((Value & 0x7f) | 0x80);
+    Value >>= 7;
+  }
+  Out += static_cast<char>(Value);
+}
+
+void putDouble(std::string &Out, double Value) {
+  uint64_t Bits = 0;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  for (int Byte = 0; Byte != 8; ++Byte)
+    Out += static_cast<char>((Bits >> (8 * Byte)) & 0xFFu);
+}
+
+void putCrc(std::string &Out, std::string_view Payload) {
+  uint32_t Crc = storeCrc32(Payload);
+  for (int Byte = 0; Byte != 4; ++Byte)
+    Out += static_cast<char>((Crc >> (8 * Byte)) & 0xFFu);
+}
+
+/// Bounded byte reader (the store format's Reader, plus doubles).
+class Reader {
+public:
+  Reader(std::string_view Bytes) : Cur(Bytes.data()), End(Cur + Bytes.size()) {}
+
+  bool varint(uint64_t &Out) {
+    Out = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      if (Cur == End)
+        return false;
+      uint8_t Byte = static_cast<uint8_t>(*Cur++);
+      Out |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if (!(Byte & 0x80))
+        return true;
+    }
+    return false; // More than 10 continuation bytes: corrupt.
+  }
+
+  bool bytes(size_t N, std::string &Out) {
+    if (static_cast<size_t>(End - Cur) < N)
+      return false;
+    Out.assign(Cur, N);
+    Cur += N;
+    return true;
+  }
+
+  bool view(size_t N, std::string_view &Out) {
+    if (static_cast<size_t>(End - Cur) < N)
+      return false;
+    Out = std::string_view(Cur, N);
+    Cur += N;
+    return true;
+  }
+
+  bool byte(uint8_t &Out) {
+    if (Cur == End)
+      return false;
+    Out = static_cast<uint8_t>(*Cur++);
+    return true;
+  }
+
+  bool f64(double &Out) {
+    if (static_cast<size_t>(End - Cur) < 8)
+      return false;
+    uint64_t Bits = 0;
+    for (int Byte = 0; Byte != 8; ++Byte)
+      Bits |= static_cast<uint64_t>(static_cast<uint8_t>(Cur[Byte]))
+              << (8 * Byte);
+    Cur += 8;
+    std::memcpy(&Out, &Bits, sizeof(Out));
+    return true;
+  }
+
+  bool crcOf(std::string_view Payload) {
+    uint32_t Stored = 0;
+    for (int Byte = 0; Byte != 4; ++Byte) {
+      uint8_t B = 0;
+      if (!byte(B))
+        return false;
+      Stored |= static_cast<uint32_t>(B) << (8 * Byte);
+    }
+    return Stored == storeCrc32(Payload);
+  }
+
+  bool atEnd() const { return Cur == End; }
+
+private:
+  const char *Cur;
+  const char *End;
+};
+
+bool fail(std::string *Error, const char *Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+std::string encodeHeaderPayload(const ModelArtifact &Artifact) {
+  std::string Out;
+  putVarint(Out, Artifact.HostFingerprint.size());
+  Out += Artifact.HostFingerprint;
+  for (int Byte = 0; Byte != 8; ++Byte)
+    Out += static_cast<char>((Artifact.FitTimestamp >> (8 * Byte)) & 0xFFu);
+  putDouble(Out, Artifact.HoldoutResidual);
+  return Out;
+}
+
+std::string encodeRowPayload(const ModelArtifact::Row &Row) {
+  std::string Out;
+  Out += static_cast<char>(static_cast<unsigned>(Row.Kind));
+  putVarint(Out, Row.Variant);
+  putVarint(Out, static_cast<uint64_t>(Row.Op));
+  Out += static_cast<char>(static_cast<unsigned>(Row.Dim));
+  const std::vector<double> &Coeffs = Row.Cost.coefficients();
+  putVarint(Out, Coeffs.size());
+  for (double Coeff : Coeffs)
+    putDouble(Out, Coeff);
+  putDouble(Out, Row.Residual);
+  return Out;
+}
+
+bool decodeHeaderPayload(std::string_view Payload, ModelArtifact &Out,
+                         std::string *Error) {
+  Reader In(Payload);
+  uint64_t FingerprintLen = 0;
+  if (!In.varint(FingerprintLen) ||
+      !In.bytes(FingerprintLen, Out.HostFingerprint))
+    return fail(Error, "truncated host fingerprint");
+  Out.FitTimestamp = 0;
+  for (int Byte = 0; Byte != 8; ++Byte) {
+    uint8_t B = 0;
+    if (!In.byte(B))
+      return fail(Error, "truncated fit timestamp");
+    Out.FitTimestamp |= static_cast<uint64_t>(B) << (8 * Byte);
+  }
+  if (!In.f64(Out.HoldoutResidual))
+    return fail(Error, "truncated holdout residual");
+  if (!std::isfinite(Out.HoldoutResidual) || Out.HoldoutResidual < 0.0)
+    return fail(Error, "non-finite holdout residual");
+  if (!In.atEnd())
+    return fail(Error, "oversized header payload");
+  return true;
+}
+
+bool decodeRowPayload(std::string_view Payload, ModelArtifact::Row &Row,
+                      std::string *Error) {
+  Reader In(Payload);
+  uint8_t Kind = 0;
+  if (!In.byte(Kind) || Kind >= NumAbstractionKinds)
+    return fail(Error, "bad abstraction kind");
+  Row.Kind = static_cast<AbstractionKind>(Kind);
+  uint64_t Variant = 0;
+  if (!In.varint(Variant) || Variant >= numVariantsOf(Row.Kind))
+    return fail(Error, "bad variant index");
+  Row.Variant = static_cast<unsigned>(Variant);
+  uint64_t Op = 0;
+  if (!In.varint(Op) || Op >= NumOperationKinds)
+    return fail(Error, "bad operation kind");
+  Row.Op = static_cast<OperationKind>(Op);
+  uint8_t Dim = 0;
+  if (!In.byte(Dim) || Dim >= NumCostDimensions)
+    return fail(Error, "bad cost dimension");
+  Row.Dim = static_cast<CostDimension>(Dim);
+  uint64_t CoeffCount = 0;
+  if (!In.varint(CoeffCount))
+    return fail(Error, "truncated coefficient count");
+  if (CoeffCount > MaxArtifactCoefficients)
+    return fail(Error, "oversized polynomial");
+  std::vector<double> Coeffs(CoeffCount);
+  for (double &Coeff : Coeffs) {
+    if (!In.f64(Coeff))
+      return fail(Error, "truncated coefficients");
+    if (!std::isfinite(Coeff))
+      return fail(Error, "non-finite coefficient");
+  }
+  Row.Cost = Polynomial(std::move(Coeffs));
+  if (!In.f64(Row.Residual))
+    return fail(Error, "truncated row residual");
+  if (!std::isfinite(Row.Residual) || Row.Residual < 0.0)
+    return fail(Error, "non-finite row residual");
+  if (!In.atEnd())
+    return fail(Error, "oversized row payload");
+  return true;
+}
+
+} // namespace
+
+bool ModelArtifact::Row::orderedBefore(const Row &A, const Row &B) {
+  if (A.Kind != B.Kind)
+    return A.Kind < B.Kind;
+  if (A.Variant != B.Variant)
+    return A.Variant < B.Variant;
+  if (A.Op != B.Op)
+    return A.Op < B.Op;
+  return A.Dim < B.Dim;
+}
+
+std::string cswitch::fleet::hostFingerprint() {
+  std::string Node = "unknown";
+  std::string Arch = "unknown";
+#ifdef CSWITCH_FLEET_POSIX
+  utsname Uts = {};
+  if (::uname(&Uts) == 0) {
+    Node = Uts.nodename;
+    Arch = Uts.machine;
+  }
+#endif
+  unsigned Cores = std::thread::hardware_concurrency();
+  return Node + "/" + Arch + "/c" + std::to_string(Cores ? Cores : 1);
+}
+
+std::string cswitch::fleet::encodeModelArtifact(const ModelArtifact &Artifact) {
+  // Canonical order regardless of the caller's: encode a sorted view.
+  std::vector<size_t> Order(Artifact.Rows.size());
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  std::sort(Order.begin(), Order.end(), [&Artifact](size_t A, size_t B) {
+    return ModelArtifact::Row::orderedBefore(Artifact.Rows[A],
+                                             Artifact.Rows[B]);
+  });
+
+  std::string Out;
+  Out.reserve(MagicSize + 32 + Artifact.Rows.size() * 56);
+  Out.append(Magic, MagicSize);
+  putVarint(Out, FormatVersion);
+  std::string Header = encodeHeaderPayload(Artifact);
+  putVarint(Out, Header.size());
+  Out += Header;
+  putCrc(Out, Header);
+  putVarint(Out, Artifact.Rows.size());
+  for (size_t I : Order) {
+    std::string Payload = encodeRowPayload(Artifact.Rows[I]);
+    putVarint(Out, Payload.size());
+    Out += Payload;
+    putCrc(Out, Payload);
+  }
+  return Out;
+}
+
+bool cswitch::fleet::decodeModelArtifact(std::string_view Bytes,
+                                         ModelArtifact &Out,
+                                         std::string *Error) {
+  Out = ModelArtifact();
+  if (Bytes.size() < MagicSize ||
+      std::memcmp(Bytes.data(), Magic, MagicSize) != 0)
+    return fail(Error, "not a cswitch-model document (bad magic)");
+  Reader In(Bytes.substr(MagicSize));
+
+  uint64_t Version = 0;
+  if (!In.varint(Version))
+    return fail(Error, "truncated version");
+  if (Version != FormatVersion) {
+    if (Error)
+      *Error = "unsupported cswitch-model version " +
+               std::to_string(Version) + " (expected " +
+               std::to_string(FormatVersion) + ")";
+    return false;
+  }
+
+  uint64_t HeaderLen = 0;
+  std::string_view Header;
+  if (!In.varint(HeaderLen) || !In.view(HeaderLen, Header))
+    return fail(Error, "truncated header record");
+  if (!In.crcOf(Header))
+    return fail(Error, "header crc mismatch");
+  if (!decodeHeaderPayload(Header, Out, Error)) {
+    Out = ModelArtifact();
+    return false;
+  }
+
+  uint64_t RowCount = 0;
+  if (!In.varint(RowCount)) {
+    Out = ModelArtifact();
+    return fail(Error, "truncated row count");
+  }
+  Out.Rows.reserve(std::min<uint64_t>(RowCount, MaxReserve));
+  for (uint64_t I = 0; I != RowCount; ++I) {
+    uint64_t PayloadLen = 0;
+    std::string_view Payload;
+    if (!In.varint(PayloadLen) || !In.view(PayloadLen, Payload)) {
+      Out = ModelArtifact();
+      return fail(Error, "truncated row record");
+    }
+    if (!In.crcOf(Payload)) {
+      Out = ModelArtifact();
+      return fail(Error, "row crc mismatch");
+    }
+    ModelArtifact::Row Row;
+    if (!decodeRowPayload(Payload, Row, Error)) {
+      Out = ModelArtifact();
+      return false;
+    }
+    if (!Out.Rows.empty() &&
+        !ModelArtifact::Row::orderedBefore(Out.Rows.back(), Row)) {
+      Out = ModelArtifact();
+      return fail(Error, "rows out of canonical order");
+    }
+    Out.Rows.push_back(std::move(Row));
+  }
+
+  if (!In.atEnd()) {
+    Out = ModelArtifact();
+    return fail(Error, "trailing bytes after row records");
+  }
+  return true;
+}
+
+bool cswitch::fleet::writeModelArtifactToFile(const std::string &Path,
+                                              const ModelArtifact &Artifact,
+                                              std::string *Error) {
+  std::string Bytes = encodeModelArtifact(Artifact);
+  std::string TmpPath = Path + ".tmp";
+#ifdef CSWITCH_FLEET_POSIX
+  // Crash-safe replace, mirroring writeStoreToFile: a reader (or a
+  // restarting process pointing CSWITCH_MODEL here) observes either the
+  // complete old artifact or the complete new one, never a torn write.
+  int Fd = ::open(TmpPath.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                  0644);
+  if (Fd < 0)
+    return fail(Error, "cannot create model temp file");
+  size_t Off = 0;
+  while (Off != Bytes.size()) {
+    ssize_t N = ::write(Fd, Bytes.data() + Off, Bytes.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      ::unlink(TmpPath.c_str());
+      return fail(Error, "short write to model temp file");
+    }
+    Off += static_cast<size_t>(N);
+  }
+  bool Flushed = ::fsync(Fd) == 0;
+  bool Closed = ::close(Fd) == 0;
+  if (!Flushed || !Closed ||
+      std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    ::unlink(TmpPath.c_str());
+    return fail(Error, "cannot replace model file");
+  }
+  return true;
+#else
+  {
+    std::ofstream OS(TmpPath, std::ios::binary | std::ios::trunc);
+    if (!OS)
+      return fail(Error, "cannot create model temp file");
+    OS.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+    if (!OS) {
+      std::remove(TmpPath.c_str());
+      return fail(Error, "short write to model temp file");
+    }
+  }
+  if (std::rename(TmpPath.c_str(), Path.c_str()) != 0) {
+    std::remove(TmpPath.c_str());
+    return fail(Error, "cannot replace model file");
+  }
+  return true;
+#endif
+}
+
+bool cswitch::fleet::readModelArtifactFromFile(const std::string &Path,
+                                               ModelArtifact &Out,
+                                               std::string *Error) {
+  std::ifstream IS(Path, std::ios::binary);
+  if (!IS) {
+    Out = ModelArtifact();
+    return fail(Error, "cannot open model file");
+  }
+  std::ostringstream Buffer;
+  Buffer << IS.rdbuf();
+  if (IS.bad()) {
+    Out = ModelArtifact();
+    return fail(Error, "I/O error reading model file");
+  }
+  return decodeModelArtifact(Buffer.str(), Out, Error);
+}
+
+ModelArtifact cswitch::fleet::artifactFromModel(const PerformanceModel &Model) {
+  ModelArtifact Artifact;
+  for (unsigned Kind = 0; Kind != NumAbstractionKinds; ++Kind) {
+    AbstractionKind Abstraction = static_cast<AbstractionKind>(Kind);
+    for (unsigned Variant = 0; Variant != numVariantsOf(Abstraction);
+         ++Variant) {
+      VariantId Id{Abstraction, Variant};
+      for (OperationKind Op : AllOperationKinds)
+        for (CostDimension Dim : AllCostDimensions) {
+          const Polynomial &Cost = Model.cost(Id, Op, Dim);
+          if (Cost.coefficients().empty())
+            continue;
+          Artifact.Rows.push_back({Abstraction, Variant, Op, Dim, Cost, 0.0});
+        }
+    }
+  }
+  return Artifact;
+}
+
+PerformanceModel
+cswitch::fleet::modelFromArtifact(const ModelArtifact &Artifact) {
+  PerformanceModel Model;
+  for (const ModelArtifact::Row &Row : Artifact.Rows)
+    Model.setCost({Row.Kind, Row.Variant}, Row.Op, Row.Dim, Row.Cost);
+  return Model;
+}

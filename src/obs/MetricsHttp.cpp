@@ -6,8 +6,11 @@
 
 #include "obs/MetricsHttp.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
+#include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -53,6 +56,11 @@ void MetricsServer::handle(std::string Path, std::string ContentType,
                            TextSource Render) {
   Routes.push_back({std::move(Path), std::move(ContentType),
                     std::move(Render)});
+}
+
+void MetricsServer::handlePost(std::string Path, size_t MaxBodyBytes,
+                               BodyHandler Handler) {
+  PostRoutes.push_back({std::move(Path), MaxBodyBytes, std::move(Handler)});
 }
 
 bool MetricsServer::start(uint16_t Port) {
@@ -114,32 +122,109 @@ void MetricsServer::serveLoop() {
   }
 }
 
+namespace {
+
+/// Maps the status codes the POST handlers use to reason phrases.
+const char *statusLine(int Status) {
+  switch (Status) {
+  case 200:
+    return "200 OK";
+  case 400:
+    return "400 Bad Request";
+  case 409:
+    return "409 Conflict";
+  case 413:
+    return "413 Payload Too Large";
+  case 500:
+    return "500 Internal Server Error";
+  default:
+    return "400 Bad Request";
+  }
+}
+
+/// Case-insensitive Content-Length lookup in the raw header block.
+/// Returns false when absent or unparsable.
+bool contentLengthOf(std::string_view Headers, size_t &Out) {
+  size_t Pos = 0;
+  while (Pos < Headers.size()) {
+    size_t LineEnd = Headers.find('\n', Pos);
+    if (LineEnd == std::string_view::npos)
+      LineEnd = Headers.size();
+    std::string_view Line = Headers.substr(Pos, LineEnd - Pos);
+    Pos = LineEnd + 1;
+    size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos)
+      continue;
+    std::string Name(Line.substr(0, Colon));
+    for (char &C : Name)
+      C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+    if (Name != "content-length")
+      continue;
+    std::string_view Value = Line.substr(Colon + 1);
+    size_t Begin = Value.find_first_not_of(" \t");
+    if (Begin == std::string_view::npos)
+      return false;
+    uint64_t Parsed = 0;
+    bool AnyDigit = false;
+    for (size_t I = Begin; I != Value.size(); ++I) {
+      char C = Value[I];
+      if (C == '\r' || C == ' ' || C == '\t')
+        break;
+      if (C < '0' || C > '9')
+        return false;
+      if (Parsed > (UINT64_MAX - 9) / 10)
+        return false; // Absurd length: treat as unparsable.
+      Parsed = Parsed * 10 + static_cast<uint64_t>(C - '0');
+      AnyDigit = true;
+    }
+    if (!AnyDigit)
+      return false;
+    Out = static_cast<size_t>(Parsed);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
 void MetricsServer::serveConnection(int Fd) {
-  // Read until the end of the request line; headers are irrelevant to
-  // routing, so a newline is all we need.
+  // Read until the end of the header block ("\r\n\r\n" or "\n\n"); GET
+  // routing only needs the request line, POST additionally needs the
+  // Content-Length header. The header block itself is capped at 8 KiB.
   std::string Request;
   char Buf[1024];
-  while (Request.find('\n') == std::string::npos && Request.size() < 8192) {
+  size_t HeaderEnd = std::string::npos;
+  size_t BodyStart = 0;
+  while (Request.size() < 8192) {
+    if (size_t P = Request.find("\r\n\r\n"); P != std::string::npos) {
+      HeaderEnd = P;
+      BodyStart = P + 4;
+      break;
+    }
+    if (size_t P = Request.find("\n\n"); P != std::string::npos) {
+      HeaderEnd = P;
+      BodyStart = P + 2;
+      break;
+    }
     ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
     if (N <= 0)
       return;
     Request.append(Buf, static_cast<size_t>(N));
   }
+  if (HeaderEnd == std::string::npos)
+    return;
   size_t LineEnd = Request.find('\n');
-  if (LineEnd == std::string::npos)
+  if (LineEnd == std::string::npos || LineEnd > HeaderEnd + 1)
     return;
 
-  // "GET /path HTTP/1.x"
+  // "GET /path HTTP/1.x" | "POST /path HTTP/1.x"
   std::string Line = Request.substr(0, LineEnd);
   size_t MethodEnd = Line.find(' ');
   if (MethodEnd == std::string::npos) {
     respond(Fd, "400 Bad Request", "text/plain", "bad request\n");
     return;
   }
-  if (Line.substr(0, MethodEnd) != "GET") {
-    respond(Fd, "405 Method Not Allowed", "text/plain", "GET only\n");
-    return;
-  }
+  std::string Method = Line.substr(0, MethodEnd);
   size_t PathEnd = Line.find(' ', MethodEnd + 1);
   std::string Path = Line.substr(MethodEnd + 1,
                                  PathEnd == std::string::npos
@@ -149,11 +234,65 @@ void MetricsServer::serveConnection(int Fd) {
   if (size_t Query = Path.find('?'); Query != std::string::npos)
     Path.resize(Query);
 
-  for (const auto &Route : Routes) {
-    if (Route.Path != Path)
-      continue;
-    respond(Fd, "200 OK", Route.ContentType, Route.Render());
+  if (Method == "GET") {
+    for (const auto &Route : Routes) {
+      if (Route.Path != Path)
+        continue;
+      respond(Fd, "200 OK", Route.ContentType, Route.Render());
+      return;
+    }
+    respond(Fd, "404 Not Found", "text/plain", "unknown path\n");
     return;
   }
-  respond(Fd, "404 Not Found", "text/plain", "unknown path\n");
+
+  if (Method != "POST") {
+    respond(Fd, "405 Method Not Allowed", "text/plain", "GET/POST only\n");
+    return;
+  }
+
+  const PostRoute *Route = nullptr;
+  for (const auto &R : PostRoutes)
+    if (R.Path == Path)
+      Route = &R;
+  if (!Route) {
+    respond(Fd, Routes.end() !=
+                        std::find_if(Routes.begin(), Routes.end(),
+                                     [&](const auto &R) {
+                                       return R.Path == Path;
+                                     })
+                    ? "405 Method Not Allowed"
+                    : "404 Not Found",
+            "text/plain", "no POST route\n");
+    return;
+  }
+
+  size_t ContentLength = 0;
+  std::string_view Headers(Request.data() + LineEnd + 1,
+                           HeaderEnd >= LineEnd + 1 ? HeaderEnd - LineEnd - 1
+                                                    : 0);
+  if (!contentLengthOf(Headers, ContentLength)) {
+    respond(Fd, "400 Bad Request", "text/plain",
+            "Content-Length required\n");
+    return;
+  }
+  if (ContentLength > Route->MaxBodyBytes) {
+    // Refuse before reading: an oversized push never occupies memory or
+    // the server thread beyond this point.
+    respond(Fd, "413 Payload Too Large", "text/plain", "body too large\n");
+    return;
+  }
+
+  std::string Body = Request.substr(BodyStart);
+  if (Body.size() > ContentLength)
+    Body.resize(ContentLength);
+  while (Body.size() < ContentLength) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      return; // Peer died (or stalled past the rcv timeout) mid-body.
+    size_t Want = ContentLength - Body.size();
+    Body.append(Buf, std::min(static_cast<size_t>(N), Want));
+  }
+
+  PostResult Result = Route->Handler(Body);
+  respond(Fd, statusLine(Result.Status), "text/plain", Result.Body);
 }

@@ -9,14 +9,16 @@
 /// thread, blocking accept, HTTP/1.0, connection-per-request. It exists
 /// so a running application can be scraped (`curl :9100/metrics`,
 /// Prometheus, `cswitch_top watch`) without the framework growing a
-/// dependency on a real HTTP stack; anything beyond GET-a-text-document
-/// is out of scope and answered with 404/405.
+/// dependency on a real HTTP stack. GET routes serve rendered text
+/// documents; POST routes (added for the fleet store sync, DESIGN.md
+/// §12) accept one size-bounded body per request. Anything else is out
+/// of scope and answered with 404/405.
 ///
-/// Routes are registered as (path, render-callback) pairs before
-/// start(); each request invokes the callback fresh, so responses are
-/// always current. The callbacks run on the server thread — they must
-/// be safe to call concurrently with the application (the snapshot
-/// machinery they wrap already is).
+/// Routes are registered as (path, callback) pairs before start(); each
+/// request invokes the callback fresh, so responses are always current.
+/// The callbacks run on the server thread — they must be safe to call
+/// concurrently with the application (the snapshot machinery they wrap
+/// already is).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +42,17 @@ public:
   /// the server thread.
   using TextSource = std::function<std::string()>;
 
+  /// Outcome of one POST body handler: an HTTP status code plus the
+  /// response body (served as text/plain).
+  struct PostResult {
+    int Status = 200;
+    std::string Body;
+  };
+
+  /// Consumes one POST request body; invoked per request on the server
+  /// thread. The body is already bounded by the route's MaxBodyBytes.
+  using BodyHandler = std::function<PostResult(std::string_view Body)>;
+
   MetricsServer() = default;
   ~MetricsServer();
 
@@ -49,6 +62,13 @@ public:
   /// Registers \p Render to answer GET \p Path with \p ContentType.
   /// Must be called before start().
   void handle(std::string Path, std::string ContentType, TextSource Render);
+
+  /// Registers \p Handler to answer POST \p Path. Request bodies larger
+  /// than \p MaxBodyBytes are refused with 413 before the handler runs
+  /// (the connection is drained no further, so an oversized push cannot
+  /// pin the server thread). Must be called before start(). A path may
+  /// carry both a GET and a POST route.
+  void handlePost(std::string Path, size_t MaxBodyBytes, BodyHandler Handler);
 
   /// Binds 127.0.0.1:\p Port (0 picks an ephemeral port), starts the
   /// accept thread. Returns false if the socket could not be set up
@@ -77,7 +97,14 @@ private:
     TextSource Render;
   };
 
+  struct PostRoute {
+    std::string Path;
+    size_t MaxBodyBytes;
+    BodyHandler Handler;
+  };
+
   std::vector<Route> Routes;
+  std::vector<PostRoute> PostRoutes;
   std::thread Acceptor;
   int ListenFd = -1;
   uint16_t BoundPort = 0;

@@ -201,6 +201,39 @@ cswitch::obs::renderOpenMetrics(const TelemetrySnapshot &Snapshot,
       {"cswitch_store_persist_failures",
        "Failed selection-store lock or write attempts.",
        Snapshot.Store.PersistFailures},
+      {"cswitch_fleet_pulls", "Store documents pulled from fleet peers.",
+       Snapshot.Fleet.Pulls},
+      {"cswitch_fleet_pull_failures",
+       "Store pulls that failed after retries.", Snapshot.Fleet.PullFailures},
+      {"cswitch_fleet_pushes", "Store documents pushed to fleet peers.",
+       Snapshot.Fleet.Pushes},
+      {"cswitch_fleet_push_failures",
+       "Store pushes that failed after retries.", Snapshot.Fleet.PushFailures},
+      {"cswitch_fleet_retries", "Fleet HTTP request retries.",
+       Snapshot.Fleet.Retries},
+      {"cswitch_fleet_store_gets",
+       "Store documents served to peers over /store.",
+       Snapshot.Fleet.StoreGets},
+      {"cswitch_fleet_merges_applied",
+       "Remote store documents merged into the local store.",
+       Snapshot.Fleet.MergesApplied},
+      {"cswitch_fleet_rejected_oversize",
+       "Store pushes rejected for exceeding the size limit.",
+       Snapshot.Fleet.RejectedOversize},
+      {"cswitch_fleet_rejected_malformed",
+       "Store pushes the total decoder refused.",
+       Snapshot.Fleet.RejectedMalformed},
+      {"cswitch_fleet_rejected_incompatible",
+       "Fleet artifacts rejected for schema/fingerprint mismatch.",
+       Snapshot.Fleet.RejectedIncompatible},
+      {"cswitch_fleet_recalibrations", "On-device model fit runs completed.",
+       Snapshot.Fleet.Recalibrations},
+      {"cswitch_fleet_promotions",
+       "Recalibrated models promoted past the hold-out gate.",
+       Snapshot.Fleet.Promotions},
+      {"cswitch_fleet_promotions_rejected",
+       "Recalibrated models the hold-out gate refused.",
+       Snapshot.Fleet.PromotionsRejected},
   };
   for (const auto &C : EngineCounters) {
     familyHeader(Out, C.Name, "counter", C.Help);

@@ -281,6 +281,159 @@ bool SelectionStore::persist(const std::string &Path,
   return true;
 }
 
+std::vector<StoreSite>
+SelectionStore::exportSites(const std::vector<LiveSite> &Live) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<Key, StoreSite> Out = Base;
+
+  auto foldInto = [&Out](const Key &K, unsigned Decision,
+                         const std::array<uint64_t, NumOperationKinds> &Counts,
+                         uint64_t Instances, uint64_t MaxSize, bool BumpRun) {
+    auto [It, Fresh] = Out.try_emplace(K);
+    StoreSite &E = It->second;
+    if (Fresh) {
+      E.Name = std::get<0>(K);
+      E.Rule = std::get<1>(K);
+      E.Kind = static_cast<AbstractionKind>(std::get<2>(K));
+    }
+    for (size_t Op = 0; Op != NumOperationKinds; ++Op)
+      E.Counts[Op] += Counts[Op];
+    E.Instances += Instances;
+    E.MaxSize = std::max(E.MaxSize, MaxSize);
+    E.Decision = Decision;
+    if (BumpRun)
+      E.Runs += 1;
+  };
+
+  // Ledger first, live contexts second, matching persist(): the live
+  // state carries the most recent decision. The run bump applies once
+  // per site (a site can appear in both the ledger and a live context).
+  std::map<Key, bool> Bumped;
+  for (const auto &[K, C] : Ledger) {
+    foldInto(K, C.Decision, C.Folded.Counts, C.FoldedInstances,
+             C.Folded.MaxSize, !Bumped[K]);
+    Bumped[K] = true;
+  }
+  for (const LiveSite &L : Live) {
+    if (L.Instances == 0)
+      continue;
+    Key K = keyOf(L.Name, L.Rule, L.Kind);
+    foldInto(K, L.Decision, L.Profile.Counts, L.Instances, L.Profile.MaxSize,
+             !Bumped[K]);
+    Bumped[K] = true;
+  }
+
+  std::vector<StoreSite> Sites;
+  Sites.reserve(Out.size());
+  for (auto &[K, Site] : Out)
+    if (Site.Instances > 0)
+      Sites.push_back(std::move(Site));
+  return Sites;
+}
+
+bool SelectionStore::mergeRemote(const std::string &Path,
+                                 const std::vector<StoreSite> &Remote,
+                                 std::string *Error, uint64_t *SitesMerged) {
+  auto failMerge = [&](const std::string &Message) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ++Counters.PersistFailures;
+    EventLog::global().record(EventKind::Store, Path,
+                              "fleet merge failed: " + Message);
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+
+  FileLock Guard;
+  if (!Guard.acquire(Path + ".lock"))
+    return failMerge("cannot acquire store lock");
+
+  // Fresh read under the flock — a sibling process (or a concurrent
+  // persist of our own) may have advanced the document. Corrupt
+  // documents are replaced, never crashed on, like persist().
+  std::vector<StoreSite> DiskSites;
+  {
+    std::ifstream IS(Path, std::ios::binary);
+    if (IS) {
+      std::string ReadError;
+      if (!readStore(IS, DiskSites, &ReadError)) {
+        DiskSites.clear();
+        std::lock_guard<std::mutex> Lock(Mutex);
+        ++Counters.LoadFailures;
+        EventLog::global().record(EventKind::Store, Path,
+                                  "corrupt store replaced on fleet merge: " +
+                                      ReadError);
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<Key, StoreSite> Disk;
+  for (StoreSite &Site : DiskSites) {
+    Key K = keyOf(Site.Name, Site.Rule, Site.Kind);
+    Disk.emplace(std::move(K), std::move(Site));
+  }
+
+  uint64_t Folded = 0;
+  for (const StoreSite &R : Remote) {
+    if (R.Instances == 0)
+      continue;
+    Key K = keyOf(R.Name, R.Rule, R.Kind);
+    auto [It, Fresh] = Disk.try_emplace(K);
+    StoreSite &E = It->second;
+    if (Fresh) {
+      E.Name = R.Name;
+      E.Rule = R.Rule;
+      E.Kind = R.Kind;
+    }
+    // Remote knowledge is decay-weighted on the way in; local counts
+    // stay untouched (their decay happens per local run, in persist()).
+    for (size_t Op = 0; Op != NumOperationKinds; ++Op)
+      E.Counts[Op] += decay(R.Counts[Op], Options.DecayFactor);
+    uint64_t RemoteInstances = decay(R.Instances, Options.DecayFactor);
+    if (RemoteInstances == 0 && Fresh)
+      RemoteInstances = 1; // A fresh site must survive the zero prune.
+    E.Instances += RemoteInstances;
+    E.MaxSize = std::max(E.MaxSize, R.MaxSize);
+    // Decision: more runs wins; remote wins ties (latest information).
+    if (R.Runs >= E.Runs || Fresh)
+      E.Decision = R.Decision;
+    E.Runs += R.Runs;
+    ++Folded;
+  }
+
+  std::vector<StoreSite> Merged;
+  Merged.reserve(Disk.size());
+  for (auto &[K, Site] : Disk)
+    if (Site.Instances > 0)
+      Merged.push_back(Site); // Copy: the map doubles as the new Base.
+
+  std::string WriteError;
+  if (!writeStoreToFile(Path, Merged, &WriteError)) {
+    ++Counters.PersistFailures;
+    EventLog::global().record(EventKind::Store, Path,
+                              "fleet merge failed: " + WriteError);
+    if (Error)
+      *Error = WriteError;
+    return false;
+  }
+
+  // The merged document becomes the warm-start source: lookups now see
+  // disk state ⊕ fleet knowledge. The contribution ledger is untouched,
+  // so subsequent persists still add only this process's deltas.
+  Base = std::move(Disk);
+  for (auto It = Base.begin(); It != Base.end();) {
+    if (It->second.Instances == 0)
+      It = Base.erase(It);
+    else
+      ++It;
+  }
+  ++Counters.Persists;
+  if (SitesMerged)
+    *SitesMerged = Folded;
+  return true;
+}
+
 size_t SelectionStore::siteCount() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return Base.size();

@@ -132,6 +132,27 @@ public:
   bool persist(const std::string &Path, const std::vector<LiveSite> &Live,
                std::string *Error = nullptr);
 
+  /// This replica's current knowledge as one site list, suitable for
+  /// serving to fleet peers (encodeStore): the loaded base document with
+  /// this process's contributions (ledger + \p Live) folded on top. Pure
+  /// read — no decay, no run bump, no ledger bookkeeping; a site's run
+  /// count is raised by one when this process contributed to it.
+  std::vector<StoreSite> exportSites(
+      const std::vector<LiveSite> &Live = {}) const;
+
+  /// Flock-merges a peer's site list into the document at \p Path AND
+  /// into the in-memory base (so warm-start lookups see the fleet's
+  /// knowledge immediately). Remote counts are scaled by DecayFactor
+  /// before being added — fleet knowledge is weighted like any other
+  /// stale aggregate — while local counts stay untouched; per site, the
+  /// decision with the higher run count wins (remote on ties: latest
+  /// information). \p SitesMerged (when non-null) receives the number
+  /// of remote sites folded in.
+  bool mergeRemote(const std::string &Path,
+                   const std::vector<StoreSite> &Remote,
+                   std::string *Error = nullptr,
+                   uint64_t *SitesMerged = nullptr);
+
   /// Number of sites in the loaded base document.
   size_t siteCount() const;
 

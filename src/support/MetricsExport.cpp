@@ -219,6 +219,29 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
          ", \"persists\": " + std::to_string(Snapshot.Store.Persists) +
          ", \"persist_failures\": " +
          std::to_string(Snapshot.Store.PersistFailures) + "},\n";
+  Out += "  \"fleet\": {\"pulls\": " + std::to_string(Snapshot.Fleet.Pulls) +
+         ", \"pull_failures\": " +
+         std::to_string(Snapshot.Fleet.PullFailures) +
+         ", \"pushes\": " + std::to_string(Snapshot.Fleet.Pushes) +
+         ", \"push_failures\": " +
+         std::to_string(Snapshot.Fleet.PushFailures) +
+         ", \"retries\": " + std::to_string(Snapshot.Fleet.Retries) +
+         ", \"store_gets\": " + std::to_string(Snapshot.Fleet.StoreGets) +
+         ", \"merges_applied\": " +
+         std::to_string(Snapshot.Fleet.MergesApplied) +
+         ", \"sites_merged\": " +
+         std::to_string(Snapshot.Fleet.SitesMerged) +
+         ", \"rejected_oversize\": " +
+         std::to_string(Snapshot.Fleet.RejectedOversize) +
+         ", \"rejected_malformed\": " +
+         std::to_string(Snapshot.Fleet.RejectedMalformed) +
+         ", \"rejected_incompatible\": " +
+         std::to_string(Snapshot.Fleet.RejectedIncompatible) +
+         ", \"recalibrations\": " +
+         std::to_string(Snapshot.Fleet.Recalibrations) +
+         ", \"promotions\": " + std::to_string(Snapshot.Fleet.Promotions) +
+         ", \"promotions_rejected\": " +
+         std::to_string(Snapshot.Fleet.PromotionsRejected) + "},\n";
   Out += "  \"contexts\": [";
   for (size_t I = 0; I != Snapshot.Contexts.size(); ++I) {
     const ContextSnapshot &C = Snapshot.Contexts[I];
@@ -279,6 +302,21 @@ std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
          " store_persists=" + std::to_string(Snapshot.Store.Persists) +
          " store_persist_failures=" +
          std::to_string(Snapshot.Store.PersistFailures) + "\n";
+  Out += "# fleet_pulls=" + std::to_string(Snapshot.Fleet.Pulls) +
+         " fleet_pushes=" + std::to_string(Snapshot.Fleet.Pushes) +
+         " fleet_merges_applied=" +
+         std::to_string(Snapshot.Fleet.MergesApplied) +
+         " fleet_rejected_oversize=" +
+         std::to_string(Snapshot.Fleet.RejectedOversize) +
+         " fleet_rejected_malformed=" +
+         std::to_string(Snapshot.Fleet.RejectedMalformed) +
+         " fleet_rejected_incompatible=" +
+         std::to_string(Snapshot.Fleet.RejectedIncompatible) +
+         " fleet_recalibrations=" +
+         std::to_string(Snapshot.Fleet.Recalibrations) +
+         " fleet_promotions=" + std::to_string(Snapshot.Fleet.Promotions) +
+         " fleet_promotions_rejected=" +
+         std::to_string(Snapshot.Fleet.PromotionsRejected) + "\n";
   {
     // Engine-wide latency p99s ride along the same way: the column
     // schema stays untouched, but tail behaviour is visible in every

@@ -170,6 +170,73 @@ bool cswitch::operator==(const StoreStats &A, const StoreStats &B) {
          A.Persists == B.Persists && A.PersistFailures == B.PersistFailures;
 }
 
+FleetStats &FleetStats::operator+=(const FleetStats &Other) {
+  Pulls += Other.Pulls;
+  PullFailures += Other.PullFailures;
+  Pushes += Other.Pushes;
+  PushFailures += Other.PushFailures;
+  Retries += Other.Retries;
+  StoreGets += Other.StoreGets;
+  MergesApplied += Other.MergesApplied;
+  SitesMerged += Other.SitesMerged;
+  RejectedOversize += Other.RejectedOversize;
+  RejectedMalformed += Other.RejectedMalformed;
+  RejectedIncompatible += Other.RejectedIncompatible;
+  Recalibrations += Other.Recalibrations;
+  Promotions += Other.Promotions;
+  PromotionsRejected += Other.PromotionsRejected;
+  return *this;
+}
+
+FleetStats cswitch::operator-(const FleetStats &A, const FleetStats &B) {
+  FleetStats Out;
+  Out.Pulls = monus(A.Pulls, B.Pulls);
+  Out.PullFailures = monus(A.PullFailures, B.PullFailures);
+  Out.Pushes = monus(A.Pushes, B.Pushes);
+  Out.PushFailures = monus(A.PushFailures, B.PushFailures);
+  Out.Retries = monus(A.Retries, B.Retries);
+  Out.StoreGets = monus(A.StoreGets, B.StoreGets);
+  Out.MergesApplied = monus(A.MergesApplied, B.MergesApplied);
+  Out.SitesMerged = monus(A.SitesMerged, B.SitesMerged);
+  Out.RejectedOversize = monus(A.RejectedOversize, B.RejectedOversize);
+  Out.RejectedMalformed = monus(A.RejectedMalformed, B.RejectedMalformed);
+  Out.RejectedIncompatible =
+      monus(A.RejectedIncompatible, B.RejectedIncompatible);
+  Out.Recalibrations = monus(A.Recalibrations, B.Recalibrations);
+  Out.Promotions = monus(A.Promotions, B.Promotions);
+  Out.PromotionsRejected = monus(A.PromotionsRejected, B.PromotionsRejected);
+  return Out;
+}
+
+bool cswitch::operator==(const FleetStats &A, const FleetStats &B) {
+  return A.Pulls == B.Pulls && A.PullFailures == B.PullFailures &&
+         A.Pushes == B.Pushes && A.PushFailures == B.PushFailures &&
+         A.Retries == B.Retries && A.StoreGets == B.StoreGets &&
+         A.MergesApplied == B.MergesApplied &&
+         A.SitesMerged == B.SitesMerged &&
+         A.RejectedOversize == B.RejectedOversize &&
+         A.RejectedMalformed == B.RejectedMalformed &&
+         A.RejectedIncompatible == B.RejectedIncompatible &&
+         A.Recalibrations == B.Recalibrations &&
+         A.Promotions == B.Promotions &&
+         A.PromotionsRejected == B.PromotionsRejected;
+}
+
+FleetRegistry &FleetRegistry::global() {
+  static FleetRegistry Instance;
+  return Instance;
+}
+
+void FleetRegistry::record(const FleetStats &Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters += Delta;
+}
+
+FleetStats FleetRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
 RecorderRegistry &RecorderRegistry::global() {
   static RecorderRegistry Instance;
   return Instance;
@@ -208,6 +275,7 @@ TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
   Out.Events = Now.Events - Before.Events;
   Out.Recorder = Now.Recorder - Before.Recorder;
   Out.Store = Now.Store - Before.Store;
+  Out.Fleet = Now.Fleet - Before.Fleet;
   // Lifetime-distribution quantiles do not subtract; carry the newer
   // snapshot's distillation verbatim (same convention as Variant).
   Out.Latency = Now.Latency;

@@ -183,6 +183,57 @@ struct StoreStats {
 StoreStats operator-(const StoreStats &A, const StoreStats &B);
 bool operator==(const StoreStats &A, const StoreStats &B);
 
+/// Counters of the fleet calibration subsystem (src/fleet/) at snapshot
+/// time: store push/pull sync traffic, every network-input rejection
+/// class, and the recalibration promotion gate — so fleet behaviour
+/// (including every failure mode) is observable, not silent.
+struct FleetStats {
+  // Client side (pull/push against a peer's /store endpoint).
+  uint64_t Pulls = 0;         ///< Successful store pulls from peers.
+  uint64_t PullFailures = 0;  ///< Failed pulls (after retries).
+  uint64_t Pushes = 0;        ///< Successful store pushes to peers.
+  uint64_t PushFailures = 0;  ///< Failed pushes (after retries).
+  uint64_t Retries = 0;       ///< Request retries (timeouts, refused).
+  // Server side (/store endpoint on this process).
+  uint64_t StoreGets = 0;          ///< Store documents served to peers.
+  uint64_t MergesApplied = 0;      ///< Remote documents merged in.
+  uint64_t SitesMerged = 0;        ///< Sites received across all merges.
+  uint64_t RejectedOversize = 0;   ///< Pushes over the size limit.
+  uint64_t RejectedMalformed = 0;  ///< Pushes the total decoder refused.
+  uint64_t RejectedIncompatible = 0; ///< Artifacts with a foreign
+                                     ///< schema/host fingerprint.
+  // On-device recalibration (Recalibrator).
+  uint64_t Recalibrations = 0;      ///< Fit runs completed.
+  uint64_t Promotions = 0;          ///< Candidate models promoted.
+  uint64_t PromotionsRejected = 0;  ///< Candidates the gate refused.
+
+  FleetStats &operator+=(const FleetStats &Other);
+};
+
+FleetStats operator-(const FleetStats &A, const FleetStats &B);
+bool operator==(const FleetStats &A, const FleetStats &B);
+
+/// Process-wide accumulator the fleet layer reports through, so the
+/// engine's telemetry snapshot can include fleet counters without the
+/// support layer (or the core) depending on the fleet library — the
+/// same decoupling RecorderRegistry provides for the trace recorders.
+/// Counters only ever increase; record() adds a delta.
+class FleetRegistry {
+public:
+  /// The process-wide registry instance.
+  static FleetRegistry &global();
+
+  /// Folds \p Delta into the cumulative counters.
+  void record(const FleetStats &Delta);
+
+  /// Cumulative counters since process start.
+  FleetStats stats() const;
+
+private:
+  mutable std::mutex Mutex;
+  FleetStats Counters; ///< Guarded by Mutex.
+};
+
 /// Process-wide registry the trace recorders report through, so the
 /// engine's telemetry snapshot can include recorder counters without the
 /// support layer (or the core) depending on the replay library. A live
@@ -222,6 +273,7 @@ struct TelemetrySnapshot {
   EventLogStats Events;
   RecorderStats Recorder;
   StoreStats Store;
+  FleetStats Fleet;
   EngineLatencies Latency;
   TopologyStats Topology;
 };

@@ -1,0 +1,261 @@
+//===- RecalibratorTest.cpp - On-device recalibration tests ---------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// The promotion gate is exercised BOTH ways with injected measurements:
+// a candidate that tracks the held-out slice at least as well as the
+// incumbent is promoted and installed; one that regresses past the
+// epsilon is rejected and never written to disk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Recalibrator.h"
+
+#include "model/DefaultModel.h"
+#include "replay/TraceFormat.h"
+#include "support/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+
+using namespace cswitch;
+using namespace cswitch::fleet;
+
+namespace {
+
+/// A synthetic list-only corpus: eight instances at one site, all in the
+/// same log2-size bucket. With HoldoutModulus = 4 instances 0 and 4 form
+/// the held-out slice; the other six are the fit slice.
+OpTrace sampleTrace(std::vector<uint32_t> InstanceIds = {0, 1, 2, 3, 4, 5,
+                                                         6, 7}) {
+  OpTrace Trace;
+  Trace.Sites.push_back({"bench/Sample.cpp:1", AbstractionKind::List, 0});
+  uint64_t Time = 0;
+  for (uint32_t Instance : InstanceIds) {
+    Trace.Ops.push_back({0, Instance, TraceOpKind::InstanceBegin,
+                         OpClass::None, 0, ++Time});
+    for (uint32_t Size = 1; Size <= 8; ++Size)
+      Trace.Ops.push_back({0, Instance, TraceOpKind::Populate, OpClass::Back,
+                           Size, ++Time});
+    for (int I = 0; I != 4; ++I)
+      Trace.Ops.push_back({0, Instance, TraceOpKind::Contains, OpClass::Hit,
+                           8, ++Time});
+    Trace.Ops.push_back({0, Instance, TraceOpKind::InstanceEnd, OpClass::None,
+                         8, ++Time});
+  }
+  Trace.InstancesSampled = InstanceIds.size();
+  return Trace;
+}
+
+bool isHoldoutSlice(const OpTrace &Slice, uint64_t Modulus = 4) {
+  return !Slice.Ops.empty() && Slice.Ops.front().Instance % Modulus == 0;
+}
+
+/// Measurements far above any incumbent prediction: the fit clamps the
+/// correction at MaxAlpha (64x), which still tracks the held-out slice
+/// strictly better than the unscaled incumbent — the gate promotes.
+RecalibrationOptions promoteOptions() {
+  RecalibrationOptions Options;
+  Options.Measure = [](AbstractionKind, unsigned, const OpTrace &) {
+    return CellMeasurement{1'000'000'000'000ull, 1'000'000'000ull};
+  };
+  return Options;
+}
+
+/// Fit cells see huge costs (driving the 64x rescale) while the held-out
+/// cells measure tiny ones: the rescaled candidate overshoots the
+/// held-out slice 64x worse than the incumbent — the gate rejects.
+RecalibrationOptions rejectOptions() {
+  RecalibrationOptions Options;
+  Options.Measure = [](AbstractionKind, unsigned, const OpTrace &Slice) {
+    if (isHoldoutSlice(Slice))
+      return CellMeasurement{1, 1};
+    return CellMeasurement{1'000'000'000'000ull, 1'000'000'000ull};
+  };
+  return Options;
+}
+
+std::shared_ptr<const PerformanceModel> incumbent() {
+  return std::make_shared<PerformanceModel>(defaultPerformanceModel());
+}
+
+TEST(Recalibrator, CellsCoverEverySequentialVariantOfBothSlices) {
+  Recalibrator Work(sampleTrace(), incumbent(), promoteOptions());
+  // One (fit, holdout) group pair, one cell per sequential list variant.
+  EXPECT_EQ(Work.cellCount(),
+            2 * firstConcurrentVariant(AbstractionKind::List));
+  EXPECT_EQ(Work.cellsMeasured(), 0u);
+  EXPECT_FALSE(Work.measured());
+}
+
+TEST(Recalibrator, StepMeasuresOneCellAtATime) {
+  Recalibrator Work(sampleTrace(), incumbent(), promoteOptions());
+  size_t Steps = 0;
+  while (Work.step()) {
+    ++Steps;
+    EXPECT_EQ(Work.cellsMeasured(), Steps);
+  }
+  EXPECT_EQ(Steps, Work.cellCount());
+  EXPECT_TRUE(Work.measured());
+  EXPECT_FALSE(Work.step());
+}
+
+TEST(Recalibrator, PromotesWhenCandidateTracksHoldoutBetter) {
+  auto Model = incumbent();
+  Recalibrator Work(sampleTrace(), Model, promoteOptions());
+  RecalibrationResult Result = Work.run(/*FitTimestamp=*/1754006400);
+
+  EXPECT_TRUE(Result.Promoted) << Result.Reason;
+  EXPECT_TRUE(Result.Reason.empty());
+  EXPECT_LE(Result.CandidateResidual, Result.IncumbentResidual);
+  EXPECT_GT(Result.VariantsRecalibrated, 0u);
+  EXPECT_EQ(Result.CellsMeasured, Work.cellCount());
+
+  // Provenance header is filled for the consumer-side compatibility
+  // checks.
+  EXPECT_EQ(Result.Artifact.HostFingerprint, hostFingerprint());
+  EXPECT_EQ(Result.Artifact.FitTimestamp, 1754006400u);
+  EXPECT_EQ(Result.Artifact.HoldoutResidual, Result.CandidateResidual);
+  EXPECT_FALSE(Result.Artifact.Rows.empty());
+
+  // The fitted sequential Time/Alloc rows were rescaled by the clamped
+  // alpha (the injected measurements dwarf any prediction, so the
+  // correction saturates at exactly 64x); everything else is carried
+  // over verbatim.
+  for (const ModelArtifact::Row &Row : Result.Artifact.Rows) {
+    const Polynomial &Before = Model->cost({Row.Kind, Row.Variant}, Row.Op,
+                                           Row.Dim);
+    bool Fitted = Row.Kind == AbstractionKind::List &&
+                  !isConcurrentVariant(Row.Kind, Row.Variant) &&
+                  (Row.Dim == CostDimension::Time ||
+                   Row.Dim == CostDimension::Alloc);
+    if (Fitted)
+      EXPECT_EQ(Row.Cost, Before.scaled(64.0));
+    else
+      EXPECT_EQ(Row.Cost, Before);
+  }
+}
+
+TEST(Recalibrator, RejectsWhenCandidateRegressesOnHoldout) {
+  Recalibrator Work(sampleTrace(), incumbent(), rejectOptions());
+  RecalibrationResult Result = Work.run(/*FitTimestamp=*/1754006400);
+
+  EXPECT_FALSE(Result.Promoted);
+  EXPECT_NE(Result.Reason.find("regressed"), std::string::npos)
+      << Result.Reason;
+  EXPECT_GT(Result.CandidateResidual,
+            Result.IncumbentResidual + RecalibrationOptions().PromotionEpsilon);
+  // The rejected fit stays inspectable.
+  EXPECT_FALSE(Result.Artifact.Rows.empty());
+  EXPECT_GT(Result.VariantsRecalibrated, 0u);
+}
+
+TEST(Recalibrator, RejectsWithoutHoldoutCells) {
+  // Only odd instance ids with modulus 2: every instance lands in the
+  // fit slice, so there is nothing to validate against — never promote.
+  Recalibrator Work(sampleTrace({1, 3, 5, 7}), incumbent(),
+                    promoteOptions().holdoutModulus(2));
+  RecalibrationResult Result = Work.run(/*FitTimestamp=*/1);
+  EXPECT_FALSE(Result.Promoted);
+  EXPECT_NE(Result.Reason.find("held-out"), std::string::npos)
+      << Result.Reason;
+}
+
+TEST(Recalibrator, DropsCellsBelowMinOps) {
+  // 14 ops per instance and a threshold above the whole corpus: no
+  // cells at all, and the empty fit is rejected.
+  Recalibrator Work(sampleTrace({1}), incumbent(),
+                    promoteOptions().minCellOps(1'000'000));
+  EXPECT_EQ(Work.cellCount(), 0u);
+  RecalibrationResult Result = Work.run(/*FitTimestamp=*/1);
+  EXPECT_FALSE(Result.Promoted);
+  EXPECT_NE(Result.Reason.find("enough fit measurements"),
+            std::string::npos);
+}
+
+TEST(Recalibrator, FromTraceFileInstallsOnlyOnPromotion) {
+  const char *TracePath = "recalibrator_test_trace.bin";
+  const char *ArtifactPath = "recalibrator_test_model.bin";
+  ASSERT_TRUE(writeTraceToFile(TracePath, sampleTrace()));
+  std::remove(ArtifactPath);
+
+  FleetStats Before = FleetRegistry::global().stats();
+
+  // Rejected fit: counters tick, nothing installed.
+  std::string Error;
+  RecalibrationResult Rejected = recalibrateFromTraceFile(
+      TracePath, incumbent(), ArtifactPath, rejectOptions(), &Error);
+  EXPECT_FALSE(Rejected.Promoted);
+  ModelArtifact OnDisk;
+  EXPECT_FALSE(readModelArtifactFromFile(ArtifactPath, OnDisk));
+
+  // Promoted fit: the artifact lands atomically at the requested path.
+  RecalibrationResult Promoted = recalibrateFromTraceFile(
+      TracePath, incumbent(), ArtifactPath, promoteOptions(), &Error);
+  EXPECT_TRUE(Promoted.Promoted) << Promoted.Reason << " " << Error;
+  ASSERT_TRUE(readModelArtifactFromFile(ArtifactPath, OnDisk, &Error))
+      << Error;
+  EXPECT_EQ(OnDisk, Promoted.Artifact);
+
+  FleetStats Delta = FleetRegistry::global().stats() - Before;
+  EXPECT_EQ(Delta.Recalibrations, 2u);
+  EXPECT_EQ(Delta.Promotions, 1u);
+  EXPECT_EQ(Delta.PromotionsRejected, 1u);
+
+  std::remove(TracePath);
+  std::remove(ArtifactPath);
+}
+
+TEST(Recalibrator, FromTraceFileFailsOnMissingTrace) {
+  std::string Error;
+  RecalibrationResult Result = recalibrateFromTraceFile(
+      "no_such_trace.bin", incumbent(), "unused_model.bin",
+      promoteOptions(), &Error);
+  EXPECT_FALSE(Result.Promoted);
+  EXPECT_EQ(Result.Reason, "cannot read trace");
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(BackgroundRecalibrator, SpreadsWorkAcrossTicksThenInstalls) {
+  const char *ArtifactPath = "background_recalibrator_model.bin";
+  std::remove(ArtifactPath);
+  BackgroundRecalibrator Background(sampleTrace(), incumbent(), ArtifactPath,
+                                    promoteOptions());
+
+  size_t InnerCalls = 0;
+  auto Sink = Background.sink(
+      [&InnerCalls](const TelemetrySnapshot &) { ++InnerCalls; });
+
+  Recalibrator Reference(sampleTrace(), incumbent(), promoteOptions());
+  size_t CellTicks = Reference.cellCount();
+  TelemetrySnapshot Snapshot;
+  // One cell per tick, one extra tick for fit + install.
+  for (size_t I = 0; I != CellTicks; ++I) {
+    EXPECT_FALSE(Background.finished());
+    Sink(Snapshot);
+  }
+  EXPECT_FALSE(Background.finished());
+  Sink(Snapshot);
+  ASSERT_TRUE(Background.finished());
+  EXPECT_EQ(InnerCalls, CellTicks + 1);
+
+  ASSERT_TRUE(Background.result().has_value());
+  EXPECT_TRUE(Background.result()->Promoted)
+      << Background.result()->Reason;
+  ModelArtifact OnDisk;
+  std::string Error;
+  ASSERT_TRUE(readModelArtifactFromFile(ArtifactPath, OnDisk, &Error))
+      << Error;
+  EXPECT_EQ(OnDisk, Background.result()->Artifact);
+
+  // Further ticks are no-ops once finished.
+  Sink(Snapshot);
+  EXPECT_EQ(InnerCalls, CellTicks + 2);
+  std::remove(ArtifactPath);
+}
+
+} // namespace

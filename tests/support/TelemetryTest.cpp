@@ -321,7 +321,7 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   std::istringstream Lines(Csv);
   // Loss counters lead as `#` comments so the column schema is
   // unchanged but drops are never invisible in exported data.
-  std::string Events, Recorder, Store, Latency, Header;
+  std::string Events, Recorder, Store, Fleet, Latency, Header;
   ASSERT_TRUE(std::getline(Lines, Events));
   EXPECT_EQ(Events, "# events_recorded=42 events_dropped=2");
   ASSERT_TRUE(std::getline(Lines, Recorder));
@@ -332,6 +332,8 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   EXPECT_EQ(Store, "# store_loads=2 store_load_failures=1 "
                    "store_sites_loaded=9 store_warm_starts=4 "
                    "store_persists=5 store_persist_failures=0");
+  ASSERT_TRUE(std::getline(Lines, Fleet));
+  EXPECT_EQ(Fleet.rfind("# fleet_pulls=", 0), 0u);
   ASSERT_TRUE(std::getline(Lines, Latency));
   EXPECT_EQ(Latency.rfind("# latency_record_count=", 0), 0u);
   ASSERT_TRUE(std::getline(Lines, Header));
