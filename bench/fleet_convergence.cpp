@@ -116,7 +116,7 @@ bool aggregateOverHttp(const std::vector<std::string> &DonorPaths,
   wipe(AggregatorPath);
   Switch::configure(
       SwitchConfig{EngineOptions{}, ContextOptions{},
-                   FleetOptions{}.serveStore()});
+                   FleetOptions{}.serveStore(), std::string()});
   Switch::loadStore(AggregatorPath);
   uint16_t Port = Switch::serveMetrics(0);
   bool Ok = Port != 0;

@@ -8,6 +8,54 @@
 
 using namespace cswitch;
 
+namespace {
+
+bool failCheck(std::string *Error, const std::string &Message) {
+  if (Error) {
+    if (!Error->empty())
+      *Error += "; ";
+    *Error += Message;
+  }
+  return false;
+}
+
+} // namespace
+
+bool cswitch::validateThresholds(const AdaptiveThresholds &T,
+                                 std::string *Error) {
+  bool Ok = true;
+  auto Check = [&](const char *Field, size_t Value) {
+    if (Value == 0)
+      Ok = failCheck(Error, std::string("adaptive threshold ") + Field +
+                                " is 0 (must be >= 1)");
+    else if (Value > MaxAdaptiveThreshold)
+      Ok = failCheck(Error, std::string("adaptive threshold ") + Field +
+                                " = " + std::to_string(Value) +
+                                " exceeds the maximum " +
+                                std::to_string(MaxAdaptiveThreshold));
+  };
+  Check("List", T.List);
+  Check("Set", T.Set);
+  Check("Map", T.Map);
+  return Ok;
+}
+
+bool cswitch::validateContention(const ContentionPolicy &P,
+                                 std::string *Error) {
+  bool Ok = true;
+  if (!(P.Smoothing > 0.0) || P.Smoothing > 1.0)
+    Ok = failCheck(Error, "contention smoothing " +
+                              std::to_string(P.Smoothing) +
+                              " outside (0, 1]");
+  if (P.Shards > 4096)
+    Ok = failCheck(Error, "contention shards " + std::to_string(P.Shards) +
+                              " exceeds the maximum 4096");
+  if (P.MinOps > (uint64_t(1) << 30))
+    Ok = failCheck(Error, "contention min-ops " + std::to_string(P.MinOps) +
+                              " exceeds the maximum 2^30");
+  return Ok;
+}
+
 AdaptiveConfig &AdaptiveConfig::global() {
   static AdaptiveConfig Instance;
   return Instance;

@@ -44,9 +44,13 @@
 
 namespace cswitch {
 
-/// Creates an empty list implementation of variant \p V.
+/// Creates an empty list implementation of variant \p V. \p Adaptive,
+/// when non-null, overrides the process-wide AdaptiveConfig thresholds
+/// for the adaptive variant (per-context tuning; see
+/// ContextOptions::AdaptiveOverride).
 template <typename T>
-std::unique_ptr<ListImpl<T>> makeListImpl(ListVariant V) {
+std::unique_ptr<ListImpl<T>>
+makeListImpl(ListVariant V, const AdaptiveThresholds *Adaptive = nullptr) {
   switch (V) {
   case ListVariant::ArrayList:
     return std::make_unique<ArrayListImpl<T>>();
@@ -55,7 +59,8 @@ std::unique_ptr<ListImpl<T>> makeListImpl(ListVariant V) {
   case ListVariant::HashArrayList:
     return std::make_unique<HashArrayListImpl<T>>();
   case ListVariant::AdaptiveList:
-    return std::make_unique<AdaptiveListImpl<T>>();
+    return Adaptive ? std::make_unique<AdaptiveListImpl<T>>(Adaptive->List)
+                    : std::make_unique<AdaptiveListImpl<T>>();
   case ListVariant::MutexList:
     return std::make_unique<MutexListImpl<T>>();
   case ListVariant::SnapshotList:
@@ -65,9 +70,11 @@ std::unique_ptr<ListImpl<T>> makeListImpl(ListVariant V) {
   return nullptr;
 }
 
-/// Creates an empty set implementation of variant \p V.
+/// Creates an empty set implementation of variant \p V (see makeListImpl
+/// for \p Adaptive).
 template <typename T>
-std::unique_ptr<SetImpl<T>> makeSetImpl(SetVariant V) {
+std::unique_ptr<SetImpl<T>>
+makeSetImpl(SetVariant V, const AdaptiveThresholds *Adaptive = nullptr) {
   switch (V) {
   case SetVariant::ChainedHashSet:
     return std::make_unique<ChainedHashSetImpl<T>>();
@@ -80,7 +87,8 @@ std::unique_ptr<SetImpl<T>> makeSetImpl(SetVariant V) {
   case SetVariant::CompactHashSet:
     return std::make_unique<CompactHashSetImpl<T>>();
   case SetVariant::AdaptiveSet:
-    return std::make_unique<AdaptiveSetImpl<T>>();
+    return Adaptive ? std::make_unique<AdaptiveSetImpl<T>>(Adaptive->Set)
+                    : std::make_unique<AdaptiveSetImpl<T>>();
   case SetVariant::TreeSet:
     return std::make_unique<TreeSetImpl<T>>();
   case SetVariant::SortedArraySet:
@@ -94,9 +102,11 @@ std::unique_ptr<SetImpl<T>> makeSetImpl(SetVariant V) {
   return nullptr;
 }
 
-/// Creates an empty map implementation of variant \p V.
+/// Creates an empty map implementation of variant \p Variant (see
+/// makeListImpl for \p Adaptive).
 template <typename K, typename V>
-std::unique_ptr<MapImpl<K, V>> makeMapImpl(MapVariant Variant) {
+std::unique_ptr<MapImpl<K, V>>
+makeMapImpl(MapVariant Variant, const AdaptiveThresholds *Adaptive = nullptr) {
   switch (Variant) {
   case MapVariant::ChainedHashMap:
     return std::make_unique<ChainedHashMapImpl<K, V>>();
@@ -109,7 +119,8 @@ std::unique_ptr<MapImpl<K, V>> makeMapImpl(MapVariant Variant) {
   case MapVariant::CompactHashMap:
     return std::make_unique<CompactHashMapImpl<K, V>>();
   case MapVariant::AdaptiveMap:
-    return std::make_unique<AdaptiveMapImpl<K, V>>();
+    return Adaptive ? std::make_unique<AdaptiveMapImpl<K, V>>(Adaptive->Map)
+                    : std::make_unique<AdaptiveMapImpl<K, V>>();
   case MapVariant::TreeMap:
     return std::make_unique<TreeMapImpl<K, V>>();
   case MapVariant::SortedArrayMap:

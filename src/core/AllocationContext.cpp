@@ -243,7 +243,9 @@ bool AllocationContextBase::isAdaptiveVariant(AbstractionKind Kind,
 
 size_t
 AllocationContextBase::adaptiveThresholdFor(AbstractionKind Kind) const {
-  AdaptiveThresholds T = AdaptiveConfig::global().thresholds();
+  AdaptiveThresholds T = Options.AdaptiveOverride
+                             ? *Options.AdaptiveOverride
+                             : AdaptiveConfig::global().thresholds();
   switch (Kind) {
   case AbstractionKind::List:
     return T.List;

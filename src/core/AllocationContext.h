@@ -57,6 +57,7 @@
 #include <chrono>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -113,6 +114,14 @@ struct ContextOptions {
   /// per-process knob carried here so one options object can configure
   /// a whole deployment; contexts themselves ignore it.
   std::chrono::milliseconds MonitoringRate{50};
+  /// Per-context override of the adaptive-collection transition
+  /// thresholds (paper §3.2, Table 1). When set, adaptive variants
+  /// created by this context — and the context's own wide-range /
+  /// straddle analysis — use these thresholds instead of the
+  /// process-wide AdaptiveConfig. This is how tuned configurations and
+  /// the offline tuner's candidate genomes apply thresholds without
+  /// touching global state (race-free under parallel evaluation).
+  std::optional<AdaptiveThresholds> AdaptiveOverride;
   /// Synchronization tier of the site (DESIGN.md §11). None (default)
   /// selects among the sequential variants only — collections must stay
   /// single-owner. Mutex / Sharded pin the corresponding concurrent
@@ -157,6 +166,10 @@ struct ContextOptions {
   }
   ContextOptions &monitoringRate(std::chrono::milliseconds Value) {
     MonitoringRate = Value;
+    return *this;
+  }
+  ContextOptions &adaptiveThresholds(const AdaptiveThresholds &Value) {
+    AdaptiveOverride = Value;
     return *this;
   }
   ContextOptions &concurrency(Concurrency Value) {
@@ -339,6 +352,12 @@ protected:
   TraceRecorder *recorder() const { return Options.Recorder; }
   uint32_t recorderSite() const { return RecorderSite; }
 
+  /// The context's adaptive-threshold override, or nullptr when it uses
+  /// the process-wide AdaptiveConfig (ContextOptions::AdaptiveOverride).
+  const AdaptiveThresholds *adaptiveOverride() const {
+    return Options.AdaptiveOverride ? &*Options.AdaptiveOverride : nullptr;
+  }
+
 private:
   /// Life-cycle of one window slot within a round R. Transitions:
   ///   Idle/stale --store--> Claimed(R)      [creator, after winning CAS
@@ -514,10 +533,12 @@ public:
   /// (the trace cursor is single-owner).
   List<T> createList() {
     auto Variant = static_cast<ListVariant>(currentVariantIndex());
+    const AdaptiveThresholds *Adaptive = adaptiveOverride();
     size_t Slot = acquireMonitorSlot();
-    List<T> Out = Slot == NoSlot
-                      ? List<T>(makeListImpl<T>(Variant))
-                      : List<T>(makeListImpl<T>(Variant), this, Slot);
+    List<T> Out =
+        Slot == NoSlot
+            ? List<T>(makeListImpl<T>(Variant, Adaptive))
+            : List<T>(makeListImpl<T>(Variant, Adaptive), this, Slot);
     if (concurrencyMode() != Concurrency::None) {
       Out.enableSharedProfiling(contentionSketch());
       return Out;
@@ -546,10 +567,11 @@ public:
   /// ListContext::createList for the concurrent-tier behavior).
   Set<T> createSet() {
     auto Variant = static_cast<SetVariant>(currentVariantIndex());
+    const AdaptiveThresholds *Adaptive = adaptiveOverride();
     size_t Slot = acquireMonitorSlot();
     Set<T> Out = Slot == NoSlot
-                     ? Set<T>(makeSetImpl<T>(Variant))
-                     : Set<T>(makeSetImpl<T>(Variant), this, Slot);
+                     ? Set<T>(makeSetImpl<T>(Variant, Adaptive))
+                     : Set<T>(makeSetImpl<T>(Variant, Adaptive), this, Slot);
     if (concurrencyMode() != Concurrency::None) {
       Out.enableSharedProfiling(contentionSketch());
       return Out;
@@ -579,10 +601,12 @@ public:
   /// ListContext::createList for the concurrent-tier behavior).
   Map<K, V> createMap() {
     auto Variant = static_cast<MapVariant>(currentVariantIndex());
+    const AdaptiveThresholds *Adaptive = adaptiveOverride();
     size_t Slot = acquireMonitorSlot();
-    Map<K, V> Out = Slot == NoSlot
-                        ? Map<K, V>(makeMapImpl<K, V>(Variant))
-                        : Map<K, V>(makeMapImpl<K, V>(Variant), this, Slot);
+    Map<K, V> Out =
+        Slot == NoSlot
+            ? Map<K, V>(makeMapImpl<K, V>(Variant, Adaptive))
+            : Map<K, V>(makeMapImpl<K, V>(Variant, Adaptive), this, Slot);
     if (concurrencyMode() != Concurrency::None) {
       Out.enableSharedProfiling(contentionSketch());
       return Out;

@@ -52,6 +52,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 namespace cswitch {
 
@@ -92,6 +93,15 @@ struct SwitchConfig {
   ContextOptions Context;
   /// Fleet store-sync exposure of the metrics endpoint (DESIGN.md §12).
   FleetOptions Fleet;
+  /// Optional path to a `cswitch-tuning-v1` artifact (produced by the
+  /// offline autotuner, DESIGN.md §13) applied on top of the rest of
+  /// the configuration: tuned adaptive/contention thresholds install
+  /// into AdaptiveConfig, tuned window geometry overlays the context
+  /// defaults. An unreadable or invalid artifact is counted in
+  /// telemetry and warned about — it never wedges startup. Empty =
+  /// none (the `CSWITCH_TUNING` environment variable, checked once per
+  /// process, fills the same role for unmodified binaries).
+  std::string Tuning;
 };
 
 /// Deleter that unregisters a context from the global engine before
@@ -169,6 +179,18 @@ public:
   /// The ContextOptions makeContext() currently defaults to (the
   /// built-in defaults until configure() installs others).
   static ContextOptions defaultContextOptions();
+
+  /// Applies the `cswitch-tuning-v1` artifact at \p Path process-wide:
+  /// adaptive and contention thresholds install into the global
+  /// AdaptiveConfig (validated — see setThresholdsChecked), window
+  /// geometry overlays the makeContext() context defaults, and the
+  /// artifact's provenance lands in telemetry (TelemetrySnapshot::
+  /// Tuning). Returns false — with \p Error describing why, and the
+  /// failure counted — when the file is unreadable or the decoder or
+  /// validators reject it; the running configuration is unchanged in
+  /// that case.
+  static bool applyTuning(const std::string &Path,
+                          std::string *Error = nullptr);
 
   /// Starts the global engine's background evaluation/reporter thread
   /// at \p MonitoringRate (paper §4.3). No-op when already running.

@@ -560,6 +560,7 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
   Snapshot.Events.NodeDropped = Log.nodeDroppedCounts();
   Snapshot.Recorder = RecorderRegistry::global().stats();
   Snapshot.Fleet = FleetRegistry::global().stats();
+  Snapshot.Tuning = TuningRegistry::global().stats();
   if (std::shared_ptr<SelectionStore> St = store())
     Snapshot.Store = St->stats();
   return Snapshot;

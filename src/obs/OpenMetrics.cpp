@@ -234,6 +234,11 @@ cswitch::obs::renderOpenMetrics(const TelemetrySnapshot &Snapshot,
       {"cswitch_fleet_promotions_rejected",
        "Recalibrated models the hold-out gate refused.",
        Snapshot.Fleet.PromotionsRejected},
+      {"cswitch_tuning_loads", "Tuned-configuration artifacts applied.",
+       Snapshot.Tuning.Loads},
+      {"cswitch_tuning_load_failures",
+       "Tuned-configuration artifacts the loader rejected.",
+       Snapshot.Tuning.LoadFailures},
   };
   for (const auto &C : EngineCounters) {
     familyHeader(Out, C.Name, "counter", C.Help);
@@ -251,6 +256,27 @@ cswitch::obs::renderOpenMetrics(const TelemetrySnapshot &Snapshot,
   familyHeader(Out, "cswitch_topology_cpus", "gauge",
                "CPUs seen by topology detection.");
   sampleU64(Out, "cswitch_topology_cpus", {}, Snapshot.Topology.Cpus);
+
+  // Provenance of the applied tuned configuration, Prometheus
+  // info-metric style: the labels carry the identity, the value is 1.
+  // Emitted only once an artifact has been applied.
+  if (Snapshot.Tuning.Loads > 0) {
+    familyHeader(Out, "cswitch_tuning_info", "gauge",
+                 "Provenance of the applied cswitch-tuning-v1 artifact.");
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",seed=\"%" PRIu64 "\",generations=\"%" PRIu64
+                  "\",population=\"%" PRIu64 "\"} 1\n",
+                  Snapshot.Tuning.Seed, Snapshot.Tuning.Generations,
+                  Snapshot.Tuning.Population);
+    Out += "cswitch_tuning_info{source=\"";
+    Out += openMetricsEscape(Snapshot.Tuning.Source);
+    Out += "\",fingerprint=\"";
+    Out += openMetricsEscape(Snapshot.Tuning.Fingerprint);
+    Out += "\",corpus_digest=\"";
+    Out += openMetricsEscape(Snapshot.Tuning.CorpusDigest);
+    Out += Buf;
+  }
 
   familyHeader(Out, "cswitch_node_events_dropped", "counter",
                "Decision events lost to ring wrap-around, per node ring.");

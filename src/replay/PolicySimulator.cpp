@@ -6,6 +6,8 @@
 
 #include "replay/PolicySimulator.h"
 
+#include "support/MetricsExport.h"
+
 #include <algorithm>
 #include <cstdio>
 #include <utility>
@@ -78,11 +80,6 @@ SimulationReport PolicySimulator::run(uint64_t Seed, unsigned Threads) {
     PolicyOutcome Outcome;
     Outcome.Name = Policy.Name;
 
-    AdaptiveConfig &Adaptive = AdaptiveConfig::global();
-    AdaptiveThresholds Saved = Adaptive.thresholds();
-    if (Policy.Thresholds)
-      Adaptive.setThresholds(*Policy.Thresholds);
-
     for (size_t T = 0, E = Corpus.size(); T != E; ++T) {
       ReplayOptions Options;
       Options.Mode = ReplayMode::Engine;
@@ -90,6 +87,8 @@ SimulationReport PolicySimulator::run(uint64_t Seed, unsigned Threads) {
       Options.Threads = Threads;
       Options.EvalEveryOps = Policy.EvalEveryOps;
       Options.Context = Policy.Context;
+      if (Policy.Thresholds)
+        Options.Context.AdaptiveOverride = *Policy.Thresholds;
       Options.Rule = Policy.Rule;
       Options.Model = Model;
       Replayer Replay(Corpus[T], std::move(Options));
@@ -102,6 +101,8 @@ SimulationReport PolicySimulator::run(uint64_t Seed, unsigned Threads) {
       Outcome.SizeMismatches += Result.SizeMismatches;
       Outcome.ElapsedNanos += Result.ElapsedNanos;
       Outcome.AllocatedBytes += Result.AllocatedBytes;
+      Outcome.TrajectoryTime += Result.TrajectoryTime;
+      Outcome.TrajectoryAlloc += Result.TrajectoryAlloc;
 
       for (size_t S = 0, NumSites = Result.Sites.size(); S != NumSites;
            ++S) {
@@ -130,8 +131,6 @@ SimulationReport PolicySimulator::run(uint64_t Seed, unsigned Threads) {
       }
     }
 
-    if (Policy.Thresholds)
-      Adaptive.setThresholds(Saved);
     Report.Ranked.push_back(std::move(Outcome));
   }
 
@@ -170,5 +169,47 @@ std::string SimulationReport::render() const {
     Out += Best;
     Out += "\n";
   }
+  return Out;
+}
+
+std::string SimulationReport::toJson() const {
+  auto Num = [](double Value) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", Value);
+    return std::string(Buf);
+  };
+  std::string Out = "{\n";
+  Out += "  \"schema\": \"cswitch-simulate-v2\",\n";
+  Out += "  \"policies\": " + std::to_string(Ranked.size()) + ",\n";
+  Out += "  \"best\": \"" + jsonEscape(Best) + "\",\n";
+  Out += "  \"ranked\": [\n";
+  for (size_t I = 0, E = Ranked.size(); I != E; ++I) {
+    const PolicyOutcome &O = Ranked[I];
+    Out += "    {\"rank\": " + std::to_string(I + 1) + ", ";
+    Out += "\"policy\": \"" + jsonEscape(O.Name) + "\", ";
+    Out += "\"elapsed_ns\": " + std::to_string(O.ElapsedNanos) + ", ";
+    Out += "\"allocated_bytes\": " + std::to_string(O.AllocatedBytes) + ", ";
+    Out += "\"ops\": " + std::to_string(O.OpsExecuted) + ", ";
+    Out += "\"instances\": " + std::to_string(O.InstancesReplayed) + ", ";
+    Out += "\"evaluations\": " + std::to_string(O.Evaluations) + ", ";
+    Out += "\"switches\": " + std::to_string(O.Switches) + ", ";
+    Out += "\"size_mismatches\": " + std::to_string(O.SizeMismatches) + ", ";
+    Out += "\"predicted_time\": " + Num(O.PredictedTime) + ", ";
+    Out += "\"predicted_alloc\": " + Num(O.PredictedAlloc) + ", ";
+    Out += "\"trajectory_time\": " + Num(O.TrajectoryTime) + ", ";
+    Out += "\"trajectory_alloc\": " + Num(O.TrajectoryAlloc) + ", ";
+    Out += "\"final_variants\": [";
+    for (size_t V = 0, NumV = O.FinalVariants.size(); V != NumV; ++V) {
+      if (V)
+        Out += ", ";
+      Out += "{\"site\": \"" + jsonEscape(O.FinalVariants[V].first) +
+             "\", \"variant\": \"" + jsonEscape(O.FinalVariants[V].second) +
+             "\"}";
+    }
+    Out += "]}";
+    Out += I + 1 == E ? "\n" : ",\n";
+  }
+  Out += "  ]\n";
+  Out += "}\n";
   return Out;
 }

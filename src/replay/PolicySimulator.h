@@ -46,8 +46,10 @@ struct PolicyCandidate {
   ContextOptions Context;
   /// Evaluation cadence handed to the Replayer.
   uint64_t EvalEveryOps = 256;
-  /// When set, the global AdaptiveConfig thresholds are swapped in for
-  /// this candidate's replays (and restored afterwards).
+  /// When set, this candidate's replay contexts run with these adaptive
+  /// thresholds (applied per-context via
+  /// ContextOptions::AdaptiveOverride — global state is never touched,
+  /// so candidates can be evaluated concurrently).
   std::optional<AdaptiveThresholds> Thresholds;
 };
 
@@ -66,6 +68,12 @@ struct PolicyOutcome {
   /// choices over the corpus's aggregated profiles.
   double PredictedTime = 0.0;
   double PredictedAlloc = 0.0;
+  /// Model-predicted cost of the replay trajectory (every instance on
+  /// the variant it was created with; see
+  /// SiteReplayResult::TrajectoryTime) — deterministic, and sensitive to
+  /// *when* a policy converges, not just where.
+  double TrajectoryTime = 0.0;
+  double TrajectoryAlloc = 0.0;
   /// site name -> final variant name, across the corpus (trace index
   /// prefixes the site name when the corpus has several traces).
   std::vector<std::pair<std::string, std::string>> FinalVariants;
@@ -80,6 +88,13 @@ struct SimulationReport {
 
   /// Renders the ranked table as human-readable text.
   std::string render() const;
+
+  /// Renders the full ranked report as JSON (schema
+  /// "cswitch-simulate-v2") for programmatic consumers — the tuner, CI
+  /// asserts, and `cswitch_replay simulate --json`. Includes per-policy
+  /// counters, predicted and trajectory costs, and final variant
+  /// choices.
+  std::string toJson() const;
 };
 
 /// Sweeps selection policies over a corpus of recorded traces.

@@ -77,6 +77,10 @@ struct Replayer::SiteRun {
     std::vector<uint64_t> Mirror;
     SplitMix64 Rng;
     uint64_t NextVal = 0;
+    /// Variant index the instance was created with and the workload it
+    /// executed (accumulated only when trajectory costs are on).
+    unsigned Variant = 0;
+    WorkloadProfile Work;
 
     ListInstance(List<uint64_t> Facade, uint64_t Seed)
         : Facade(std::move(Facade)), Rng(Seed) {}
@@ -88,6 +92,8 @@ struct Replayer::SiteRun {
     std::vector<uint64_t> LiveKeys;
     SplitMix64 Rng;
     uint64_t NextKey = 0;
+    unsigned Variant = 0;
+    WorkloadProfile Work;
 
     SetInstance(Set<uint64_t> Facade, uint64_t Seed)
         : Facade(std::move(Facade)), Rng(Seed) {}
@@ -99,6 +105,8 @@ struct Replayer::SiteRun {
     std::vector<uint64_t> LiveKeys;
     SplitMix64 Rng;
     uint64_t NextKey = 0;
+    unsigned Variant = 0;
+    WorkloadProfile Work;
 
     MapInstance(Map<uint64_t, uint64_t> Facade, uint64_t Seed)
         : Facade(std::move(Facade)), Rng(Seed) {}
@@ -113,6 +121,10 @@ struct Replayer::SiteRun {
   std::unique_ptr<SetContext<uint64_t>> SetCtx;
   std::unique_ptr<MapContext<uint64_t, uint64_t>> MapCtx;
   unsigned FixedVariant = 0;
+  /// When set, instances accumulate their workload and are costed on the
+  /// variant they were created with (trajectory costs; see
+  /// SiteReplayResult::TrajectoryTime).
+  const PerformanceModel *CostModel = nullptr;
 
   std::unordered_map<uint32_t, ListInstance> Lists;
   std::unordered_map<uint32_t, SetInstance> Sets;
@@ -151,13 +163,16 @@ struct Replayer::SiteRun {
   void beginInstance(const TraceOp &Op, uint64_t RootSeed) {
     uint64_t Seed = mixSeed(RootSeed, Op.Site, Op.Instance);
     ++InstancesReplayed;
+    AllocationContextBase *Ctx = context();
+    unsigned Variant = Ctx ? Ctx->currentVariantIndex() : FixedVariant;
     switch (Site->Kind) {
     case AbstractionKind::List: {
       List<uint64_t> L =
           ListCtx ? ListCtx->createList()
                   : List<uint64_t>(makeListImpl<uint64_t>(
                         static_cast<ListVariant>(FixedVariant)));
-      Lists.emplace(Op.Instance, ListInstance(std::move(L), Seed));
+      auto It = Lists.emplace(Op.Instance, ListInstance(std::move(L), Seed));
+      It.first->second.Variant = Variant;
       break;
     }
     case AbstractionKind::Set: {
@@ -165,7 +180,8 @@ struct Replayer::SiteRun {
           SetCtx ? SetCtx->createSet()
                  : Set<uint64_t>(makeSetImpl<uint64_t>(
                        static_cast<SetVariant>(FixedVariant)));
-      Sets.emplace(Op.Instance, SetInstance(std::move(S), Seed));
+      auto It = Sets.emplace(Op.Instance, SetInstance(std::move(S), Seed));
+      It.first->second.Variant = Variant;
       break;
     }
     case AbstractionKind::Map: {
@@ -173,13 +189,41 @@ struct Replayer::SiteRun {
           MapCtx ? MapCtx->createMap()
                  : Map<uint64_t, uint64_t>(makeMapImpl<uint64_t, uint64_t>(
                        static_cast<MapVariant>(FixedVariant)));
-      Maps.emplace(Op.Instance, MapInstance(std::move(M), Seed));
+      auto It = Maps.emplace(Op.Instance, MapInstance(std::move(M), Seed));
+      It.first->second.Variant = Variant;
       break;
     }
     }
   }
 
+  /// Accumulates \p Op into the instance's realized workload profile
+  /// (mirrors aggregateTrace's per-instance accumulation); only when
+  /// trajectory costs are on.
+  template <typename Instance>
+  void recordWork(Instance &I, const TraceOp &Op) {
+    if (!CostModel)
+      return;
+    if (std::optional<OperationKind> Kind = toOperationKind(Op.Kind))
+      I.Work.record(*Kind);
+    I.Work.recordSize(Op.Size);
+  }
+
+  /// Costs one finished (or straggling) instance on the variant it was
+  /// created with. Accumulated over every instance this is the replay's
+  /// trajectory cost — instances created before a context switched still
+  /// pay the pre-switch variant, so earlier convergence scores better.
+  template <typename Instance> void costInstance(const Instance &I) {
+    if (!CostModel)
+      return;
+    VariantId V{Site->Kind, I.Variant};
+    Result.TrajectoryTime += CostModel->totalCost(V, I.Work,
+                                                  CostDimension::Time);
+    Result.TrajectoryAlloc += CostModel->totalCost(V, I.Work,
+                                                   CostDimension::Alloc);
+  }
+
   void execListOp(ListInstance &I, const TraceOp &Op) {
+    recordWork(I, Op);
     List<uint64_t> &L = I.Facade;
     std::vector<uint64_t> &M = I.Mirror;
     switch (Op.Kind) {
@@ -254,6 +298,7 @@ struct Replayer::SiteRun {
   }
 
   void execSetOp(SetInstance &I, const TraceOp &Op) {
+    recordWork(I, Op);
     Set<uint64_t> &S = I.Facade;
     std::vector<uint64_t> &Keys = I.LiveKeys;
     switch (Op.Kind) {
@@ -303,6 +348,7 @@ struct Replayer::SiteRun {
   }
 
   void execMapOp(MapInstance &I, const TraceOp &Op) {
+    recordWork(I, Op);
     Map<uint64_t, uint64_t> &M = I.Facade;
     std::vector<uint64_t> &Keys = I.LiveKeys;
     switch (Op.Kind) {
@@ -367,6 +413,7 @@ struct Replayer::SiteRun {
         if (It != Lists.end()) {
           if (It->second.Facade.size() != Op.Size)
             ++Result.SizeMismatches;
+          costInstance(It->second);
           Lists.erase(It);
         }
         break;
@@ -376,6 +423,7 @@ struct Replayer::SiteRun {
         if (It != Sets.end()) {
           if (It->second.Facade.size() != Op.Size)
             ++Result.SizeMismatches;
+          costInstance(It->second);
           Sets.erase(It);
         }
         break;
@@ -385,6 +433,7 @@ struct Replayer::SiteRun {
         if (It != Maps.end()) {
           if (It->second.Facade.size() != Op.Size)
             ++Result.SizeMismatches;
+          costInstance(It->second);
           Maps.erase(It);
         }
         break;
@@ -426,6 +475,23 @@ struct Replayer::SiteRun {
   /// End of stream: stragglers die (publishing their profiles), then a
   /// final evaluation closes the last monitoring round.
   void finish() {
+    if (CostModel) {
+      // Cost stragglers in instance-id order: double accumulation is
+      // order-sensitive and the unordered_map iteration order must not
+      // leak into the (bit-deterministic) trajectory totals.
+      auto CostAll = [this](auto &Instances) {
+        std::vector<uint32_t> Ids;
+        Ids.reserve(Instances.size());
+        for (const auto &Entry : Instances)
+          Ids.push_back(Entry.first);
+        std::sort(Ids.begin(), Ids.end());
+        for (uint32_t Id : Ids)
+          costInstance(Instances.at(Id));
+      };
+      CostAll(Lists);
+      CostAll(Sets);
+      CostAll(Maps);
+    }
     Lists.clear();
     Sets.clear();
     Maps.clear();
@@ -458,6 +524,7 @@ ReplayResult Replayer::run() {
     SiteRun &Run = Runs[I];
     Run.Site = &Site;
     Run.Index = static_cast<uint32_t>(I);
+    Run.CostModel = Options.Model.get();
     Run.Result.Name = Site.Name;
     Run.Result.Kind = Site.Kind;
     Run.Result.InitialVariantIndex = Site.DeclaredVariantIndex;
@@ -544,6 +611,8 @@ ReplayResult Replayer::run() {
     Result.SizeMismatches += Run.Result.SizeMismatches;
     Result.Evaluations += Run.Result.Evaluations;
     Result.Switches += Run.Result.Switches;
+    Result.TrajectoryTime += Run.Result.TrajectoryTime;
+    Result.TrajectoryAlloc += Run.Result.TrajectoryAlloc;
     Result.DecisionLog += Run.Log;
     Result.Sites.push_back(std::move(Run.Result));
   }

@@ -87,6 +87,15 @@ struct SiteReplayResult {
   /// size-at-op — the fidelity check of the operand re-synthesis (should
   /// be 0 for a loss-free trace).
   uint64_t SizeMismatches = 0;
+  /// Model-predicted time/alloc cost of the replay *trajectory*: every
+  /// replayed instance costed on the variant it was actually created
+  /// with, over the workload it actually executed. Unlike a final-variant
+  /// prediction this rewards converging early — instances created before
+  /// the context switched still pay the pre-switch variant's cost — so
+  /// it is the deterministic fitness signal of the offline tuner.
+  /// Computed only when ReplayOptions::Model is set; 0 otherwise.
+  double TrajectoryTime = 0.0;
+  double TrajectoryAlloc = 0.0;
 };
 
 /// Outcome of one replay run.
@@ -100,6 +109,10 @@ struct ReplayResult {
   /// Measured cost of re-executing the trace.
   uint64_t ElapsedNanos = 0;
   uint64_t AllocatedBytes = 0;
+  /// Trajectory cost summed over sites (see SiteReplayResult); the
+  /// deterministic counterpart of the measured costs above.
+  double TrajectoryTime = 0.0;
+  double TrajectoryAlloc = 0.0;
   /// Per-site decision log (engine mode), concatenated in site order;
   /// byte-identical across replays of the same (trace, options).
   std::string DecisionLog;

@@ -242,6 +242,22 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
          ", \"promotions\": " + std::to_string(Snapshot.Fleet.Promotions) +
          ", \"promotions_rejected\": " +
          std::to_string(Snapshot.Fleet.PromotionsRejected) + "},\n";
+  Out += "  \"tuning\": {\"loads\": " + std::to_string(Snapshot.Tuning.Loads) +
+         ", \"load_failures\": " +
+         std::to_string(Snapshot.Tuning.LoadFailures) +
+         ", \"source\": \"" + jsonEscape(Snapshot.Tuning.Source) +
+         "\", \"fingerprint\": \"" + jsonEscape(Snapshot.Tuning.Fingerprint) +
+         "\", \"corpus_digest\": \"" +
+         jsonEscape(Snapshot.Tuning.CorpusDigest) +
+         "\", \"seed\": " + std::to_string(Snapshot.Tuning.Seed) +
+         ", \"generations\": " + std::to_string(Snapshot.Tuning.Generations) +
+         ", \"population\": " + std::to_string(Snapshot.Tuning.Population) +
+         ", \"evaluations\": " + std::to_string(Snapshot.Tuning.Evaluations) +
+         ", \"parameters\": " + std::to_string(Snapshot.Tuning.Parameters) +
+         ", \"winner_fitness\": " +
+         formatDouble(Snapshot.Tuning.WinnerFitness) +
+         ", \"baseline_fitness\": " +
+         formatDouble(Snapshot.Tuning.BaselineFitness) + "},\n";
   Out += "  \"contexts\": [";
   for (size_t I = 0; I != Snapshot.Contexts.size(); ++I) {
     const ContextSnapshot &C = Snapshot.Contexts[I];
@@ -317,6 +333,12 @@ std::string cswitch::toCsv(const TelemetrySnapshot &Snapshot) {
          " fleet_promotions=" + std::to_string(Snapshot.Fleet.Promotions) +
          " fleet_promotions_rejected=" +
          std::to_string(Snapshot.Fleet.PromotionsRejected) + "\n";
+  Out += "# tuning_loads=" + std::to_string(Snapshot.Tuning.Loads) +
+         " tuning_load_failures=" +
+         std::to_string(Snapshot.Tuning.LoadFailures) +
+         " tuning_parameters=" + std::to_string(Snapshot.Tuning.Parameters) +
+         " tuning_seed=" + std::to_string(Snapshot.Tuning.Seed) +
+         " tuning_source=" + csvField(Snapshot.Tuning.Source) + "\n";
   {
     // Engine-wide latency p99s ride along the same way: the column
     // schema stays untouched, but tail behaviour is visible in every

@@ -222,6 +222,47 @@ bool cswitch::operator==(const FleetStats &A, const FleetStats &B) {
          A.PromotionsRejected == B.PromotionsRejected;
 }
 
+TuningStats cswitch::operator-(const TuningStats &A, const TuningStats &B) {
+  TuningStats Out = A; // Provenance carries over verbatim.
+  Out.Loads = monus(A.Loads, B.Loads);
+  Out.LoadFailures = monus(A.LoadFailures, B.LoadFailures);
+  return Out;
+}
+
+bool cswitch::operator==(const TuningStats &A, const TuningStats &B) {
+  return A.Loads == B.Loads && A.LoadFailures == B.LoadFailures &&
+         A.Source == B.Source && A.Fingerprint == B.Fingerprint &&
+         A.CorpusDigest == B.CorpusDigest && A.Seed == B.Seed &&
+         A.Generations == B.Generations && A.Population == B.Population &&
+         A.Evaluations == B.Evaluations && A.Parameters == B.Parameters &&
+         A.WinnerFitness == B.WinnerFitness &&
+         A.BaselineFitness == B.BaselineFitness;
+}
+
+TuningRegistry &TuningRegistry::global() {
+  static TuningRegistry Instance;
+  return Instance;
+}
+
+void TuningRegistry::recordLoad(const TuningStats &Provenance) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Loads = Counters.Loads + 1;
+  uint64_t Failures = Counters.LoadFailures;
+  Counters = Provenance;
+  Counters.Loads = Loads;
+  Counters.LoadFailures = Failures;
+}
+
+void TuningRegistry::recordFailure() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Counters.LoadFailures;
+}
+
+TuningStats TuningRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
 FleetRegistry &FleetRegistry::global() {
   static FleetRegistry Instance;
   return Instance;
@@ -276,6 +317,7 @@ TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
   Out.Recorder = Now.Recorder - Before.Recorder;
   Out.Store = Now.Store - Before.Store;
   Out.Fleet = Now.Fleet - Before.Fleet;
+  Out.Tuning = Now.Tuning - Before.Tuning;
   // Lifetime-distribution quantiles do not subtract; carry the newer
   // snapshot's distillation verbatim (same convention as Variant).
   Out.Latency = Now.Latency;

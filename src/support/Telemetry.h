@@ -213,6 +213,55 @@ struct FleetStats {
 FleetStats operator-(const FleetStats &A, const FleetStats &B);
 bool operator==(const FleetStats &A, const FleetStats &B);
 
+/// Counters and provenance of the tuned-configuration loader (the
+/// `cswitch-tuning-v1` artifacts the offline autotuner emits), so which
+/// tuned parameters a process runs under — and every rejected artifact —
+/// is observable, not silent.
+struct TuningStats {
+  uint64_t Loads = 0;        ///< Tuning artifacts applied.
+  uint64_t LoadFailures = 0; ///< Artifacts rejected (decode/validate).
+  // Provenance of the most recently applied artifact (empty/zero when
+  // none). These are state, not counters: operator- carries the newer
+  // snapshot's values verbatim (same convention as Variant/Latency).
+  std::string Source;       ///< Artifact origin (file path, or "<memory>").
+  std::string Fingerprint;  ///< Host fingerprint recorded at tune time.
+  std::string CorpusDigest; ///< Digest of the trace corpus tuned against.
+  uint64_t Seed = 0;        ///< Search seed.
+  uint64_t Generations = 0; ///< Generations the search ran.
+  uint64_t Population = 0;  ///< Genomes per generation.
+  uint64_t Evaluations = 0; ///< Fitness evaluations performed.
+  uint64_t Parameters = 0;  ///< Parameter rows applied.
+  double WinnerFitness = 0.0;   ///< Fitness of the applied genome.
+  double BaselineFitness = 0.0; ///< Fitness of the paper defaults.
+};
+
+TuningStats operator-(const TuningStats &A, const TuningStats &B);
+bool operator==(const TuningStats &A, const TuningStats &B);
+
+/// Process-wide accumulator the tuned-configuration loader reports
+/// through, so the engine's telemetry snapshot can include tuning
+/// provenance without the support layer depending on the tuning library
+/// — the same decoupling FleetRegistry provides for the fleet.
+class TuningRegistry {
+public:
+  /// The process-wide registry instance.
+  static TuningRegistry &global();
+
+  /// Records a successfully applied artifact: increments Loads and
+  /// installs \p Provenance (its counter fields are ignored).
+  void recordLoad(const TuningStats &Provenance);
+
+  /// Records an artifact the loader rejected.
+  void recordFailure();
+
+  /// Cumulative counters plus latest provenance since process start.
+  TuningStats stats() const;
+
+private:
+  mutable std::mutex Mutex;
+  TuningStats Counters; ///< Guarded by Mutex.
+};
+
 /// Process-wide accumulator the fleet layer reports through, so the
 /// engine's telemetry snapshot can include fleet counters without the
 /// support layer (or the core) depending on the fleet library — the
@@ -274,6 +323,7 @@ struct TelemetrySnapshot {
   RecorderStats Recorder;
   StoreStats Store;
   FleetStats Fleet;
+  TuningStats Tuning;
   EngineLatencies Latency;
   TopologyStats Topology;
 };

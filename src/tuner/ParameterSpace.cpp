@@ -1,0 +1,92 @@
+//===- ParameterSpace.cpp - Typed tuner parameter space -------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+
+#include "tuner/ParameterSpace.h"
+
+#include <cmath>
+
+using namespace cswitch;
+using namespace cswitch::tuner;
+
+const std::array<ParamInfo, NumTunableParams> &cswitch::tuner::parameterSpace() {
+  // Bounds are deliberately generous around the paper defaults: wide
+  // enough for the search to find genuinely different regimes, narrow
+  // enough that every point is a *sane* runtime configuration (a tuning
+  // artifact can never install a pathological value; see also
+  // validateThresholds).
+  static const std::array<ParamInfo, NumTunableParams> Table = {{
+      {ParamId::AdaptiveListThreshold, "adaptive.list.threshold", 8.0, 4096.0,
+       80.0, true},
+      {ParamId::AdaptiveSetThreshold, "adaptive.set.threshold", 8.0, 4096.0,
+       40.0, true},
+      {ParamId::AdaptiveMapThreshold, "adaptive.map.threshold", 8.0, 4096.0,
+       50.0, true},
+      {ParamId::ContextWindow, "context.window", 8.0, 2048.0, 100.0, true},
+      {ParamId::ContextFinishedRatio, "context.finished_ratio", 0.1, 1.0, 0.6,
+       false},
+      {ParamId::ContextWideRangeFactor, "context.wide_range_factor", 1.0, 64.0,
+       4.0, false},
+      {ParamId::ContextWarmWindowFactor, "context.warm_window_factor", 0.05,
+       1.0, 0.25, false},
+      {ParamId::RuleTimeThreshold, "rule.time_threshold", 0.5, 0.99, 0.8,
+       false},
+      {ParamId::EngineEvalEveryOps, "engine.eval_every_ops", 32.0, 8192.0,
+       256.0, true},
+      {ParamId::StoreDecay, "store.decay", 0.05, 0.95, 0.5, false},
+      {ParamId::ContentionMinOps, "contention.min_ops", 16.0, 65536.0, 256.0,
+       true},
+      {ParamId::ContentionSmoothing, "contention.smoothing", 0.05, 1.0, 0.5,
+       false},
+      {ParamId::ContentionShards, "contention.shards", 0.0, 64.0, 0.0, true},
+  }};
+  return Table;
+}
+
+const ParamInfo *cswitch::tuner::findParam(std::string_view Name) {
+  for (const ParamInfo &Info : parameterSpace())
+    if (Name == Info.Name)
+      return &Info;
+  return nullptr;
+}
+
+double cswitch::tuner::clampParam(const ParamInfo &Info, double Value) {
+  if (!std::isfinite(Value))
+    return Info.Default;
+  if (Info.Integer)
+    Value = std::nearbyint(Value);
+  if (Value < Info.Min)
+    return Info.Min;
+  if (Value > Info.Max)
+    return Info.Max;
+  return Value;
+}
+
+ParameterSet::ParameterSet() {
+  const auto &Space = parameterSpace();
+  for (size_t I = 0; I != NumTunableParams; ++I)
+    Values[static_cast<size_t>(Space[I].Id)] = Space[I].Default;
+}
+
+void ParameterSet::set(ParamId Id, double Value) {
+  const ParamInfo &Info = parameterSpace()[static_cast<size_t>(Id)];
+  Values[static_cast<size_t>(Id)] = clampParam(Info, Value);
+}
+
+AdaptiveThresholds ParameterSet::thresholds() const {
+  AdaptiveThresholds T;
+  T.List = static_cast<size_t>(get(ParamId::AdaptiveListThreshold));
+  T.Set = static_cast<size_t>(get(ParamId::AdaptiveSetThreshold));
+  T.Map = static_cast<size_t>(get(ParamId::AdaptiveMapThreshold));
+  return T;
+}
+
+ContentionPolicy ParameterSet::contention() const {
+  ContentionPolicy P;
+  P.MinOps = static_cast<uint64_t>(get(ParamId::ContentionMinOps));
+  P.Smoothing = get(ParamId::ContentionSmoothing);
+  P.Shards = static_cast<size_t>(get(ParamId::ContentionShards));
+  return P;
+}

@@ -104,7 +104,8 @@ TEST(SwitchApi, ConfigureInstallsContextDefaults) {
       SelectionRule::timeRule(), ContextOptions{}.windowSize(75));
   EXPECT_EQ(Explicit->options().WindowSize, 75u);
   EXPECT_EQ(Explicit->concurrencyMode(), Concurrency::None);
-  Switch::configure(SwitchConfig{EngineOptions{}, Before, FleetOptions{}});
+  Switch::configure(
+      SwitchConfig{EngineOptions{}, Before, FleetOptions{}, std::string()});
 }
 
 TEST(SwitchApi, FluentOptionsConfigureTheAggregate) {
@@ -196,13 +197,13 @@ TEST(SwitchApi, TelemetryJsonRoundTripsEngineStats) {
   EXPECT_EQ(firstJsonField(Json, "recorded"), T.Events.Recorded);
 
   // CSV carries one row per context of the same snapshot, preceded by
-  // the five `#` loss/store/fleet/latency-counter comment lines and the
-  // column header.
+  // the six `#` loss/store/fleet/tuning/latency-counter comment lines
+  // and the column header.
   std::string Csv = toCsv(T);
   size_t Rows = 0;
   for (char C : Csv)
     Rows += C == '\n';
-  EXPECT_EQ(Rows, T.Contexts.size() + 6);
+  EXPECT_EQ(Rows, T.Contexts.size() + 7);
 }
 
 TEST(SwitchApi, DrainEventsHarvestsTransitions) {

@@ -62,7 +62,8 @@ public:
     Switch::closeStore();
     Switch::configure(SwitchConfig{
         EngineOptions{}, ContextOptions{},
-        FleetOptions{}.serveStore().maxPushBytes(MaxPushBytes)});
+        FleetOptions{}.serveStore().maxPushBytes(MaxPushBytes),
+        std::string()});
     static int Counter = 0;
     StorePath = "fleet_sync_test_" + std::to_string(++Counter) + ".store";
     std::remove(StorePath.c_str());

@@ -240,6 +240,10 @@ TelemetrySnapshot sampleSnapshot() {
   S.Store.WarmStarts = 4;
   S.Store.Persists = 5;
   S.Store.PersistFailures = 0;
+  S.Tuning.Loads = 1;
+  S.Tuning.Source = "tuned.cstune";
+  S.Tuning.Parameters = 13;
+  S.Tuning.Seed = 6405;
   return S;
 }
 
@@ -321,7 +325,7 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
   std::istringstream Lines(Csv);
   // Loss counters lead as `#` comments so the column schema is
   // unchanged but drops are never invisible in exported data.
-  std::string Events, Recorder, Store, Fleet, Latency, Header;
+  std::string Events, Recorder, Store, Fleet, Tuning, Latency, Header;
   ASSERT_TRUE(std::getline(Lines, Events));
   EXPECT_EQ(Events, "# events_recorded=42 events_dropped=2");
   ASSERT_TRUE(std::getline(Lines, Recorder));
@@ -334,6 +338,10 @@ TEST(Telemetry, CsvHasHeaderAndQuotesSpecials) {
                    "store_persists=5 store_persist_failures=0");
   ASSERT_TRUE(std::getline(Lines, Fleet));
   EXPECT_EQ(Fleet.rfind("# fleet_pulls=", 0), 0u);
+  ASSERT_TRUE(std::getline(Lines, Tuning));
+  EXPECT_EQ(Tuning, "# tuning_loads=1 tuning_load_failures=0 "
+                    "tuning_parameters=13 tuning_seed=6405 "
+                    "tuning_source=tuned.cstune");
   ASSERT_TRUE(std::getline(Lines, Latency));
   EXPECT_EQ(Latency.rfind("# latency_record_count=", 0), 0u);
   ASSERT_TRUE(std::getline(Lines, Header));

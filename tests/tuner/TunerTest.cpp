@@ -1,0 +1,288 @@
+//===- TunerTest.cpp - Offline autotuner tests ----------------------------===//
+//
+// Part of the CollectionSwitch C++ reproduction (CGO'18, Costa & Andrzejak).
+//
+//===----------------------------------------------------------------------===//
+//
+// Tests of the evolutionary tuner (DESIGN.md §13): determinism (same
+// seed + corpus gives a byte-identical artifact; parallel evaluation
+// equals serial), fitness sanity (the winner never loses to the paper
+// defaults it starts from), the parameter space's clamping, the
+// validated AdaptiveConfig setters, the per-context threshold override,
+// and the runtime artifact-application path (Switch::applyTuning +
+// telemetry provenance).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Switch.h"
+#include "model/DefaultModel.h"
+#include "replay/TraceRecorder.h"
+#include "support/Random.h"
+#include "tuner/Tuner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+
+using namespace cswitch;
+using namespace cswitch::tuner;
+
+namespace {
+
+std::shared_ptr<const PerformanceModel> testModel() {
+  static std::shared_ptr<const PerformanceModel> Model =
+      std::make_shared<const PerformanceModel>(defaultPerformanceModel());
+  return Model;
+}
+
+/// Records a lookup-heavy list + churny set workload: enough signal for
+/// the search to beat the defaults, small enough to keep tests fast.
+OpTrace recordedTrace(size_t Instances, uint64_t Seed) {
+  TraceRecorder Rec;
+  ContextOptions Options;
+  Options.LogEvents = false;
+  Options.Recorder = &Rec;
+  ListContext<int64_t> Lists("tuner-test:list", ListVariant::ArrayList,
+                             testModel(), SelectionRule::timeRule(),
+                             Options);
+  SetContext<int64_t> Sets("tuner-test:set", SetVariant::SortedArraySet,
+                           testModel(), SelectionRule::timeRule(), Options);
+  SplitMix64 Rng(Seed);
+  for (size_t I = 0; I != Instances; ++I) {
+    List<int64_t> L = Lists.createList();
+    Set<int64_t> S = Sets.createSet();
+    size_t N = 40 + Rng.nextBelow(40);
+    for (size_t Op = 0; Op != N; ++Op) {
+      L.add(static_cast<int64_t>(Op));
+      S.add(static_cast<int64_t>(Rng.nextBelow(32)));
+    }
+    for (size_t Op = 0; Op != 4 * N; ++Op)
+      (void)L.contains(static_cast<int64_t>(Rng.nextBelow(2 * N)));
+    (void)S.remove(static_cast<int64_t>(Rng.nextBelow(32)));
+    if (I % 8 == 7) {
+      Lists.evaluate();
+      Sets.evaluate();
+    }
+  }
+  return Rec.trace();
+}
+
+TunerOptions smallSearch() {
+  TunerOptions Options;
+  Options.Population = 8;
+  Options.Generations = 4;
+  return Options;
+}
+
+TEST(ParameterSpace, ClampsOnEveryWritePath) {
+  ParameterSet Params;
+  // Defaults are the paper values.
+  EXPECT_EQ(Params.get(ParamId::AdaptiveListThreshold), 80.0);
+  EXPECT_EQ(Params.get(ParamId::ContextWindow), 100.0);
+
+  Params.set(ParamId::AdaptiveListThreshold, 1e18);
+  EXPECT_EQ(Params.get(ParamId::AdaptiveListThreshold), 4096.0);
+  Params.set(ParamId::AdaptiveListThreshold, -5.0);
+  EXPECT_EQ(Params.get(ParamId::AdaptiveListThreshold), 8.0);
+  // Integer parameters round to integral values.
+  Params.set(ParamId::ContextWindow, 99.7);
+  EXPECT_EQ(Params.get(ParamId::ContextWindow), 100.0);
+  // Non-finite input falls back to the default, not garbage.
+  Params.set(ParamId::StoreDecay,
+             std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(Params.get(ParamId::StoreDecay), 0.5);
+
+  // The typed slices reflect the genome.
+  Params.set(ParamId::AdaptiveMapThreshold, 200);
+  EXPECT_EQ(Params.thresholds().Map, 200u);
+  Params.set(ParamId::ContentionShards, 32);
+  EXPECT_EQ(Params.contention().Shards, 32u);
+}
+
+TEST(AdaptiveConfigValidation, RejectsOutOfRangeThresholds) {
+  AdaptiveThresholds T;
+  std::string Error;
+  EXPECT_TRUE(validateThresholds(T, &Error)) << Error;
+
+  T.List = 0;
+  EXPECT_FALSE(validateThresholds(T, &Error));
+  EXPECT_NE(Error.find("List"), std::string::npos);
+
+  T.List = MaxAdaptiveThreshold + 1;
+  EXPECT_FALSE(validateThresholds(T));
+
+  // The checked setter refuses without touching the live config.
+  AdaptiveThresholds Before = AdaptiveConfig::global().thresholds();
+  EXPECT_FALSE(AdaptiveConfig::global().setThresholdsChecked(T));
+  EXPECT_EQ(AdaptiveConfig::global().thresholds().List, Before.List);
+}
+
+TEST(AdaptiveConfigValidation, RejectsPathologicalContention) {
+  ContentionPolicy P;
+  std::string Error;
+  EXPECT_TRUE(validateContention(P, &Error)) << Error;
+
+  P.Smoothing = 0.0;
+  EXPECT_FALSE(validateContention(P, &Error));
+  P.Smoothing = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(validateContention(P));
+  P.Smoothing = 0.5;
+  P.Shards = 1 << 20;
+  EXPECT_FALSE(validateContention(P, &Error));
+  EXPECT_NE(Error.find("shards"), std::string::npos);
+}
+
+TEST(Tuner, SameSeedAndCorpusGiveByteIdenticalArtifacts) {
+  OpTrace Trace = recordedTrace(48, 7);
+  auto RunOnce = [&] {
+    Tuner Search(testModel(), smallSearch());
+    Search.addTrace(Trace);
+    TunerResult Result = Search.run();
+    return encodeTuningArtifact(Search.makeArtifact(Result));
+  };
+  std::string First = RunOnce();
+  std::string Second = RunOnce();
+  EXPECT_EQ(First, Second);
+  EXPECT_FALSE(First.empty());
+}
+
+TEST(Tuner, ParallelEvaluationEqualsSerial) {
+  OpTrace Trace = recordedTrace(48, 7);
+  auto RunWith = [&](unsigned Threads) {
+    TunerOptions Options = smallSearch();
+    Options.Threads = Threads;
+    Tuner Search(testModel(), Options);
+    Search.addTrace(Trace);
+    TunerResult Result = Search.run();
+    return encodeTuningArtifact(Search.makeArtifact(Result));
+  };
+  EXPECT_EQ(RunWith(1), RunWith(4));
+}
+
+TEST(Tuner, WinnerNeverLosesToTheDefaults) {
+  OpTrace Trace = recordedTrace(64, 11);
+  Tuner Search(testModel(), smallSearch());
+  Search.addTrace(Trace);
+  TunerResult Result = Search.run();
+  // Generation 0 contains the default genome and elitism never drops
+  // the champion, so Best <= Baseline always holds.
+  EXPECT_LE(Result.BestFitness, Result.BaselineFitness + 1e-12);
+  EXPECT_GT(Result.GenerationsRun, 0u);
+  EXPECT_EQ(Result.History.size(), Result.GenerationsRun);
+  EXPECT_GT(Result.Evaluations, 0u);
+}
+
+TEST(Tuner, ArtifactCarriesProvenance) {
+  OpTrace Trace = recordedTrace(32, 3);
+  TunerOptions Options = smallSearch();
+  Options.Seed = 0xfeed;
+  Tuner Search(testModel(), Options);
+  Search.addTrace(Trace);
+  TunerResult Result = Search.run();
+  TuningArtifact Artifact = Search.makeArtifact(Result);
+  EXPECT_EQ(Artifact.Seed, 0xfeedu);
+  EXPECT_EQ(Artifact.Population, Options.Population);
+  EXPECT_EQ(Artifact.CorpusDigest, Search.corpusDigest());
+  EXPECT_FALSE(Artifact.HostFingerprint.empty());
+  EXPECT_EQ(Artifact.Rows.size(), NumTunableParams);
+  EXPECT_DOUBLE_EQ(Artifact.WinnerFitness, Result.BestFitness);
+  // The encoded artifact decodes back to the winning genome.
+  ParameterSet Params;
+  std::string Error;
+  TuningArtifact Decoded;
+  ASSERT_TRUE(decodeTuningArtifact(encodeTuningArtifact(Artifact), Decoded,
+                                   &Error))
+      << Error;
+  ASSERT_TRUE(paramsFromArtifact(Decoded, Params, &Error)) << Error;
+  EXPECT_EQ(Params, Result.Best);
+}
+
+TEST(Tuner, EvaluateIsMemoizedAndDeterministic) {
+  OpTrace Trace = recordedTrace(24, 5);
+  Tuner Search(testModel(), smallSearch());
+  Search.addTrace(Trace);
+  ParameterSet Defaults;
+  double Baseline = Search.evaluate(Defaults);
+  // The default genome scores 1.0 against itself (up to the
+  // regularization term, which is zero at the defaults).
+  EXPECT_NEAR(Baseline, 1.0, 1e-9);
+  EXPECT_EQ(Search.evaluate(Defaults), Baseline);
+
+  ParameterSet Other;
+  Other.set(ParamId::ContextWindow, 16);
+  double First = Search.evaluate(Other);
+  EXPECT_EQ(Search.evaluate(Other), First);
+}
+
+TEST(ContextOptionsOverride, AdaptiveThresholdsApplyPerContext) {
+  // A context with an AdaptiveOverride consults it instead of the
+  // global AdaptiveConfig — the mechanism tuned genomes and simulated
+  // policies rely on for race-free parallel evaluation.
+  AdaptiveThresholds Tuned;
+  Tuned.List = 16;
+  ContextOptions Options;
+  Options.LogEvents = false;
+  Options.AdaptiveOverride = Tuned;
+  ListContext<int64_t> Ctx("tuner-test:override", ListVariant::AdaptiveList,
+                           testModel(), SelectionRule::timeRule(), Options);
+  List<int64_t> L = Ctx.createList();
+  for (int64_t V = 0; V != 32; ++V)
+    L.add(V);
+  // With the global default threshold (80) this stays an array; the
+  // override (16) makes the adaptive impl transition to a hash at 32
+  // elements, observable through the footprint jump.
+  ListContext<int64_t> Global("tuner-test:noshadow", ListVariant::AdaptiveList,
+                              testModel(), SelectionRule::timeRule(),
+                              ContextOptions{}.logEvents(false));
+  List<int64_t> G = Global.createList();
+  for (int64_t V = 0; V != 32; ++V)
+    G.add(V);
+  EXPECT_EQ(L.size(), G.size());
+  EXPECT_GT(L.memoryFootprint(), G.memoryFootprint());
+}
+
+TEST(SwitchApplyTuning, InstallsArtifactAndRecordsProvenance) {
+  // Build a tuned artifact with a distinctive window size.
+  ParameterSet Params;
+  Params.set(ParamId::ContextWindow, 72);
+  Params.set(ParamId::AdaptiveListThreshold, 96);
+  TuningArtifact Artifact = artifactFromParams(Params);
+  Artifact.HostFingerprint = "test/apply";
+  Artifact.Seed = 42;
+  Artifact.CorpusDigest = "crc32:00000000";
+  const char *Path = "tuner_apply_test.cstune";
+  std::string Error;
+  ASSERT_TRUE(writeTuningArtifactToFile(Path, Artifact, &Error)) << Error;
+
+  TuningStats Before = Switch::telemetry().Tuning;
+  ASSERT_TRUE(Switch::applyTuning(Path, &Error)) << Error;
+  EXPECT_EQ(Switch::defaultContextOptions().WindowSize, 72u);
+  EXPECT_EQ(AdaptiveConfig::global().thresholds().List, 96u);
+  TuningStats After = Switch::telemetry().Tuning;
+  EXPECT_EQ(After.Loads, Before.Loads + 1);
+  EXPECT_EQ(After.Source, Path);
+  EXPECT_EQ(After.Fingerprint, "test/apply");
+  EXPECT_EQ(After.Parameters, NumTunableParams);
+
+  // A corrupt artifact is counted and rejected without changing the
+  // installed configuration.
+  FILE *F = std::fopen(Path, "wb");
+  ASSERT_NE(F, nullptr);
+  std::fputs("cswitch-tuning-v1 garbage", F);
+  std::fclose(F);
+  EXPECT_FALSE(Switch::applyTuning(Path, &Error));
+  EXPECT_FALSE(Error.empty());
+  TuningStats Failed = Switch::telemetry().Tuning;
+  EXPECT_EQ(Failed.LoadFailures, After.LoadFailures + 1);
+  EXPECT_EQ(Switch::defaultContextOptions().WindowSize, 72u);
+
+  std::remove(Path);
+
+  // Restore the process defaults for other tests.
+  Switch::configure(SwitchConfig{});
+  AdaptiveConfig::global().setThresholds(AdaptiveThresholds{});
+  AdaptiveConfig::global().setContention(ContentionPolicy{});
+}
+
+} // namespace

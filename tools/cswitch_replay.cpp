@@ -342,25 +342,6 @@ int runReplay(const std::vector<std::string> &Args) {
   return 0;
 }
 
-std::string simulationToJson(const SimulationReport &Report) {
-  std::ostringstream OS;
-  OS << "{\n  \"schema\": \"cswitch-simulate-v1\",\n  \"best\": \""
-     << jsonEscape(Report.Best) << "\",\n  \"policies\": [\n";
-  for (size_t I = 0; I != Report.Ranked.size(); ++I) {
-    const PolicyOutcome &O = Report.Ranked[I];
-    OS << "    {\"name\": \"" << jsonEscape(O.Name)
-       << "\", \"elapsed_nanos\": " << O.ElapsedNanos
-       << ", \"allocated_bytes\": " << O.AllocatedBytes
-       << ", \"switches\": " << O.Switches
-       << ", \"evaluations\": " << O.Evaluations
-       << ", \"predicted_time\": " << O.PredictedTime
-       << ", \"predicted_alloc\": " << O.PredictedAlloc << "}"
-       << (I + 1 == Report.Ranked.size() ? "\n" : ",\n");
-  }
-  OS << "  ]\n}\n";
-  return OS.str();
-}
-
 int runSimulate(const std::vector<std::string> &Args) {
   std::string ModelPath, JsonPath;
   uint64_t Seed = 0x1905;
@@ -404,7 +385,7 @@ int runSimulate(const std::vector<std::string> &Args) {
 
   SimulationReport Report = Simulator.run(Seed, Threads);
   std::fputs(Report.render().c_str(), stdout);
-  if (!JsonPath.empty() && !emitOutput(JsonPath, simulationToJson(Report)))
+  if (!JsonPath.empty() && !emitOutput(JsonPath, Report.toJson()))
     return 1;
   return 0;
 }
