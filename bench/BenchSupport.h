@@ -17,6 +17,7 @@
 #include "model/CostModel.h"
 #include "model/DefaultModel.h"
 #include "model/ModelBuilder.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <climits>
@@ -89,6 +90,9 @@ inline std::shared_ptr<const PerformanceModel> loadModel() {
     augmentConcurrentCoverage(*Model);
     if (modelCoversAllVariants(*Model)) {
       std::printf("[using measured model %s]\n", Path);
+      ModelStats Provenance;
+      Provenance.Source = Path;
+      ModelRegistry::global().recordInstall(Provenance);
       return Model;
     }
   }
@@ -103,6 +107,9 @@ inline std::shared_ptr<const PerformanceModel> loadModel() {
   // Calibration measures the sequential tier only; graft the concurrent
   // rows (and contention polynomials) from the analytical defaults.
   augmentConcurrentCoverage(*Measured);
+  ModelStats Provenance;
+  Provenance.Source = CachePath;
+  ModelRegistry::global().recordInstall(Provenance);
   return Measured;
 }
 

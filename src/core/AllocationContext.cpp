@@ -17,6 +17,11 @@
 
 using namespace cswitch;
 
+static_assert(NumCostDimensions == obs::ExplainNumDimensions,
+              "the provenance ledger's dimension layout mirrors "
+              "CostDimension; update obs::ExplainNumDimensions and "
+              "explainDimensionName together with the enum");
+
 namespace {
 
 /// Saturating narrowing for the compact window-slot profiles.
@@ -132,6 +137,30 @@ void AllocationContextBase::applyWarmStart() {
   if (Options.LogEvents)
     EventLog::global().record(EventKind::WarmStart, Name,
                               VariantId{Kind, Hit->Decision}.name());
+  if (obs::ProvenanceRegistry::enabled()) {
+    // The warm start skipped the whole pre-convergence analysis: the
+    // ledger records the seeded variant so the skip is explainable.
+    resolveLedger();
+    obs::DecisionRecord Record;
+    Record.TimestampNanos = obs::nowNanos();
+    Record.Outcome = obs::DecisionOutcome::WarmStartSkipped;
+    Record.CurrentVariant = static_cast<int16_t>(Hit->Decision);
+    Record.ChosenVariant = static_cast<int16_t>(Hit->Decision);
+    Ledger->record(Record);
+  }
+}
+
+void AllocationContextBase::resolveLedger() {
+  if (Ledger)
+    return;
+  size_t NumVariants = numVariantsOf(Kind);
+  std::vector<std::string> Names;
+  Names.reserve(NumVariants);
+  for (unsigned V = 0; V != NumVariants; ++V)
+    Names.push_back(VariantId{Kind, V}.name());
+  Ledger = obs::ProvenanceRegistry::global().site(
+      Name, abstractionKindName(Kind), Rule.Name, std::move(Names));
+  PendingDecision = std::make_unique<obs::DecisionRecord>();
 }
 
 WorkloadProfile
@@ -385,8 +414,165 @@ std::optional<unsigned> AllocationContextBase::analyzeRound(uint32_t Round,
     Costs[AdaptiveIndex].Eligible = Straddles || WideSpread;
   }
 
-  return selectVariant(Costs, Current.load(std::memory_order_relaxed),
-                       Rule);
+  std::optional<unsigned> Choice = selectVariant(
+      Costs, Current.load(std::memory_order_relaxed), Rule);
+  if (Ledger)
+    capturePendingDecision(Round, Costs, Choice, Threads, Contended,
+                           MinMaxSize, MaxMaxSize);
+  return Choice;
+}
+
+void AllocationContextBase::capturePendingDecision(
+    uint32_t Round, const std::vector<VariantCosts> &Costs,
+    const std::optional<unsigned> &Choice, double Threads, bool Contended,
+    uint64_t MinMaxSize, uint64_t MaxMaxSize) {
+  obs::DecisionRecord &R = *PendingDecision;
+  R = obs::DecisionRecord();
+  R.TimestampNanos = obs::nowNanos();
+  R.Round = Round;
+  unsigned Cur = Current.load(std::memory_order_relaxed);
+  R.CurrentVariant = static_cast<int16_t>(Cur);
+  R.ChosenVariant = Choice ? static_cast<int16_t>(*Choice) : int16_t(-1);
+  size_t NumCandidates =
+      std::min<size_t>(Costs.size(), obs::ExplainMaxCandidates);
+  R.NumCandidates = static_cast<uint8_t>(NumCandidates);
+  size_t NumCriteria =
+      std::min<size_t>(Rule.Criteria.size(), obs::ExplainMaxCriteria);
+  R.NumCriteria = static_cast<uint8_t>(NumCriteria);
+  for (size_t C = 0; C != NumCriteria; ++C) {
+    R.Criteria[C].Dimension =
+        static_cast<uint8_t>(Rule.Criteria[C].Dimension);
+    R.Criteria[C].Threshold = Rule.Criteria[C].Threshold;
+  }
+  R.ContendedThreads = Threads;
+  R.ContentionFolded = Contended;
+  R.AdaptiveIndex = static_cast<int16_t>(AdaptiveIndex);
+  size_t Threshold = adaptiveThresholdFor(Kind);
+  R.AdaptiveThreshold = static_cast<double>(Threshold);
+  R.WideRangeFactor = Options.WideRangeFactor;
+  R.MinMaxSize = static_cast<double>(MinMaxSize);
+  R.MaxMaxSize = static_cast<double>(MaxMaxSize);
+  R.AdaptiveStraddles = MinMaxSize <= Threshold && MaxMaxSize > Threshold;
+  R.AdaptiveWide =
+      static_cast<double>(MaxMaxSize) >=
+      Options.WideRangeFactor *
+          std::max<double>(1.0, static_cast<double>(MinMaxSize));
+
+  // Per-candidate breakdowns via a second model pass. Deliberately NOT
+  // threaded through the analysis accumulation above: that loop's
+  // floating-point order (and its skip of unused dimensions) must stay
+  // bit-identical whether or not the ledger is on, so selection
+  // decisions cannot shift when an operator flips CSWITCH_EXPLAIN.
+  const VariantCosts &CurrentCosts = Costs[Cur];
+  WorkloadProfile GroupProfile;
+  for (size_t V = 0; V != NumCandidates; ++V) {
+    obs::CandidateExplanation &Cand = R.Candidates[V];
+    Cand.Covered = (CoverageMask >> V) & 1u;
+    Cand.Eligible = Costs[V].Eligible;
+    for (size_t D = 0; D != NumCostDimensions; ++D)
+      Cand.Total[D] = Costs[V].Total[D];
+    Cand.Ratio.fill(-1.0);
+    if (!Cand.Covered)
+      continue;
+    VariantId Id{Kind, static_cast<unsigned>(V)};
+    CostVector Sum;
+    for (const MergedGroup &G : Groups) {
+      GroupProfile.Counts = G.Counts;
+      GroupProfile.MaxSize = G.MaxSize;
+      CostVector GroupCosts =
+          Model->totalCostVector(Id, GroupProfile, Threads);
+      for (size_t D = 0; D != NumCostDimensions; ++D)
+        Sum.Components[D] += GroupCosts.Components[D];
+    }
+    for (size_t D = 0; D != NumCostDimensions; ++D)
+      Cand.PreFold[D] = Sum.Components[D];
+    // Dimensions the rule never accumulated read as zero in the
+    // analysis totals; backfill them from the breakdown pass (with the
+    // contention fold applied to time, matching the analysis folding)
+    // so the recorded totals are complete for every dimension.
+    for (size_t D = 0; D != NumCostDimensions; ++D) {
+      if (UsedDimensions[D])
+        continue;
+      double Total = Sum.Components[D];
+      if (Contended && D == static_cast<size_t>(CostDimension::Time))
+        Total += Sum.Components[
+            static_cast<size_t>(CostDimension::Contention)];
+      Cand.Total[D] = Total;
+    }
+  }
+
+  // Criterion ratios, qualification, and the threshold margin: the
+  // same arithmetic selectVariant applied, replayed per candidate so
+  // the ledger can show *why* each one passed or failed.
+  double DecidedMargin = 0.0;
+  bool HaveDecidedMargin = false;
+  double ClosestKeptMargin = 0.0;
+  bool HaveKeptMargin = false;
+  for (size_t V = 0; V != NumCandidates; ++V) {
+    obs::CandidateExplanation &Cand = R.Candidates[V];
+    if (!Cand.Covered)
+      continue;
+    bool Satisfied = true;
+    double Margin = 0.0;
+    bool HaveMargin = false;
+    for (size_t C = 0; C != NumCriteria; ++C) {
+      const Criterion &Crit = Rule.Criteria[C];
+      double CurCost = CurrentCosts.of(Crit.Dimension);
+      double CandCost = Costs[V].of(Crit.Dimension);
+      if (CurCost <= 0.0) {
+        // selectVariant's zero-cost rule; no finite ratio exists, so
+        // the sentinel -1 stays in place.
+        if (Crit.Threshold < 1.0 || CandCost > 0.0)
+          Satisfied = false;
+        continue;
+      }
+      double Ratio = CandCost / CurCost;
+      Cand.Ratio[C] = Ratio;
+      double Slack = Crit.Threshold - Ratio;
+      if (!HaveMargin || Slack < Margin) {
+        Margin = Slack;
+        HaveMargin = true;
+      }
+      if (Ratio > Crit.Threshold)
+        Satisfied = false;
+    }
+    Cand.Qualified =
+        V != Cur && Cand.Eligible && Satisfied && NumCriteria != 0;
+    if (Choice && V == *Choice && HaveMargin) {
+      DecidedMargin = Margin;
+      HaveDecidedMargin = true;
+    }
+    if (!Choice && V != Cur && Cand.Eligible && HaveMargin &&
+        (!HaveKeptMargin || Margin > ClosestKeptMargin)) {
+      // Kept: report how close the nearest candidate came to
+      // displacing the current variant (negative = missed by that
+      // much on its worst criterion).
+      ClosestKeptMargin = Margin;
+      HaveKeptMargin = true;
+    }
+  }
+  R.Margin = HaveDecidedMargin
+                 ? DecidedMargin
+                 : (HaveKeptMargin ? ClosestKeptMargin : 0.0);
+  PendingCaptured = true;
+}
+
+void AllocationContextBase::recordPendingDecision(bool Switched) {
+  if (!Ledger || !PendingCaptured)
+    return;
+  PendingCaptured = false;
+  obs::DecisionRecord &R = *PendingDecision;
+  if (Switched) {
+    KeepStreak = 0;
+    R.Outcome = obs::DecisionOutcome::Switched;
+  } else {
+    ++KeepStreak;
+    R.Outcome = KeepStreak >= ConvergedKeepStreak
+                    ? obs::DecisionOutcome::Converged
+                    : obs::DecisionOutcome::Kept;
+  }
+  R.ConsecutiveKeeps = KeepStreak;
+  Ledger->record(R);
 }
 
 bool AllocationContextBase::evaluate() {
@@ -424,6 +610,12 @@ bool AllocationContextBase::evaluate() {
     }
   }
 
+  // Resolve the provenance ledger once a round is actually going to be
+  // analyzed; when the ledger is disabled (the default) this is a
+  // single relaxed atomic load and nothing below touches it.
+  if (obs::ProvenanceRegistry::enabled())
+    resolveLedger();
+
   // Analysis rounds are rare (paced by the monitoring rate), so every
   // one is timed — no sampling on this path.
   const bool Profiled = obs::ProfilingRegistry::enabled();
@@ -460,24 +652,27 @@ bool AllocationContextBase::evaluate() {
     Prof->Evaluate.record(obs::nowNanos() - AnalysisStart);
 
   unsigned Cur = Current.load(std::memory_order_relaxed);
-  if (!Choice || *Choice == Cur)
-    return false;
-
-  const uint64_t SwitchStart = Profiled ? obs::nowNanos() : 0;
-  Current.store(*Choice, std::memory_order_relaxed);
-  Switches.fetch_add(1, std::memory_order_relaxed);
-  if (Options.LogEvents) {
-    // Transitions are rare (bounded by the variant pool in steady
-    // state); building + interning the detail string here keeps the
-    // common no-switch evaluation completely allocation-free.
-    std::string Detail = VariantId{Kind, Cur}.name() + " -> " +
-                         VariantId{Kind, *Choice}.name();
-    EventLog &Log = EventLog::global();
-    Log.record(EventKind::Transition, LogNameId, Log.intern(Detail));
+  bool Switched = Choice && *Choice != Cur;
+  if (Switched) {
+    const uint64_t SwitchStart = Profiled ? obs::nowNanos() : 0;
+    Current.store(*Choice, std::memory_order_relaxed);
+    Switches.fetch_add(1, std::memory_order_relaxed);
+    if (Options.LogEvents) {
+      // Transitions are rare (bounded by the variant pool in steady
+      // state); building + interning the detail string here keeps the
+      // common no-switch evaluation completely allocation-free.
+      std::string Detail = VariantId{Kind, Cur}.name() + " -> " +
+                           VariantId{Kind, *Choice}.name();
+      EventLog &Log = EventLog::global();
+      Log.record(EventKind::Transition, LogNameId, Log.intern(Detail));
+    }
+    if (Profiled)
+      Prof->Switch.record(obs::nowNanos() - SwitchStart);
   }
-  if (Profiled)
-    Prof->Switch.record(obs::nowNanos() - SwitchStart);
-  return true;
+  // Publish the captured explanation (outcome now known); no-op when
+  // the ledger is off or the round produced no analyzable groups.
+  recordPendingDecision(Switched);
+  return Switched;
 }
 
 size_t AllocationContextBase::memoryFootprint() const {

@@ -47,6 +47,7 @@
 #include "core/VariantSelection.h"
 #include "model/CostModel.h"
 #include "obs/Profiling.h"
+#include "obs/Provenance.h"
 #include "profile/ContentionSketch.h"
 #include "profile/WorkloadProfile.h"
 #include "replay/TraceRecorder.h"
@@ -423,6 +424,31 @@ private:
   /// the constructor before the window buffers are sized.
   void applyWarmStart();
 
+  /// Keep streak after which a kept decision records as converged in
+  /// the provenance ledger (DESIGN.md §14).
+  static constexpr uint32_t ConvergedKeepStreak = 3;
+
+  /// Interns this site's provenance ledger (and allocates the pending
+  /// decision scratch) on first call; EvalMutex must be held (or the
+  /// context still under construction). Only called when the
+  /// provenance registry is enabled.
+  void resolveLedger();
+
+  /// Fills PendingDecision with the full explanation of one analysis
+  /// round — per-dimension breakdowns of every candidate, criterion
+  /// ratios, adaptive-gate evidence — via a separate model pass that
+  /// leaves the analysis accumulation untouched. EvalMutex held.
+  void capturePendingDecision(uint32_t Round,
+                              const std::vector<VariantCosts> &Costs,
+                              const std::optional<unsigned> &Choice,
+                              double Threads, bool Contended,
+                              uint64_t MinMaxSize, uint64_t MaxMaxSize);
+
+  /// Finalizes the captured decision (outcome + keep streak) and
+  /// publishes it into the ledger. No-op when nothing was captured
+  /// this round. EvalMutex held.
+  void recordPendingDecision(bool Switched);
+
   const std::string Name;
   const AbstractionKind Kind;
   const std::shared_ptr<const PerformanceModel> Model;
@@ -509,6 +535,22 @@ private:
   /// EvalMutex.
   WorkloadProfile Lifetime;
   uint64_t LifetimeInstances = 0; ///< Guarded by EvalMutex.
+  /// This site's decision provenance ledger (DESIGN.md §14), resolved
+  /// lazily under EvalMutex the first time an evaluation runs with the
+  /// provenance registry enabled; null (and never touched) otherwise —
+  /// the disabled path costs one relaxed atomic load per evaluation
+  /// and allocates nothing.
+  obs::SiteLedger *Ledger = nullptr;
+  /// Decision scratch reused across rounds (the record is ~1.5 KB and
+  /// would dominate the evaluation stack frame); allocated once with
+  /// the ledger. Guarded by EvalMutex.
+  std::unique_ptr<obs::DecisionRecord> PendingDecision;
+  /// True between capturePendingDecision() and recordPendingDecision()
+  /// for the current round. Guarded by EvalMutex.
+  bool PendingCaptured = false;
+  /// Consecutive kept decisions (convergence evidence in the ledger);
+  /// reset by every switch. Guarded by EvalMutex.
+  uint32_t KeepStreak = 0;
   /// Set once in the constructor when the initial variant came from the
   /// selection store; never written afterwards.
   bool WarmStarted = false;

@@ -11,6 +11,7 @@
 #include "obs/MetricsHttp.h"
 #include "obs/OpenMetrics.h"
 #include "obs/PerfettoExport.h"
+#include "obs/Provenance.h"
 #include "support/MetricsExport.h"
 #include "support/Telemetry.h"
 #include "tuner/ParameterSpace.h"
@@ -137,9 +138,15 @@ void maybeApplyEnvTuning() {
 std::shared_ptr<const PerformanceModel> Switch::model() {
   std::lock_guard<std::mutex> Lock(modelMutex());
   std::shared_ptr<const PerformanceModel> &Slot = modelSlot();
-  if (!Slot)
+  if (!Slot) {
     Slot = std::make_shared<const PerformanceModel>(
         defaultPerformanceModel());
+    // Provenance for the explain header: decisions are driven by the
+    // shipped default model until something better is installed.
+    ModelStats Provenance;
+    Provenance.Source = "<builtin>";
+    ModelRegistry::global().recordInstall(Provenance);
+  }
   return Slot;
 }
 
@@ -190,6 +197,16 @@ uint16_t Switch::serveMetrics(uint16_t Port) {
   });
   Server->handle("/trace.json", "application/json",
                  [] { return obs::renderPerfettoTrace(); });
+  // Decision provenance (DESIGN.md §14): the full explanation of every
+  // retained selection decision. Served whether or not the ledger is
+  // enabled — a disabled ledger renders "enabled":false with no sites,
+  // so operators can tell "off" apart from "no decisions yet".
+  Server->handle("/explain.json", "application/json", [] {
+    return obs::renderExplainJson(
+        obs::makeExplainHeader(SwitchEngine::global().telemetry()),
+        obs::ProvenanceRegistry::global().snapshotSites(),
+        obs::ProvenanceRegistry::enabled());
+  });
   FleetOptions Fleet;
   {
     std::lock_guard<std::mutex> ConfigLock(configMutex());

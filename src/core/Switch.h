@@ -220,6 +220,11 @@ public:
   ///                   `cswitch_top watch` scrape this,
   ///   /snapshot.json  the MetricsExport JSON telemetry document,
   ///   /trace.json     the Perfetto decision-timeline trace,
+  ///   /explain.json   the decision provenance ledger (schema
+  ///                   cswitch-explain-v1, DESIGN.md §14): per-site
+  ///                   decision records with per-dimension cost
+  ///                   breakdowns, threshold margins and artifact
+  ///                   provenance — `cswitch_explain` consumes this,
   ///   /store          (only with SwitchConfig::Fleet.ServeStore) the
   ///                   selection store for fleet peers — GET serves the
   ///                   serialized document, POST merges a pushed one.

@@ -561,7 +561,11 @@ TelemetrySnapshot SwitchEngine::telemetry() const {
   Snapshot.Recorder = RecorderRegistry::global().stats();
   Snapshot.Fleet = FleetRegistry::global().stats();
   Snapshot.Tuning = TuningRegistry::global().stats();
-  if (std::shared_ptr<SelectionStore> St = store())
+  Snapshot.Model = ModelRegistry::global().stats();
+  if (std::shared_ptr<SelectionStore> St = store()) {
     Snapshot.Store = St->stats();
+    std::lock_guard<std::mutex> Lock(StoreMutex);
+    Snapshot.Store.Path = StorePath;
+  }
   return Snapshot;
 }

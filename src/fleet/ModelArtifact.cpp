@@ -7,6 +7,7 @@
 #include "fleet/ModelArtifact.h"
 
 #include "store/StoreFormat.h"
+#include "support/Telemetry.h"
 
 #include <algorithm>
 #include <cerrno>
@@ -440,5 +441,14 @@ cswitch::fleet::modelFromArtifact(const ModelArtifact &Artifact) {
   PerformanceModel Model;
   for (const ModelArtifact::Row &Row : Artifact.Rows)
     Model.setCost({Row.Kind, Row.Variant}, Row.Op, Row.Dim, Row.Cost);
+  // Artifact fit metadata feeds the decision provenance header
+  // (/explain.json, cswitch_top): record which recalibrated model is
+  // about to drive selections.
+  ModelStats Provenance;
+  Provenance.Source = "cswitch-model-v2";
+  Provenance.Fingerprint = Artifact.HostFingerprint;
+  Provenance.FitTimestamp = Artifact.FitTimestamp;
+  Provenance.HoldoutResidual = Artifact.HoldoutResidual;
+  ModelRegistry::global().recordInstall(Provenance);
   return Model;
 }

@@ -36,15 +36,22 @@ bool writeAll(int Fd, const char *Data, size_t Len) {
 }
 
 void respond(int Fd, const char *Status, const std::string &ContentType,
-             const std::string &Body) {
+             const std::string &Body, bool HeadOnly = false,
+             const char *Allow = nullptr) {
   std::string Head = "HTTP/1.0 ";
   Head += Status;
   Head += "\r\nContent-Type: ";
   Head += ContentType;
   Head += "\r\nContent-Length: ";
   Head += std::to_string(Body.size());
+  if (Allow) {
+    Head += "\r\nAllow: ";
+    Head += Allow;
+  }
   Head += "\r\nConnection: close\r\n\r\n";
-  if (writeAll(Fd, Head.data(), Head.size()))
+  // HEAD answers carry the headers of the equivalent GET — including
+  // the Content-Length the body would have — but no body bytes.
+  if (writeAll(Fd, Head.data(), Head.size()) && !HeadOnly)
     writeAll(Fd, Body.data(), Body.size());
 }
 
@@ -234,35 +241,54 @@ void MetricsServer::serveConnection(int Fd) {
   if (size_t Query = Path.find('?'); Query != std::string::npos)
     Path.resize(Query);
 
-  if (Method == "GET") {
-    for (const auto &Route : Routes) {
-      if (Route.Path != Path)
-        continue;
-      respond(Fd, "200 OK", Route.ContentType, Route.Render());
+  const Route *GetRoute = nullptr;
+  for (const auto &R : Routes)
+    if (R.Path == Path)
+      GetRoute = &R;
+  const PostRoute *Post = nullptr;
+  for (const auto &R : PostRoutes)
+    if (R.Path == Path)
+      Post = &R;
+  // What the path supports, for Allow headers on 405 answers. A GET
+  // route implicitly answers HEAD too (same headers, no body).
+  const char *Allowed = GetRoute ? (Post ? "GET, HEAD, POST" : "GET, HEAD")
+                                 : (Post ? "POST" : nullptr);
+
+  if (Method == "GET" || Method == "HEAD") {
+    if (GetRoute) {
+      respond(Fd, "200 OK", GetRoute->ContentType, GetRoute->Render(),
+              /*HeadOnly=*/Method == "HEAD");
       return;
     }
-    respond(Fd, "404 Not Found", "text/plain", "unknown path\n");
+    if (Post) {
+      respond(Fd, "405 Method Not Allowed", "text/plain", "no GET route\n",
+              Method == "HEAD", Allowed);
+      return;
+    }
+    respond(Fd, "404 Not Found", "text/plain", "unknown path\n",
+            Method == "HEAD");
     return;
   }
 
   if (Method != "POST") {
-    respond(Fd, "405 Method Not Allowed", "text/plain", "GET/POST only\n");
+    // An unsupported method on a known path is a method problem (405,
+    // naming what the path does answer); on an unknown path it is a
+    // path problem (404) — not a blanket 405 as before.
+    if (Allowed)
+      respond(Fd, "405 Method Not Allowed", "text/plain",
+              "method not allowed\n", false, Allowed);
+    else
+      respond(Fd, "404 Not Found", "text/plain", "unknown path\n");
     return;
   }
 
-  const PostRoute *Route = nullptr;
-  for (const auto &R : PostRoutes)
-    if (R.Path == Path)
-      Route = &R;
+  const PostRoute *Route = Post;
   if (!Route) {
-    respond(Fd, Routes.end() !=
-                        std::find_if(Routes.begin(), Routes.end(),
-                                     [&](const auto &R) {
-                                       return R.Path == Path;
-                                     })
-                    ? "405 Method Not Allowed"
-                    : "404 Not Found",
-            "text/plain", "no POST route\n");
+    if (GetRoute)
+      respond(Fd, "405 Method Not Allowed", "text/plain", "no POST route\n",
+              false, Allowed);
+    else
+      respond(Fd, "404 Not Found", "text/plain", "no POST route\n");
     return;
   }
 

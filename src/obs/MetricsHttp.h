@@ -10,9 +10,10 @@
 /// so a running application can be scraped (`curl :9100/metrics`,
 /// Prometheus, `cswitch_top watch`) without the framework growing a
 /// dependency on a real HTTP stack. GET routes serve rendered text
-/// documents; POST routes (added for the fleet store sync, DESIGN.md
-/// §12) accept one size-bounded body per request. Anything else is out
-/// of scope and answered with 404/405.
+/// documents (and implicitly answer HEAD with the same headers and no
+/// body); POST routes (added for the fleet store sync, DESIGN.md §12)
+/// accept one size-bounded body per request. Unsupported methods on a
+/// known path get 405 with an Allow header; unknown paths get 404.
 ///
 /// Routes are registered as (path, callback) pairs before start(); each
 /// request invokes the callback fresh, so responses are always current.

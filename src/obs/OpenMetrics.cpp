@@ -239,6 +239,9 @@ cswitch::obs::renderOpenMetrics(const TelemetrySnapshot &Snapshot,
       {"cswitch_tuning_load_failures",
        "Tuned-configuration artifacts the loader rejected.",
        Snapshot.Tuning.LoadFailures},
+      {"cswitch_model_installs",
+       "Performance models installed (builtin, measured, or artifact).",
+       Snapshot.Model.Installs},
   };
   for (const auto &C : EngineCounters) {
     familyHeader(Out, C.Name, "counter", C.Help);
@@ -276,6 +279,35 @@ cswitch::obs::renderOpenMetrics(const TelemetrySnapshot &Snapshot,
     Out += "\",corpus_digest=\"";
     Out += openMetricsEscape(Snapshot.Tuning.CorpusDigest);
     Out += Buf;
+  }
+
+  // Provenance of the cost model driving selection (DESIGN.md §14):
+  // which artifact the decisions trace back to. Emitted once any model
+  // has been installed — including the shipped default ("<builtin>").
+  if (Snapshot.Model.Installs > 0) {
+    familyHeader(Out, "cswitch_model_info", "gauge",
+                 "Provenance of the installed performance model.");
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "\",fit_timestamp=\"%" PRIu64
+                  "\",holdout_residual=\"%.17g\"} 1\n",
+                  Snapshot.Model.FitTimestamp,
+                  Snapshot.Model.HoldoutResidual);
+    Out += "cswitch_model_info{source=\"";
+    Out += openMetricsEscape(Snapshot.Model.Source);
+    Out += "\",fingerprint=\"";
+    Out += openMetricsEscape(Snapshot.Model.Fingerprint);
+    Out += Buf;
+  }
+
+  // Identity of the attached selection store, for the same reason:
+  // warm-start decisions in the explain ledger cite it.
+  if (!Snapshot.Store.Path.empty()) {
+    familyHeader(Out, "cswitch_store_info", "gauge",
+                 "Identity of the attached selection store.");
+    Out += "cswitch_store_info{path=\"";
+    Out += openMetricsEscape(Snapshot.Store.Path);
+    Out += "\"} 1\n";
   }
 
   familyHeader(Out, "cswitch_node_events_dropped", "counter",

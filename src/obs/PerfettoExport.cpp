@@ -43,15 +43,57 @@ void appendMetadata(std::string &Out, const char *Name, uint32_t Tid,
   Out += "\"}}";
 }
 
+/// Appends a finite double arg as `,"Name":V`; non-finite values render
+/// as 0 (trace_event JSON has no Inf/NaN literals).
+void appendArg(std::string &Out, const char *Name, double Value) {
+  Out += ",\"";
+  Out += Name;
+  Out += "\":";
+  char Buf[48];
+  if (Value != Value || Value > 1.7976931348623157e308 ||
+      Value < -1.7976931348623157e308)
+    Out += "0";
+  else {
+    std::snprintf(Buf, sizeof(Buf), "%.17g", Value);
+    Out += Buf;
+  }
+}
+
+/// The ledger record backing a transition event: same site, Switched
+/// outcome, nearest timestamp. Returns nullptr when no record matches.
+const DecisionRecord *
+switchRecordFor(const SiteLedgerSnapshot *Ledger, uint64_t Ts) {
+  if (!Ledger)
+    return nullptr;
+  const DecisionRecord *Best = nullptr;
+  uint64_t BestDelta = UINT64_MAX;
+  for (const DecisionRecord &R : Ledger->Records) {
+    if (R.Outcome != DecisionOutcome::Switched)
+      continue;
+    uint64_t Delta = R.TimestampNanos > Ts ? R.TimestampNanos - Ts
+                                           : Ts - R.TimestampNanos;
+    if (Delta <= BestDelta) {
+      Best = &R;
+      BestDelta = Delta;
+    }
+  }
+  return Best;
+}
+
 } // namespace
 
 std::string
 cswitch::obs::renderPerfettoTrace(const std::vector<Event> &Events,
-                                  const std::vector<SiteHistogramSnapshot> &Sites) {
+                                  const std::vector<SiteHistogramSnapshot> &Sites,
+                                  const std::vector<SiteLedgerSnapshot> &Ledgers) {
   // Assign one track (tid) per site name, deterministically: sites from
   // the histogram sweep first (already sorted), then any event-only
   // names in first-seen order. Tid 0 is the engine-level track for
   // events with no site (e.g. store activity).
+  std::map<std::string, const SiteLedgerSnapshot *> LedgersByName;
+  for (const SiteLedgerSnapshot &L : Ledgers)
+    LedgersByName.emplace(L.Name, &L);
+
   std::map<std::string, uint32_t> Tids;
   uint32_t NextTid = 1;
   for (const auto &Site : Sites)
@@ -106,8 +148,40 @@ cswitch::obs::renderPerfettoTrace(const std::vector<Event> &Events,
     Out += "\",\"args\":{\"detail\":\"";
     Out += jsonEscape(E.Detail);
     Out += "\",\"seq\":";
-    std::snprintf(Buf, sizeof(Buf), "%" PRIu64 "}}", E.SequenceNumber);
+    std::snprintf(Buf, sizeof(Buf), "%" PRIu64, E.SequenceNumber);
     Out += Buf;
+    // Annotate transitions with the ledger's cost explanation so the
+    // timeline answers "why" without a round-trip to /explain.json.
+    if (E.Kind == EventKind::Transition && !E.Context.empty()) {
+      auto LedgerIt = LedgersByName.find(E.Context);
+      const DecisionRecord *R = switchRecordFor(
+          LedgerIt == LedgersByName.end() ? nullptr : LedgerIt->second,
+          E.TimestampNanos);
+      if (R && R->CurrentVariant >= 0 && R->ChosenVariant >= 0 &&
+          static_cast<uint8_t>(R->CurrentVariant) < R->NumCandidates &&
+          static_cast<uint8_t>(R->ChosenVariant) < R->NumCandidates) {
+        // The deciding dimension is the rule's first criterion (the
+        // primary ranking axis); time when the rule declares none.
+        size_t Dim = R->NumCriteria != 0 ? R->Criteria[0].Dimension : 0;
+        if (Dim >= ExplainNumDimensions)
+          Dim = 0;
+        double Cur = R->Candidates[static_cast<size_t>(R->CurrentVariant)]
+                         .Total[Dim];
+        double New = R->Candidates[static_cast<size_t>(R->ChosenVariant)]
+                         .Total[Dim];
+        Out += ",\"cost_dimension\":\"";
+        Out += explainDimensionName(Dim);
+        Out += "\"";
+        appendArg(Out, "cost_cur", Cur);
+        appendArg(Out, "cost_new", New);
+        appendArg(Out, "cost_delta", New - Cur);
+        appendArg(Out, "margin", R->Margin);
+        if (R->NumCriteria != 0)
+          appendArg(Out, "threshold", R->Criteria[0].Threshold);
+        appendArg(Out, "threads", R->ContendedThreads);
+      }
+    }
+    Out += "}}";
   }
 
   // One counter track per site plotting the lifetime p99s of its three
@@ -133,7 +207,14 @@ cswitch::obs::renderPerfettoTrace(const std::vector<Event> &Events,
   return Out;
 }
 
+std::string
+cswitch::obs::renderPerfettoTrace(const std::vector<Event> &Events,
+                                  const std::vector<SiteHistogramSnapshot> &Sites) {
+  return renderPerfettoTrace(Events, Sites, {});
+}
+
 std::string cswitch::obs::renderPerfettoTrace() {
   return renderPerfettoTrace(EventLog::global().snapshot(),
-                             ProfilingRegistry::global().snapshotSites());
+                             ProfilingRegistry::global().snapshotSites(),
+                             ProvenanceRegistry::global().snapshotSites());
 }

@@ -21,6 +21,7 @@
 #define CSWITCH_OBS_PERFETTOEXPORT_H
 
 #include "obs/Profiling.h"
+#include "obs/Provenance.h"
 #include "support/EventLog.h"
 
 #include <string>
@@ -33,11 +34,22 @@ namespace obs {
 /// the per-site histogram sweep \p Sites into a self-contained
 /// trace_event JSON document. Events with no timestamp (recorded before
 /// this feature, or synthetic) are placed at the timeline origin.
+/// When \p Ledgers (decision-provenance snapshots, DESIGN.md §14) is
+/// non-empty, each transition event is matched to its ledger record by
+/// site and nearest timestamp, and its args gain the cost explanation:
+/// current/chosen cost on the deciding dimension, their delta, the
+/// selection margin, the ratio threshold, and the thread estimate.
+std::string renderPerfettoTrace(const std::vector<Event> &Events,
+                                const std::vector<SiteHistogramSnapshot> &Sites,
+                                const std::vector<SiteLedgerSnapshot> &Ledgers);
+
+/// Overload without decision-provenance annotations.
 std::string renderPerfettoTrace(const std::vector<Event> &Events,
                                 const std::vector<SiteHistogramSnapshot> &Sites);
 
-/// Convenience overload: snapshots the global EventLog (non-consuming)
-/// and sweeps the global ProfilingRegistry.
+/// Convenience overload: snapshots the global EventLog (non-consuming),
+/// sweeps the global ProfilingRegistry, and annotates from the global
+/// ProvenanceRegistry (a disabled ledger contributes no annotations).
 std::string renderPerfettoTrace();
 
 } // namespace obs

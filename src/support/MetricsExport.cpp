@@ -218,7 +218,8 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
          std::to_string(Snapshot.Store.WarmStarts) +
          ", \"persists\": " + std::to_string(Snapshot.Store.Persists) +
          ", \"persist_failures\": " +
-         std::to_string(Snapshot.Store.PersistFailures) + "},\n";
+         std::to_string(Snapshot.Store.PersistFailures) +
+         ", \"path\": \"" + jsonEscape(Snapshot.Store.Path) + "\"},\n";
   Out += "  \"fleet\": {\"pulls\": " + std::to_string(Snapshot.Fleet.Pulls) +
          ", \"pull_failures\": " +
          std::to_string(Snapshot.Fleet.PullFailures) +
@@ -258,6 +259,14 @@ std::string cswitch::toJson(const TelemetrySnapshot &Snapshot) {
          formatDouble(Snapshot.Tuning.WinnerFitness) +
          ", \"baseline_fitness\": " +
          formatDouble(Snapshot.Tuning.BaselineFitness) + "},\n";
+  Out += "  \"model\": {\"installs\": " +
+         std::to_string(Snapshot.Model.Installs) +
+         ", \"source\": \"" + jsonEscape(Snapshot.Model.Source) +
+         "\", \"fingerprint\": \"" + jsonEscape(Snapshot.Model.Fingerprint) +
+         "\", \"fit_timestamp\": " +
+         std::to_string(Snapshot.Model.FitTimestamp) +
+         ", \"holdout_residual\": " +
+         formatDouble(Snapshot.Model.HoldoutResidual) + "},\n";
   Out += "  \"contexts\": [";
   for (size_t I = 0; I != Snapshot.Contexts.size(); ++I) {
     const ContextSnapshot &C = Snapshot.Contexts[I];

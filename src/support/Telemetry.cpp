@@ -155,6 +155,7 @@ StoreStats &StoreStats::operator+=(const StoreStats &Other) {
 
 StoreStats cswitch::operator-(const StoreStats &A, const StoreStats &B) {
   StoreStats Out;
+  Out.Path = A.Path; // State, not a counter: carries over verbatim.
   Out.Loads = monus(A.Loads, B.Loads);
   Out.LoadFailures = monus(A.LoadFailures, B.LoadFailures);
   Out.SitesLoaded = monus(A.SitesLoaded, B.SitesLoaded);
@@ -167,7 +168,8 @@ StoreStats cswitch::operator-(const StoreStats &A, const StoreStats &B) {
 bool cswitch::operator==(const StoreStats &A, const StoreStats &B) {
   return A.Loads == B.Loads && A.LoadFailures == B.LoadFailures &&
          A.SitesLoaded == B.SitesLoaded && A.WarmStarts == B.WarmStarts &&
-         A.Persists == B.Persists && A.PersistFailures == B.PersistFailures;
+         A.Persists == B.Persists &&
+         A.PersistFailures == B.PersistFailures && A.Path == B.Path;
 }
 
 FleetStats &FleetStats::operator+=(const FleetStats &Other) {
@@ -237,6 +239,36 @@ bool cswitch::operator==(const TuningStats &A, const TuningStats &B) {
          A.Evaluations == B.Evaluations && A.Parameters == B.Parameters &&
          A.WinnerFitness == B.WinnerFitness &&
          A.BaselineFitness == B.BaselineFitness;
+}
+
+ModelStats cswitch::operator-(const ModelStats &A, const ModelStats &B) {
+  ModelStats Out = A; // Provenance carries over verbatim.
+  Out.Installs = monus(A.Installs, B.Installs);
+  return Out;
+}
+
+bool cswitch::operator==(const ModelStats &A, const ModelStats &B) {
+  return A.Installs == B.Installs && A.Source == B.Source &&
+         A.Fingerprint == B.Fingerprint &&
+         A.FitTimestamp == B.FitTimestamp &&
+         A.HoldoutResidual == B.HoldoutResidual;
+}
+
+ModelRegistry &ModelRegistry::global() {
+  static ModelRegistry Instance;
+  return Instance;
+}
+
+void ModelRegistry::recordInstall(const ModelStats &Provenance) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  uint64_t Installs = Counters.Installs + 1;
+  Counters = Provenance;
+  Counters.Installs = Installs;
+}
+
+ModelStats ModelRegistry::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
 }
 
 TuningRegistry &TuningRegistry::global() {
@@ -318,6 +350,7 @@ TelemetrySnapshot cswitch::operator-(const TelemetrySnapshot &Now,
   Out.Store = Now.Store - Before.Store;
   Out.Fleet = Now.Fleet - Before.Fleet;
   Out.Tuning = Now.Tuning - Before.Tuning;
+  Out.Model = Now.Model - Before.Model;
   // Lifetime-distribution quantiles do not subtract; carry the newer
   // snapshot's distillation verbatim (same convention as Variant).
   Out.Latency = Now.Latency;

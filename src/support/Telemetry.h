@@ -176,6 +176,9 @@ struct StoreStats {
   uint64_t WarmStarts = 0;      ///< Contexts seeded from a stored decision.
   uint64_t Persists = 0;        ///< Successful store merges written out.
   uint64_t PersistFailures = 0; ///< Failed lock/write attempts.
+  /// Path of the engine-installed store (state, not a counter: carried
+  /// verbatim by operator-). Empty when no store is installed.
+  std::string Path;
 
   StoreStats &operator+=(const StoreStats &Other);
 };
@@ -237,6 +240,46 @@ struct TuningStats {
 
 TuningStats operator-(const TuningStats &A, const TuningStats &B);
 bool operator==(const TuningStats &A, const TuningStats &B);
+
+/// Provenance of the performance model driving selection decisions:
+/// where the installed model came from and, for recalibrated
+/// cswitch-model-v2 artifacts, the fit metadata of the promotion gate.
+/// Installs counts model installations; the provenance fields are
+/// state and carry over verbatim in operator- (TuningStats convention).
+struct ModelStats {
+  uint64_t Installs = 0;    ///< Models installed since process start.
+  std::string Source;       ///< "<builtin>", a file path, or an artifact
+                            ///< tag such as "cswitch-model-v2".
+  std::string Fingerprint;  ///< Content hash / host fingerprint.
+  uint64_t FitTimestamp = 0;    ///< Unix seconds the model was fit; 0 =
+                                ///< not a recalibrated artifact.
+  double HoldoutResidual = 0.0; ///< Held-out residual of the promotion
+                                ///< gate (cswitch-model-v2 only).
+};
+
+ModelStats operator-(const ModelStats &A, const ModelStats &B);
+bool operator==(const ModelStats &A, const ModelStats &B);
+
+/// Process-wide accumulator model installers report through, so the
+/// engine's telemetry snapshot (and the /explain.json provenance
+/// header) can say which model drives decisions without the support
+/// layer depending on the model library — the TuningRegistry pattern.
+class ModelRegistry {
+public:
+  /// The process-wide registry instance.
+  static ModelRegistry &global();
+
+  /// Records a model installation: increments Installs and replaces the
+  /// provenance fields (\p Provenance counter fields are ignored).
+  void recordInstall(const ModelStats &Provenance);
+
+  /// Cumulative counters plus latest provenance since process start.
+  ModelStats stats() const;
+
+private:
+  mutable std::mutex Mutex;
+  ModelStats Counters; ///< Guarded by Mutex.
+};
 
 /// Process-wide accumulator the tuned-configuration loader reports
 /// through, so the engine's telemetry snapshot can include tuning
@@ -324,6 +367,7 @@ struct TelemetrySnapshot {
   StoreStats Store;
   FleetStats Fleet;
   TuningStats Tuning;
+  ModelStats Model;
   EngineLatencies Latency;
   TopologyStats Topology;
 };

@@ -108,6 +108,70 @@ TEST(MetricsHttp, UnknownPathsAndMethodsAreRejected) {
   Server.stop();
 }
 
+TEST(MetricsHttp, HeadReturnsHeadersWithoutBody) {
+  MetricsServer Server;
+  Server.handle("/metrics", "text/plain",
+                [] { return std::string("twelve bytes"); });
+  ASSERT_TRUE(Server.start(0));
+
+  std::string Head =
+      rawRequest(Server.port(), "HEAD /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(Head.find("HTTP/1.0 200 OK"), std::string::npos) << Head;
+  EXPECT_NE(Head.find("Content-Type: text/plain"), std::string::npos);
+  // The Content-Length names what GET would return...
+  EXPECT_NE(Head.find("Content-Length: 12"), std::string::npos) << Head;
+  // ...but no body bytes follow the header block.
+  size_t HeaderEnd = Head.find("\r\n\r\n");
+  ASSERT_NE(HeaderEnd, std::string::npos);
+  EXPECT_EQ(Head.substr(HeaderEnd + 4), "");
+
+  // HEAD of an unknown path is a body-less 404.
+  std::string Missing =
+      rawRequest(Server.port(), "HEAD /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(Missing.find("404"), std::string::npos) << Missing;
+  HeaderEnd = Missing.find("\r\n\r\n");
+  ASSERT_NE(HeaderEnd, std::string::npos);
+  EXPECT_EQ(Missing.substr(HeaderEnd + 4), "");
+  Server.stop();
+}
+
+TEST(MetricsHttp, UnsupportedMethodsGet405OnKnownPathsOnly) {
+  MetricsServer Server;
+  Server.handle("/metrics", "text/plain", [] { return std::string("ok"); });
+  Server.handlePost("/push", 64, [](std::string_view) {
+    return MetricsServer::PostResult{200, "ok\n"};
+  });
+  ASSERT_TRUE(Server.start(0));
+
+  // Unsupported method on a GET path: 405 naming what the path answers.
+  std::string Del =
+      rawRequest(Server.port(), "DELETE /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(Del.find("405"), std::string::npos) << Del;
+  EXPECT_NE(Del.find("Allow: GET, HEAD"), std::string::npos) << Del;
+
+  // Unsupported method on a POST-only path: 405 with Allow: POST.
+  std::string Put = rawRequest(Server.port(), "PUT /push HTTP/1.0\r\n\r\n");
+  EXPECT_NE(Put.find("405"), std::string::npos) << Put;
+  EXPECT_NE(Put.find("Allow: POST"), std::string::npos) << Put;
+
+  // GET/HEAD of a POST-only path: 405, not 404 (the path exists).
+  std::string Get = get(Server.port(), "/push");
+  EXPECT_NE(Get.find("405"), std::string::npos) << Get;
+  EXPECT_NE(Get.find("Allow: POST"), std::string::npos) << Get;
+
+  // Unsupported method on an unknown path: a path problem, so 404 —
+  // the old blanket 405 fall-through is the regression this pins.
+  std::string Unknown =
+      rawRequest(Server.port(), "DELETE /nope HTTP/1.0\r\n\r\n");
+  EXPECT_NE(Unknown.find("404"), std::string::npos) << Unknown;
+  EXPECT_EQ(Unknown.find("405"), std::string::npos) << Unknown;
+  // POST to an unknown path is 404 as well.
+  std::string Post = rawRequest(
+      Server.port(), "POST /nope HTTP/1.0\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(Post.find("404"), std::string::npos) << Post;
+  Server.stop();
+}
+
 TEST(MetricsHttp, StopsAndRestartsCleanly) {
   MetricsServer Server;
   Server.handle("/", "text/plain", [] { return std::string("alive"); });

@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cswitch;
@@ -112,6 +114,146 @@ TEST(PerfettoExport, EmptyInputStillYieldsAValidDocument) {
   EXPECT_EQ(Json.substr(Json.size() - 3), "]}\n");
   // Metadata for the engine track is always present.
   EXPECT_NE(Json.find("\"process_name\""), std::string::npos);
+}
+
+TEST(PerfettoExport, EmptyEngineConvenienceOverloadIsWellFormed) {
+  // The no-argument overload snapshots the global engine state, which
+  // other tests may or may not have touched — only the envelope is
+  // asserted, plus balanced braces (a structural smoke check).
+  std::string Json = renderPerfettoTrace();
+  EXPECT_EQ(Json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+  EXPECT_EQ(Json.substr(Json.size() - 3), "]}\n");
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I != Json.size(); ++I) {
+    char C = Json[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']')
+      --Depth;
+    ASSERT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_FALSE(InString);
+}
+
+TEST(PerfettoExport, HostileUtf8SiteNamesSurviveJsonArgs) {
+  // Invalid UTF-8 (a lone \xFF and a truncated sequence) plus a valid
+  // multi-byte char, in both the site name and the event detail.
+  std::string Hostile = "site-\xFF\xE2\x82\xAC-\"q\"\n\xC3";
+  std::vector<Event> Events = {
+      makeEvent(EventKind::Transition, Hostile, "detail-\xFF\t", 1, 1000),
+  };
+  std::string Json = renderPerfettoTrace(Events, {});
+  // Invalid bytes become U+FFFD, valid UTF-8 passes through, quotes
+  // and control characters are escaped — never raw in the document.
+  EXPECT_NE(Json.find("\\ufffd"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\xE2\x82\xAC"), std::string::npos);
+  EXPECT_NE(Json.find("\\\"q\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\"detail\":\"detail-\\ufffd\\t\""),
+            std::string::npos);
+  for (char C : Json)
+    EXPECT_NE(C, '\xFF');
+  EXPECT_EQ(Json.substr(Json.size() - 3), "]}\n");
+}
+
+TEST(PerfettoExport, SnapshotRendersCleanlyMidDrain) {
+  // A renderer fed from EventLog::snapshot() must cope with a
+  // concurrent drainer racing it — snapshots are non-consuming, so
+  // every render sees a consistent (possibly shorter) prefix.
+  EventLog Log(1 << 10);
+  uint32_t Ctx = Log.intern("perfetto:mid-drain");
+  uint32_t Detail = Log.intern("race");
+  std::atomic<bool> Stop{false};
+  std::thread Producer([&Log, &Stop, Ctx, Detail] {
+    while (!Stop.load(std::memory_order_relaxed))
+      Log.record(EventKind::MonitoringRound, Ctx, Detail);
+  });
+  std::thread Drainer([&Log, &Stop] {
+    while (!Stop.load(std::memory_order_relaxed))
+      (void)Log.drain();
+  });
+  for (int I = 0; I != 50; ++I) {
+    std::string Json = renderPerfettoTrace(Log.snapshot(), {});
+    ASSERT_EQ(Json.rfind("{\"displayTimeUnit\":\"ms\"", 0), 0u);
+    ASSERT_EQ(Json.substr(Json.size() - 3), "]}\n");
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  Producer.join();
+  Drainer.join();
+}
+
+TEST(PerfettoExport, TransitionsGainLedgerCostAnnotations) {
+  std::vector<Event> Events = {
+      makeEvent(EventKind::Transition, "site-a",
+                "ArrayList -> LinkedList", 1, 5000500),
+      makeEvent(EventKind::Evaluation, "site-a", "", 2, 6000000),
+  };
+  SiteLedgerSnapshot Ledger;
+  Ledger.Name = "site-a";
+  Ledger.Abstraction = "list";
+  Ledger.Rule = "Rtime";
+  Ledger.Variants = {"ArrayList", "LinkedList"};
+  Ledger.Decisions = 2;
+  DecisionRecord R;
+  R.Sequence = 2;
+  R.TimestampNanos = 5000400; // near the transition event's timestamp
+  R.Outcome = DecisionOutcome::Switched;
+  R.CurrentVariant = 0;
+  R.ChosenVariant = 1;
+  R.NumCandidates = 2;
+  R.NumCriteria = 1;
+  R.Criteria[0].Dimension = 0;
+  // Exactly-representable doubles, so the %.17g rendering is the short
+  // literal form.
+  R.Criteria[0].Threshold = 0.75;
+  R.ContendedThreads = 2.5;
+  R.Margin = 0.25;
+  R.Candidates[0].Total = {100.0, 0, 0, 0};
+  R.Candidates[1].Total = {60.0, 0, 0, 0};
+  Ledger.Records.push_back(R);
+
+  std::string Json = renderPerfettoTrace(Events, {}, {Ledger});
+  EXPECT_NE(Json.find("\"cost_dimension\":\"time\""), std::string::npos)
+      << Json;
+  EXPECT_NE(Json.find("\"cost_cur\":100"), std::string::npos);
+  EXPECT_NE(Json.find("\"cost_new\":60"), std::string::npos);
+  EXPECT_NE(Json.find("\"cost_delta\":-40"), std::string::npos);
+  EXPECT_NE(Json.find("\"margin\":0.25"), std::string::npos);
+  EXPECT_NE(Json.find("\"threshold\":0.75"), std::string::npos);
+  EXPECT_NE(Json.find("\"threads\":2.5"), std::string::npos);
+  // Only the transition is annotated, not the evaluation.
+  size_t EvalPos = Json.find("\"name\":\"evaluation\"");
+  ASSERT_NE(EvalPos, std::string::npos);
+  EXPECT_EQ(Json.find("cost_delta", EvalPos), std::string::npos);
+}
+
+TEST(PerfettoExport, TransitionsWithoutMatchingLedgerStayBare) {
+  std::vector<Event> Events = {
+      makeEvent(EventKind::Transition, "site-a", "A -> B", 1, 1000),
+  };
+  // Ledger for a different site; and one for the right site whose only
+  // record is a keep (no switched record to match).
+  SiteLedgerSnapshot Other;
+  Other.Name = "site-b";
+  DecisionRecord Keep;
+  Keep.Outcome = DecisionOutcome::Kept;
+  SiteLedgerSnapshot Kept;
+  Kept.Name = "site-a";
+  Kept.Records.push_back(Keep);
+
+  std::string Json = renderPerfettoTrace(Events, {}, {Other, Kept});
+  EXPECT_EQ(Json.find("cost_delta"), std::string::npos) << Json;
+  EXPECT_NE(Json.find("\"name\":\"transition\""), std::string::npos);
 }
 
 } // namespace

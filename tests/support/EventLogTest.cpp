@@ -77,6 +77,33 @@ TEST(EventLog, KindNamesAreStable) {
   EXPECT_STREQ(eventKindName(EventKind::Transition), "transition");
   EXPECT_STREQ(eventKindName(EventKind::AdaptiveMigration),
                "adaptive-migration");
+  EXPECT_STREQ(eventKindName(EventKind::WarmStart), "warm-start");
+  EXPECT_STREQ(eventKindName(EventKind::Store), "store");
+}
+
+TEST(EventLog, EveryKindHasADistinctNonEmptyName) {
+  // Exhaustive over the enum: EventKind::Store is the last enumerator,
+  // so a new kind added without a name (falling into the "unknown"
+  // default) fails here — extend both this list and eventKindName.
+  const EventKind AllKinds[] = {
+      EventKind::ContextCreated,  EventKind::MonitoringRound,
+      EventKind::Evaluation,      EventKind::Transition,
+      EventKind::AdaptiveMigration, EventKind::WarmStart,
+      EventKind::Store};
+  constexpr size_t NumKinds =
+      static_cast<size_t>(EventKind::Store) + 1;
+  static_assert(sizeof(AllKinds) / sizeof(AllKinds[0]) == NumKinds,
+                "enumerator list out of date");
+  std::set<std::string> Names;
+  for (EventKind Kind : AllKinds) {
+    const char *Name = eventKindName(Kind);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "");
+    EXPECT_STRNE(Name, "unknown")
+        << "enumerator " << static_cast<int>(Kind) << " has no name";
+    Names.insert(Name);
+  }
+  EXPECT_EQ(Names.size(), NumKinds) << "kind names must be distinct";
 }
 
 TEST(EventLog, GlobalInstanceIsShared) {

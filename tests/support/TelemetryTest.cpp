@@ -265,8 +265,11 @@ TEST(Telemetry, JsonCarriesSchemaAndTotals) {
   // So does the selection store's warm-start accounting.
   EXPECT_NE(Json.find("\"store\": {\"loads\": 2, \"load_failures\": 1, "
                       "\"sites_loaded\": 9, \"warm_starts\": 4, "
-                      "\"persists\": 5, \"persist_failures\": 0}"),
+                      "\"persists\": 5, \"persist_failures\": 0, "
+                      "\"path\": \"\"}"),
             std::string::npos);
+  // Model provenance rides along as its own block (explain header).
+  EXPECT_NE(Json.find("\"model\": {\"installs\": 0"), std::string::npos);
   // The contention estimate rides on each context row (0 = sequential).
   EXPECT_NE(Json.find("\"contended_threads\": 3.5"), std::string::npos);
   EXPECT_NE(Json.find("\"contended_threads\": 0"), std::string::npos);

@@ -158,6 +158,11 @@ struct MetricsSample {
   double EvaluateP99 = 0;
   double TopologyNodes = 1;
   double EventsDropped = 0;
+  // Provenance of the decision inputs (info-metric labels): which
+  // model/tuning artifacts and store the decisions trace back to.
+  std::string ModelSource, ModelFingerprint, ModelFitTimestamp;
+  std::string TuningSource, TuningFingerprint;
+  std::string StorePath;
   std::map<unsigned, double> NodeDropped; // node index -> events dropped
   std::map<std::string, SiteRow> Sites;
 };
@@ -248,7 +253,16 @@ MetricsSample parseMetrics(const std::string &Text) {
       Sample.TopologyNodes = Value;
     else if (Name == "cswitch_events_dropped_total")
       Sample.EventsDropped = Value;
-    else if (Name == "cswitch_node_events_dropped_total") {
+    else if (Name == "cswitch_model_info") {
+      labelValue(Labels, "source", Sample.ModelSource);
+      labelValue(Labels, "fingerprint", Sample.ModelFingerprint);
+      labelValue(Labels, "fit_timestamp", Sample.ModelFitTimestamp);
+    } else if (Name == "cswitch_tuning_info") {
+      labelValue(Labels, "source", Sample.TuningSource);
+      labelValue(Labels, "fingerprint", Sample.TuningFingerprint);
+    } else if (Name == "cswitch_store_info") {
+      labelValue(Labels, "path", Sample.StorePath);
+    } else if (Name == "cswitch_node_events_dropped_total") {
       std::string Node;
       if (labelValue(Labels, "node", Node))
         Sample.NodeDropped[static_cast<unsigned>(std::atoi(Node.c_str()))] =
@@ -272,6 +286,28 @@ MetricsSample parseMetrics(const std::string &Text) {
 
 void renderSample(const MetricsSample &Sample, const std::string &Url) {
   std::printf("cswitch_top — %s\n", Url.c_str());
+  // Provenance line: which artifacts the selection decisions trace back
+  // to (absent sections mean the target has not loaded that input).
+  if (!Sample.ModelSource.empty() || !Sample.TuningSource.empty() ||
+      !Sample.StorePath.empty()) {
+    std::printf("provenance:");
+    if (!Sample.ModelSource.empty()) {
+      std::printf("   model %s", Sample.ModelSource.c_str());
+      if (!Sample.ModelFingerprint.empty())
+        std::printf(" [%s]", Sample.ModelFingerprint.c_str());
+      if (!Sample.ModelFitTimestamp.empty() &&
+          Sample.ModelFitTimestamp != "0")
+        std::printf(" fit@%s", Sample.ModelFitTimestamp.c_str());
+    }
+    if (!Sample.TuningSource.empty()) {
+      std::printf("   tuning %s", Sample.TuningSource.c_str());
+      if (!Sample.TuningFingerprint.empty())
+        std::printf(" [%s]", Sample.TuningFingerprint.c_str());
+    }
+    if (!Sample.StorePath.empty())
+      std::printf("   store %s", Sample.StorePath.c_str());
+    std::printf("\n");
+  }
   std::printf("contexts %.0f   instances %.0f   evaluations %.0f   "
               "switches %.0f   p99 record %.0f ns   p99 evaluate %.0f ns\n",
               Sample.Contexts, Sample.InstancesCreated, Sample.Evaluations,
